@@ -1,0 +1,346 @@
+// Package repro_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (Section IV),
+// plus micro-benchmarks of the toolchain itself. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark regenerates its table/figure once per
+// iteration and reports headline values as custom metrics, so `go test
+// -bench` doubles as the reproduction harness (cmd/paper renders the same
+// data as text).
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/bench"
+	schematic "schematic/internal/core"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/opt"
+	"schematic/internal/trace"
+)
+
+func newHarness() *bench.Harness {
+	h := bench.NewHarness()
+	h.ProfileRuns = 5 // keep bench iterations fast; cmd/paper uses more
+	return h
+}
+
+// BenchmarkTable1 regenerates Table I (ability to support limited VM).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		t1, err := h.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		supported := 0
+		for _, row := range t1 {
+			for _, ok := range row {
+				if ok {
+					supported++
+				}
+			}
+		}
+		b.ReportMetric(float64(supported), "cells-supported")
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (execution time and minimal power
+// failures).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		rows, err := h.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total int64
+		for _, r := range rows {
+			total += r.Cycles
+		}
+		b.ReportMetric(float64(total), "suite-cycles")
+	}
+}
+
+// BenchmarkTable3 regenerates Table III (forward progress for TBPF ∈
+// {1k, 10k, 100k}).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		t3, err := h.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed := 0
+		for _, byTBPF := range t3 {
+			for _, cells := range byTBPF {
+				for _, tr := range cells {
+					if tr.Completed() {
+						completed++
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(completed), "cells-completed")
+	}
+}
+
+// BenchmarkFigure6 regenerates Fig. 6 (energy breakdown at TBPF=10k).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		fig, err := h.Figure6(bench.Fig6TBPF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hd := bench.ComputeHeadline(fig)
+		b.ReportMetric(hd.OverallEnergy*100, "energy-reduction-%")
+		b.ReportMetric(hd.OverallTime*100, "time-reduction-%")
+	}
+}
+
+// BenchmarkFigure7 regenerates Fig. 7 (SCHEMATIC vs All-NVM).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		fig, err := h.Figure7(bench.Fig6TBPF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Average computation-energy reduction of VM allocation.
+		var sum, n float64
+		for _, cells := range fig {
+			s, o := cells["Schematic"], cells["All-NVM"]
+			if s.Completed() && o.Completed() {
+				sum += 1 - s.Res.Energy.Computation/o.Res.Energy.Computation
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/n*100, "compute-reduction-%")
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablation study: the full pass
+// against variants with conditional checkpointing, liveness refinement, or
+// VM allocation disabled, and with the §VII register-liveness extension
+// enabled. Reported metrics are the suite-average energy overheads (or
+// saving, for refined registers) relative to the full pass.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		abl, err := h.Ablations(bench.Fig6TBPF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel := func(label string) float64 {
+			var sum, n float64
+			for _, cells := range abl {
+				base, v := cells["Schematic"], cells[label]
+				if base != nil && base.Completed() && v != nil && v.Completed() {
+					sum += v.Res.Energy.Total() / base.Res.Energy.Total()
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / n
+		}
+		b.ReportMetric((rel("NoCondCk")-1)*100, "no-condck-overhead-%")
+		b.ReportMetric((rel("NoLiveness")-1)*100, "no-liveness-overhead-%")
+		b.ReportMetric((rel("NoVM")-1)*100, "no-vm-overhead-%")
+		b.ReportMetric((1-rel("RefinedRegs"))*100, "refined-regs-saving-%")
+	}
+}
+
+// BenchmarkFigure8 regenerates Fig. 8 (capacitor-size sweep on crc).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		fig, err := h.Figure8("crc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := fig["Schematic"][1_000]
+		big := fig["Schematic"][100_000]
+		if small.Completed() && big.Completed() {
+			b.ReportMetric(small.Res.Energy.Intermittency()/1000, "overhead-1k-uJ")
+			b.ReportMetric(big.Res.Energy.Intermittency()/1000, "overhead-100k-uJ")
+		}
+	}
+}
+
+// BenchmarkAnalysis measures the SCHEMATIC pass itself across the suite
+// (the paper reports ~71 s per benchmark on the authors' setup, §III-C).
+func BenchmarkAnalysis(b *testing.B) {
+	bms, err := bench.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := energy.MSP430FR5969()
+	type prepared struct {
+		name string
+		mod  *ir.Module
+		prof *trace.Profile
+		eb   float64
+	}
+	var preps []prepared
+	for _, bm := range bms {
+		m, err := bm.Module()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: 1, Model: model})
+		if err != nil {
+			b.Fatal(err)
+		}
+		preps = append(preps, prepared{bm.Name, m, prof, prof.EBForTBPF(10_000)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range preps {
+			clone := ir.Clone(p.mod)
+			if _, err := schematic.Apply(clone, schematic.Config{
+				Model: model, Budget: p.eb, VMSize: 2048, Profile: p.prof,
+			}); err != nil {
+				b.Fatalf("%s: %v", p.name, err)
+			}
+		}
+	}
+}
+
+// BenchmarkEmulator measures raw interpretation speed on the aes benchmark.
+func BenchmarkEmulator(b *testing.B) {
+	bm, err := bench.ByName("aes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bm.Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := bm.Inputs(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := energy.MSP430FR5969()
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkCompile measures the MiniC front end on the largest benchmark.
+func BenchmarkCompile(b *testing.B) {
+	bm, err := bench.ByName("aes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := minic.Compile("aes", bm.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselinePasses measures each baseline's instrumentation pass.
+func BenchmarkBaselinePasses(b *testing.B) {
+	bm, err := bench.ByName("bitcount")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bm.Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := energy.MSP430FR5969()
+	for _, tech := range bench.Techniques() {
+		if tech.Name() == "Schematic" {
+			continue // measured by BenchmarkAnalysis
+		}
+		tech := tech
+		b.Run(tech.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clone := ir.Clone(m)
+				if err := tech.Apply(clone, baselines.Params{
+					Model: model, Budget: 10_000, VMSize: 2048,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimize measures the optimizer across the suite and reports
+// how much it shrinks the hand-written benchmarks (fuzz-generated code
+// shrinks far more; these sources are already tight).
+func BenchmarkOptimize(b *testing.B) {
+	bms, err := bench.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mods := make([]*ir.Module, len(bms))
+	for i, bm := range bms {
+		m, err := bm.Module()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods[i] = m
+	}
+	count := func(m *ir.Module) int {
+		n := 0
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				n += len(blk.Instrs)
+			}
+		}
+		return n
+	}
+	b.ResetTimer()
+	var before, after int
+	for i := 0; i < b.N; i++ {
+		before, after = 0, 0
+		for _, m := range mods {
+			c := ir.Clone(m)
+			before += count(c)
+			if _, err := opt.Optimize(c); err != nil {
+				b.Fatal(err)
+			}
+			after += count(c)
+		}
+	}
+	b.ReportMetric(float64(before-after)/float64(before)*100, "shrink-%")
+}
+
+// BenchmarkProfile measures trace collection (the paper's 1000-run
+// instrumentation, III-A3) on crc, per run.
+func BenchmarkProfile(b *testing.B) {
+	bm, err := bench.ByName("crc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bm.Module()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Collect(m, trace.Options{Runs: 1, Seed: rand.Int63()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command iemu executes a program (MiniC source or textual IR) under the
+// intermittent-computing emulator and reports the outcome and the energy
+// ledger.
+//
+//	iemu prog.mc                       # continuous power
+//	iemu -eb 3000 prog.ir              # intermittent, capacitor = 3000 nJ
+//	iemu -eb 3000 -vmsize 2048 prog.ir
+//	iemu -seed 7 prog.mc               # workload inputs from another seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+func main() {
+	var (
+		eb     = flag.Float64("eb", 0, "capacitor energy in nJ (0 = continuous power)")
+		period = flag.Int64("tbpf", 0, "also fail every this many active cycles (periodic TBPF mode)")
+		vmSize = flag.Int("vmsize", 2048, "SVM in bytes")
+		seed   = flag.Int64("seed", 1, "input seed")
+		quiet  = flag.Bool("q", false, "print only the program output")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iemu [flags] <prog.mc|prog.ir>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	srcBytes, err := os.ReadFile(path)
+	fail(err)
+	src := string(srcBytes)
+
+	var m *ir.Module
+	if strings.HasSuffix(path, ".ir") || strings.HasPrefix(strings.TrimSpace(src), "module ") {
+		m, err = ir.Parse(src)
+		fail(err)
+		fail(ir.Verify(m))
+	} else {
+		name := strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".mc")
+		m, err = minic.Compile(name, src)
+		fail(err)
+	}
+
+	cfg := emulator.Config{
+		Model:  energy.MSP430FR5969(),
+		VMSize: *vmSize,
+		Inputs: trace.RandomInputs(m, rand.New(rand.NewSource(*seed))),
+	}
+	if *eb > 0 {
+		cfg.Intermittent = true
+		cfg.EB = *eb
+	}
+	if *period > 0 {
+		cfg.Intermittent = true
+		cfg.FailEveryCycles = *period
+		if cfg.EB == 0 {
+			cfg.EB = 1e12 // energy unconstrained: failures come from the period
+		}
+	}
+	res, err := emulator.Run(m, cfg)
+	fail(err)
+
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	if *quiet {
+		return
+	}
+	l := res.Energy
+	fmt.Fprintf(os.Stderr, "verdict:        %v\n", res.Verdict)
+	fmt.Fprintf(os.Stderr, "cycles:         %d (total incl. re-exec: %d)\n", res.Cycles, res.TotalCycles)
+	fmt.Fprintf(os.Stderr, "energy:         %.1f µJ  (compute %.1f, save %.1f, restore %.1f, re-exec %.1f)\n",
+		l.Total()/1000, l.Computation/1000, l.Save/1000, l.Restore/1000, l.Reexecution/1000)
+	fmt.Fprintf(os.Stderr, "power failures: %d   saves: %d   sleeps: %d\n",
+		res.PowerFailures, res.Saves, res.Sleeps)
+	fmt.Fprintf(os.Stderr, "VM high water:  %d B\n", res.MaxVMBytes)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iemu: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation (Section IV) on the bundled MiBench2-style benchmark suite:
+//
+//	paper -all                # everything
+//	paper -table 1            # Table I   (VM-size support matrix)
+//	paper -table 2            # Table II  (execution time, minimal failures)
+//	paper -table 3            # Table III (forward progress)
+//	paper -figure 6           # Fig. 6    (energy breakdown, TBPF=10k)
+//	paper -figure 7           # Fig. 7    (SCHEMATIC vs All-NVM)
+//	paper -figure 8           # Fig. 8    (capacitor-size sweep on crc)
+//	paper -headline           # §IV-D averages
+//	paper -ablations          # design-choice ablation study (beyond paper)
+//
+// Absolute numbers come from this reproduction's energy model, not the
+// authors' testbed; the shapes are the object of comparison (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"schematic/internal/bench"
+)
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "regenerate Table 1, 2 or 3")
+		figure      = flag.Int("figure", 0, "regenerate Figure 6, 7 or 8")
+		headline    = flag.Bool("headline", false, "print the §IV-D headline averages")
+		ablations   = flag.Bool("ablations", false, "run the design-choice ablation study")
+		all         = flag.Bool("all", false, "regenerate everything")
+		profileRuns = flag.Int("profile-runs", 50, "profiling executions per benchmark")
+		vmSize      = flag.Int("vmsize", 2048, "SVM in bytes")
+		fig8Bench   = flag.String("fig8-bench", "crc", "benchmark for the Figure 8 sweep")
+	)
+	flag.Parse()
+
+	h := bench.NewHarness()
+	h.ProfileRuns = *profileRuns
+	h.VMSize = *vmSize
+
+	if !*all && *table == 0 && *figure == 0 && !*headline && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *table == 1 {
+		run("Table I", func() error {
+			t1, err := h.Table1()
+			if err != nil {
+				return err
+			}
+			bench.RenderTable1(os.Stdout, t1)
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		run("Table II", func() error {
+			rows, err := h.Table2()
+			if err != nil {
+				return err
+			}
+			bench.RenderTable2(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("Table III", func() error {
+			t3, err := h.Table3()
+			if err != nil {
+				return err
+			}
+			bench.RenderTable3(os.Stdout, t3)
+			return nil
+		})
+	}
+	var fig6 map[string]map[string]*bench.TechRun
+	if *all || *figure == 6 || *headline {
+		run("Figure 6", func() error {
+			var err error
+			fig6, err = h.Figure6(bench.Fig6TBPF)
+			if err != nil {
+				return err
+			}
+			if *all || *figure == 6 {
+				bench.RenderFigure6(os.Stdout, fig6, bench.Fig6TBPF)
+			}
+			return nil
+		})
+	}
+	if *all || *figure == 7 {
+		run("Figure 7", func() error {
+			fig7, err := h.Figure7(bench.Fig6TBPF)
+			if err != nil {
+				return err
+			}
+			bench.RenderFigure7(os.Stdout, fig7, bench.Fig6TBPF)
+			return nil
+		})
+	}
+	if *all || *figure == 8 {
+		run("Figure 8", func() error {
+			fig8, err := h.Figure8(*fig8Bench)
+			if err != nil {
+				return err
+			}
+			bench.RenderFigure8(os.Stdout, fig8, *fig8Bench)
+			return nil
+		})
+	}
+	if *all || *headline {
+		run("Headline", func() error {
+			bench.RenderHeadline(os.Stdout, bench.ComputeHeadline(fig6))
+			return nil
+		})
+	}
+	if *all || *ablations {
+		run("Ablations", func() error {
+			abl, err := h.Ablations(bench.Fig6TBPF)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblations(os.Stdout, abl, bench.Fig6TBPF)
+			return nil
+		})
+	}
+}

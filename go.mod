@@ -1,0 +1,3 @@
+module schematic
+
+go 1.22

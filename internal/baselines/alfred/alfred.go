@@ -1,0 +1,60 @@
+// Package alfred reimplements ALFRED (Maioli & Mottola, SenSys'21) on the
+// shared IR substrate — the only baseline that, like SCHEMATIC, uses both
+// VM and NVM as working memory (IV-A-b).
+//
+// ALFRED uses the energy-efficient VM as much as possible and reduces
+// checkpoint overhead through *deferred restoration* (a variable is
+// reloaded from NVM on its first read after a reboot) and *anticipated
+// saving* (only variables actually written since the previous save reach
+// NVM). It does not define its own placement strategy; following the
+// paper's setup, checkpoints sit on loop latches like MEMENTOS's.
+//
+// ALFRED addresses VM and NVM with the same offsets, so it needs a VM as
+// large as the data set even when only a few bytes are hot — which is why
+// it cannot run dijkstra, fft, or rc4 on a 2 KB SRAM (Table I), and why
+// SCHEMATIC's capacity-aware allocation is the paper's key advantage over
+// it.
+package alfred
+
+import (
+	"fmt"
+
+	"schematic/internal/baselines"
+	"schematic/internal/ir"
+)
+
+// Alfred is the technique instance.
+type Alfred struct{}
+
+// Name implements baselines.Technique.
+func (Alfred) Name() string { return "Alfred" }
+
+// SupportsVM implements baselines.Technique: the same-offset addressing
+// scheme requires VM to span the whole data set.
+func (Alfred) SupportsVM(m *ir.Module, vmSize int) bool {
+	return baselines.DataBytes(m) <= vmSize
+}
+
+// Apply instruments the module: all data in VM, lazy rollback checkpoints
+// on loop latches, and a lazy boot checkpoint (the initial data copy is
+// also deferred to first use).
+func (Alfred) Apply(m *ir.Module, p baselines.Params) error {
+	if p.Model == nil {
+		return fmt.Errorf("alfred: Params.Model is required")
+	}
+	if p.VMSize > 0 && baselines.DataBytes(m) > p.VMSize {
+		return fmt.Errorf("alfred: data footprint %d B exceeds SVM %d B (same-offset scheme)",
+			baselines.DataBytes(m), p.VMSize)
+	}
+	baselines.AllocAllVM(m)
+	id := 0
+	for _, f := range m.Funcs {
+		for _, latch := range baselines.LatchBlocks(f) {
+			ck := &ir.Checkpoint{ID: id, Kind: ir.CkRollback, SaveAll: true, Lazy: true}
+			id++
+			baselines.InsertBeforeTerminator(latch, ck)
+		}
+	}
+	baselines.BootCheckpoint(m, ir.CkRollback, id, true)
+	return ir.Verify(m)
+}

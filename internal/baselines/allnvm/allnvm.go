@@ -1,0 +1,32 @@
+// Package allnvm is the All-NVM ablation of the paper's Fig. 7: SCHEMATIC
+// with memory allocation disabled, so checkpoint placement still adapts to
+// the platform but every variable stays in NVM. Comparing it against full
+// SCHEMATIC isolates the contribution of the joint memory allocation.
+package allnvm
+
+import (
+	"schematic/internal/baselines"
+	schematic "schematic/internal/core"
+	"schematic/internal/ir"
+)
+
+// AllNVM is the technique instance.
+type AllNVM struct{}
+
+// Name implements baselines.Technique.
+func (AllNVM) Name() string { return "All-NVM" }
+
+// SupportsVM implements baselines.Technique.
+func (AllNVM) SupportsVM(*ir.Module, int) bool { return true }
+
+// Apply runs SCHEMATIC with VM allocation disabled.
+func (AllNVM) Apply(m *ir.Module, p baselines.Params) error {
+	_, err := schematic.Apply(m, schematic.Config{
+		Model:     p.Model,
+		Budget:    p.Budget,
+		VMSize:    p.VMSize,
+		Profile:   p.Profile,
+		DisableVM: true,
+	})
+	return err
+}

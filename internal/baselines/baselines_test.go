@@ -1,0 +1,193 @@
+package baselines
+
+import (
+	"testing"
+
+	"schematic/internal/cfg"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+const loopSrc = `
+int acc;
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 20; i = i + 1) @max(20) {
+    acc = acc + i;
+  }
+  print(acc);
+}
+`
+
+func TestAllocAllVM(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	AllocAllVM(m)
+	acc := m.GlobalByName("acc")
+	mainF := m.FuncByName("main")
+	i := mainF.LocalByName("i")
+	for _, b := range mainF.Blocks {
+		if !b.InVM(acc) || !b.InVM(i) {
+			t.Errorf("block %s missing VM allocation", b.Name)
+		}
+	}
+}
+
+func TestAllVarsSorted(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	vs := AllVars(m)
+	if len(vs) != 2 {
+		t.Fatalf("vars = %d, want 2", len(vs))
+	}
+	for k := 1; k < len(vs); k++ {
+		if vs[k-1].Name >= vs[k].Name {
+			t.Errorf("AllVars not sorted")
+		}
+	}
+}
+
+func TestLatchBlocks(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	latches := LatchBlocks(m.FuncByName("main"))
+	if len(latches) != 1 || latches[0].Name != "for.latch" {
+		t.Errorf("latches = %v", latches)
+	}
+}
+
+func TestInsertHelpers(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	f := m.FuncByName("main")
+	head := f.BlockByName("for.head")
+	ck := &ir.Checkpoint{ID: 1, Kind: ir.CkWait}
+	InsertAtTop(head, ck)
+	// The LoopBound metadata must stay first.
+	if _, ok := head.Instrs[0].(*ir.LoopBound); !ok {
+		t.Errorf("LoopBound displaced: %v", head.Instrs[0])
+	}
+	if head.Instrs[1] != ck {
+		t.Errorf("checkpoint not after LoopBound")
+	}
+	latch := f.BlockByName("for.latch")
+	ck2 := &ir.Checkpoint{ID: 2, Kind: ir.CkWait}
+	InsertBeforeTerminator(latch, ck2)
+	if latch.Instrs[len(latch.Instrs)-2] != ck2 {
+		t.Errorf("checkpoint not before terminator")
+	}
+	if latch.Terminator() == nil {
+		t.Errorf("terminator lost")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestBootCheckpoint(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	AllocAllVM(m)
+	ck := BootCheckpoint(m, ir.CkRollback, 7, false)
+	if len(ck.Restore) != 2 {
+		t.Errorf("boot restore = %v, want both variables", ck.Restore)
+	}
+	entry := m.FuncByName("main").Entry()
+	if entry.Instrs[0] != ir.Instr(ck) {
+		t.Errorf("boot checkpoint not at entry top")
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	ref, err := emulator.Run(minic.MustCompile("t", loopSrc),
+		emulator.Config{Model: energy.MSP430FR5969()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, factor := range []int{2, 3, 7, 10} {
+		m := minic.MustCompile("t", loopSrc)
+		f := m.FuncByName("main")
+		lf := cfg.Loops(f, cfg.Dominators(f))
+		if len(lf.All) != 1 {
+			t.Fatalf("loops = %d", len(lf.All))
+		}
+		if err := UnrollLoop(f, lf.All[0], factor); err != nil {
+			t.Fatalf("unroll %d: %v", factor, err)
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("verify after unroll %d: %v", factor, err)
+		}
+		res, err := emulator.Run(m, emulator.Config{Model: energy.MSP430FR5969()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output[0] != ref.Output[0] {
+			t.Errorf("factor %d: output %v, want %v", factor, res.Output, ref.Output)
+		}
+		// The unrolled loop must have a single back-edge to the original
+		// header.
+		lf2 := cfg.Loops(f, cfg.Dominators(f))
+		if len(lf2.All) != 1 || lf2.All[0].Header.Name != "for.head" {
+			t.Errorf("factor %d: loop structure broken: %v", factor, lf2.All)
+		}
+		if l := lf2.All[0]; l.Latch() == nil {
+			t.Errorf("factor %d: multiple latches after unroll", factor)
+		}
+	}
+}
+
+func TestUnrollWithBreak(t *testing.T) {
+	src := `
+int acc;
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 100; i = i + 1) @max(100) {
+    acc = acc + i;
+    if (acc > 50) {
+      break;
+    }
+  }
+  print(acc);
+  print(i);
+}
+`
+	ref, err := emulator.Run(minic.MustCompile("t", src),
+		emulator.Config{Model: energy.MSP430FR5969()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := minic.MustCompile("t", src)
+	f := m.FuncByName("main")
+	lf := cfg.Loops(f, cfg.Dominators(f))
+	if err := UnrollLoop(f, lf.All[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := emulator.Run(m, emulator.Config{Model: energy.MSP430FR5969()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 2 || res.Output[0] != ref.Output[0] || res.Output[1] != ref.Output[1] {
+		t.Errorf("output = %v, want %v", res.Output, ref.Output)
+	}
+}
+
+func TestWorstIterationEnergy(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	f := m.FuncByName("main")
+	lf := cfg.Loops(f, cfg.Dominators(f))
+	model := energy.MSP430FR5969()
+	e := WorstIterationEnergy(model, lf.All[0], nil)
+	if e <= 0 || e > 200 {
+		t.Errorf("iteration energy = %v, want a small positive value", e)
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	m := minic.MustCompile("t", loopSrc)
+	// acc + i = 2 words.
+	if got := DataBytes(m); got != 2*ir.WordBytes {
+		t.Errorf("DataBytes = %d", got)
+	}
+}

@@ -1,0 +1,59 @@
+// Package mementos reimplements MEMENTOS (Ransford, Sorber & Fu,
+// ASPLOS'11) on the shared IR substrate, as the paper's All-VM baseline
+// (IV-A-b).
+//
+// MEMENTOS keeps all working data in VM and uses NVM only for checkpoints.
+// The compiler inserts *trigger points*; at run time each trigger point
+// measures the voltage across the capacitor and saves a full checkpoint
+// (all of VM plus the registers) only when the remaining energy is below a
+// threshold. Following the paper's setup, trigger points are placed on
+// loop latches ("we placed checkpoints on loop latches, as described in
+// the MEMENTOS publication").
+//
+// Because the entire data set must fit in VM, MEMENTOS cannot run programs
+// whose footprint exceeds SVM (Table I), and because placement ignores the
+// platform's energy characteristics it cannot guarantee forward progress
+// for small TBPF (Table III).
+package mementos
+
+import (
+	"fmt"
+
+	"schematic/internal/baselines"
+	"schematic/internal/ir"
+)
+
+// Mementos is the technique instance.
+type Mementos struct{}
+
+// Name implements baselines.Technique.
+func (Mementos) Name() string { return "Mementos" }
+
+// SupportsVM implements baselines.Technique: the whole data set lives in
+// VM.
+func (Mementos) SupportsVM(m *ir.Module, vmSize int) bool {
+	return baselines.DataBytes(m) <= vmSize
+}
+
+// Apply instruments the module with trigger points on loop latches and an
+// initial boot checkpoint that models loading the data section into VM.
+func (Mementos) Apply(m *ir.Module, p baselines.Params) error {
+	if p.Model == nil {
+		return fmt.Errorf("mementos: Params.Model is required")
+	}
+	if p.VMSize > 0 && baselines.DataBytes(m) > p.VMSize {
+		return fmt.Errorf("mementos: data footprint %d B exceeds SVM %d B",
+			baselines.DataBytes(m), p.VMSize)
+	}
+	baselines.AllocAllVM(m)
+	id := 0
+	for _, f := range m.Funcs {
+		for _, latch := range baselines.LatchBlocks(f) {
+			ck := &ir.Checkpoint{ID: id, Kind: ir.CkTrigger, SaveAll: true}
+			id++
+			baselines.InsertBeforeTerminator(latch, ck)
+		}
+	}
+	baselines.BootCheckpoint(m, ir.CkRollback, id, false)
+	return ir.Verify(m)
+}

@@ -1,0 +1,80 @@
+package mementos
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/baselines/techtest"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+func TestSemanticsUnderIntermittency(t *testing.T) {
+	for _, budget := range []float64{1500, 4000, 20000} {
+		res := techtest.Check(t, Mementos{}, techtest.LoopSrc, budget, 2048)
+		if res.Int.Energy.NVMAccesses != 0 {
+			t.Errorf("budget %v: MEMENTOS working memory is VM only, got %d NVM accesses",
+				budget, res.Int.Energy.NVMAccesses)
+		}
+	}
+}
+
+func TestTriggerPointsOnLatches(t *testing.T) {
+	m := minic.MustCompile("t", techtest.LoopSrc)
+	if err := (Mementos{}).Apply(m, baselines.Params{Model: energy.MSP430FR5969(), VMSize: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range m.FuncByName("main").Blocks {
+		if !strings.HasPrefix(b.Name, "for.latch") {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if ck, ok := in.(*ir.Checkpoint); ok && ck.Kind == ir.CkTrigger {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no trigger point on the loop latch")
+	}
+}
+
+func TestVMFootprintLimit(t *testing.T) {
+	big := `
+input int huge[2000];
+func void main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 2000; i = i + 1) @max(2000) {
+    s = s + huge[i];
+  }
+  print(s);
+}
+`
+	m := minic.MustCompile("t", big)
+	// 2000 words = 4000 B > 2048 B.
+	if (Mementos{}).SupportsVM(m, 2048) {
+		t.Errorf("SupportsVM should reject a 4000 B footprint on 2 KB VM")
+	}
+	err := (Mementos{}).Apply(m, baselines.Params{Model: energy.MSP430FR5969(), VMSize: 2048})
+	if err == nil {
+		t.Errorf("Apply should fail when the data does not fit in VM")
+	}
+	small := minic.MustCompile("t", techtest.LoopSrc)
+	if !(Mementos{}).SupportsVM(small, 2048) {
+		t.Errorf("SupportsVM should accept a small footprint")
+	}
+}
+
+func TestSavesAreConditional(t *testing.T) {
+	// With ample energy, trigger points rarely fire: saves should be far
+	// fewer than loop iterations.
+	res := techtest.Check(t, Mementos{}, techtest.LoopSrc, 20000, 2048)
+	if res.Int.Saves > 5 {
+		t.Errorf("saves = %d with a huge budget, trigger threshold is broken", res.Int.Saves)
+	}
+}

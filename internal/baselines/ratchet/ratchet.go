@@ -1,0 +1,130 @@
+// Package ratchet reimplements RATCHET (Van Der Woude & Hicks, OSDI'16) on
+// the shared IR substrate, as the paper's All-NVM baseline (IV-A-b).
+//
+// RATCHET keeps all data in NVM, so the CPU registers are the only
+// volatile state. Re-execution after a power failure is then safe exactly
+// when no write-after-read (WAR) dependency on NVM spans a checkpoint-free
+// region: re-executed stores would otherwise observe their own results
+// (the "nonvolatile memory is a broken time machine" anomaly). RATCHET
+// therefore places register-only rollback checkpoints so that every WAR
+// pair is separated by a checkpoint. Placement is static and independent
+// of the platform's energy budget — which is why RATCHET cannot guarantee
+// forward progress for very small TBPF (Table III).
+package ratchet
+
+import (
+	"fmt"
+
+	"schematic/internal/baselines"
+	"schematic/internal/ir"
+)
+
+// Ratchet is the technique instance.
+type Ratchet struct{}
+
+// Name implements baselines.Technique.
+func (Ratchet) Name() string { return "Ratchet" }
+
+// SupportsVM implements baselines.Technique: NVM-only techniques need no
+// VM at all (Table I).
+func (Ratchet) SupportsVM(*ir.Module, int) bool { return true }
+
+// Apply instruments the module: every NVM WAR dependency is broken by a
+// register-only rollback checkpoint, and main gets a boot checkpoint.
+func (Ratchet) Apply(m *ir.Module, p baselines.Params) error {
+	if p.Model == nil {
+		return fmt.Errorf("ratchet: Params.Model is required")
+	}
+	id := 0
+	for _, f := range m.Funcs {
+		id = breakWARs(f, id)
+	}
+	baselines.BootCheckpoint(m, ir.CkRollback, id, false)
+	return ir.Verify(m)
+}
+
+// breakWARs inserts checkpoints in f so no WAR dependency spans a
+// checkpoint-free region. The analysis tracks, per block, the set of
+// variables read since the last checkpoint; a write to a read variable
+// forces a checkpoint immediately before the writing instruction.
+// Cross-block tracking iterates to a fixed point over the CFG.
+func breakWARs(f *ir.Func, nextID int) int {
+	// readIn[b] = variables possibly read since the last checkpoint at
+	// entry of b.
+	readIn := map[*ir.Block]map[*ir.Var]bool{}
+	for _, b := range f.Blocks {
+		readIn[b] = map[*ir.Var]bool{}
+	}
+
+	// Process one block: walk instructions, inserting checkpoints where a
+	// tracked WAR would otherwise occur, and return the read-set at exit.
+	process := func(b *ir.Block, insert bool) map[*ir.Var]bool {
+		reads := map[*ir.Var]bool{}
+		for v := range readIn[b] {
+			reads[v] = true
+		}
+		for i := 0; i < len(b.Instrs); i++ {
+			switch x := b.Instrs[i].(type) {
+			case *ir.Checkpoint:
+				reads = map[*ir.Var]bool{}
+			case *ir.Load:
+				reads[x.Var] = true
+			case *ir.Store:
+				if reads[x.Var] {
+					if insert {
+						ck := &ir.Checkpoint{ID: -1, Kind: ir.CkRollback, RegsOnly: true}
+						rest := append([]ir.Instr{ck}, b.Instrs[i:]...)
+						b.Instrs = append(b.Instrs[:i:i], rest...)
+						i++ // skip the checkpoint we just inserted
+					}
+					reads = map[*ir.Var]bool{}
+				}
+				if x.HasIndex {
+					// A partial array write leaves other elements' earlier
+					// reads intact — keep tracking the array as read.
+					reads[x.Var] = true
+				}
+			case *ir.Call:
+				// The callee is instrumented independently; its own WARs
+				// are broken inside it. Its reads/writes of globals reset
+				// nothing here, so stay conservative: globals read by the
+				// callee join the read set. Over-approximate with all
+				// globals, which at worst adds checkpoints.
+				for _, g := range b.Func.Module.Globals {
+					reads[g] = true
+				}
+			}
+		}
+		return reads
+	}
+
+	// Fixed point on the read-in sets, without inserting.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			out := process(b, false)
+			for _, s := range b.Succs() {
+				for v := range out {
+					if !readIn[s][v] {
+						readIn[s][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Insertion pass.
+	for _, b := range f.Blocks {
+		process(b, true)
+	}
+	// Number the checkpoints deterministically.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if ck, ok := in.(*ir.Checkpoint); ok && ck.ID == -1 {
+				ck.ID = nextID
+				nextID++
+			}
+		}
+	}
+	return nextID
+}

@@ -1,0 +1,103 @@
+package ratchet
+
+import (
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/baselines/techtest"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+func TestSemanticsUnderIntermittency(t *testing.T) {
+	for _, budget := range []float64{800, 2000, 10000} {
+		res := techtest.Check(t, Ratchet{}, techtest.LoopSrc, budget, 2048)
+		if res.Int.Energy.VMAccesses != 0 {
+			t.Errorf("budget %v: RATCHET must not use VM", budget)
+		}
+	}
+}
+
+func TestReexecutionHappens(t *testing.T) {
+	res := techtest.Check(t, Ratchet{}, techtest.LoopSrc, 900, 2048)
+	if res.Int.PowerFailures == 0 {
+		t.Skip("budget large enough to avoid failures on this machine model")
+	}
+	if res.Int.Energy.Reexecution == 0 {
+		t.Errorf("rollback runtime should pay re-execution energy after %d failures",
+			res.Int.PowerFailures)
+	}
+}
+
+func TestWARsAreBroken(t *testing.T) {
+	m := minic.MustCompile("t", techtest.LoopSrc)
+	if err := (Ratchet{}).Apply(m, baselines.Params{Model: energy.MSP430FR5969()}); err != nil {
+		t.Fatal(err)
+	}
+	// Walk every block: between checkpoints within a block, no variable
+	// may be read and then written.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			reads := map[*ir.Var]bool{}
+			for _, in := range b.Instrs {
+				switch x := in.(type) {
+				case *ir.Checkpoint:
+					reads = map[*ir.Var]bool{}
+				case *ir.Load:
+					reads[x.Var] = true
+				case *ir.Store:
+					if reads[x.Var] && !x.HasIndex {
+						t.Errorf("%s.%s: WAR on %s not broken", f.Name, b.Name, x.Var.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStuckWhenSegmentTooBig(t *testing.T) {
+	// A long WAR-free stretch: RATCHET places no checkpoint inside it, so
+	// a tiny budget traps the execution (Table III, aes at TBPF=1k).
+	src := `
+int out1;
+func void main() {
+  int a;
+  int b;
+  int c;
+  a = 1;
+  b = 2;
+  c = 3;
+  a = a + 1; b = b + 2; c = c + 3;
+  a = a * 2; b = b * 2; c = c * 2;
+  a = a + b; b = b + c; c = c + a;
+  a = a * 3; b = b * 3; c = c * 3;
+  a = a + b; b = b + c; c = c + a;
+  out1 = a + b + c;
+  print(out1);
+}
+`
+	m := minic.MustCompile("t", src)
+	if err := (Ratchet{}).Apply(m, baselines.Params{Model: energy.MSP430FR5969()}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := emulator.Run(m, emulator.Config{
+		Model:        energy.MSP430FR5969(),
+		Intermittent: true,
+		EB:           60, // far below any checkpoint-free stretch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != emulator.Stuck {
+		t.Errorf("verdict = %v, want stuck", res.Verdict)
+	}
+}
+
+func TestSupportsVM(t *testing.T) {
+	m := minic.MustCompile("t", techtest.LoopSrc)
+	if !(Ratchet{}).SupportsVM(m, 0) {
+		t.Errorf("NVM-only technique must always support any VM size")
+	}
+}

@@ -1,0 +1,344 @@
+// Package rockclimb reimplements ROCKCLIMB (Choi, Kittinger, Liu & Jung,
+// RTAS'22) on the shared IR substrate (IV-A-b).
+//
+// ROCKCLIMB works on NVM only and, like SCHEMATIC, guarantees that no
+// power failure can occur during execution: checkpoints are placed at
+// compile time so that the energy between any two successive checkpoints
+// fits in a full capacitor, and at run time the platform shuts down at
+// each checkpoint until the capacitor is replenished. Its first pass
+// systematically places checkpoints at loop headers and before function
+// calls; its second pass walks the CFG and adds checkpoints wherever the
+// worst-case energy between checkpoints would exceed EB. The loop
+// unrolling optimization (factor capped at 10) avoids checkpointing every
+// iteration of cheap loops.
+package rockclimb
+
+import (
+	"fmt"
+
+	"schematic/internal/baselines"
+	"schematic/internal/cfg"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+// MaxUnroll caps the unrolling factor (paper, IV-A-b).
+const MaxUnroll = 10
+
+// Rockclimb is the technique instance.
+type Rockclimb struct{}
+
+// Name implements baselines.Technique.
+func (Rockclimb) Name() string { return "Rockclimb" }
+
+// SupportsVM implements baselines.Technique: NVM-only, so always.
+func (Rockclimb) SupportsVM(*ir.Module, int) bool { return true }
+
+// summary is the residual-energy contract of an instrumented callee.
+type summary struct {
+	hasCk        bool
+	total        float64 // checkpoint-free callees: worst-case energy
+	entryDemand  float64 // energy from entry to the first checkpoint's save
+	exitResidual float64 // worst energy drawn since the last replenish at exit
+}
+
+type pass struct {
+	model     *energy.Model
+	budget    float64
+	summaries map[*ir.Func]*summary
+	nextID    int
+}
+
+// Apply instruments the module.
+func (Rockclimb) Apply(m *ir.Module, p baselines.Params) error {
+	if p.Model == nil {
+		return fmt.Errorf("rockclimb: Params.Model is required")
+	}
+	if p.Budget <= 0 {
+		return fmt.Errorf("rockclimb: Params.Budget must be positive")
+	}
+	ps := &pass{
+		model:     p.Model,
+		budget:    p.Budget,
+		summaries: map[*ir.Func]*summary{},
+	}
+	cg := cfg.BuildCallGraph(m)
+	order, err := cg.ReverseTopo(m)
+	if err != nil {
+		return err
+	}
+	for _, f := range order {
+		if err := ps.instrument(f); err != nil {
+			return err
+		}
+	}
+	baselines.BootCheckpoint(m, ir.CkWait, ps.nextID, false)
+	return ir.Verify(m)
+}
+
+func (ps *pass) newCk() *ir.Checkpoint {
+	ck := &ir.Checkpoint{ID: ps.nextID, Kind: ir.CkWait, RegsOnly: true}
+	ps.nextID++
+	return ck
+}
+
+func (ps *pass) calleeCost(f *ir.Func) float64 {
+	if s := ps.summaries[f]; s != nil && !s.hasCk {
+		return s.total
+	}
+	return 0 // checkpointed callees handled explicitly in the scan
+}
+
+// instrument applies pass 1 (unroll, loop-header and call-site
+// checkpoints) and pass 2 (forward-progress insertion) to one function.
+func (ps *pass) instrument(f *ir.Func) error {
+	// Unroll innermost loops so cheap iterations share one checkpoint.
+	dom := cfg.Dominators(f)
+	lf := cfg.Loops(f, dom)
+	usable := ps.budget - ps.model.SaveRegsCost() - ps.model.RestoreRegsCost()
+	for _, l := range lf.BottomUp() {
+		if len(l.Children) > 0 || l.Latch() == nil {
+			continue
+		}
+		iter := baselines.WorstIterationEnergy(ps.model, l, ps.calleeCost)
+		if iter <= 0 {
+			continue
+		}
+		k := int(usable / iter)
+		if k > MaxUnroll {
+			k = MaxUnroll
+		}
+		if k >= 2 {
+			if err := baselines.UnrollLoop(f, l, k); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 1: checkpoints at loop headers and before calls.
+	dom = cfg.Dominators(f)
+	lf = cfg.Loops(f, dom)
+	for _, l := range lf.All {
+		baselines.InsertAtTop(l.Header, ps.newCk())
+	}
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			if _, ok := b.Instrs[i].(*ir.Call); ok {
+				if i > 0 {
+					if _, already := b.Instrs[i-1].(*ir.Checkpoint); already {
+						continue
+					}
+				}
+				ck := ps.newCk()
+				rest := append([]ir.Instr{ck}, b.Instrs[i:]...)
+				b.Instrs = append(b.Instrs[:i:i], rest...)
+				i++
+			}
+		}
+	}
+
+	// Pass 2: traverse and add checkpoints wherever the energy between
+	// successive checkpoints would exceed the budget.
+	if err := ps.ensureProgress(f); err != nil {
+		return err
+	}
+	ps.summaries[f] = ps.summarize(f)
+	return nil
+}
+
+// ensureProgress iterates a worst-case energy propagation over the CFG,
+// inserting a checkpoint right before the instruction at which the drawn
+// energy (since the last replenishment, including the upcoming save) would
+// exceed EB.
+func (ps *pass) ensureProgress(f *ir.Func) error {
+	limit := ps.budget - ps.model.SaveRegsCost()
+	if limit <= 0 {
+		return fmt.Errorf("rockclimb: budget %.1f nJ cannot even cover a checkpoint", ps.budget)
+	}
+	for round := 0; ; round++ {
+		if round > 10000 {
+			return fmt.Errorf("rockclimb: func %s: forward-progress insertion did not converge", f.Name)
+		}
+		ein := ps.propagate(f)
+		b, idx, ok := ps.findOverflow(f, ein, limit)
+		if !ok {
+			return nil
+		}
+		if idx == 0 {
+			// The block is entered already too depleted; after the
+			// preceding fixes this means a single instruction (plus
+			// restore) exceeds the budget.
+			return fmt.Errorf("rockclimb: func %s: block %s cannot fit in EB=%.1f nJ",
+				f.Name, b.Name, ps.budget)
+		}
+		ck := ps.newCk()
+		rest := append([]ir.Instr{ck}, b.Instrs[idx:]...)
+		b.Instrs = append(b.Instrs[:idx:idx], rest...)
+	}
+}
+
+// propagate computes, per block, the worst-case energy drawn since the
+// last replenishment at block entry.
+func (ps *pass) propagate(f *ir.Func) map[*ir.Block]float64 {
+	ein := map[*ir.Block]float64{}
+	for _, b := range f.Blocks {
+		ein[b] = -1
+	}
+	ein[f.Entry()] = ps.model.RestoreRegsCost() // resume after the boot checkpoint
+	for changed, rounds := true, 0; changed && rounds < 10000; rounds++ {
+		changed = false
+		for _, b := range ir.ReversePostorder(f) {
+			if ein[b] < 0 {
+				continue
+			}
+			out := ps.scanBlock(b, ein[b], nil)
+			for _, s := range b.Succs() {
+				if out > ein[s] {
+					ein[s] = out
+					changed = true
+				}
+			}
+		}
+	}
+	return ein
+}
+
+// scanBlock walks a block from the given entry energy and returns the
+// worst-case energy at exit. When overflow is non-nil it is called with
+// the index of the first instruction whose execution (plus a final save)
+// would exceed the limit.
+func (ps *pass) scanBlock(b *ir.Block, e float64, overflow func(int) bool) float64 {
+	for i, in := range b.Instrs {
+		switch x := in.(type) {
+		case *ir.Checkpoint:
+			e = ps.model.RestoreRegsCost()
+			continue
+		case *ir.Call:
+			if s := ps.summaries[x.Callee]; s != nil && s.hasCk {
+				cost := ps.model.InstrEnergy(in, ir.NVM)
+				if overflow != nil && e+cost+s.entryDemand > ps.budget {
+					if overflow(i) {
+						return e
+					}
+				}
+				e = s.exitResidual
+				continue
+			}
+		}
+		cost := ps.model.InstrEnergy(in, ir.NVM)
+		if call, ok := in.(*ir.Call); ok {
+			cost += ps.calleeCost(call.Callee)
+		}
+		if overflow != nil && e+cost+ps.model.SaveRegsCost() > ps.budget {
+			if overflow(i) {
+				return e
+			}
+		}
+		e += cost
+	}
+	return e
+}
+
+// findOverflow locates the first instruction at which the budget would be
+// exceeded.
+func (ps *pass) findOverflow(f *ir.Func, ein map[*ir.Block]float64, limit float64) (*ir.Block, int, bool) {
+	for _, b := range ir.ReversePostorder(f) {
+		if ein[b] < 0 {
+			continue
+		}
+		found := -1
+		ps.scanBlock(b, ein[b], func(i int) bool {
+			found = i
+			return true
+		})
+		if found >= 0 {
+			return b, found, true
+		}
+	}
+	return nil, 0, false
+}
+
+// summarize derives the caller-facing contract after instrumentation.
+func (ps *pass) summarize(f *ir.Func) *summary {
+	s := &summary{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(*ir.Checkpoint); ok {
+				s.hasCk = true
+			}
+			if call, ok := in.(*ir.Call); ok {
+				if cs := ps.summaries[call.Callee]; cs != nil && cs.hasCk {
+					s.hasCk = true
+				}
+			}
+		}
+	}
+	ein := ps.propagate(f)
+	worstExit := 0.0
+	for _, b := range f.Blocks {
+		if ein[b] < 0 {
+			continue
+		}
+		out := ps.scanBlock(b, ein[b], nil)
+		if _, isRet := b.Terminator().(*ir.Ret); isRet && out > worstExit {
+			worstExit = out
+		}
+	}
+	if !s.hasCk {
+		// Total cost relative to a zero entry (propagate seeded the entry
+		// with the restore cost; remove it).
+		s.total = worstExit - ps.model.RestoreRegsCost()
+		if s.total < 0 {
+			s.total = 0
+		}
+		return s
+	}
+	s.exitResidual = worstExit
+	// Entry demand: worst energy from entry to the first checkpoint's
+	// completed save.
+	s.entryDemand = ps.entryDemand(f)
+	return s
+}
+
+// entryDemand computes the worst-case energy from function entry to the
+// completion of the first checkpoint save (or function exit, whichever is
+// worse for the caller's budget check).
+func (ps *pass) entryDemand(f *ir.Func) float64 {
+	demand := 0.0
+	seen := map[*ir.Block]bool{}
+	var walk func(b *ir.Block, e float64)
+	walk = func(b *ir.Block, e float64) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, in := range b.Instrs {
+			if _, ok := in.(*ir.Checkpoint); ok {
+				if w := e + ps.model.SaveRegsCost(); w > demand {
+					demand = w
+				}
+				return
+			}
+			e += ps.model.InstrEnergy(in, ir.NVM)
+			if call, ok := in.(*ir.Call); ok {
+				if cs := ps.summaries[call.Callee]; cs != nil {
+					if cs.hasCk {
+						if w := e + cs.entryDemand; w > demand {
+							demand = w
+						}
+						return
+					}
+					e += cs.total
+				}
+			}
+		}
+		if w := e; w > demand {
+			demand = w
+		}
+		for _, s := range b.Succs() {
+			walk(s, e)
+		}
+	}
+	walk(f.Entry(), 0)
+	return demand
+}

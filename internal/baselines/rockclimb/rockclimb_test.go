@@ -1,0 +1,116 @@
+package rockclimb
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/baselines/techtest"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+func TestSemanticsUnderIntermittency(t *testing.T) {
+	for _, budget := range []float64{800, 2000, 10000} {
+		res := techtest.Check(t, Rockclimb{}, techtest.LoopSrc, budget, 2048)
+		if res.Int.Energy.Reexecution != 0 {
+			t.Errorf("budget %v: ROCKCLIMB never re-executes, got %.1f nJ",
+				budget, res.Int.Energy.Reexecution)
+		}
+		if res.Int.PowerFailures != 0 {
+			t.Errorf("budget %v: wait discipline should avoid failures, got %d",
+				budget, res.Int.PowerFailures)
+		}
+		if res.Int.Energy.VMAccesses != 0 {
+			t.Errorf("budget %v: NVM-only technique used VM", budget)
+		}
+	}
+}
+
+func TestCheckpointAtLoopHeaderAndCalls(t *testing.T) {
+	m := minic.MustCompile("t", techtest.LoopSrc)
+	err := (Rockclimb{}).Apply(m, baselines.Params{Model: energy.MSP430FR5969(), Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainF := m.FuncByName("main")
+	headerCk := false
+	callCk := false
+	for _, b := range mainF.Blocks {
+		for i, in := range b.Instrs {
+			if _, ok := in.(*ir.Checkpoint); ok && strings.HasPrefix(b.Name, "for.head") {
+				headerCk = true
+			}
+			if _, ok := in.(*ir.Call); ok && i > 0 {
+				if _, ck := b.Instrs[i-1].(*ir.Checkpoint); ck {
+					callCk = true
+				}
+			}
+		}
+	}
+	if !headerCk {
+		t.Errorf("no checkpoint at the loop header")
+	}
+	if !callCk {
+		t.Errorf("no checkpoint before the call")
+	}
+}
+
+func TestUnrollingReducesSaves(t *testing.T) {
+	// A cheap long loop: unrolling (≤10) shares one header checkpoint
+	// among several iterations, so saves < iterations.
+	src := `
+int acc;
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 100; i = i + 1) @max(100) {
+    acc = acc + i;
+  }
+  print(acc);
+}
+`
+	res := techtest.Check(t, Rockclimb{}, src, 5000, 2048)
+	if res.Int.Saves >= 100 {
+		t.Errorf("saves = %d, unrolling should cut per-iteration checkpoints", res.Int.Saves)
+	}
+	if res.Int.Saves < 100/MaxUnroll {
+		t.Errorf("saves = %d, too few for the x%d unroll cap", res.Int.Saves, MaxUnroll)
+	}
+}
+
+func TestForwardProgressInsertion(t *testing.T) {
+	// A long straight-line stretch must receive pass-2 checkpoints when
+	// the budget is small.
+	src := `
+int r;
+func void main() {
+  int a;
+  a = 1;
+  a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1;
+  a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1;
+  a = a % 1000;
+  a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1;
+  a = a % 1000;
+  r = a;
+  print(r);
+}
+`
+	// A checkpoint cycle costs ≈104 nJ (register save+restore), so a
+	// 160 nJ budget leaves ≈56 nJ of work per segment: several pass-2
+	// checkpoints are necessary.
+	res := techtest.Check(t, Rockclimb{}, src, 160, 2048)
+	if res.Int.Saves < 3 {
+		t.Errorf("saves = %d, expected pass-2 checkpoints in the straight-line stretch",
+			res.Int.Saves)
+	}
+}
+
+func TestBudgetTooSmall(t *testing.T) {
+	m := minic.MustCompile("t", techtest.LoopSrc)
+	err := (Rockclimb{}).Apply(m, baselines.Params{Model: energy.MSP430FR5969(), Budget: 10})
+	if err == nil {
+		t.Errorf("Apply should reject a budget below one checkpoint's cost")
+	}
+}

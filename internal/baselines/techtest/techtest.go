@@ -1,0 +1,102 @@
+// Package techtest provides shared test scaffolding for the baseline
+// technique packages: transform a program, run it on continuous and
+// intermittent power, and check semantic preservation.
+package techtest
+
+import (
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+// LoopSrc is a small standard workload: an accumulation loop plus a
+// function call, touching both a scalar-heavy and an array access pattern.
+const LoopSrc = `
+input int data[16];
+int acc;
+
+func int scale(int x) {
+  return x * 3;
+}
+
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 16; i = i + 1) @max(16) {
+    acc = acc + scale(data[i]);
+  }
+  print(acc);
+}
+`
+
+// Inputs is the fixed workload used by Check.
+func Inputs(m *ir.Module) map[string][]int64 {
+	inputs := map[string][]int64{}
+	for _, v := range m.InputVars() {
+		data := make([]int64, v.Elems)
+		for i := range data {
+			data[i] = int64((i*13 + 5) % 50)
+		}
+		inputs[v.Name] = data
+	}
+	return inputs
+}
+
+// Result bundles what Check observed.
+type Result struct {
+	Ref *emulator.Result
+	Int *emulator.Result
+}
+
+// Check transforms src with the technique and verifies that the program
+// completes under intermittent power with the reference output. vmSize and
+// budget configure the platform.
+func Check(t *testing.T, tech baselines.Technique, src string, budget float64, vmSize int) Result {
+	t.Helper()
+	model := energy.MSP430FR5969()
+	orig, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inputs := Inputs(orig)
+	ref, err := emulator.Run(orig, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	tr := ir.Clone(orig)
+	if err := tech.Apply(tr, baselines.Params{Model: model, Budget: budget, VMSize: vmSize}); err != nil {
+		t.Fatalf("%s.Apply: %v", tech.Name(), err)
+	}
+	res, err := emulator.Run(tr, emulator.Config{
+		Model:        model,
+		VMSize:       vmSize,
+		Intermittent: true,
+		EB:           budget,
+		Inputs:       inputs,
+	})
+	if err != nil {
+		t.Fatalf("%s run: %v", tech.Name(), err)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("%s: verdict=%v failures=%d saves=%d\n%s",
+			tech.Name(), res.Verdict, res.PowerFailures, res.Saves, tr.String())
+	}
+	if len(res.Output) != len(ref.Output) {
+		t.Fatalf("%s: output=%v want=%v", tech.Name(), res.Output, ref.Output)
+	}
+	for i := range ref.Output {
+		if res.Output[i] != ref.Output[i] {
+			t.Fatalf("%s: output[%d]=%d want=%d\n%s",
+				tech.Name(), i, res.Output[i], ref.Output[i], tr.String())
+		}
+	}
+	if res.UnsyncedReads != 0 {
+		t.Fatalf("%s: %d unsynced VM reads", tech.Name(), res.UnsyncedReads)
+	}
+	return Result{Ref: ref, Int: res}
+}

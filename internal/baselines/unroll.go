@@ -1,0 +1,90 @@
+package baselines
+
+import (
+	"fmt"
+
+	"schematic/internal/cfg"
+	"schematic/internal/ir"
+)
+
+// UnrollLoop replicates the body of a natural loop so that the rolled loop
+// executes factor iterations per trip around the (single remaining)
+// back-edge. ROCKCLIMB uses this to avoid checkpointing at every iteration
+// (IV-A-b: "we nonetheless limit the unrolling factor to 10 to keep code
+// size limited").
+//
+// The loop must have a single latch. Every copy keeps the loop's exit
+// tests, so the transformation is semantics-preserving for any trip count:
+// exit edges of the copies lead to the original exit blocks.
+func UnrollLoop(f *ir.Func, l *cfg.Loop, factor int) error {
+	if factor < 2 {
+		return nil
+	}
+	latch := l.Latch()
+	if latch == nil {
+		return fmt.Errorf("baselines: unroll: loop at %s has %d latches, want 1",
+			l.Header.Name, len(l.Latches))
+	}
+
+	// Stable ordering of the loop's blocks, with their instruction lists
+	// snapshotted before any redirection (later copies must clone the
+	// pristine body, not the rewired one).
+	var body []*ir.Block
+	for _, b := range f.Blocks {
+		if l.Contains(b) {
+			body = append(body, b)
+		}
+	}
+	// Deep copies: redirect() mutates terminators in place, so sharing the
+	// instruction pointers would corrupt the snapshot.
+	pristine := map[*ir.Block][]ir.Instr{}
+	for _, b := range body {
+		for _, in := range b.Instrs {
+			pristine[b] = append(pristine[b], ir.CloneInstr(in, nil))
+		}
+	}
+
+	prevLatch := latch // block whose back-edge is redirected into the next copy
+	for copyIdx := 1; copyIdx < factor; copyIdx++ {
+		bmap := map[*ir.Block]*ir.Block{}
+		for _, b := range body {
+			nb := f.NewBlock(fmt.Sprintf("%s.u%d", b.Name, copyIdx))
+			bmap[b] = nb
+		}
+		for _, b := range body {
+			nb := bmap[b]
+			for _, in := range pristine[b] {
+				nb.Instrs = append(nb.Instrs, ir.CloneInstr(in, bmap))
+			}
+			if b.Alloc != nil {
+				nb.Alloc = b.Alloc
+			}
+		}
+		// Redirect the previous latch's back-edge into this copy's header.
+		redirect(prevLatch, l.Header, bmap[l.Header])
+		// This copy's latch currently targets the copy's header (bmap
+		// remapped it); point it back at the original header — the next
+		// iteration of this loop will redirect it again if more copies
+		// follow.
+		redirect(bmap[latch], bmap[l.Header], l.Header)
+		prevLatch = bmap[latch]
+	}
+	f.Renumber()
+	return nil
+}
+
+func redirect(b *ir.Block, from, to *ir.Block) {
+	switch t := b.Terminator().(type) {
+	case *ir.Br:
+		if t.Then == from {
+			t.Then = to
+		}
+		if t.Else == from {
+			t.Else = to
+		}
+	case *ir.Jmp:
+		if t.Target == from {
+			t.Target = to
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationVariants runs every ablation variant on two small benchmarks
+// and checks the expected energy ordering: each disabled mechanism may only
+// cost energy, and the register-liveness extension may only save it.
+func TestAblationVariants(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	for _, name := range []string{"randmath", "crc"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := map[string]*TechRun{}
+		for _, v := range Variants() {
+			tr, err := h.Run(b, v, 10000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, v.Label, err)
+			}
+			if !tr.Completed() {
+				t.Fatalf("%s/%s did not complete: %+v", name, v.Label, tr.ApplyErr)
+			}
+			if !tr.Correct() {
+				t.Fatalf("%s/%s produced wrong output", name, v.Label)
+			}
+			runs[v.Label] = tr
+		}
+		base := runs["Schematic"].Res.Energy.Total()
+		if e := runs["NoVM"].Res.Energy.Total(); e < base-1e-6 {
+			t.Errorf("%s: NoVM total %.1f < full %.1f", name, e, base)
+		}
+		if e := runs["NoLiveness"].Res.Energy.Total(); e < base-1e-6 {
+			t.Errorf("%s: NoLiveness total %.1f < full %.1f", name, e, base)
+		}
+		if e := runs["RefinedRegs"].Res.Energy.Total(); e > base+1e-6 {
+			t.Errorf("%s: RefinedRegs total %.1f > full %.1f", name, e, base)
+		}
+		// Disabling the conditional scheme forces a save on every back edge.
+		if runs["NoCondCk"].Res.Saves < runs["Schematic"].Res.Saves {
+			t.Errorf("%s: NoCondCk saves %d < full %d",
+				name, runs["NoCondCk"].Res.Saves, runs["Schematic"].Res.Saves)
+		}
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	b, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl := map[string]map[string]*TechRun{"randmath": {}}
+	for _, v := range Variants() {
+		tr, err := h.Run(b, v, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abl["randmath"][v.Label] = tr
+	}
+	var sb strings.Builder
+	RenderAblations(&sb, abl, 10000)
+	out := sb.String()
+	for _, want := range []string{"randmath", "NoCondCk", "NoLiveness", "RefinedRegs", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered ablation table missing %q:\n%s", want, out)
+		}
+	}
+}

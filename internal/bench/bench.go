@@ -1,0 +1,134 @@
+// Package bench bundles the benchmark suite of the evaluation (IV-A-d):
+// MiniC ports of the eight MiBench2 programs the paper uses — aes,
+// basicmath, bitcount, crc, dijkstra, fft, randmath, rc4 — with data
+// footprints matched to the paper's Table I (dijkstra, fft and rc4 exceed
+// the 2 KB SRAM of the MSP430FR5969; the others fit). The experiment
+// harness that regenerates every table and figure lives in this package
+// too.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+//go:embed programs/*.mc
+var programsFS embed.FS
+
+// Benchmark is one program of the suite.
+type Benchmark struct {
+	Name   string
+	Source string
+
+	once sync.Once
+	mod  *ir.Module
+	err  error
+}
+
+// Module compiles the benchmark (cached). The returned module is shared:
+// clone it before transforming.
+func (b *Benchmark) Module() (*ir.Module, error) {
+	b.once.Do(func() {
+		b.mod, b.err = minic.Compile(b.Name, b.Source)
+	})
+	return b.mod, b.err
+}
+
+// Inputs produces the deterministic workload for the given seed: every
+// input variable is filled from a seeded PRNG (the paper profiles with
+// 1000 random inputs; experiments fix one seed for reproducibility).
+func (b *Benchmark) Inputs(seed int64) (map[string][]int64, error) {
+	m, err := b.Module()
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	inputs := map[string][]int64{}
+	for _, v := range m.InputVars() {
+		data := make([]int64, v.Elems)
+		for i := range data {
+			data[i] = int64(r.Intn(1 << 15))
+		}
+		inputs[v.Name] = data
+	}
+	return inputs, nil
+}
+
+// DataBytes returns the benchmark's data footprint.
+func (b *Benchmark) DataBytes() (int, error) {
+	m, err := b.Module()
+	if err != nil {
+		return 0, err
+	}
+	return ir.DataBytes(m), nil
+}
+
+var (
+	loadOnce sync.Once
+	all      []*Benchmark
+	loadErr  error
+)
+
+// Order is the canonical benchmark order of the paper's tables.
+var Order = []string{"aes", "basicmath", "bitcount", "crc", "dijkstra", "fft", "randmath", "rc4"}
+
+// All returns the suite in the paper's table order.
+func All() ([]*Benchmark, error) {
+	loadOnce.Do(func() {
+		entries, err := programsFS.ReadDir("programs")
+		if err != nil {
+			loadErr = err
+			return
+		}
+		byName := map[string]*Benchmark{}
+		for _, e := range entries {
+			name := strings.TrimSuffix(e.Name(), ".mc")
+			src, err := programsFS.ReadFile("programs/" + e.Name())
+			if err != nil {
+				loadErr = err
+				return
+			}
+			byName[name] = &Benchmark{Name: name, Source: string(src)}
+		}
+		for _, name := range Order {
+			bm, ok := byName[name]
+			if !ok {
+				loadErr = fmt.Errorf("bench: missing embedded program %q", name)
+				return
+			}
+			all = append(all, bm)
+			delete(byName, name)
+		}
+		// Any extra programs are appended alphabetically.
+		var extra []string
+		for name := range byName {
+			extra = append(extra, name)
+		}
+		sort.Strings(extra)
+		for _, name := range extra {
+			all = append(all, byName[name])
+		}
+	})
+	return all, loadErr
+}
+
+// ByName returns one benchmark.
+func ByName(name string) (*Benchmark, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bms {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}

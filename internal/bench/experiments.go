@@ -1,0 +1,408 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"schematic/internal/baselines"
+)
+
+// Fig6TBPF is the TBPF the paper uses for the energy-breakdown figures
+// ("a good trade-off between extreme-intermittency and no-intermittency",
+// IV-C).
+const Fig6TBPF = 10_000
+
+// Table1 computes the "ability to support limited VM space" matrix: for
+// each technique, whether each benchmark can execute with the platform's
+// VM size at all.
+func (h *Harness) Table1() (map[string]map[string]bool, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]bool{}
+	for _, tech := range Techniques() {
+		row := map[string]bool{}
+		for _, b := range bms {
+			m, err := b.Module()
+			if err != nil {
+				return nil, err
+			}
+			row[b.Name] = tech.SupportsVM(m, h.VMSize)
+		}
+		out[tech.Name()] = row
+	}
+	return out, nil
+}
+
+// Table2Row is one benchmark's execution-time row of Table II.
+type Table2Row struct {
+	Bench  string
+	Cycles int64
+	// MinFailures[tbpf] is the unavoidable number of power failures for a
+	// run of that length: ⌊cycles / TBPF⌋.
+	MinFailures map[int64]int64
+}
+
+// Table2 measures each benchmark's execution time (continuous power, all
+// data in VM) and the minimal number of power failures per TBPF.
+func (h *Harness) Table2() ([]Table2Row, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, b := range bms {
+		ref, err := h.ReferenceAllVM(b)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Bench: b.Name, Cycles: ref.Cycles, MinFailures: map[int64]int64{}}
+		for _, tbpf := range TBPFs {
+			row.MinFailures[tbpf] = ref.Cycles / tbpf
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table3 runs every technique on every benchmark for every TBPF and
+// reports which combinations terminate (forward progress, Table III).
+// The result is indexed [technique][tbpf][bench]. Cells are independent
+// (each transforms its own clone), so they run in parallel.
+func (h *Harness) Table3() (map[string]map[int64]map[string]*TechRun, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	// Profiles and references are cached with lazy initialization; warm
+	// them serially so the parallel phase only reads.
+	for _, b := range bms {
+		if _, err := h.Profile(b); err != nil {
+			return nil, err
+		}
+	}
+	out := map[string]map[int64]map[string]*TechRun{}
+	for _, tech := range Techniques() {
+		out[tech.Name()] = map[int64]map[string]*TechRun{}
+		for _, tbpf := range TBPFs {
+			out[tech.Name()][tbpf] = map[string]*TechRun{}
+		}
+	}
+	type job struct {
+		tech baselines.Technique
+		tbpf int64
+		b    *Benchmark
+	}
+	var jobs []job
+	for _, tech := range Techniques() {
+		for _, tbpf := range TBPFs {
+			for _, b := range bms {
+				jobs = append(jobs, job{tech, tbpf, b})
+			}
+		}
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	sem := make(chan struct{}, 8)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr, err := h.Run(j.b, j.tech, j.tbpf)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			if err == nil {
+				out[j.tech.Name()][j.tbpf][j.b.Name] = tr
+			}
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Figure6 returns the energy breakdown of every benchmark × technique at
+// the given TBPF, indexed [bench][technique].
+func (h *Harness) Figure6(tbpf int64) (map[string]map[string]*TechRun, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]*TechRun{}
+	for _, b := range bms {
+		out[b.Name] = map[string]*TechRun{}
+		for _, tech := range Techniques() {
+			tr, err := h.Run(b, tech, tbpf)
+			if err != nil {
+				return nil, err
+			}
+			out[b.Name][tech.Name()] = tr
+		}
+	}
+	return out, nil
+}
+
+// Figure7 compares SCHEMATIC against the All-NVM ablation, indexed
+// [bench][variant] with variants "Schematic" and "All-NVM".
+func (h *Harness) Figure7(tbpf int64) (map[string]map[string]*TechRun, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]*TechRun{}
+	for _, b := range bms {
+		out[b.Name] = map[string]*TechRun{}
+		schRun, err := h.Run(b, Schematic{}, tbpf)
+		if err != nil {
+			return nil, err
+		}
+		nvmRun, err := h.Run(b, AllNVMTechnique(), tbpf)
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name]["Schematic"] = schRun
+		out[b.Name]["All-NVM"] = nvmRun
+	}
+	return out, nil
+}
+
+// Figure8 sweeps the capacitor size (via TBPF, as the paper does for
+// implementation simplicity on the emulator) for one benchmark, indexed
+// [technique][tbpf].
+func (h *Harness) Figure8(benchName string) (map[string]map[int64]*TechRun, error) {
+	b, err := ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[int64]*TechRun{}
+	for _, tech := range Techniques() {
+		out[tech.Name()] = map[int64]*TechRun{}
+		for _, tbpf := range TBPFs {
+			tr, err := h.Run(b, tech, tbpf)
+			if err != nil {
+				return nil, err
+			}
+			out[tech.Name()][tbpf] = tr
+		}
+	}
+	return out, nil
+}
+
+// Headline aggregates the §IV-D headline numbers from Figure 6 data: the
+// average energy and execution-time reduction of SCHEMATIC versus each
+// baseline, over the benchmarks both completed (the paper compares "on
+// the benchmarks that completed only").
+type Headline struct {
+	// EnergyReduction[baseline] = mean of (1 − E_schematic/E_baseline).
+	EnergyReduction map[string]float64
+	// TimeReduction is the analogous cycle-count reduction.
+	TimeReduction map[string]float64
+	// OverallEnergy / OverallTime average across all baselines.
+	OverallEnergy float64
+	OverallTime   float64
+}
+
+// ComputeHeadline derives the headline aggregate from Figure6 results.
+func ComputeHeadline(fig6 map[string]map[string]*TechRun) *Headline {
+	hd := &Headline{
+		EnergyReduction: map[string]float64{},
+		TimeReduction:   map[string]float64{},
+	}
+	var allE, allT []float64
+	for _, tech := range Techniques() {
+		name := tech.Name()
+		if name == "Schematic" {
+			continue
+		}
+		var es, ts []float64
+		for bench, cells := range fig6 {
+			s := cells["Schematic"]
+			o := cells[name]
+			if s == nil || o == nil || !s.Completed() || !o.Completed() {
+				continue
+			}
+			_ = bench
+			es = append(es, 1-s.Res.Energy.Total()/o.Res.Energy.Total())
+			ts = append(ts, 1-float64(s.Res.TotalCycles)/float64(o.Res.TotalCycles))
+		}
+		hd.EnergyReduction[name] = mean(es)
+		hd.TimeReduction[name] = mean(ts)
+		allE = append(allE, es...)
+		allT = append(allT, ts...)
+	}
+	hd.OverallEnergy = mean(allE)
+	hd.OverallTime = mean(allT)
+	return hd
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ---- text rendering ----
+
+func mark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}
+
+// RenderTable1 prints the Table I matrix.
+func RenderTable1(w io.Writer, t1 map[string]map[string]bool) {
+	fmt.Fprintf(w, "Table I — ability to support limited VM space (SVM = 2 KB)\n")
+	fmt.Fprintf(w, "%-12s", "technique")
+	for _, b := range Order {
+		fmt.Fprintf(w, " %-9s", b)
+	}
+	fmt.Fprintln(w)
+	for _, tech := range Techniques() {
+		fmt.Fprintf(w, "%-12s", tech.Name())
+		for _, b := range Order {
+			fmt.Fprintf(w, " %-9s", mark(t1[tech.Name()][b]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTable2 prints the Table II rows.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table II — execution time and minimal number of power failures\n")
+	fmt.Fprintf(w, "%-12s %12s", "benchmark", "cycles")
+	for _, tbpf := range TBPFs {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("TBPF=%dk", tbpf/1000))
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12d", r.Bench, r.Cycles)
+		for _, tbpf := range TBPFs {
+			fmt.Fprintf(w, " %10d", r.MinFailures[tbpf])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTable3 prints the Table III forward-progress matrix.
+func RenderTable3(w io.Writer, t3 map[string]map[int64]map[string]*TechRun) {
+	fmt.Fprintf(w, "Table III — ability to enforce forward progress\n")
+	fmt.Fprintf(w, "(per cell: %s in benchmark order)\n", strings.Join(Order, ", "))
+	fmt.Fprintf(w, "%-12s", "technique")
+	for _, tbpf := range TBPFs {
+		fmt.Fprintf(w, " %-10s", fmt.Sprintf("TBPF=%dk", tbpf/1000))
+	}
+	fmt.Fprintln(w)
+	for _, tech := range Techniques() {
+		fmt.Fprintf(w, "%-12s", tech.Name())
+		for _, tbpf := range TBPFs {
+			var cell strings.Builder
+			for _, b := range Order {
+				cell.WriteString(mark(t3[tech.Name()][tbpf][b].Completed()))
+			}
+			fmt.Fprintf(w, " %-10s", cell.String())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure6 prints the energy breakdown bars as a table (µJ).
+func RenderFigure6(w io.Writer, fig map[string]map[string]*TechRun, tbpf int64) {
+	fmt.Fprintf(w, "Figure 6 — energy consumption breakdown (TBPF = %d cycles), µJ\n", tbpf)
+	fmt.Fprintf(w, "%-12s %-12s %10s %10s %10s %10s %10s\n",
+		"benchmark", "technique", "compute", "save", "restore", "re-exec", "total")
+	for _, b := range Order {
+		for _, tech := range Techniques() {
+			tr := fig[b][tech.Name()]
+			if !tr.Completed() {
+				fmt.Fprintf(w, "%-12s %-12s %10s\n", b, tech.Name(), "✗")
+				continue
+			}
+			l := tr.Res.Energy
+			fmt.Fprintf(w, "%-12s %-12s %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+				b, tech.Name(),
+				l.Computation/1000, l.Save/1000, l.Restore/1000, l.Reexecution/1000,
+				l.Total()/1000)
+		}
+	}
+}
+
+// RenderFigure7 prints the SCHEMATIC vs All-NVM computation-energy split.
+func RenderFigure7(w io.Writer, fig map[string]map[string]*TechRun, tbpf int64) {
+	fmt.Fprintf(w, "Figure 7 — SCHEMATIC vs All-NVM (TBPF = %d cycles), µJ\n", tbpf)
+	fmt.Fprintf(w, "%-12s %-10s %10s %10s %10s %10s %10s %11s\n",
+		"benchmark", "variant", "no-mem", "vm-acc", "nvm-acc", "save", "restore", "vm-share")
+	for _, b := range Order {
+		for _, variant := range []string{"All-NVM", "Schematic"} {
+			tr := fig[b][variant]
+			if !tr.Completed() {
+				fmt.Fprintf(w, "%-12s %-10s %10s\n", b, variant, "✗")
+				continue
+			}
+			l := tr.Res.Energy
+			share := 0.0
+			if n := l.VMAccesses + l.NVMAccesses; n > 0 {
+				share = float64(l.VMAccesses) / float64(n)
+			}
+			fmt.Fprintf(w, "%-12s %-10s %10.1f %10.1f %10.1f %10.1f %10.1f %10.0f%%\n",
+				b, variant,
+				l.NoMemEnergy/1000, l.VMAccessEnergy/1000, l.NVMAccessEnergy/1000,
+				l.Save/1000, l.Restore/1000, share*100)
+		}
+	}
+}
+
+// RenderFigure8 prints the capacitor-size sweep for one benchmark.
+func RenderFigure8(w io.Writer, fig map[string]map[int64]*TechRun, benchName string) {
+	fmt.Fprintf(w, "Figure 8 — impact of capacitor size, benchmark %s, µJ\n", benchName)
+	fmt.Fprintf(w, "%-12s %-8s %10s %10s %10s %10s %10s\n",
+		"technique", "TBPF", "compute", "save", "restore", "re-exec", "total")
+	for _, tech := range Techniques() {
+		for _, tbpf := range TBPFs {
+			tr := fig[tech.Name()][tbpf]
+			if !tr.Completed() {
+				fmt.Fprintf(w, "%-12s %-8s %10s\n", tech.Name(), fmt.Sprintf("%dk", tbpf/1000), "✗")
+				continue
+			}
+			l := tr.Res.Energy
+			fmt.Fprintf(w, "%-12s %-8s %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+				tech.Name(), fmt.Sprintf("%dk", tbpf/1000),
+				l.Computation/1000, l.Save/1000, l.Restore/1000, l.Reexecution/1000,
+				l.Total()/1000)
+		}
+	}
+}
+
+// RenderHeadline prints the §IV-D aggregates.
+func RenderHeadline(w io.Writer, hd *Headline) {
+	fmt.Fprintf(w, "Headline (§IV-D) — SCHEMATIC vs baselines, completed benchmarks only\n")
+	for _, tech := range Techniques() {
+		name := tech.Name()
+		if name == "Schematic" {
+			continue
+		}
+		fmt.Fprintf(w, "  vs %-10s energy −%4.1f%%   time −%4.1f%%\n",
+			name, hd.EnergyReduction[name]*100, hd.TimeReduction[name]*100)
+	}
+	fmt.Fprintf(w, "  average       energy −%4.1f%%   time −%4.1f%%  (paper: 51%% / 54%%)\n",
+		hd.OverallEnergy*100, hd.OverallTime*100)
+}

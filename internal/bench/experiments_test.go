@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsEndToEnd drives the table/figure generators the way
+// cmd/paper does and checks the paper-shape invariants on the results.
+func TestExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	h := NewHarness()
+	h.ProfileRuns = 3
+
+	// Table I must reproduce the paper's matrix exactly.
+	t1, err := h.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnsupported := map[string][]string{
+		"Mementos": {"dijkstra", "fft", "rc4"},
+		"Alfred":   {"dijkstra", "fft", "rc4"},
+	}
+	for _, tech := range Techniques() {
+		for _, b := range Order {
+			want := true
+			for _, u := range wantUnsupported[tech.Name()] {
+				if u == b {
+					want = false
+				}
+			}
+			if t1[tech.Name()][b] != want {
+				t.Errorf("Table I %s/%s = %v, want %v", tech.Name(), b, t1[tech.Name()][b], want)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, t1)
+	if !strings.Contains(buf.String(), "Schematic") {
+		t.Errorf("Table I render incomplete")
+	}
+
+	// Table II: cycle counts positive and ordered plausibly; minimal
+	// failures consistent with ⌊cycles/TBPF⌋.
+	rows, err := h.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+		if r.Cycles <= 0 {
+			t.Errorf("Table II %s: cycles = %d", r.Bench, r.Cycles)
+		}
+		for _, tbpf := range TBPFs {
+			if r.MinFailures[tbpf] != r.Cycles/tbpf {
+				t.Errorf("Table II %s: failures mismatch", r.Bench)
+			}
+		}
+	}
+	if byName["randmath"].Cycles >= byName["aes"].Cycles {
+		t.Errorf("randmath should be far cheaper than aes")
+	}
+	buf.Reset()
+	RenderTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "randmath") {
+		t.Errorf("Table II render incomplete")
+	}
+
+	// Figure 8 on the cheapest benchmark: SCHEMATIC's intermittency
+	// overhead must shrink with the budget and stay below RATCHET's.
+	fig8, err := h.Figure8("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1k := fig8["Schematic"][1_000]
+	s100k := fig8["Schematic"][100_000]
+	r100k := fig8["Ratchet"][100_000]
+	if !s1k.Completed() || !s100k.Completed() || !r100k.Completed() {
+		t.Fatalf("figure 8 cells incomplete")
+	}
+	if s100k.Res.Energy.Intermittency() > s1k.Res.Energy.Intermittency()+1e-9 {
+		t.Errorf("SCHEMATIC overhead should not grow with the budget: %v -> %v",
+			s1k.Res.Energy.Intermittency(), s100k.Res.Energy.Intermittency())
+	}
+	if s100k.Res.Energy.Total() >= r100k.Res.Energy.Total() {
+		t.Errorf("SCHEMATIC total %v should beat RATCHET %v",
+			s100k.Res.Energy.Total(), r100k.Res.Energy.Total())
+	}
+	buf.Reset()
+	RenderFigure8(&buf, fig8, "randmath")
+	if !strings.Contains(buf.String(), "Schematic") {
+		t.Errorf("Figure 8 render incomplete")
+	}
+
+	// Figure 7 on one benchmark pair: the ablation shows VM value.
+	fig7, err := h.Figure7(Fig6TBPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc := fig7["crc"]
+	if !crc["Schematic"].Completed() || !crc["All-NVM"].Completed() {
+		t.Fatalf("figure 7 crc cells incomplete")
+	}
+	if crc["Schematic"].Res.Energy.Computation >= crc["All-NVM"].Res.Energy.Computation {
+		t.Errorf("VM allocation should cut crc computation energy")
+	}
+	if crc["All-NVM"].Res.Energy.VMAccesses != 0 {
+		t.Errorf("All-NVM ablation used VM")
+	}
+	buf.Reset()
+	RenderFigure7(&buf, fig7, Fig6TBPF)
+	if !strings.Contains(buf.String(), "All-NVM") {
+		t.Errorf("Figure 7 render incomplete")
+	}
+
+	// Figure 6 + headline: SCHEMATIC wins on average.
+	fig6, err := h.Figure6(Fig6TBPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := ComputeHeadline(fig6)
+	if hd.OverallEnergy <= 0.2 {
+		t.Errorf("headline energy reduction = %.1f%%, expected a solid win", hd.OverallEnergy*100)
+	}
+	if hd.OverallTime <= 0.2 {
+		t.Errorf("headline time reduction = %.1f%%", hd.OverallTime*100)
+	}
+	buf.Reset()
+	RenderFigure6(&buf, fig6, Fig6TBPF)
+	RenderHeadline(&buf, hd)
+	if !strings.Contains(buf.String(), "average") {
+		t.Errorf("headline render incomplete")
+	}
+
+	// Table III: the guarantees column — SCHEMATIC and ROCKCLIMB all ✓.
+	t3, err := h.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range []string{"Schematic", "Rockclimb"} {
+		for _, tbpf := range TBPFs {
+			for _, b := range Order {
+				cell := t3[tech][tbpf][b]
+				if !cell.Completed() {
+					t.Errorf("Table III %s/%s@%d should be ✓", tech, b, tbpf)
+				}
+				if cell.Completed() && !cell.Correct() {
+					t.Errorf("Table III %s/%s@%d wrong output", tech, b, tbpf)
+				}
+			}
+		}
+	}
+	// The non-adaptive techniques must fail somewhere at TBPF=1k.
+	failures := 0
+	for _, tech := range []string{"Mementos", "Alfred"} {
+		for _, b := range Order {
+			if !t3[tech][1000][b].Completed() {
+				failures++
+			}
+		}
+	}
+	if failures == 0 {
+		t.Errorf("expected forward-progress failures at TBPF=1k for the non-adaptive baselines")
+	}
+	buf.Reset()
+	RenderTable3(&buf, t3)
+	if !strings.Contains(buf.String(), "forward progress") {
+		t.Errorf("Table III render incomplete")
+	}
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+
+	"schematic/internal/baselines"
+	"schematic/internal/baselines/alfred"
+	"schematic/internal/baselines/allnvm"
+	"schematic/internal/baselines/mementos"
+	"schematic/internal/baselines/ratchet"
+	"schematic/internal/baselines/rockclimb"
+	schematic "schematic/internal/core"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/trace"
+)
+
+// Schematic wraps the core pass as a baselines.Technique so the harness
+// can iterate over all five techniques uniformly.
+type Schematic struct{}
+
+// Name implements baselines.Technique.
+func (Schematic) Name() string { return "Schematic" }
+
+// SupportsVM implements baselines.Technique: SCHEMATIC adapts to any SVM
+// (Table I's headline property).
+func (Schematic) SupportsVM(*ir.Module, int) bool { return true }
+
+// Apply implements baselines.Technique.
+func (Schematic) Apply(m *ir.Module, p baselines.Params) error {
+	_, err := schematic.Apply(m, schematic.Config{
+		Model:   p.Model,
+		Budget:  p.Budget,
+		VMSize:  p.VMSize,
+		Profile: p.Profile,
+	})
+	return err
+}
+
+// Techniques returns the five techniques in the paper's column order.
+func Techniques() []baselines.Technique {
+	return []baselines.Technique{
+		ratchet.Ratchet{},
+		mementos.Mementos{},
+		rockclimb.Rockclimb{},
+		alfred.Alfred{},
+		Schematic{},
+	}
+}
+
+// AllNVMTechnique returns the Fig. 7 ablation.
+func AllNVMTechnique() baselines.Technique { return allnvm.AllNVM{} }
+
+// TBPFs are the time-between-power-failures values of the evaluation
+// (IV-C), in cycles.
+var TBPFs = []int64{1_000, 10_000, 100_000}
+
+// Harness runs the paper's experiments on the benchmark suite.
+type Harness struct {
+	Model       *energy.Model
+	VMSize      int // SVM: 2 KB on the MSP430FR5969
+	ProfileRuns int // profiling executions per benchmark (the paper: 1000)
+	Seed        int64
+
+	profiles map[string]*trace.Profile
+	refs     map[string]*emulator.Result
+}
+
+// NewHarness builds a harness with the paper's platform defaults.
+func NewHarness() *Harness {
+	return &Harness{
+		Model:       energy.MSP430FR5969(),
+		VMSize:      2048,
+		ProfileRuns: 50,
+		Seed:        1,
+		profiles:    map[string]*trace.Profile{},
+		refs:        map[string]*emulator.Result{},
+	}
+}
+
+// Profile returns the benchmark's execution profile (cached).
+func (h *Harness) Profile(b *Benchmark) (*trace.Profile, error) {
+	if p, ok := h.profiles[b.Name]; ok {
+		return p, nil
+	}
+	m, err := b.Module()
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Collect(m, trace.Options{Runs: h.ProfileRuns, Seed: h.Seed, Model: h.Model})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", b.Name, err)
+	}
+	h.profiles[b.Name] = p
+	return p, nil
+}
+
+// ReferenceAllVM runs the untransformed benchmark on continuous power with
+// all data in VM — the execution-time reference of Table II ("in clock
+// cycles, with all data in VM").
+func (h *Harness) ReferenceAllVM(b *Benchmark) (*emulator.Result, error) {
+	if r, ok := h.refs[b.Name]; ok {
+		return r, nil
+	}
+	m, err := b.Module()
+	if err != nil {
+		return nil, err
+	}
+	clone := ir.Clone(m)
+	baselines.AllocAllVM(clone)
+	inputs, err := b.Inputs(h.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := emulator.Run(clone, emulator.Config{Model: h.Model, Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict != emulator.Completed {
+		return nil, fmt.Errorf("reference %s: %v", b.Name, res.Verdict)
+	}
+	h.refs[b.Name] = res
+	return res, nil
+}
+
+// TechRun is the outcome of one (benchmark, technique, TBPF) cell.
+type TechRun struct {
+	Bench     string
+	Technique string
+	TBPF      int64
+	EB        float64
+
+	// Supported is the static Table I verdict; when false the run was not
+	// attempted.
+	Supported bool
+	// ApplyErr reports a transformation failure (treated as ✗).
+	ApplyErr error
+	// Res is the intermittent execution result when the run happened.
+	Res *emulator.Result
+	// RefOutput is the continuous-power output for correctness checking.
+	RefOutput []int64
+}
+
+// Completed reports whether the cell counts as ✓.
+func (tr *TechRun) Completed() bool {
+	return tr.Supported && tr.ApplyErr == nil &&
+		tr.Res != nil && tr.Res.Verdict == emulator.Completed
+}
+
+// Correct reports whether the run produced the reference output.
+func (tr *TechRun) Correct() bool {
+	if !tr.Completed() || len(tr.Res.Output) != len(tr.RefOutput) {
+		return false
+	}
+	for i := range tr.RefOutput {
+		if tr.Res.Output[i] != tr.RefOutput[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one cell: transform with the technique for the EB derived
+// from the TBPF, then emulate under intermittent power.
+func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*TechRun, error) {
+	m, err := b.Module()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := h.Profile(b)
+	if err != nil {
+		return nil, err
+	}
+	tr := &TechRun{
+		Bench:     b.Name,
+		Technique: tech.Name(),
+		TBPF:      tbpf,
+		EB:        prof.EBForTBPF(tbpf),
+		Supported: tech.SupportsVM(m, h.VMSize),
+	}
+	if !tr.Supported {
+		return tr, nil
+	}
+	inputs, err := b.Inputs(h.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := emulator.Run(m, emulator.Config{Model: h.Model, Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	tr.RefOutput = ref.Output
+
+	clone := ir.Clone(m)
+	if err := tech.Apply(clone, baselines.Params{
+		Model:   h.Model,
+		Budget:  tr.EB,
+		VMSize:  h.VMSize,
+		Profile: prof,
+	}); err != nil {
+		tr.ApplyErr = err
+		return tr, nil
+	}
+	res, err := emulator.Run(clone, emulator.Config{
+		Model:        h.Model,
+		VMSize:       h.VMSize,
+		Intermittent: true,
+		EB:           tr.EB,
+		Inputs:       inputs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/TBPF=%d: %w", b.Name, tech.Name(), tbpf, err)
+	}
+	tr.Res = res
+	return tr, nil
+}

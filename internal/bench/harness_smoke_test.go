@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+)
+
+// Smoke: run the small benchmarks through every technique at TBPF=10k.
+func TestHarnessSmoke(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	for _, name := range []string{"randmath", "crc"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tech := range Techniques() {
+			tr, err := h.Run(b, tech, 10000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, tech.Name(), err)
+			}
+			if tr.Completed() && !tr.Correct() {
+				t.Errorf("%s/%s: wrong output %v vs %v", name, tech.Name(), tr.Res.Output, tr.RefOutput)
+			}
+		}
+	}
+}
+
+// Full matrix at TBPF=10k: every benchmark under every technique.
+func TestFullMatrix10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	h := NewHarness()
+	h.ProfileRuns = 3
+	bms, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bms {
+		for _, tech := range Techniques() {
+			tr, err := h.Run(b, tech, 10000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, tech.Name(), err)
+			}
+			status := "completed"
+			if !tr.Completed() {
+				status = "FAILED"
+				if tr.ApplyErr != nil {
+					status = "apply-error: " + tr.ApplyErr.Error()
+				} else if tr.Res != nil {
+					status = tr.Res.Verdict.String()
+				} else if !tr.Supported {
+					status = "unsupported(VM)"
+				}
+			}
+			correct := tr.Completed() && tr.Correct()
+			t.Logf("%-10s %-10s %s correct=%v", b.Name, tech.Name(), status, correct)
+			if tr.Completed() && !tr.Correct() {
+				t.Errorf("%s/%s: WRONG OUTPUT %v want %v", b.Name, tech.Name(), tr.Res.Output, tr.RefOutput)
+			}
+		}
+	}
+}
+
+// Matrix at TBPF=1k: extreme intermittency, where non-adaptive placements
+// start failing (Table III).
+func TestFullMatrix1k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	h := NewHarness()
+	h.ProfileRuns = 3
+	bms, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bms {
+		for _, tech := range Techniques() {
+			tr, err := h.Run(b, tech, 1000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, tech.Name(), err)
+			}
+			status := "completed"
+			if !tr.Completed() {
+				status = "FAILED"
+				if tr.ApplyErr != nil {
+					status = "apply-error: " + tr.ApplyErr.Error()
+				} else if tr.Res != nil {
+					status = tr.Res.Verdict.String()
+				} else if !tr.Supported {
+					status = "unsupported(VM)"
+				}
+			}
+			t.Logf("%-10s %-10s %s", b.Name, tech.Name(), status)
+			if tr.Completed() && !tr.Correct() {
+				t.Errorf("%s/%s: WRONG OUTPUT %v want %v", b.Name, tech.Name(), tr.Res.Output, tr.RefOutput)
+			}
+			// The wait-discipline techniques must always make progress.
+			if (tech.Name() == "Schematic" || tech.Name() == "Rockclimb") && !tr.Completed() {
+				t.Errorf("%s/%s must guarantee forward progress", b.Name, tech.Name())
+			}
+		}
+	}
+}

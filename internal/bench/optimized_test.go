@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"testing"
+
+	schematic "schematic/internal/core"
+	"schematic/internal/emulator"
+	"schematic/internal/ir"
+	"schematic/internal/opt"
+	"schematic/internal/trace"
+)
+
+// TestOptimizedSuite runs the production pipeline — optimize, profile,
+// place, emulate — over the whole benchmark suite: the optimizer must
+// preserve every program's output, and SCHEMATIC's guarantees must hold
+// on the optimized modules.
+func TestOptimizedSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite pipeline is slow")
+	}
+	h := NewHarness()
+	bms, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bms {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := b.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			om := ir.Clone(m)
+			st, err := opt.Optimize(om)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			inputs, err := b.Inputs(h.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := emulator.Run(m, emulator.Config{Model: h.Model, Inputs: inputs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			optRef, err := emulator.Run(ir.Clone(om), emulator.Config{Model: h.Model, Inputs: inputs})
+			if err != nil {
+				t.Fatalf("optimized continuous run: %v", err)
+			}
+			if len(optRef.Output) != len(ref.Output) {
+				t.Fatalf("optimizer changed output length: %d vs %d", len(optRef.Output), len(ref.Output))
+			}
+			for i := range ref.Output {
+				if optRef.Output[i] != ref.Output[i] {
+					t.Fatalf("optimizer changed output[%d] (stats: %v)", i, st)
+				}
+			}
+			if optRef.Steps > ref.Steps {
+				t.Errorf("optimized run executes more instructions: %d vs %d", optRef.Steps, ref.Steps)
+			}
+
+			// Pipeline: profile the optimized module and place checkpoints.
+			prof, err := trace.Collect(om, trace.Options{Runs: 3, Seed: h.Seed, Model: h.Model})
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			eb := prof.EBForTBPF(10_000)
+			conf := schematic.Config{Model: h.Model, Budget: eb, VMSize: h.VMSize, Profile: prof}
+			if _, err := schematic.Apply(om, conf); err != nil {
+				t.Fatalf("apply on optimized module: %v", err)
+			}
+			if err := schematic.Validate(om, conf); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			res, err := emulator.Run(om, emulator.Config{
+				Model: h.Model, VMSize: h.VMSize, Intermittent: true, EB: eb, Inputs: inputs,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != emulator.Completed || res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+				t.Fatalf("guarantees violated on optimized %s: verdict=%v failures=%d reexec=%.1f",
+					b.Name, res.Verdict, res.PowerFailures, res.Energy.Reexecution)
+			}
+			for i := range ref.Output {
+				if res.Output[i] != ref.Output[i] {
+					t.Fatalf("intermittent optimized output[%d] differs", i)
+				}
+			}
+		})
+	}
+}

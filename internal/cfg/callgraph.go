@@ -1,0 +1,93 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/ir"
+)
+
+// CallGraph records the static call relation of a module. The IR forbids
+// recursion (ir.Verify rejects it, following the paper III-B1), so the
+// graph is a DAG and a reverse topological order — callees before callers —
+// always exists; SCHEMATIC analyzes functions in that order.
+type CallGraph struct {
+	// Callees maps each function to the distinct functions it calls,
+	// in first-call order.
+	Callees map[*ir.Func][]*ir.Func
+	// Callers is the inverse relation.
+	Callers map[*ir.Func][]*ir.Func
+	// CallSites counts the static call instructions from caller to callee.
+	CallSites map[[2]*ir.Func]int
+}
+
+// BuildCallGraph scans the module's call instructions.
+func BuildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{
+		Callees:   map[*ir.Func][]*ir.Func{},
+		Callers:   map[*ir.Func][]*ir.Func{},
+		CallSites: map[[2]*ir.Func]int{},
+	}
+	for _, f := range m.Funcs {
+		seen := map[*ir.Func]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				c, ok := in.(*ir.Call)
+				if !ok {
+					continue
+				}
+				cg.CallSites[[2]*ir.Func{f, c.Callee}]++
+				if !seen[c.Callee] {
+					seen[c.Callee] = true
+					cg.Callees[f] = append(cg.Callees[f], c.Callee)
+					cg.Callers[c.Callee] = append(cg.Callers[c.Callee], f)
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// IsLeaf reports whether f calls no other function.
+func (cg *CallGraph) IsLeaf(f *ir.Func) bool { return len(cg.Callees[f]) == 0 }
+
+// ReverseTopo returns the module's functions with every callee before its
+// callers — the traversal order of the paper's function handling (III-B1).
+// The order is deterministic. An error is returned if the graph has a cycle
+// (which ir.Verify should already have rejected).
+func (cg *CallGraph) ReverseTopo(m *ir.Module) ([]*ir.Func, error) {
+	indeg := map[*ir.Func]int{}
+	for _, f := range m.Funcs {
+		indeg[f] = len(cg.Callees[f])
+	}
+	ready := make([]*ir.Func, 0, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if indeg[f] == 0 {
+			ready = append(ready, f)
+		}
+	}
+	sortFuncs(ready)
+	var order []*ir.Func
+	for len(ready) > 0 {
+		f := ready[0]
+		ready = ready[1:]
+		order = append(order, f)
+		var newly []*ir.Func
+		for _, caller := range cg.Callers[f] {
+			indeg[caller]--
+			if indeg[caller] == 0 {
+				newly = append(newly, caller)
+			}
+		}
+		sortFuncs(newly)
+		ready = append(ready, newly...)
+	}
+	if len(order) != len(m.Funcs) {
+		return nil, fmt.Errorf("cfg: call graph of %s has a cycle", m.Name)
+	}
+	return order, nil
+}
+
+func sortFuncs(fs []*ir.Func) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+}

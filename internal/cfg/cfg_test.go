@@ -1,0 +1,250 @@
+package cfg
+
+import (
+	"testing"
+
+	"schematic/internal/ir"
+)
+
+// diamondSrc: entry -> {b, c} -> d, with a self-contained loop in d.
+const diamondSrc = `module t
+global x
+
+func void main() regs 4 {
+entry:
+  r0 = const 1
+  br r0, b, c
+b:
+  store x, r0
+  jmp d
+c:
+  store x, r0
+  jmp d
+d:
+  r1 = load x
+  r2 = const 10
+  r3 = lt r1, r2
+  br r3, d, exit
+exit:
+  ret
+}
+`
+
+// nestedSrc has a doubly-nested loop plus function calls.
+const nestedSrc = `module t2
+global a[4]
+
+func int leaf(v) regs 2 {
+entry:
+  r1 = const 2
+  r1 = mul r0, r1
+  ret r1
+}
+
+func int mid(v) regs 2 {
+entry:
+  r1 = call leaf(r0)
+  ret r1
+}
+
+func void main() regs 10 {
+  local i
+  local j
+entry:
+  r0 = const 0
+  store i, r0
+  jmp outer
+outer:
+  r1 = load i
+  r2 = const 4
+  r3 = lt r1, r2
+  br r3, innerInit, done
+innerInit:
+  r4 = const 0
+  store j, r4
+  jmp inner
+inner:
+  r5 = load j
+  r6 = const 4
+  r7 = lt r5, r6
+  br r7, innerBody, outerLatch
+innerBody:
+  r8 = call mid(r5)
+  store a[r5], r8
+  r9 = const 1
+  r5 = add r5, r9
+  store j, r5
+  jmp inner
+outerLatch:
+  r9 = const 1
+  r1 = add r1, r9
+  store i, r1
+  jmp outer
+done:
+  ret
+}
+`
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestDominators(t *testing.T) {
+	m := mustParse(t, diamondSrc)
+	f := m.FuncByName("main")
+	dom := Dominators(f)
+	get := f.BlockByName
+
+	if dom.Idom(get("entry")) != nil {
+		t.Errorf("entry idom should be nil")
+	}
+	for _, name := range []string{"b", "c", "d"} {
+		if id := dom.Idom(get(name)); id != get("entry") {
+			t.Errorf("idom(%s) = %v, want entry", name, id)
+		}
+	}
+	if id := dom.Idom(get("exit")); id != get("d") {
+		t.Errorf("idom(exit) = %v, want d", id)
+	}
+	if !dom.Dominates(get("entry"), get("exit")) {
+		t.Errorf("entry should dominate exit")
+	}
+	if dom.Dominates(get("b"), get("d")) {
+		t.Errorf("b should not dominate d")
+	}
+	if !dom.Dominates(get("d"), get("d")) {
+		t.Errorf("dominance should be reflexive")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	m := mustParse(t, diamondSrc)
+	f := m.FuncByName("main")
+	dom := Dominators(f)
+	lf := Loops(f, dom)
+	if len(lf.All) != 1 {
+		t.Fatalf("loops = %d, want 1", len(lf.All))
+	}
+	l := lf.All[0]
+	if l.Header.Name != "d" || l.Latch() == nil || l.Latch().Name != "d" {
+		t.Errorf("self loop header/latch wrong: %v", l)
+	}
+	if len(l.Blocks) != 1 {
+		t.Errorf("self loop body = %d blocks, want 1", len(l.Blocks))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := mustParse(t, nestedSrc)
+	f := m.FuncByName("main")
+	dom := Dominators(f)
+	lf := Loops(f, dom)
+	if len(lf.All) != 2 {
+		t.Fatalf("loops = %d, want 2", len(lf.All))
+	}
+	outer := lf.HeaderLoop(f.BlockByName("outer"))
+	inner := lf.HeaderLoop(f.BlockByName("inner"))
+	if outer == nil || inner == nil {
+		t.Fatalf("missing loops: outer=%v inner=%v", outer, inner)
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v, want outer", inner.Parent)
+	}
+	if outer.Parent != nil {
+		t.Errorf("outer should be top level")
+	}
+	if inner.Depth() != 2 || outer.Depth() != 1 {
+		t.Errorf("depths = %d,%d want 2,1", inner.Depth(), outer.Depth())
+	}
+	if !outer.Contains(f.BlockByName("innerBody")) {
+		t.Errorf("outer should contain innerBody")
+	}
+	if inner.Contains(f.BlockByName("outerLatch")) {
+		t.Errorf("inner should not contain outerLatch")
+	}
+	if l := lf.LoopOf(f.BlockByName("innerBody")); l != inner {
+		t.Errorf("LoopOf(innerBody) = %v, want inner", l)
+	}
+	if l := lf.LoopOf(f.BlockByName("entry")); l != nil {
+		t.Errorf("LoopOf(entry) = %v, want nil", l)
+	}
+	bu := lf.BottomUp()
+	if bu[0] != inner || bu[1] != outer {
+		t.Errorf("BottomUp order wrong")
+	}
+	if lat := outer.Latch(); lat == nil || lat.Name != "outerLatch" {
+		t.Errorf("outer latch = %v", lat)
+	}
+}
+
+func TestBackEdges(t *testing.T) {
+	m := mustParse(t, nestedSrc)
+	f := m.FuncByName("main")
+	dom := Dominators(f)
+	bes := BackEdges(f, dom)
+	if len(bes) != 2 {
+		t.Fatalf("back edges = %d, want 2", len(bes))
+	}
+	got := map[string]bool{}
+	for _, e := range bes {
+		got[e.String()] = true
+	}
+	if !got["innerBody->inner"] || !got["outerLatch->outer"] {
+		t.Errorf("back edges = %v", got)
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	m := mustParse(t, nestedSrc)
+	cg := BuildCallGraph(m)
+	mainF := m.FuncByName("main")
+	midF := m.FuncByName("mid")
+	leafF := m.FuncByName("leaf")
+
+	if !cg.IsLeaf(leafF) || cg.IsLeaf(mainF) || cg.IsLeaf(midF) {
+		t.Errorf("leaf detection wrong")
+	}
+	if n := cg.CallSites[[2]*ir.Func{mainF, midF}]; n != 1 {
+		t.Errorf("call sites main->mid = %d, want 1", n)
+	}
+	order, err := cg.ReverseTopo(m)
+	if err != nil {
+		t.Fatalf("ReverseTopo: %v", err)
+	}
+	pos := map[string]int{}
+	for i, f := range order {
+		pos[f.Name] = i
+	}
+	if pos["leaf"] > pos["mid"] || pos["mid"] > pos["main"] {
+		t.Errorf("reverse topo order wrong: %v", pos)
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	src := `module u
+func void main() regs 1 {
+entry:
+  ret
+island:
+  jmp island
+}
+`
+	m := mustParse(t, src)
+	f := m.FuncByName("main")
+	dom := Dominators(f)
+	island := f.BlockByName("island")
+	if dom.Dominates(f.Entry(), island) {
+		t.Errorf("entry should not dominate unreachable block")
+	}
+	if dom.Idom(island) != nil {
+		t.Errorf("unreachable block should have no idom")
+	}
+}

@@ -1,0 +1,129 @@
+// Package cfg provides the control-flow analyses SCHEMATIC relies on:
+// dominator trees, natural loop detection with a loop-nesting tree
+// (paper, III-B2), and the function call graph with its reverse
+// topological order (paper, III-B1).
+package cfg
+
+import (
+	"schematic/internal/ir"
+)
+
+// DomTree holds the dominator relation of a function's CFG, computed with
+// the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn    *ir.Func
+	rpo   []*ir.Block
+	index map[*ir.Block]int // position in rpo
+	idom  []int             // immediate dominator, by rpo index; entry -> itself
+}
+
+// Dominators computes the dominator tree of f. Unreachable blocks have no
+// dominator information and report themselves as undominated.
+func Dominators(f *ir.Func) *DomTree {
+	rpo := ir.ReversePostorder(f)
+	// Trim unreachable tail: ReversePostorder appends unreachable blocks
+	// after the reachable ones.
+	reach := reachableCount(f, rpo)
+	t := &DomTree{
+		fn:    f,
+		rpo:   rpo,
+		index: make(map[*ir.Block]int, len(rpo)),
+		idom:  make([]int, len(rpo)),
+	}
+	for i, b := range rpo {
+		t.index[b] = i
+		t.idom[i] = -1
+	}
+	t.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < reach; i++ {
+			b := rpo[i]
+			newIdom := -1
+			for _, p := range b.Preds() {
+				pi, ok := t.index[p]
+				if !ok || t.idom[pi] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = pi
+				} else {
+					newIdom = t.intersect(pi, newIdom)
+				}
+			}
+			if newIdom != -1 && t.idom[i] != newIdom {
+				t.idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+func reachableCount(f *ir.Func, rpo []*ir.Block) int {
+	seen := map[*ir.Block]bool{}
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+	}
+	visit(f.Entry())
+	n := 0
+	for _, b := range rpo {
+		if seen[b] {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *DomTree) intersect(a, b int) int {
+	for a != b {
+		for a > b {
+			a = t.idom[a]
+		}
+		for b > a {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b, or nil for the entry block and
+// unreachable blocks.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block {
+	i, ok := t.index[b]
+	if !ok || i == 0 || t.idom[i] == -1 {
+		return nil
+	}
+	return t.rpo[t.idom[i]]
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	ai, aok := t.index[a]
+	bi, bok := t.index[b]
+	if !aok || !bok {
+		return false
+	}
+	if t.idom[bi] == -1 && bi != 0 {
+		return false // b unreachable
+	}
+	for {
+		if bi == ai {
+			return true
+		}
+		if bi == 0 {
+			return false
+		}
+		next := t.idom[bi]
+		if next == -1 || next == bi {
+			return false
+		}
+		bi = next
+	}
+}

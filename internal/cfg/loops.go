@@ -1,0 +1,192 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/ir"
+)
+
+// Loop is a natural loop: a strongly connected region with a single entry
+// point (the header). Following the paper's presentation (III-B2) each loop
+// is assumed to have a single back-edge; the MiniC frontend generates loops
+// of exactly that shape, and detection merges multiple back-edges to the
+// same header into one loop and records every latch.
+type Loop struct {
+	Header  *ir.Block
+	Latches []*ir.Block // sources of back-edges to Header
+	Blocks  map[*ir.Block]bool
+
+	Parent   *Loop
+	Children []*Loop
+
+	// MaxIter is the annotated maximum iteration count (@max in MiniC,
+	// carried by an ir.LoopBound in the header block), 0 when unknown.
+	// Algorithm 1 compares numit against it.
+	MaxIter int
+}
+
+// Latch returns the single latch when the loop has exactly one back-edge,
+// else nil.
+func (l *Loop) Latch() *ir.Block {
+	if len(l.Latches) == 1 {
+		return l.Latches[0]
+	}
+	return nil
+}
+
+// Contains reports whether the loop body includes b.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// Depth returns the nesting depth (outermost = 1).
+func (l *Loop) Depth() int {
+	d := 0
+	for p := l; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop(header=%s, %d blocks, depth %d)",
+		l.Header.Name, len(l.Blocks), l.Depth())
+}
+
+// LoopForest holds every natural loop of a function with the nesting
+// relation resolved.
+type LoopForest struct {
+	// Top lists outermost loops in header block order.
+	Top []*Loop
+	// All lists every loop, outer before inner (preorder of the tree).
+	All []*Loop
+	// byHeader maps a header block to its loop.
+	byHeader map[*ir.Block]*Loop
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (lf *LoopForest) LoopOf(b *ir.Block) *Loop {
+	var best *Loop
+	for _, l := range lf.All {
+		if l.Contains(b) && (best == nil || len(l.Blocks) < len(best.Blocks)) {
+			best = l
+		}
+	}
+	return best
+}
+
+// HeaderLoop returns the loop whose header is b, or nil.
+func (lf *LoopForest) HeaderLoop(b *ir.Block) *Loop { return lf.byHeader[b] }
+
+// BottomUp returns all loops ordered inner-before-outer, the traversal
+// order of the paper's loop analysis (III-B2).
+func (lf *LoopForest) BottomUp() []*Loop {
+	out := make([]*Loop, len(lf.All))
+	copy(out, lf.All)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Loops detects the natural loops of f and builds the nesting forest.
+func Loops(f *ir.Func, dom *DomTree) *LoopForest {
+	lf := &LoopForest{byHeader: map[*ir.Block]*Loop{}}
+	// Find back-edges t->h where h dominates t.
+	for _, e := range ir.Edges(f) {
+		if !dom.Dominates(e.To, e.From) {
+			continue
+		}
+		l := lf.byHeader[e.To]
+		if l == nil {
+			l = &Loop{Header: e.To, Blocks: map[*ir.Block]bool{e.To: true}}
+			lf.byHeader[e.To] = l
+		}
+		l.Latches = append(l.Latches, e.From)
+		// Body = blocks that reach the latch backwards without crossing the
+		// header.
+		var stack []*ir.Block
+		if !l.Blocks[e.From] {
+			l.Blocks[e.From] = true
+			stack = append(stack, e.From)
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range b.Preds() {
+				if !l.Blocks[p] {
+					l.Blocks[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	var all []*Loop
+	for _, l := range lf.byHeader {
+		all = append(all, l)
+	}
+	// Deterministic order: by header block index, outer (bigger) first when
+	// nested.
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i].Blocks) != len(all[j].Blocks) {
+			return len(all[i].Blocks) > len(all[j].Blocks)
+		}
+		return all[i].Header.Index < all[j].Header.Index
+	})
+	// Nesting: parent = smallest loop strictly containing the header.
+	for _, l := range all {
+		var best *Loop
+		for _, o := range all {
+			if o == l || !o.Contains(l.Header) || len(o.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if best == nil || len(o.Blocks) < len(best.Blocks) {
+				best = o
+			}
+		}
+		l.Parent = best
+	}
+	for _, l := range all {
+		if l.Parent != nil {
+			l.Parent.Children = append(l.Parent.Children, l)
+		} else {
+			lf.Top = append(lf.Top, l)
+		}
+		for _, in := range l.Header.Instrs {
+			if lb, ok := in.(*ir.LoopBound); ok {
+				l.MaxIter = lb.Max
+				break
+			}
+		}
+	}
+	// Preorder of the forest for All (outer before inner).
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		lf.All = append(lf.All, l)
+		sort.Slice(l.Children, func(i, j int) bool {
+			return l.Children[i].Header.Index < l.Children[j].Header.Index
+		})
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	sort.Slice(lf.Top, func(i, j int) bool {
+		return lf.Top[i].Header.Index < lf.Top[j].Header.Index
+	})
+	for _, l := range lf.Top {
+		walk(l)
+	}
+	return lf
+}
+
+// BackEdges returns the back-edges of f (edges whose target dominates their
+// source). These are excluded when analyzing one loop iteration
+// (Algorithm 1, step 1).
+func BackEdges(f *ir.Func, dom *DomTree) []ir.Edge {
+	var out []ir.Edge
+	for _, e := range ir.Edges(f) {
+		if dom.Dominates(e.To, e.From) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// mainAllocOf returns the union of main's block allocations by name.
+func mainAllocOf(m *ir.Module) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range m.FuncByName("main").Blocks {
+		for v, in := range b.Alloc {
+			if in {
+				out[v.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// Eq. 1: with limited VM, the variable with the higher gain/size ratio
+// wins the space.
+func TestAllocationPrefersHotVariables(t *testing.T) {
+	src := `
+input int data[16];
+int hot;
+int cold;
+
+func void main() {
+  int i;
+  hot = 0;
+  cold = 0;
+  for (i = 0; i < 64; i = i + 1) @max(64) {
+    hot = hot + data[i % 16];
+  }
+  cold = hot + 1;
+  print(hot);
+  print(cold);
+}
+`
+	m := minic.MustCompile("t", src)
+	prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VM fits exactly one scalar beyond the loop counter: 4 bytes.
+	if _, err := Apply(m, Config{
+		Model: energy.MSP430FR5969(), Budget: 8000, VMSize: 4, Profile: prof,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	alloc := mainAllocOf(m)
+	if !alloc["hot"] && !alloc["i"] {
+		t.Errorf("neither hot nor the loop counter made it to VM: %v", alloc)
+	}
+	if alloc["cold"] {
+		t.Errorf("cold (2 accesses) was allocated over hot (129 accesses): %v", alloc)
+	}
+}
+
+// Eq. 1's downside term: a variable accessed once cannot recoup its
+// save/restore overhead and must stay in NVM even with ample VM.
+func TestAllocationRejectsUnprofitableVariables(t *testing.T) {
+	src := `
+int once;
+int loopv;
+
+func void main() {
+  int i;
+  once = 42;
+  loopv = 0;
+  for (i = 0; i < 200; i = i + 1) @max(200) {
+    loopv = loopv + i;
+  }
+  print(once + loopv);
+}
+`
+	m := minic.MustCompile("t", src)
+	prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small budget forces checkpoints inside the loop, so a VM-resident
+	// `once` would be saved/restored repeatedly for its single real use.
+	if _, err := Apply(m, Config{
+		Model: energy.MSP430FR5969(), Budget: 900, VMSize: 2048, Profile: prof,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("main")
+	for _, b := range f.Blocks {
+		if !strings.HasPrefix(b.Name, "for.") {
+			continue
+		}
+		for v, in := range b.Alloc {
+			if in && v.Name == "once" {
+				t.Errorf("once is VM-resident in loop block %s", b.Name)
+			}
+		}
+	}
+}
+
+// Eq. 2: a variable whose first access after the checkpoint is a write
+// needs no restore, and one that is dead after it needs no save.
+func TestLivenessRefinedSaveRestoreSets(t *testing.T) {
+	src := `
+input int data[64];
+int acc;
+
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 64; i = i + 1) @max(64) {
+    acc = acc + data[i];
+  }
+  print(acc);
+}
+`
+	m := minic.MustCompile("t", src)
+	prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(m, Config{
+		Model: energy.MSP430FR5969(), Budget: 1200, VMSize: 2048, Profile: prof,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The boot checkpoint must not restore acc or i: their first accesses
+	// are writes (Eq. 2's live_c1 = 0 case).
+	boot := ir.Checkpoints(m)[0]
+	for _, f := range m.Funcs {
+		if f.Name != "main" {
+			continue
+		}
+		entry := f.Entry()
+		if ck, ok := entry.Instrs[0].(*ir.Checkpoint); ok {
+			boot = ck
+		}
+	}
+	for _, v := range boot.Restore {
+		if v.Name == "acc" || v.Name == "i" {
+			t.Errorf("boot checkpoint restores %s, whose first access is a write", v.Name)
+		}
+	}
+	// Any back-edge checkpoint must save the live loop state it keeps in
+	// VM (acc and/or i), not data (never written, read-only).
+	for _, ck := range ir.Checkpoints(m) {
+		for _, v := range ck.Save {
+			if v.Name == "data" {
+				t.Errorf("checkpoint #%d saves the read-only input array", ck.ID)
+			}
+		}
+	}
+}
+
+// A second, differently-balanced energy model: allocation decisions shift
+// with the NVM/VM cost ratio but the guarantees stay intact (the model-
+// sensitivity ablation of DESIGN.md).
+func TestAlternativeEnergyModel(t *testing.T) {
+	model := energy.MSP430FR5969()
+	model.Name = "flat-NVM"
+	// NVM barely more expensive than VM: VM allocation is rarely worth it.
+	model.NVMReadEnergy = model.VMReadEnergy * 1.05
+	model.NVMWriteEnergy = model.VMWriteEnergy * 1.05
+	model.NVMAccessCycles = model.VMAccessCycles
+
+	src := `
+input int data[32];
+int acc;
+
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 32; i = i + 1) @max(32) {
+    acc = acc + data[i];
+  }
+  print(acc);
+}
+`
+	m := minic.MustCompile("t", src)
+	prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := Config{Model: model, Budget: 3000, VMSize: 2048, Profile: prof}
+	stats, err := Apply(m, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, conf); err != nil {
+		t.Fatal(err)
+	}
+	// With a 5% access gain, scalars touched a few dozen times cannot
+	// amortize their checkpoint traffic: far fewer VM variables than under
+	// the 2.47× model.
+	if stats.VMVars > 2 {
+		t.Errorf("flat-NVM model still promoted %d variables to VM", stats.VMVars)
+	}
+}

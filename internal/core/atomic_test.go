@@ -1,0 +1,178 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// A sensing loop with an atomic section modelling a peripheral
+// transaction: read-modify-write of a device register pair that must not
+// be torn by a checkpoint (paper §VI).
+const atomicSrc = `
+input int data[32];
+int devReg;
+int devStatus;
+int acc;
+
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 32; i = i + 1) @max(32) {
+    acc = acc + data[i];
+    atomic {
+      devReg = acc & 0xFF;
+      devStatus = devStatus + 1;
+      devReg = devReg | 0x100;
+    }
+  }
+  print(acc);
+  print(devReg);
+  print(devStatus);
+}
+`
+
+func TestAtomicBlocksAreFlagged(t *testing.T) {
+	m, err := minic.Compile("t", atomicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("main")
+	atomics := 0
+	for _, b := range f.Blocks {
+		if b.Atomic {
+			atomics++
+			if !strings.HasPrefix(b.Name, "atomic.begin") {
+				t.Errorf("unexpected atomic block %s", b.Name)
+			}
+		}
+	}
+	if atomics == 0 {
+		t.Fatalf("no atomic blocks were flagged")
+	}
+	// Round trip preserves the flag.
+	m2, err := ir.Parse(m.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range m2.FuncByName("main").Blocks {
+		if b.Atomic {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("atomic flag lost in textual round trip")
+	}
+}
+
+func TestAtomicRespectedBySchematic(t *testing.T) {
+	model := energy.MSP430FR5969()
+	m, err := minic.Compile("t", atomicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := trace.Collect(m, trace.Options{Runs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]int64{"data": make([]int64, 32)}
+	for i := range inputs["data"] {
+		inputs["data"][i] = int64(i * 3)
+	}
+	ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, budget := range []float64{700, 1500, 6000} {
+		conf := Config{Model: model, Budget: budget, VMSize: 2048, Profile: prof}
+		tr := ir.Clone(m)
+		if _, err := Apply(tr, conf); err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		// Structural: no checkpoint inside or between atomic blocks.
+		if err := Validate(tr, conf); err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		for _, f := range tr.Funcs {
+			for _, b := range f.Blocks {
+				if !b.Atomic {
+					continue
+				}
+				for _, in := range b.Instrs {
+					if _, ok := in.(*ir.Checkpoint); ok {
+						t.Fatalf("budget %v: checkpoint inside atomic block %s", budget, b.Name)
+					}
+				}
+			}
+		}
+		res, err := emulator.Run(tr, emulator.Config{
+			Model: model, VMSize: 2048, Intermittent: true, EB: budget, Inputs: inputs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != emulator.Completed || res.PowerFailures != 0 {
+			t.Fatalf("budget %v: verdict=%v failures=%d", budget, res.Verdict, res.PowerFailures)
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("budget %v: output %v want %v", budget, res.Output, ref.Output)
+			}
+		}
+	}
+}
+
+func TestAtomicSectionTooLarge(t *testing.T) {
+	// An atomic loop whose bounded cost exceeds any reasonable budget must
+	// be rejected with a clear diagnostic, not silently torn.
+	src := `
+int sink;
+
+func void main() {
+  int i;
+  atomic {
+    for (i = 0; i < 500; i = i + 1) @max(500) {
+      sink = sink + i * 3;
+    }
+  }
+  print(sink);
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Apply(m, Config{Model: energy.MSP430FR5969(), Budget: 800, VMSize: 2048})
+	if err == nil {
+		t.Fatalf("an oversized atomic section was accepted")
+	}
+	if !strings.Contains(err.Error(), "atomic") {
+		t.Errorf("unhelpful diagnostic: %v", err)
+	}
+}
+
+func TestValidateRejectsCheckpointInAtomic(t *testing.T) {
+	m, err := minic.Compile("t", atomicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually plant a checkpoint inside the atomic region.
+	f := m.FuncByName("main")
+	for _, b := range f.Blocks {
+		if b.Atomic {
+			b.Instrs = append([]ir.Instr{&ir.Checkpoint{ID: 9, Kind: ir.CkWait}}, b.Instrs...)
+			break
+		}
+	}
+	err = Validate(m, Config{Model: energy.MSP430FR5969(), Budget: 1e9, VMSize: 2048})
+	if err == nil || !strings.Contains(err.Error(), "atomic") {
+		t.Errorf("Validate missed a checkpoint inside an atomic section: %v", err)
+	}
+}

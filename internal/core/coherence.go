@@ -1,0 +1,316 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/dataflow"
+	"schematic/internal/ir"
+)
+
+// Copy-coherence analysis: every variable conceptually has two copies — a
+// home in NVM and a possibly-resident copy in VM. A transformed program is
+// coherent when no read ever observes the stale copy and checkpoint saves
+// never write a stale VM copy over fresh NVM data (the "memory anomalies"
+// of the paper's Section II-B, checked statically).
+//
+// The analysis tracks, per variable, which copy is fresh:
+//
+//	stAgree    — both copies hold the same value (or the variable was
+//	             never written since they were synchronized)
+//	stVMFresh  — the VM copy is newer (written in VM since last sync)
+//	stNVMFresh — the NVM copy is newer
+//	stVMDead   — the VM copy was destroyed by a wait checkpoint's deep
+//	             sleep and not restored
+//	stConflict — control-flow join of incompatible states
+//
+// Reads in VM require {agree, vmFresh}; reads in NVM require {agree,
+// nvmFresh, vmDead}; a checkpoint save of v requires the VM copy to be
+// fresh or in agreement. Calls synchronize the globals the callee
+// accesses: the callee's own validation covers its interior, and the
+// caller/callee boundary contracts make the spaces agree.
+type copyState uint8
+
+const (
+	stAgree copyState = iota
+	stVMFresh
+	stNVMFresh
+	stVMDead
+	stConflict
+)
+
+func (s copyState) String() string {
+	switch s {
+	case stAgree:
+		return "agree"
+	case stVMFresh:
+		return "vm-fresh"
+	case stNVMFresh:
+		return "nvm-fresh"
+	case stVMDead:
+		return "vm-dead"
+	default:
+		return "conflict"
+	}
+}
+
+// calleeBoundaryVM lists the globals a callee holds in VM at its entry
+// (entry=true) or at its canonical exit (entry=false).
+func calleeBoundaryVM(fn *ir.Func, entry bool) map[*ir.Var]bool {
+	out := map[*ir.Var]bool{}
+	var blk *ir.Block
+	if entry {
+		blk = fn.Entry()
+	} else {
+		for _, b := range fn.Blocks {
+			if _, ok := b.Terminator().(*ir.Ret); ok {
+				blk = b
+				break
+			}
+		}
+	}
+	if blk == nil {
+		return out
+	}
+	for vr, in := range blk.Alloc {
+		if in && vr.Global {
+			out[vr] = true
+		}
+	}
+	return out
+}
+
+func ckID(in ir.Instr) int {
+	if ck, ok := in.(*ir.Checkpoint); ok {
+		return ck.ID
+	}
+	return -1
+}
+
+func joinState(a, b copyState) copyState {
+	if a == b {
+		return a
+	}
+	if a == stAgree {
+		return b
+	}
+	if b == stAgree {
+		return a
+	}
+	// vmDead and nvmFresh agree that the NVM home is authoritative and the
+	// VM copy must not be read; their join keeps that knowledge.
+	if (a == stVMDead && b == stNVMFresh) || (a == stNVMFresh && b == stVMDead) {
+		return stNVMFresh
+	}
+	return stConflict
+}
+
+// coherence runs the analysis on one function and reports the first
+// violation.
+func (v *validator) coherence(f *ir.Func, gu *dataflow.GlobalUse) error {
+	live := dataflow.LiveVars(f, gu)
+	// Variable universe: function locals + module globals.
+	var vars []*ir.Var
+	vars = append(vars, f.Locals...)
+	vars = append(vars, v.m.Globals...)
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	idx := map[*ir.Var]int{}
+	for i, vr := range vars {
+		idx[vr] = i
+	}
+	n := len(vars)
+
+	in := map[*ir.Block][]copyState{}
+	for _, b := range f.Blocks {
+		st := make([]copyState, n)
+		for i := range st {
+			st[i] = stConflict // unreached-pessimistic until seeded
+		}
+		in[b] = st
+	}
+	entrySt := make([]copyState, n)
+	for i := range entrySt {
+		entrySt[i] = stAgree // loader-initialized: both copies agree
+	}
+	in[f.Entry()] = entrySt
+
+	reached := map[*ir.Block]bool{f.Entry(): true}
+
+	var verr error
+	step := func(b *ir.Block, st []copyState) []copyState {
+		out := append([]copyState(nil), st...)
+		check := func(vr *ir.Var, read bool) {
+			i := idx[vr]
+			inVM := b.InVM(vr)
+			if read {
+				switch {
+				case inVM && (out[i] == stNVMFresh || out[i] == stConflict):
+					verr = fmt.Errorf("schematic: %s.%s: VM read of %s while the NVM copy is fresher (%v)",
+						f.Name, b.Name, vr.Name, out[i])
+				case inVM && out[i] == stVMDead:
+					verr = fmt.Errorf("schematic: %s.%s: VM read of %s after its VM copy was dropped",
+						f.Name, b.Name, vr.Name)
+				case !inVM && (out[i] == stVMFresh || out[i] == stConflict):
+					verr = fmt.Errorf("schematic: %s.%s: NVM read of %s while the VM copy is fresher (%v)",
+						f.Name, b.Name, vr.Name, out[i])
+				}
+				return
+			}
+			if inVM {
+				out[i] = stVMFresh
+			} else if out[i] != stVMDead {
+				// With the VM copy dropped, the NVM home is the only copy;
+				// writing it keeps the state "VM dead", not "NVM fresher".
+				out[i] = stNVMFresh
+			}
+		}
+		for _, instr := range b.Instrs {
+			switch x := instr.(type) {
+			case *ir.Load:
+				check(x.Var, true)
+			case *ir.Store:
+				if x.HasIndex {
+					// Partial writes mix new elements into the existing
+					// copy, so the written copy's base must not be stale.
+					i := idx[x.Var]
+					if b.InVM(x.Var) {
+						// The VM base must exist and be current.
+						if out[i] != stAgree && out[i] != stVMFresh {
+							verr = fmt.Errorf("schematic: %s.%s: partial VM write to %s over a stale or dropped copy (%v)",
+								f.Name, b.Name, x.Var.Name, out[i])
+						}
+						out[i] = stVMFresh
+					} else {
+						// The NVM base must be current (vmDead keeps NVM
+						// authoritative, so it stays vmDead).
+						if out[i] == stVMFresh || out[i] == stConflict {
+							verr = fmt.Errorf("schematic: %s.%s: partial NVM write to %s while the VM copy is fresher (%v)",
+								f.Name, b.Name, x.Var.Name, out[i])
+						}
+						if out[i] != stVMDead {
+							out[i] = stNVMFresh
+						}
+					}
+				} else {
+					check(x.Var, false)
+				}
+			case *ir.Call:
+				// Boundary contract: globals the callee touches must not be
+				// in a conflicting copy state, and the callee leaves them
+				// synchronized at its exit contract. A checkpointed callee
+				// additionally clears the whole VM at its internal wait
+				// checkpoints, so every caller-side VM copy is dropped —
+				// losing data if one was fresh and live.
+				if v.hasCk[x.Callee] {
+					entryVM := calleeBoundaryVM(x.Callee, true)
+					exitVM := calleeBoundaryVM(x.Callee, false)
+					for i, vr := range vars {
+						if entryVM[vr] {
+							// The callee adopts this global's VM copy and
+							// maintains it at its internal checkpoints.
+							continue
+						}
+						switch out[i] {
+						case stVMFresh:
+							if live.LiveOut(vr, b) {
+								verr = fmt.Errorf("schematic: %s.%s: call to checkpointed %s drops the fresh VM copy of live %s",
+									f.Name, b.Name, x.Callee.Name, vr.Name)
+							}
+							out[i] = stVMDead
+						case stAgree:
+							out[i] = stVMDead
+						}
+					}
+					for i, vr := range vars {
+						if entryVM[vr] && !exitVM[vr] {
+							out[i] = stVMDead // adopted but not re-materialized at exit
+						} else if exitVM[vr] {
+							out[i] = stAgree
+						}
+					}
+				}
+				for g := range gu.Accessed[x.Callee] {
+					i := idx[g]
+					if out[i] == stConflict {
+						verr = fmt.Errorf("schematic: %s.%s: call %s with global %s in conflicting copy state",
+							f.Name, b.Name, x.Callee.Name, g.Name)
+					}
+					if out[i] != stVMDead {
+						out[i] = stAgree
+					}
+				}
+			case *ir.Checkpoint:
+				if x.Kind != ir.CkWait {
+					// Rollback/trigger runtimes save the resident VM set
+					// dynamically; treat as a sync of the saved variables.
+					for _, vr := range x.Save {
+						out[idx[vr]] = stAgree
+					}
+					continue
+				}
+				// The save synchronizes the NVM home for its list...
+				for _, vr := range x.Save {
+					i := idx[vr]
+					if out[i] == stNVMFresh {
+						verr = fmt.Errorf("schematic: %s.%s: checkpoint #%d saves %s whose NVM copy is fresher",
+							f.Name, b.Name, x.ID, vr.Name)
+					}
+					out[i] = stAgree
+				}
+				// ...then deep sleep drops every VM copy, saved or not.
+				for i, vr := range vars {
+					switch out[i] {
+					case stVMFresh:
+						// A fresh, unsaved VM value vanishes. If the
+						// variable is still live, its value is lost.
+						if live.LiveOut(vr, b) {
+							verr = fmt.Errorf("schematic: %s.%s: checkpoint #%d drops the fresh VM copy of live %s",
+								f.Name, b.Name, ckID(instr), vr.Name)
+						}
+						out[i] = stVMDead
+					case stAgree:
+						out[i] = stVMDead // the NVM home remains authoritative
+					}
+				}
+				// ...and the restore list re-materializes from NVM.
+				for _, vr := range x.Restore {
+					out[idx[vr]] = stAgree
+				}
+			}
+		}
+		return out
+	}
+
+	rpo := ir.ReversePostorder(f)
+	for rounds := 0; rounds < len(f.Blocks)+4; rounds++ {
+		changed := false
+		for _, b := range rpo {
+			if !reached[b] {
+				continue
+			}
+			out := step(b, in[b])
+			if verr != nil {
+				return verr
+			}
+			for _, s := range b.Succs() {
+				if !reached[s] {
+					reached[s] = true
+					copy(in[s], out)
+					changed = true
+					continue
+				}
+				for i := range out {
+					j := joinState(in[s][i], out[i])
+					if j != in[s][i] {
+						in[s][i] = j
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return nil // lattice has height 2; this is unreachable, kept defensive
+}

@@ -1,0 +1,253 @@
+package schematic
+
+import (
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+// runWithConfig compiles src, applies SCHEMATIC under a caller-adjusted
+// configuration, validates the result, and runs it to completion under
+// intermittent power. It returns the transformed module and the run result.
+func runWithConfig(t *testing.T, src string, budget float64, vmSize int,
+	adjust func(*Config)) (*ir.Module, *emulator.Result) {
+	t.Helper()
+	model := energy.MSP430FR5969()
+	orig := compile(t, src)
+	prof := profileOf(t, orig)
+	inputs := map[string][]int64{}
+	for _, v := range orig.InputVars() {
+		data := make([]int64, v.Elems)
+		for i := range data {
+			data[i] = int64((i*37 + 11) % 97)
+		}
+		inputs[v.Name] = data
+	}
+	ref, err := emulator.Run(orig, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	tr := ir.Clone(orig)
+	conf := Config{Model: model, Budget: budget, VMSize: vmSize, Profile: prof}
+	if adjust != nil {
+		adjust(&conf)
+	}
+	if _, err := Apply(tr, conf); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := Validate(tr, conf); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	res, err := emulator.Run(tr, emulator.Config{
+		Model: model, VMSize: vmSize, Intermittent: true, EB: budget, Inputs: inputs,
+	})
+	if err != nil {
+		t.Fatalf("intermittent run: %v", err)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("verdict = %v (failures=%d)\n%s", res.Verdict, res.PowerFailures, tr.String())
+	}
+	if res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+		t.Fatalf("guarantee violated: failures=%d reexec=%.1f", res.PowerFailures, res.Energy.Reexecution)
+	}
+	if len(res.Output) != len(ref.Output) {
+		t.Fatalf("output = %v, want %v", res.Output, ref.Output)
+	}
+	for i := range ref.Output {
+		if res.Output[i] != ref.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, res.Output[i], ref.Output[i])
+		}
+	}
+	return tr, res
+}
+
+func TestRefineRegisterLiveness(t *testing.T) {
+	budget := 4000.0
+	base, resBase := runWithConfig(t, nestedSrc, budget, 2048, nil)
+	refined, resRef := runWithConfig(t, nestedSrc, budget, 2048, func(c *Config) {
+		c.RefineRegisterLiveness = true
+	})
+
+	// Every checkpoint must carry a refined count, and the counts must be
+	// meaningful: non-negative and below the full register file.
+	cks := ir.Checkpoints(refined)
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints placed")
+	}
+	model := energy.MSP430FR5969()
+	full := model.RegFileBytes / ir.WordBytes
+	anyBelow := false
+	for _, ck := range cks {
+		if !ck.RefinedRegs {
+			t.Fatalf("checkpoint #%d missing refined register count", ck.ID)
+		}
+		if ck.LiveRegs < 0 {
+			t.Fatalf("checkpoint #%d: negative live count %d", ck.ID, ck.LiveRegs)
+		}
+		if ck.LiveRegs+2 < full {
+			anyBelow = true
+		}
+	}
+	if !anyBelow {
+		t.Error("refinement never beat the full register file — analysis is vacuous")
+	}
+	for _, ck := range ir.Checkpoints(base) {
+		if ck.RefinedRegs {
+			t.Fatalf("checkpoint #%d refined without the knob", ck.ID)
+		}
+	}
+
+	// The refined program must spend no more checkpoint energy than the
+	// full-file one (same placement, smaller saves).
+	baseCk := resBase.Energy.Save + resBase.Energy.Restore
+	refCk := resRef.Energy.Save + resRef.Energy.Restore
+	if refCk > baseCk+1e-6 {
+		t.Errorf("refined checkpoint energy %.1f > full-file %.1f", refCk, baseCk)
+	}
+	if refCk >= baseCk-1e-6 {
+		t.Errorf("refinement saved nothing: %.1f vs %.1f", refCk, baseCk)
+	}
+	if resRef.Energy.Total() > resBase.Energy.Total()+1e-6 {
+		t.Errorf("refined total %.1f > baseline total %.1f",
+			resRef.Energy.Total(), resBase.Energy.Total())
+	}
+}
+
+func TestRefineRegisterLivenessRoundTrip(t *testing.T) {
+	refined, _ := runWithConfig(t, sumSrc, 3000, 2048, func(c *Config) {
+		c.RefineRegisterLiveness = true
+	})
+	re, err := ir.Parse(refined.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	want := ir.Checkpoints(refined)
+	got := ir.Checkpoints(re)
+	if len(got) != len(want) {
+		t.Fatalf("checkpoint count %d after round trip, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RefinedRegs != want[i].RefinedRegs || got[i].LiveRegs != want[i].LiveRegs {
+			t.Errorf("ck %d: liveregs (%v,%d) after round trip, want (%v,%d)",
+				i, got[i].RefinedRegs, got[i].LiveRegs, want[i].RefinedRegs, want[i].LiveRegs)
+		}
+	}
+}
+
+func TestDisableCondCheckpointsAblation(t *testing.T) {
+	budget := 4000.0
+	cond, resCond := runWithConfig(t, longLoopSrc, budget, 2048, nil)
+	plain, resPlain := runWithConfig(t, longLoopSrc, budget, 2048, func(c *Config) {
+		c.DisableCondCheckpoints = true
+	})
+
+	// Algorithm 1 must actually be exercised by this program...
+	hasCond := false
+	for _, ck := range ir.Checkpoints(cond) {
+		if ck.Every > 1 {
+			hasCond = true
+		}
+	}
+	if !hasCond {
+		t.Fatal("default run placed no conditional checkpoint; ablation compares nothing")
+	}
+	// ...and the ablation must remove every counter.
+	for _, ck := range ir.Checkpoints(plain) {
+		if ck.Every > 1 {
+			t.Fatalf("ablated run still has a conditional checkpoint (every %d)", ck.Every)
+		}
+	}
+	// Checkpointing each iteration must cost strictly more saves and more
+	// checkpoint energy — that gap is Algorithm 1's benefit.
+	if resPlain.Saves <= resCond.Saves {
+		t.Errorf("ablation saves %d <= conditional %d", resPlain.Saves, resCond.Saves)
+	}
+	ablCk := resPlain.Energy.Save + resPlain.Energy.Restore
+	condCk := resCond.Energy.Save + resCond.Energy.Restore
+	if ablCk <= condCk {
+		t.Errorf("ablation checkpoint energy %.1f <= conditional %.1f", ablCk, condCk)
+	}
+}
+
+func TestDisableLivenessRefinementAblation(t *testing.T) {
+	budget := 4000.0
+	_, resLive := runWithConfig(t, nestedSrc, budget, 2048, nil)
+	_, resAll := runWithConfig(t, nestedSrc, budget, 2048, func(c *Config) {
+		c.DisableLivenessRefinement = true
+	})
+	// Saving dead variables can only add checkpoint traffic.
+	liveCk := resLive.Energy.Save + resLive.Energy.Restore
+	allCk := resAll.Energy.Save + resAll.Energy.Restore
+	if allCk < liveCk-1e-6 {
+		t.Errorf("liveness-blind checkpoint energy %.1f < refined %.1f", allCk, liveCk)
+	}
+}
+
+func TestAblationsCompose(t *testing.T) {
+	// All knobs together must still preserve the guarantees (the helper
+	// checks completion, zero failures, and output equality).
+	runWithConfig(t, callSrc, 5000, 2048, func(c *Config) {
+		c.DisableCondCheckpoints = true
+		c.DisableLivenessRefinement = true
+		c.RefineRegisterLiveness = true
+	})
+}
+
+// liveParamSrc keeps function parameters (which live in registers) alive
+// across an in-loop checkpoint, so refined register counts are non-zero.
+const liveParamSrc = `
+int r;
+
+func int work(int a, int b) {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 300; i = i + 1) @max(300) {
+    acc = acc + i * a;
+  }
+  return acc + b;
+}
+
+func void main() {
+  r = work(3, 4);
+  print(r);
+}
+`
+
+func TestValidateRejectsUnderstatedLiveRegs(t *testing.T) {
+	refined, _ := runWithConfig(t, liveParamSrc, 2500, 2048, func(c *Config) {
+		c.RefineRegisterLiveness = true
+	})
+	model := energy.MSP430FR5969()
+	conf := Config{Model: model, Budget: 2500, VMSize: 2048}
+
+	// Find a checkpoint with a positive live count and understate it.
+	var victim *ir.Checkpoint
+	for _, ck := range ir.Checkpoints(refined) {
+		if ck.LiveRegs > 0 {
+			victim = ck
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no checkpoint holds live registers — parameters should be live across the loop checkpoint\n%s",
+			refined.String())
+	}
+	victim.LiveRegs--
+	if err := Validate(refined, conf); err == nil {
+		t.Fatal("Validate accepted an understated refined register count")
+	}
+	victim.LiveRegs++
+	if err := Validate(refined, conf); err != nil {
+		t.Fatalf("Validate rejected the honest count: %v", err)
+	}
+
+	// A negative count is rejected outright.
+	victim.LiveRegs = -1
+	if err := Validate(refined, conf); err == nil {
+		t.Fatal("Validate accepted a negative refined register count")
+	}
+}

@@ -1,0 +1,329 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/cfg"
+	"schematic/internal/dataflow"
+	"schematic/internal/ir"
+)
+
+// analyzeFunc runs the whole analysis of one function: preprocessing,
+// bottom-up loop analysis (III-B2), top-level path analysis, and the
+// summary exported to callers (III-B1).
+func (a *analyzer) analyzeFunc(f *ir.Func) error {
+	fs := newFuncState(f)
+	a.fs = fs
+	if a.states == nil {
+		a.states = map[*ir.Func]*funcState{}
+	}
+	a.states[f] = fs
+
+	// Preprocessing changes the CFG, so analyses come after.
+	if err := a.isolateCheckpointedCalls(f); err != nil {
+		return err
+	}
+	a.splitOversizedBlocks(f)
+
+	fs.dom = cfg.Dominators(f)
+	fs.lf = cfg.Loops(f, fs.dom)
+	fs.live = dataflow.LiveVars(f, a.gu)
+
+	// Build call units for the isolated checkpointed calls.
+	if err := a.buildCallUnits(f); err != nil {
+		return err
+	}
+
+	// Loops, inner first (III-B2).
+	for _, l := range fs.lf.BottomUp() {
+		if err := a.analyzeLoop(l); err != nil {
+			return err
+		}
+	}
+
+	// Top level: all blocks, with top loops and loop-free call units
+	// collapsed.
+	blocks := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		blocks[b] = true
+	}
+	var units []*unit
+	for _, l := range fs.lf.Top {
+		units = append(units, fs.loopUnit[l.Header])
+	}
+	for blk, u := range fs.callUnit {
+		if fs.lf.LoopOf(blk) == nil {
+			units = append(units, u)
+		}
+	}
+	sortUnits(units)
+
+	sg := buildScope(fs, f.Entry(), blocks, units, nil)
+	if f.Name == "main" {
+		// main starts from a boot checkpoint that materializes the entry
+		// allocation (the "loading from NVM at startup" of II-A).
+		sg.entryHasCk = true
+		sg.startBudget = a.conf.Budget
+	} else {
+		sg.startBudget = a.conf.Budget - a.model.SaveRegsCost() - a.model.RestoreRegsCost()
+	}
+	sg.exitReq = 0
+	if err := a.analyzeScope(sg); err != nil {
+		return err
+	}
+
+	// Impose a single exit allocation across return blocks by inserting
+	// in-block checkpoints before non-conforming returns.
+	if err := a.unifyExitAlloc(f); err != nil {
+		return err
+	}
+	// Two blocks analyzed on different paths can be joined by a CFG edge
+	// that never appeared as a consecutive pair on any analyzed path; their
+	// allocations may then disagree. Checkpoint every such edge so the
+	// allocation switch is synchronized (live variables only — a stale
+	// copy of a dead variable is unobservable).
+	a.unifyEdgeAllocs(f)
+
+	a.summaries[f] = a.summarize(f)
+	return nil
+}
+
+// restoreAllocFor is the allocation a checkpoint restoring into b must
+// materialize: for an isolated checkpointed-call block that is the
+// callee's entry contract, not the block's own (exit-side) allocation.
+func (a *analyzer) restoreAllocFor(b *ir.Block) allocMap {
+	if u, ok := a.fs.callUnit[b]; ok {
+		return allocMap(varSet(u.entryVM))
+	}
+	return a.allocOfBlock(b)
+}
+
+// unifyEdgeAllocs inserts checkpoints on edges whose endpoint allocations
+// disagree on a live variable.
+func (a *analyzer) unifyEdgeAllocs(f *ir.Func) {
+	for _, e := range ir.Edges(f) {
+		if a.fs.ckAt(e) != nil || (e.From.Atomic && e.To.Atomic) {
+			continue
+		}
+		from := a.allocOfBlock(e.From)
+		to := a.restoreAllocFor(e.To)
+		if from.equal(to) {
+			continue
+		}
+		edge := e
+		live := a.liveAt(&edge, nil)
+		need := false
+		for _, v := range normalize(from) {
+			if !to[v] && live(v) {
+				need = true
+				break
+			}
+		}
+		if !need {
+			for _, v := range normalize(to) {
+				if !from[v] && live(v) {
+					need = true
+					break
+				}
+			}
+		}
+		if need {
+			a.fs.enable(e, from, to, 0)
+			a.stats.Checkpoints++
+		}
+	}
+}
+
+// retBlocks lists the function's return blocks deterministically.
+func retBlocks(f *ir.Func) []*ir.Block {
+	var out []*ir.Block
+	for _, b := range f.Blocks {
+		if _, ok := b.Terminator().(*ir.Ret); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// unifyExitAlloc enforces the paper's single-exit-allocation rule
+// (III-B1) by planning a checkpoint just before each return whose block
+// allocation differs from the canonical one.
+func (a *analyzer) unifyExitAlloc(f *ir.Func) error {
+	rets := retBlocks(f)
+	if len(rets) <= 1 {
+		return nil
+	}
+	canonical := a.allocOfBlock(rets[0])
+	for _, b := range rets[1:] {
+		if a.allocOfBlock(b).equal(canonical) {
+			continue
+		}
+		if a.fs.retCks == nil {
+			a.fs.retCks = map[*ir.Block]*ckPlan{}
+		}
+		a.fs.retCks[b] = &ckPlan{preAlloc: a.allocOfBlock(b), postAlloc: canonical}
+		a.fs.hasCheckpoints = true
+		a.stats.Checkpoints++
+	}
+	return nil
+}
+
+// buildCallUnits wraps each isolated checkpointed-call block in a unit.
+func (a *analyzer) buildCallUnits(f *ir.Func) error {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			call, ok := in.(*ir.Call)
+			if !ok {
+				continue
+			}
+			sum := a.summaries[call.Callee]
+			if sum == nil {
+				return fmt.Errorf("schematic: callee %s not yet summarized", call.Callee.Name)
+			}
+			if !sum.hasCheckpoints {
+				continue
+			}
+			if len(b.Instrs) != 2 {
+				return fmt.Errorf("schematic: internal: checkpointed call in %s.%s not isolated", f.Name, b.Name)
+			}
+			termCost := a.model.InstrEnergy(b.Terminator(), ir.NVM)
+			u := &unit{
+				rep:          b,
+				blocks:       map[*ir.Block]bool{b: true},
+				checkpointed: true,
+				entry:        a.model.InstrEnergy(call, ir.NVM) + sum.entry,
+				exitLeft:     sum.exitLeft - termCost,
+				vmDemand:     sum.vmDemand,
+				entryVM:      sum.entryVM,
+				exitVM:       sum.exitVM,
+				nvmAccessed:  map[*ir.Var]bool{},
+				accessed:     sum.accessed,
+			}
+			if u.exitLeft < 0 {
+				u.exitLeft = 0
+			}
+			a.fs.callUnit[b] = u
+			// The call block runs under the callee's boundary residency.
+			a.fs.alloc[b] = allocMap(varSet(sum.exitVM))
+			a.fs.analyzed[b] = true
+		}
+	}
+	return nil
+}
+
+// summarize builds the caller-facing contract of an analyzed function.
+func (a *analyzer) summarize(f *ir.Func) *funcSummary {
+	fs := a.fs
+	hasCk := fs.hasCheckpoints || len(fs.callUnit) > 0
+	for _, u := range fs.loopUnit {
+		if u.checkpointed {
+			hasCk = true
+		}
+	}
+	sum := &funcSummary{
+		hasCheckpoints: hasCk,
+		accessed:       map[*ir.Var]bool{},
+		nvmAccessed:    map[*ir.Var]bool{},
+	}
+
+	entryAlloc := a.allocOfBlock(f.Entry())
+	sum.entryVM = globalsOf(entryAlloc)
+	rets := retBlocks(f)
+	exitAlloc := allocMap{}
+	if len(rets) > 0 {
+		exitAlloc = a.allocOfBlock(rets[0])
+	}
+	sum.exitVM = globalsOf(exitAlloc)
+
+	// Access contract: globals touched anywhere (transitively), and which
+	// of them are ever accessed while allocated to NVM.
+	for g := range a.gu.Accessed[f] {
+		sum.accessed[g] = true
+	}
+	vmSomewhere := map[*ir.Var]bool{}
+	for _, b := range f.Blocks {
+		for v := range a.allocOfBlock(b) {
+			if v.Global {
+				vmSomewhere[v] = true
+			}
+		}
+	}
+	if !hasCk {
+		for g := range sum.accessed {
+			if !vmSomewhere[g] {
+				sum.nvmAccessed[g] = true
+			}
+		}
+	}
+
+	// Private VM demand: locals in VM plus callee demands.
+	entryGlobalBytes := 0
+	for _, v := range sum.entryVM {
+		entryGlobalBytes += v.SizeBytes()
+	}
+	maxVM := 0
+	for _, b := range f.Blocks {
+		if n := a.allocOfBlock(b).bytes(); n > maxVM {
+			maxVM = n
+		}
+	}
+	sum.vmDemand = maxVM - entryGlobalBytes
+	if sum.vmDemand < 0 {
+		sum.vmDemand = 0
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if call, ok := in.(*ir.Call); ok {
+				if cs := a.summaries[call.Callee]; cs != nil && cs.vmDemand > sum.vmDemand {
+					sum.vmDemand = cs.vmDemand
+				}
+			}
+		}
+	}
+
+	if hasCk {
+		entryNode := a.nodeForSummary(f.Entry())
+		sum.entry, _ = a.etoEnterNode(entryNode)
+		sum.exitLeft = a.conf.Budget
+		for _, b := range rets {
+			if v, ok := fs.eleft[b]; ok && v < sum.exitLeft {
+				sum.exitLeft = v
+			}
+		}
+		if sum.exitLeft < 0 {
+			sum.exitLeft = 0
+		}
+	} else {
+		entryNode := a.nodeForSummary(f.Entry())
+		sum.energy, _ = a.etoEnterNode(entryNode)
+	}
+	if debugRCG {
+		fmt.Printf("summary %s: hasCk=%v energy=%.1f entry=%.1f exitLeft=%.1f etoLeave[entry]=%.1f\n",
+			f.Name, sum.hasCheckpoints, sum.energy, sum.entry, sum.exitLeft, fs.etoLeave[f.Entry()])
+	}
+	return sum
+}
+
+// nodeForSummary wraps the entry block as a node, honouring a collapsed
+// loop headed at the entry.
+func (a *analyzer) nodeForSummary(entry *ir.Block) *node {
+	if u, ok := a.fs.loopUnit[entry]; ok {
+		return &node{rep: entry, unit: u}
+	}
+	if u, ok := a.fs.callUnit[entry]; ok {
+		return &node{rep: entry, unit: u}
+	}
+	return &node{rep: entry}
+}
+
+func globalsOf(alloc allocMap) []*ir.Var {
+	var out []*ir.Var
+	for v, in := range alloc {
+		if in && v.Global {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

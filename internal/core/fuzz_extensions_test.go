@@ -1,0 +1,170 @@
+package schematic
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// knobConfigs enumerates the non-default configuration corners the
+// extension fuzzers exercise: each knob alone and all together.
+func knobConfigs() []func(*Config) {
+	return []func(*Config){
+		func(c *Config) { c.RefineRegisterLiveness = true },
+		func(c *Config) { c.DisableCondCheckpoints = true },
+		func(c *Config) { c.DisableLivenessRefinement = true },
+		func(c *Config) {
+			c.RefineRegisterLiveness = true
+			c.DisableCondCheckpoints = true
+			c.DisableLivenessRefinement = true
+		},
+	}
+}
+
+// TestFuzzDifferentialExtensions repeats the differential harness with the
+// ablation knobs and the register-liveness extension switched on: the
+// paper's guarantees must hold in every configuration corner, not just
+// the default one.
+func TestFuzzDifferentialExtensions(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	model := energy.MSP430FR5969()
+	applied := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed^0xe57)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: seed, Model: model, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed+900)))
+		ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 60_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		eb := prof.EBForTBPF(4_000)
+		for ki, adjust := range knobConfigs() {
+			conf := Config{Model: model, Budget: eb, VMSize: 2048, Profile: prof}
+			adjust(&conf)
+			tr := ir.Clone(m)
+			if _, err := Apply(tr, conf); err != nil {
+				continue // clean infeasibility verdict
+			}
+			applied++
+			if err := Validate(tr, conf); err != nil {
+				t.Errorf("seed %d knobs %d: Validate rejected pass output: %v", seed, ki, err)
+				continue
+			}
+			res, err := emulator.Run(tr, emulator.Config{
+				Model: model, VMSize: 2048, Intermittent: true, EB: eb,
+				Inputs: inputs, MaxSteps: 120_000_000,
+			})
+			if err != nil {
+				t.Fatalf("seed %d knobs %d: %v", seed, ki, err)
+			}
+			if res.Verdict != emulator.Completed || res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+				t.Errorf("seed %d knobs %d: verdict=%v failures=%d reexec=%.1f\n%s",
+					seed, ki, res.Verdict, res.PowerFailures, res.Energy.Reexecution, tr.String())
+				continue
+			}
+			if res.UnsyncedReads != 0 {
+				t.Errorf("seed %d knobs %d: %d poison reads", seed, ki, res.UnsyncedReads)
+			}
+			if len(res.Output) != len(ref.Output) {
+				t.Errorf("seed %d knobs %d: output len %d want %d", seed, ki, len(res.Output), len(ref.Output))
+				continue
+			}
+			for i := range ref.Output {
+				if res.Output[i] != ref.Output[i] {
+					t.Errorf("seed %d knobs %d: output[%d]=%d want %d",
+						seed, ki, i, res.Output[i], ref.Output[i])
+					break
+				}
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no extension fuzz case was ever transformable")
+	}
+	t.Logf("extension fuzz: %d transformed runs verified", applied)
+}
+
+// FuzzExtensionGuarantees is the native-fuzzing counterpart: the fuzzer
+// additionally explores the configuration-knob space. Run with
+//
+//	go test ./internal/core -fuzz FuzzExtensionGuarantees -fuzztime 30s
+func FuzzExtensionGuarantees(f *testing.F) {
+	f.Add(int64(1), uint16(1000), uint8(1))
+	f.Add(int64(7), uint16(4000), uint8(2))
+	f.Add(int64(42), uint16(20000), uint8(7))
+	model := energy.MSP430FR5969()
+
+	f.Fuzz(func(t *testing.T, seed int64, tbpfRaw uint16, knobs uint8) {
+		tbpf := int64(tbpfRaw)
+		if tbpf < 300 {
+			tbpf = 300 + tbpf
+		}
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("generator produced uncompilable source: %v\n%s", err, src)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 2, Seed: seed, Model: model, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Skip("profiling hit the step bound")
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed^0x5eed)))
+		ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 60_000_000})
+		if err != nil || ref.Verdict != emulator.Completed {
+			t.Skip("reference run out of budget")
+		}
+		eb := prof.EBForTBPF(tbpf)
+		conf := Config{
+			Model: model, Budget: eb, VMSize: 2048, Profile: prof,
+			RefineRegisterLiveness:    knobs&1 != 0,
+			DisableCondCheckpoints:    knobs&2 != 0,
+			DisableLivenessRefinement: knobs&4 != 0,
+		}
+		tr := ir.Clone(m)
+		if _, err := Apply(tr, conf); err != nil {
+			return
+		}
+		if err := Validate(tr, conf); err != nil {
+			t.Fatalf("Validate rejected pass output (seed=%d tbpf=%d knobs=%d): %v", seed, tbpf, knobs, err)
+		}
+		res, err := emulator.Run(tr, emulator.Config{
+			Model: model, VMSize: 2048, Intermittent: true, EB: eb,
+			Inputs: inputs, MaxSteps: 120_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != emulator.Completed || res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+			t.Fatalf("guarantee violated (seed=%d tbpf=%d knobs=%d): verdict=%v failures=%d reexec=%.1f",
+				seed, tbpf, knobs, res.Verdict, res.PowerFailures, res.Energy.Reexecution)
+		}
+		if res.UnsyncedReads != 0 {
+			t.Fatalf("poison reads (seed=%d tbpf=%d knobs=%d)", seed, tbpf, knobs)
+		}
+		if len(res.Output) != len(ref.Output) {
+			t.Fatalf("output length changed (seed=%d tbpf=%d knobs=%d)", seed, tbpf, knobs)
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("output[%d] differs (seed=%d tbpf=%d knobs=%d): %d vs %d",
+					i, seed, tbpf, knobs, res.Output[i], ref.Output[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package schematic
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// TestFuzzDifferential is the repository's strongest correctness harness:
+// random programs are transformed by SCHEMATIC at several budgets and must
+//
+//   - pass the static Validate oracle,
+//   - complete under intermittent power with zero power failures and zero
+//     re-execution energy (the paper's forward-progress guarantee),
+//   - produce exactly the stable-power output (absence of memory
+//     anomalies), and
+//   - never read unrestored VM state (the emulator's poison detector).
+//
+// Budgets derive from each program's own profile via TBPF, so the
+// difficulty scales with the program.
+func TestFuzzDifferential(t *testing.T) {
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 6
+	}
+	model := energy.MSP430FR5969()
+	applied, tight := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: seed, Model: model, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed+500)))
+		ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 60_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+
+		for _, tbpf := range []int64{1_000, 4_000, 20_000} {
+			eb := prof.EBForTBPF(tbpf)
+			conf := Config{Model: model, Budget: eb, VMSize: 2048, Profile: prof}
+			tr := ir.Clone(m)
+			if _, err := Apply(tr, conf); err != nil {
+				// Tight budgets can be genuinely infeasible (e.g. a single
+				// helper call costs more than EB); that is a clean verdict,
+				// not a bug — count it and move on.
+				tight++
+				continue
+			}
+			applied++
+			if err := Validate(tr, conf); err != nil {
+				t.Errorf("seed %d TBPF %d: Validate rejected pass output: %v\n%s",
+					seed, tbpf, err, tr.String())
+				continue
+			}
+			res, err := emulator.Run(tr, emulator.Config{
+				Model:        model,
+				VMSize:       2048,
+				Intermittent: true,
+				EB:           eb,
+				Inputs:       inputs,
+				MaxSteps:     120_000_000,
+			})
+			if err != nil {
+				t.Fatalf("seed %d TBPF %d: %v", seed, tbpf, err)
+			}
+			if res.Verdict != emulator.Completed {
+				t.Errorf("seed %d TBPF %d: verdict %v (failures=%d)\n%s",
+					seed, tbpf, res.Verdict, res.PowerFailures, tr.String())
+				continue
+			}
+			if res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+				t.Errorf("seed %d TBPF %d: failures=%d reexec=%.1f — forward-progress guarantee violated",
+					seed, tbpf, res.PowerFailures, res.Energy.Reexecution)
+			}
+			if res.UnsyncedReads != 0 {
+				t.Errorf("seed %d TBPF %d: %d poison reads\n%s", seed, tbpf, res.UnsyncedReads, tr.String())
+			}
+			if len(res.Output) != len(ref.Output) {
+				t.Errorf("seed %d TBPF %d: output len %d want %d", seed, tbpf, len(res.Output), len(ref.Output))
+				continue
+			}
+			for i := range ref.Output {
+				if res.Output[i] != ref.Output[i] {
+					t.Errorf("seed %d TBPF %d: output[%d]=%d want %d\n%s",
+						seed, tbpf, i, res.Output[i], ref.Output[i], tr.String())
+					break
+				}
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatalf("no fuzz case was ever transformable (tight=%d)", tight)
+	}
+	t.Logf("fuzz: %d transformed runs verified, %d infeasible-budget verdicts", applied, tight)
+}

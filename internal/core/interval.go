@@ -1,0 +1,345 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/dataflow"
+	"schematic/internal/ir"
+)
+
+// intervalCtx describes one candidate interval of an RCG: the region
+// between two potential checkpoint locations (or virtual boundaries) on a
+// path.
+type intervalCtx struct {
+	steps []step // plain blocks and plain units strictly inside
+
+	startEdge *ir.Edge // concrete edge of the start boundary, nil at scope edges
+	endEdge   *ir.Edge
+
+	startCk bool // a checkpoint save/restore pair exists at the start
+	endCk   bool
+
+	startBudget float64 // energy available at start when !startCk
+	endRequired float64 // energy that must remain at the end when !endCk
+
+	forcedStart allocMap // allocation imposed at start when !startCk (nil = free)
+	forcedEnd   allocMap // allocation imposed at end when !endCk (nil = free)
+
+	// extraMandatory/extraForbidden come from checkpointed-unit boundaries.
+	extraMandatory map[*ir.Var]bool
+	extraForbidden map[*ir.Var]bool
+}
+
+// intervalResult is the outcome of evaluating an interval.
+type intervalResult struct {
+	feasible  bool
+	weight    float64 // restore + execution + save energy (Dijkstra weight)
+	exec      float64 // execution energy alone
+	alloc     allocMap
+	remaining float64 // energy left after the interval completes
+}
+
+// constraints aggregates what the interval's content demands of the
+// allocation.
+type constraints struct {
+	counts    map[*ir.Var]dataflow.RW
+	mandatory map[*ir.Var]bool
+	forbidden map[*ir.Var]bool
+	vmDemand  int // private VM of contained units/callees (max, they are sequential)
+	blocks    []*ir.Block
+	units     []*unit
+}
+
+// gather scans the interval's steps, collecting access counts and the
+// allocation constraints imposed by plain units and callee contracts.
+func (a *analyzer) gather(steps []step) (*constraints, error) {
+	cons := &constraints{
+		counts:    map[*ir.Var]dataflow.RW{},
+		mandatory: map[*ir.Var]bool{},
+		forbidden: map[*ir.Var]bool{},
+	}
+	for _, s := range steps {
+		if !s.n.plain() {
+			u := s.n.unit
+			if u.checkpointed {
+				return nil, fmt.Errorf("schematic: internal: checkpointed unit inside interval")
+			}
+			cons.units = append(cons.units, u)
+			for _, v := range u.entryVM {
+				cons.mandatory[v] = true
+			}
+			for v := range u.nvmAccessed {
+				cons.forbidden[v] = true
+			}
+			if u.vmDemand > cons.vmDemand {
+				cons.vmDemand = u.vmDemand
+			}
+			continue
+		}
+		b := s.n.rep
+		cons.blocks = append(cons.blocks, b)
+		for _, in := range b.Instrs {
+			if v, write, ok := ir.AccessedVar(in); ok {
+				c := cons.counts[v]
+				if write {
+					c.Writes++
+				} else {
+					c.Reads++
+				}
+				cons.counts[v] = c
+				if v.AddrUsed {
+					cons.forbidden[v] = true
+				}
+				continue
+			}
+			call, ok := in.(*ir.Call)
+			if !ok {
+				continue
+			}
+			sum := a.summaries[call.Callee]
+			if sum == nil {
+				return nil, fmt.Errorf("schematic: internal: callee %s analyzed out of order", call.Callee.Name)
+			}
+			if sum.hasCheckpoints {
+				return nil, fmt.Errorf("schematic: internal: checkpointed call to %s not isolated", call.Callee.Name)
+			}
+			for _, v := range sum.entryVM {
+				cons.mandatory[v] = true
+			}
+			for v := range sum.nvmAccessed {
+				cons.forbidden[v] = true
+			}
+			if sum.vmDemand > cons.vmDemand {
+				cons.vmDemand = sum.vmDemand
+			}
+		}
+	}
+	if a.conf.DisableVM {
+		// All-NVM ablation: nothing may live in VM. Mandatory sets come
+		// from units analyzed under the same config, so they are empty.
+		for v := range cons.counts {
+			cons.forbidden[v] = true
+		}
+	}
+	return cons, nil
+}
+
+// execCost returns the energy to execute block b once under alloc,
+// including the summarized energy of calls to checkpoint-free callees.
+func (a *analyzer) execCost(b *ir.Block, alloc allocMap) float64 {
+	e := 0.0
+	for _, in := range b.Instrs {
+		space := ir.NVM
+		if v, _, ok := ir.AccessedVar(in); ok && alloc != nil && alloc[v] {
+			space = ir.VM
+		}
+		e += a.model.InstrEnergy(in, space)
+		if call, ok := in.(*ir.Call); ok {
+			if sum := a.summaries[call.Callee]; sum != nil && !sum.hasCheckpoints {
+				e += sum.energy
+			}
+		}
+	}
+	return e
+}
+
+// stepsCost totals the execution energy of the interval's steps.
+func (a *analyzer) stepsCost(steps []step, alloc allocMap) float64 {
+	e := 0.0
+	for _, s := range steps {
+		if s.n.plain() {
+			e += a.execCost(s.n.rep, alloc)
+		} else {
+			e += s.n.unit.energy
+		}
+	}
+	return e
+}
+
+// liveAt builds the liveness predicate for an interval boundary. Under the
+// DisableLivenessRefinement ablation every variable counts as live, which
+// reverts Eq. 2 to Eq. 1.
+func (a *analyzer) liveAt(edge *ir.Edge, fallback *ir.Block) func(*ir.Var) bool {
+	if a.conf.DisableLivenessRefinement {
+		return func(*ir.Var) bool { return true }
+	}
+	lv := a.fs.live
+	if edge != nil {
+		e := *edge
+		return func(v *ir.Var) bool { return lv.LiveAtEdge(v, e) }
+	}
+	if fallback != nil {
+		return func(v *ir.Var) bool { return lv.LiveIn(v, fallback) }
+	}
+	return func(*ir.Var) bool { return true }
+}
+
+// saveSetCost returns the checkpoint save cost for the given allocation at
+// a boundary: registers plus the live VM variables (Eq. 2 — dead variables
+// are skipped).
+func (a *analyzer) saveSetCost(alloc allocMap, live func(*ir.Var) bool) float64 {
+	e := a.model.SaveRegsCost()
+	for _, v := range normalize(alloc) {
+		if live(v) {
+			e += a.model.SaveVarCost(v)
+		}
+	}
+	return e
+}
+
+func (a *analyzer) restoreSetCost(alloc allocMap, live func(*ir.Var) bool) float64 {
+	// Enabled checkpoints live in split blocks ending in a jump; that jump
+	// executes right after the restore and belongs to the next interval's
+	// budget, so charge it here (slightly conservative for the boot and
+	// before-return checkpoints, which have no split block).
+	e := a.model.RestoreRegsCost() + a.model.InstrEnergy(&ir.Jmp{}, ir.NVM)
+	for _, v := range normalize(alloc) {
+		if live(v) {
+			e += a.model.RestoreVarCost(v)
+		}
+	}
+	return e
+}
+
+// evalInterval decides the best allocation for an interval and checks its
+// feasibility against the budget (paper, III-A1 and III-A2).
+func (a *analyzer) evalInterval(ictx *intervalCtx) (intervalResult, error) {
+	cons, err := a.gather(ictx.steps)
+	if err != nil {
+		return intervalResult{}, err
+	}
+	for v := range ictx.extraMandatory {
+		cons.mandatory[v] = true
+	}
+	for v := range ictx.extraForbidden {
+		cons.forbidden[v] = true
+	}
+
+	var firstBlock *ir.Block
+	if len(ictx.steps) > 0 {
+		firstBlock = ictx.steps[0].n.rep
+	}
+	liveStart := a.liveAt(ictx.startEdge, firstBlock)
+	liveEnd := a.liveAt(ictx.endEdge, nil)
+
+	// Determine the allocation.
+	var alloc allocMap
+	switch {
+	case !ictx.startCk && ictx.forcedStart != nil:
+		alloc = ictx.forcedStart.clone()
+	case !ictx.endCk && ictx.forcedEnd != nil:
+		alloc = ictx.forcedEnd.clone()
+	default:
+		alloc = a.chooseAlloc(cons, liveStart, liveEnd)
+	}
+	// A forced allocation must still satisfy the content constraints.
+	for v := range cons.mandatory {
+		if !alloc[v] {
+			if !ictx.startCk && ictx.forcedStart != nil || !ictx.endCk && ictx.forcedEnd != nil {
+				return intervalResult{}, nil // infeasible: cannot adapt a forced allocation
+			}
+			alloc[v] = true
+		}
+	}
+	for v := range cons.forbidden {
+		if alloc[v] {
+			return intervalResult{}, nil
+		}
+	}
+	// Both boundaries forced and disagreeing: a checkpoint would be needed
+	// to switch allocations, but there is none.
+	if !ictx.startCk && !ictx.endCk && ictx.forcedStart != nil && ictx.forcedEnd != nil &&
+		!ictx.forcedStart.equal(ictx.forcedEnd) {
+		return intervalResult{}, nil
+	}
+	if !ictx.endCk && ictx.forcedEnd != nil && !alloc.equal(ictx.forcedEnd) {
+		return intervalResult{}, nil
+	}
+	if a.conf.VMSize > 0 && alloc.bytes()+cons.vmDemand > a.conf.VMSize {
+		return intervalResult{}, nil
+	}
+
+	exec := a.stepsCost(ictx.steps, alloc)
+	restore := 0.0
+	if ictx.startCk {
+		restore = a.restoreSetCost(alloc, liveStart)
+	}
+	save := 0.0
+	if ictx.endCk {
+		save = a.saveSetCost(alloc, liveEnd)
+	}
+	budget0 := ictx.startBudget
+	if ictx.startCk {
+		budget0 = a.conf.Budget
+	}
+	after := budget0 - restore - exec
+	needed := save
+	if !ictx.endCk {
+		needed = ictx.endRequired
+	}
+	if after < needed-1e-9 {
+		return intervalResult{}, nil
+	}
+	res := intervalResult{
+		feasible: true,
+		weight:   restore + exec + save,
+		exec:     exec,
+		alloc:    alloc,
+	}
+	res.remaining = after
+	if ictx.endCk {
+		res.remaining = after - save
+	}
+	return res, nil
+}
+
+// chooseAlloc implements the memory allocation selection of III-A2: every
+// variable with positive gain (Eq. 1, with the liveness-refined overhead
+// of Eq. 2) is a candidate; variables are placed in VM by decreasing
+// gain/size ratio until SVM is full.
+func (a *analyzer) chooseAlloc(cons *constraints, liveStart, liveEnd func(*ir.Var) bool) allocMap {
+	alloc := allocMap{}
+	used := cons.vmDemand
+	for v := range cons.mandatory {
+		alloc[v] = true
+		used += v.SizeBytes()
+	}
+	type cand struct {
+		v     *ir.Var
+		gain  float64
+		ratio float64
+	}
+	var cands []cand
+	for v, rw := range cons.counts {
+		if alloc[v] || cons.forbidden[v] || v.AddrUsed {
+			continue
+		}
+		gain := a.model.WriteGain()*float64(rw.Writes) + a.model.ReadGain()*float64(rw.Reads)
+		if liveStart(v) {
+			gain -= a.model.RestoreVarCost(v)
+		}
+		if liveEnd(v) {
+			gain -= a.model.SaveVarCost(v)
+		}
+		if gain <= 0 {
+			continue
+		}
+		cands = append(cands, cand{v: v, gain: gain, ratio: gain / float64(v.SizeBytes())})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ratio != cands[j].ratio {
+			return cands[i].ratio > cands[j].ratio
+		}
+		return cands[i].v.Name < cands[j].v.Name
+	})
+	for _, c := range cands {
+		sz := c.v.SizeBytes()
+		if a.conf.VMSize > 0 && used+sz > a.conf.VMSize {
+			continue // smaller variables later in the list may still fit
+		}
+		alloc[c.v] = true
+		used += sz
+	}
+	return alloc
+}

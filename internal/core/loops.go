@@ -1,0 +1,465 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/cfg"
+	"schematic/internal/ir"
+)
+
+// analyzeLoop implements Algorithm 1: analyze one iteration of the loop
+// body (back-edge removed), then decide the back-edge checkpointing
+// scheme, and collapse the loop into a unit for the enclosing scope.
+func (a *analyzer) analyzeLoop(l *cfg.Loop) error {
+	fs := a.fs
+
+	// The back-edge checkpoint's save cost is only known after the body is
+	// analyzed, yet the body's trailing segment must leave enough energy
+	// for it. Reserve an estimate as the scope's exit requirement and
+	// retry with the actual cost if the estimate proves too small.
+	reserveExit := a.model.SaveRegsCost()
+	for attempt := 0; ; attempt++ {
+		if attempt > 3 {
+			return fmt.Errorf("schematic: func %s: loop at %s: back-edge save reservation did not converge",
+				fs.f.Name, l.Header.Name)
+		}
+		snap := a.snapshotLoopState(l)
+		needed, err := a.analyzeLoopOnce(l, reserveExit)
+		if err != nil {
+			return err
+		}
+		if needed <= reserveExit+1e-6 {
+			return nil
+		}
+		// Roll back this attempt's decisions and retry with the real cost.
+		a.restoreLoopState(l, snap)
+		reserveExit = needed
+	}
+}
+
+// loopStateSnapshot captures the per-block analysis state of a loop's own
+// blocks (child units and call units keep their final decisions).
+type loopStateSnapshot struct {
+	analyzed map[*ir.Block]bool
+	alloc    map[*ir.Block]allocMap
+	ckEdges  map[ir.Edge]*ckPlan
+}
+
+func (a *analyzer) loopOwnBlocks(l *cfg.Loop) []*ir.Block {
+	var own []*ir.Block
+	for b := range l.Blocks {
+		if inner := a.fs.lf.LoopOf(b); inner != l {
+			continue // belongs to a nested loop, decided there
+		}
+		if _, isCallUnit := a.fs.callUnit[b]; isCallUnit {
+			continue
+		}
+		own = append(own, b)
+	}
+	return own
+}
+
+func (a *analyzer) snapshotLoopState(l *cfg.Loop) *loopStateSnapshot {
+	s := &loopStateSnapshot{
+		analyzed: map[*ir.Block]bool{},
+		alloc:    map[*ir.Block]allocMap{},
+		ckEdges:  map[ir.Edge]*ckPlan{},
+	}
+	for _, b := range a.loopOwnBlocks(l) {
+		s.analyzed[b] = a.fs.analyzed[b]
+		s.alloc[b] = a.fs.alloc[b]
+	}
+	for e, p := range a.fs.cks {
+		if l.Contains(e.From) && l.Contains(e.To) {
+			s.ckEdges[e] = p
+		}
+	}
+	return s
+}
+
+func (a *analyzer) restoreLoopState(l *cfg.Loop, s *loopStateSnapshot) {
+	for _, b := range a.loopOwnBlocks(l) {
+		a.fs.analyzed[b] = s.analyzed[b]
+		if s.alloc[b] == nil {
+			delete(a.fs.alloc, b)
+		} else {
+			a.fs.alloc[b] = s.alloc[b]
+		}
+	}
+	for e := range a.fs.cks {
+		if l.Contains(e.From) && l.Contains(e.To) {
+			if _, keep := s.ckEdges[e]; !keep {
+				delete(a.fs.cks, e)
+				a.stats.Checkpoints--
+			}
+		}
+	}
+	delete(a.fs.loopUnit, l.Header)
+}
+
+// analyzeLoopOnce runs one attempt of Algorithm 1 with the given exit
+// reservation, returning the actual back-edge save cost it ended up
+// needing (0 when no back-edge checkpoint was placed).
+func (a *analyzer) analyzeLoopOnce(l *cfg.Loop, reserveExit float64) (float64, error) {
+	fs := a.fs
+
+	// Step 1: analyze the loop body without the back-edge(s).
+	exclude := map[ir.Edge]bool{}
+	for _, latch := range l.Latches {
+		exclude[ir.Edge{From: latch, To: l.Header}] = true
+	}
+	var childUnits []*unit
+	for hdr, u := range fs.loopUnit {
+		if l.Contains(hdr) && hdr != l.Header && directChild(fs, l, hdr) {
+			childUnits = append(childUnits, u)
+		}
+	}
+	for blk, u := range fs.callUnit {
+		if l.Contains(blk) && !insideChildLoop(fs, l, blk) {
+			childUnits = append(childUnits, u)
+		}
+	}
+	sortUnits(childUnits)
+
+	sg := buildScope(fs, l.Header, l.Blocks, childUnits, exclude)
+	sg.startBudget = a.conf.Budget - a.model.SaveRegsCost() - a.model.RestoreRegsCost()
+	sg.exitReq = reserveExit
+	if err := a.analyzeScope(sg); err != nil {
+		return 0, err
+	}
+
+	// Step 2: decide the back-edge scheme and build the unit.
+	u := &unit{
+		rep:    l.Header,
+		blocks: map[*ir.Block]bool{},
+	}
+	for b := range l.Blocks {
+		u.blocks[b] = true
+	}
+
+	headerAlloc := a.allocOfBlock(l.Header)
+	latch := l.Latch()
+	bodyHasCk := a.loopBodyCheckpointed(l)
+
+	backEdgeLive := a.liveAt(nil, l.Header)
+	if latch != nil {
+		e := ir.Edge{From: latch, To: l.Header}
+		backEdgeLive = a.liveAt(&e, nil)
+	}
+
+	atomicBackEdge := latch != nil && latch.Atomic && l.Header.Atomic
+	actualSave := 0.0
+
+	switch {
+	case bodyHasCk || latch == nil:
+		// Internal checkpoints (or an irregular multi-latch loop): a plain
+		// back-edge checkpoint keeps every iteration starting from a full
+		// capacitor, so the single-iteration analysis stays sound.
+		for _, lt := range l.Latches {
+			if lt.Atomic && l.Header.Atomic {
+				return 0, fmt.Errorf("schematic: func %s: atomic loop at %s needs a back-edge checkpoint",
+					fs.f.Name, l.Header.Name)
+			}
+			e := ir.Edge{From: lt, To: l.Header}
+			if fs.ckAt(e) == nil {
+				fs.enable(e, a.allocOfBlock(lt), headerAlloc, 0)
+				a.stats.Checkpoints++
+			}
+			if s := a.saveSetCost(a.allocOfBlock(lt), backEdgeLive); s > actualSave {
+				actualSave = s
+			}
+		}
+		u.checkpointed = true
+		u.entry = a.execCost(l.Header, headerAlloc) + fs.etoLeave[l.Header]
+		u.exitLeft = a.loopExitLeftSafe(l, sg.startBudget, u.entry)
+		// Wrap feasibility: after the back-edge checkpoint replenishes,
+		// the restore plus the path to the first internal checkpoint must
+		// fit in EB.
+		restore := a.restoreSetCost(headerAlloc, backEdgeLive)
+		if restore+u.entry > a.conf.Budget {
+			return 0, fmt.Errorf("schematic: func %s: loop at %s: wrap segment exceeds EB=%.1f nJ",
+				fs.f.Name, l.Header.Name, a.conf.Budget)
+		}
+
+	case !headerAlloc.equal(a.allocOfBlock(latch)):
+		// Algorithm 1 line 2: differing allocations require a back-edge
+		// checkpoint to switch them.
+		if atomicBackEdge {
+			return 0, fmt.Errorf("schematic: func %s: atomic loop at %s needs an allocation-switch checkpoint",
+				fs.f.Name, l.Header.Name)
+		}
+		e := ir.Edge{From: latch, To: l.Header}
+		fs.enable(e, a.allocOfBlock(latch), headerAlloc, 0)
+		a.stats.Checkpoints++
+		eloop := sg.startBudget - fs.eleft[latch] + a.backEdgeJmpCost()
+		save := a.saveSetCost(a.allocOfBlock(latch), backEdgeLive)
+		actualSave = save
+		restore := a.restoreSetCost(headerAlloc, backEdgeLive)
+		u.checkpointed = true
+		u.entry = eloop + save
+		u.exitLeft = minf(a.conf.Budget-restore-eloop,
+			a.loopExitLeftSafe(l, sg.startBudget, u.entry))
+
+	default:
+		// Algorithm 1 lines 5–10: conditional checkpointing every numit
+		// iterations. The per-iteration cost must include the traversal of
+		// the split back-edge block and the NVM write that updates the
+		// iteration counter, or numit is optimistic and the runtime would
+		// fail mid-segment.
+		save := a.saveSetCost(headerAlloc, backEdgeLive)
+		restore := a.restoreSetCost(headerAlloc, backEdgeLive)
+		eloopPlain := sg.startBudget - fs.eleft[latch]
+		eloop := eloopPlain + a.backEdgeJmpCost() + a.model.NVMWriteEnergy
+		// Reserve one checkpoint cycle of headroom so the unit's entry
+		// demand (numit iterations + save) stays satisfiable from any
+		// context: a fresh checkpoint before the loop must cover its
+		// restore, a possible call overhead, and a short pre-loop prefix.
+		reserve := a.model.SaveRegsCost() + a.model.RestoreRegsCost()
+		usable := a.conf.Budget - save - restore - reserve
+		numit := 1
+		if eloop > 0 {
+			numit = int(usable / eloop)
+			if numit < 1 {
+				numit = 1
+			}
+		} else {
+			numit = 1 << 20 // a free loop body never needs checkpoints
+		}
+		if a.conf.DisableCondCheckpoints {
+			numit = 1 // ablation: checkpoint on every back edge
+		}
+		maxit := a.loopMaxIter(l)
+		if maxit > 0 && numit > maxit {
+			// Line 8: no back-edge checkpoint; the whole loop is a plain
+			// region of bounded energy (one extra iteration of slack covers
+			// the final header evaluation and partial exit paths).
+			u.checkpointed = false
+			u.energy = float64(maxit+1) * eloopPlain
+		} else {
+			if atomicBackEdge {
+				return 0, fmt.Errorf("schematic: func %s: atomic loop at %s does not fit the energy budget without a back-edge checkpoint (bound %d, need every %d)",
+					fs.f.Name, l.Header.Name, maxit, numit)
+			}
+			if restore+eloop+save > a.conf.Budget {
+				return 0, fmt.Errorf("schematic: func %s: loop at %s cannot complete one iteration within EB=%.1f nJ",
+					fs.f.Name, l.Header.Name, a.conf.Budget)
+			}
+			e := ir.Edge{From: latch, To: l.Header}
+			fs.enable(e, headerAlloc, headerAlloc, numit)
+			a.stats.Checkpoints++
+			if numit > 1 {
+				a.stats.CondCheckpoints++
+			}
+			actualSave = save
+			u.checkpointed = true
+			u.entry = float64(numit)*eloop + save
+			u.exitLeft = minf(a.conf.Budget-restore-float64(numit)*eloop,
+				a.loopExitLeftSafe(l, sg.startBudget, u.entry))
+			if u.exitLeft < 0 {
+				u.exitLeft = 0
+			}
+		}
+	}
+
+	// Impose a single exit allocation: checkpoint any exit edge whose
+	// source allocation differs from the canonical one.
+	canonical := a.canonicalLoopExitAlloc(l)
+	for _, ee := range a.loopExitEdges(l) {
+		src := a.allocOfBlock(ee.From)
+		if !src.equal(canonical) && fs.ckAt(ee) == nil {
+			if ee.From.Atomic && ee.To.Atomic {
+				return 0, fmt.Errorf("schematic: func %s: loop exit %v inside an atomic section needs an allocation switch",
+					fs.f.Name, ee)
+			}
+			fs.enable(ee, src, canonical, 0)
+			a.stats.Checkpoints++
+			u.checkpointed = true
+		}
+	}
+	u.entryVM = normalize(headerAlloc)
+	u.exitVM = normalize(canonical)
+	a.collectUnitContract(u, l)
+	fs.loopUnit[l.Header] = u
+	return actualSave, nil
+}
+
+// backEdgeJmpCost is the energy of traversing the block that a back-edge
+// checkpoint is split into (its trailing jump runs on every iteration).
+func (a *analyzer) backEdgeJmpCost() float64 {
+	return a.model.InstrEnergy(&ir.Jmp{}, ir.NVM)
+}
+
+func sortUnits(us []*unit) {
+	sort.Slice(us, func(i, j int) bool { return us[i].rep.Index < us[j].rep.Index })
+}
+
+// directChild reports whether the loop headed at hdr is an immediate child
+// of l in the loop forest.
+func directChild(fs *funcState, l *cfg.Loop, hdr *ir.Block) bool {
+	child := fs.lf.HeaderLoop(hdr)
+	return child != nil && child.Parent == l
+}
+
+// insideChildLoop reports whether blk lies in a loop nested inside l.
+func insideChildLoop(fs *funcState, l *cfg.Loop, blk *ir.Block) bool {
+	inner := fs.lf.LoopOf(blk)
+	return inner != nil && inner != l
+}
+
+// loopBodyCheckpointed reports whether the analyzed body contains enabled
+// checkpoints or checkpointed child units.
+func (a *analyzer) loopBodyCheckpointed(l *cfg.Loop) bool {
+	for e := range a.fs.cks {
+		if l.Contains(e.From) && l.Contains(e.To) &&
+			!(e.To == l.Header && containsLatch(l, e.From)) {
+			return true
+		}
+	}
+	for hdr, u := range a.fs.loopUnit {
+		if l.Contains(hdr) && hdr != l.Header && u.checkpointed {
+			return true
+		}
+	}
+	for blk, u := range a.fs.callUnit {
+		if l.Contains(blk) && u.checkpointed {
+			return true
+		}
+	}
+	return false
+}
+
+func containsLatch(l *cfg.Loop, b *ir.Block) bool {
+	for _, lt := range l.Latches {
+		if lt == b {
+			return true
+		}
+	}
+	return false
+}
+
+// loopMaxIter returns the loop's trip bound: the @max annotation, or the
+// profiled estimate as a fallback (paper: "The maximum number of
+// iterations of loops is provided using annotations").
+func (a *analyzer) loopMaxIter(l *cfg.Loop) int {
+	if l.MaxIter > 0 {
+		return l.MaxIter
+	}
+	if a.conf.Profile != nil {
+		if est := a.conf.Profile.LoopIterEstimate(l.Header); est > 0 {
+			return est
+		}
+	}
+	return 0
+}
+
+// loopExitEdges lists the edges leaving the loop, deterministically.
+func (a *analyzer) loopExitEdges(l *cfg.Loop) []ir.Edge {
+	var out []ir.Edge
+	var blocks []*ir.Block
+	for b := range l.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	for _, b := range blocks {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) {
+				out = append(out, ir.Edge{From: b, To: s})
+			}
+		}
+	}
+	return out
+}
+
+// canonicalLoopExitAlloc picks the single exit allocation: the allocation
+// of the first exit-source block.
+func (a *analyzer) canonicalLoopExitAlloc(l *cfg.Loop) allocMap {
+	ee := a.loopExitEdges(l)
+	if len(ee) == 0 {
+		return allocMap{}
+	}
+	return a.allocOfBlock(ee[0].From)
+}
+
+// loopExitLeftSafe is the guaranteed energy remaining when the loop exits.
+// An exit path may bypass every internal replenishment (e.g. a zero-trip
+// exit from the header), in which case only the entry guarantee bounds it:
+// remaining ≥ entryNeed − drain(header→exit). The body scope's Eleft gives
+// drain = startBudget − eleft, so both bounds combine per exit source as
+// min(eleft, entryNeed − startBudget + eleft), clamped at zero.
+func (a *analyzer) loopExitLeftSafe(l *cfg.Loop, startBudget, entryNeed float64) float64 {
+	left := a.conf.Budget
+	for _, ee := range a.loopExitEdges(l) {
+		el, ok := a.fs.eleft[ee.From]
+		if !ok {
+			return 0 // exit from a block this scope did not track
+		}
+		bound := minf(el, entryNeed-startBudget+el)
+		if bound < left {
+			left = bound
+		}
+	}
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// collectUnitContract fills the unit's accessed/nvmAccessed/vmDemand
+// fields from the loop's blocks and callee contracts.
+func (a *analyzer) collectUnitContract(u *unit, l *cfg.Loop) {
+	u.accessed = map[*ir.Var]bool{}
+	u.nvmAccessed = map[*ir.Var]bool{}
+	entryBytes := a.allocOfBlock(l.Header).bytes()
+	maxExtra := 0
+	for b := range l.Blocks {
+		alloc := a.allocOfBlock(b)
+		if extra := alloc.bytes() - entryBytes; extra > maxExtra {
+			maxExtra = extra
+		}
+		for _, in := range b.Instrs {
+			if v, _, ok := ir.AccessedVar(in); ok {
+				u.accessed[v] = true
+				if !alloc[v] {
+					u.nvmAccessed[v] = true
+				}
+			}
+			if call, ok := in.(*ir.Call); ok {
+				sum := a.summaries[call.Callee]
+				if sum == nil {
+					continue
+				}
+				for v := range sum.accessed {
+					u.accessed[v] = true
+				}
+				for v := range sum.nvmAccessed {
+					u.nvmAccessed[v] = true
+				}
+				if sum.vmDemand > u.vmDemand {
+					u.vmDemand = sum.vmDemand
+				}
+			}
+		}
+	}
+	u.vmDemand += maxExtra
+	// A variable the unit holds in VM in some interval is managed by its
+	// internal checkpoints; do not force it to NVM outside.
+	for b := range l.Blocks {
+		for v := range a.allocOfBlock(b) {
+			delete(u.nvmAccessed, v)
+		}
+	}
+	if u.checkpointed {
+		// Checkpointed units clear VM internally; outer coherence is
+		// enforced by the live-variable pinning at their boundaries, so no
+		// NVM forcing is needed.
+		u.nvmAccessed = map[*ir.Var]bool{}
+	}
+}

@@ -1,0 +1,78 @@
+package schematic
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// FuzzSchematicGuarantees is the native fuzzing entry point: the fuzzer
+// explores generator seeds and budget scales, and every transformable
+// program must keep the paper's guarantees. Run with
+//
+//	go test ./internal/core -fuzz FuzzSchematicGuarantees -fuzztime 30s
+func FuzzSchematicGuarantees(f *testing.F) {
+	f.Add(int64(1), uint16(1000))
+	f.Add(int64(7), uint16(4000))
+	f.Add(int64(42), uint16(20000))
+	model := energy.MSP430FR5969()
+
+	f.Fuzz(func(t *testing.T, seed int64, tbpfRaw uint16) {
+		tbpf := int64(tbpfRaw)
+		if tbpf < 300 {
+			tbpf = 300 + tbpf
+		}
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("generator produced uncompilable source: %v\n%s", err, src)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 2, Seed: seed, Model: model, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Skip("profiling hit the step bound") // extreme nesting; not a pass bug
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed^0x5eed)))
+		ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 60_000_000})
+		if err != nil || ref.Verdict != emulator.Completed {
+			t.Skip("reference run out of budget")
+		}
+		eb := prof.EBForTBPF(tbpf)
+		conf := Config{Model: model, Budget: eb, VMSize: 2048, Profile: prof}
+		tr := ir.Clone(m)
+		if _, err := Apply(tr, conf); err != nil {
+			return // an honest infeasibility verdict is fine
+		}
+		if err := Validate(tr, conf); err != nil {
+			t.Fatalf("Validate rejected pass output (seed=%d tbpf=%d): %v", seed, tbpf, err)
+		}
+		res, err := emulator.Run(tr, emulator.Config{
+			Model: model, VMSize: 2048, Intermittent: true, EB: eb,
+			Inputs: inputs, MaxSteps: 120_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != emulator.Completed || res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+			t.Fatalf("guarantee violated (seed=%d tbpf=%d): verdict=%v failures=%d reexec=%.1f",
+				seed, tbpf, res.Verdict, res.PowerFailures, res.Energy.Reexecution)
+		}
+		if res.UnsyncedReads != 0 {
+			t.Fatalf("poison reads (seed=%d tbpf=%d)", seed, tbpf)
+		}
+		if len(res.Output) != len(ref.Output) {
+			t.Fatalf("output length changed (seed=%d tbpf=%d)", seed, tbpf)
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("output[%d] differs (seed=%d tbpf=%d): %d vs %d",
+					i, seed, tbpf, res.Output[i], ref.Output[i])
+			}
+		}
+	})
+}

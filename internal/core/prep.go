@@ -1,0 +1,87 @@
+package schematic
+
+import (
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// isolateCheckpointedCalls splits blocks so that every call to a callee
+// containing checkpoints sits alone in its own block (with its jump). The
+// enclosing scope then treats such calls as checkpointed units of the RCG.
+func (a *analyzer) isolateCheckpointedCalls(f *ir.Func) error {
+	for idx := 0; idx < len(f.Blocks); idx++ {
+		b := f.Blocks[idx]
+		for i, in := range b.Instrs {
+			call, ok := in.(*ir.Call)
+			if !ok {
+				continue
+			}
+			sum := a.summaries[call.Callee]
+			if sum == nil {
+				return fmt.Errorf("schematic: callee %s of %s not yet analyzed", call.Callee.Name, f.Name)
+			}
+			if !sum.hasCheckpoints {
+				continue
+			}
+			if b.Atomic {
+				return fmt.Errorf("schematic: func %s: call to checkpointed %s inside an atomic section",
+					f.Name, call.Callee.Name)
+			}
+			if len(b.Instrs) == 2 && i == 0 {
+				continue // already isolated
+			}
+			rest := f.NewBlock(b.Name + ".cont")
+			rest.Instrs = append([]ir.Instr(nil), b.Instrs[i+1:]...)
+			if i == 0 {
+				b.Instrs = []ir.Instr{call, &ir.Jmp{Target: rest}}
+			} else {
+				cb := f.NewBlock(b.Name + ".call")
+				cb.Instrs = []ir.Instr{call, &ir.Jmp{Target: rest}}
+				b.Instrs = append(b.Instrs[:i:i], &ir.Jmp{Target: cb})
+			}
+			break // the tail is rescanned when rest's index comes up
+		}
+	}
+	f.Renumber()
+	return nil
+}
+
+// splitOversizedBlocks cuts any block whose worst-case (all-NVM) energy
+// exceeds the budget slack into pieces, so the RCG always has candidate
+// checkpoint locations close enough together (paper footnote 2: "basic
+// blocks requiring more than EB are split to fit in the energy budget").
+func (a *analyzer) splitOversizedBlocks(f *ir.Func) {
+	maxChunk := a.conf.Budget - 2*(a.model.SaveRegsCost()+a.model.RestoreRegsCost())
+	if maxChunk <= 0 {
+		maxChunk = a.conf.Budget / 2
+	}
+	for idx := 0; idx < len(f.Blocks); idx++ {
+		b := f.Blocks[idx]
+		if b.Atomic {
+			continue // atomic sections must not gain checkpoint locations
+		}
+		if len(b.Instrs) == 2 {
+			if _, isCall := b.Instrs[0].(*ir.Call); isCall {
+				continue // isolated checkpointed call: not splittable
+			}
+		}
+		cost := 0.0
+		for i, in := range b.Instrs {
+			c := a.model.InstrEnergy(in, ir.NVM)
+			if call, ok := in.(*ir.Call); ok {
+				if sum := a.summaries[call.Callee]; sum != nil && !sum.hasCheckpoints {
+					c += sum.energy
+				}
+			}
+			if cost+c > maxChunk && i > 0 && i < len(b.Instrs)-1 {
+				rest := f.NewBlock(b.Name + ".split")
+				rest.Instrs = append([]ir.Instr(nil), b.Instrs[i:]...)
+				b.Instrs = append(b.Instrs[:i:i], &ir.Jmp{Target: rest})
+				break // rest is processed when its index comes up
+			}
+			cost += c
+		}
+	}
+	f.Renumber()
+}

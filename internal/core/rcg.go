@@ -1,0 +1,315 @@
+package schematic
+
+import (
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// segment is a maximal run of not-yet-analyzed path nodes, bounded by
+// analyzed plain blocks or the scope's virtual boundaries. Checkpoint
+// placement and allocation for the segment are decided with a Reachable
+// Checkpoint Graph (paper, III-A1), honouring the energy context inherited
+// from earlier paths (III-A3).
+type segment struct {
+	steps []step
+
+	startEdge *ir.Edge // boundary edge into steps[0], nil at scope entry
+	endEdge   *ir.Edge // boundary edge out of the last step, nil at scope exit
+
+	startCk     bool    // a checkpoint precedes the segment (main's boot)
+	startBudget float64 // energy available at segment start when !startCk
+	forcedStart allocMap
+
+	endRequired float64
+	forcedEnd   allocMap
+}
+
+// rcgNode is a vertex of the RCG.
+type rcgNode struct {
+	kind rcgKind
+	// pos orders nodes along the segment: candidate i sits before step i;
+	// a checkpointed unit at step i sits between candidates i and i+1.
+	pos float64
+	// candidate checkpoint location (kind == rcgCand).
+	edge ir.Edge
+	// checkpointed unit (kind == rcgUnit).
+	unit *unit
+	// unitEdge is the concrete edge entering the unit, for liveness.
+	unitEdge *ir.Edge
+}
+
+type rcgKind int
+
+const (
+	rcgStart rcgKind = iota
+	rcgCand
+	rcgUnit
+	rcgEnd
+)
+
+// rcgEdgeChoice is a feasible RCG edge with its evaluated interval.
+type rcgEdgeChoice struct {
+	from, to int // node indices
+	res      intervalResult
+	ictx     *intervalCtx
+}
+
+// placement is the outcome of solving a segment: the enabled checkpoint
+// candidates and the allocation of every interval on the shortest path.
+type placement struct {
+	intervals []placedInterval
+	ckEdges   []ir.Edge
+}
+
+type placedInterval struct {
+	steps []step
+	alloc allocMap
+	// boundaries for bookkeeping
+	startCk, endCk     bool
+	startEdge, endEdge *ir.Edge
+}
+
+// solveSegment builds the segment's RCG and finds the minimum-energy
+// checkpoint placement via shortest path. The RCG is a DAG ordered by
+// position, so the shortest path is computed by dynamic programming in
+// position order (equivalent to the paper's Dijkstra run, III-C).
+func (a *analyzer) solveSegment(seg *segment) (*placement, error) {
+	type nodeRec struct {
+		n    rcgNode
+		dist float64
+		prev int
+		via  *rcgEdgeChoice
+		ok   bool
+	}
+	var nodes []nodeRec
+	add := func(n rcgNode) int {
+		nodes = append(nodes, nodeRec{n: n, dist: 0, prev: -1})
+		return len(nodes) - 1
+	}
+	startIdx := add(rcgNode{kind: rcgStart, pos: -1})
+
+	// Candidate checkpoint locations: the boundary edge into the segment,
+	// the edges between consecutive steps, and the boundary edge out.
+	n := len(seg.steps)
+	atomicEdge := func(e ir.Edge) bool { return e.From.Atomic && e.To.Atomic }
+	if seg.startEdge != nil && !atomicEdge(*seg.startEdge) {
+		add(rcgNode{kind: rcgCand, pos: 0, edge: *seg.startEdge})
+	}
+	for i := 1; i < n; i++ {
+		if !atomicEdge(seg.steps[i].inEdge) {
+			add(rcgNode{kind: rcgCand, pos: float64(i), edge: seg.steps[i].inEdge})
+		}
+	}
+	if seg.endEdge != nil && !atomicEdge(*seg.endEdge) {
+		add(rcgNode{kind: rcgCand, pos: float64(n), edge: *seg.endEdge})
+	}
+	// Checkpointed units are mandatory pass-through nodes.
+	for i, s := range seg.steps {
+		if !s.n.plain() && s.n.unit.checkpointed {
+			nd := rcgNode{kind: rcgUnit, pos: float64(i) + 0.5, unit: s.n.unit}
+			if s.hasIn {
+				e := s.inEdge
+				nd.unitEdge = &e
+			}
+			add(nd)
+		}
+	}
+	endIdx := add(rcgNode{kind: rcgEnd, pos: float64(n) + 1})
+
+	// Candidate i sits at position i, before step i; every step's body sits
+	// at position i+0.5 (checkpointed units are RCG nodes at that same
+	// position). stepsBetween returns the steps whose bodies lie strictly
+	// between two node positions — the content of that interval.
+	stepsBetween := func(from, to float64) []step {
+		var out []step
+		for i, s := range seg.steps {
+			p := float64(i) + 0.5
+			if p > from && p < to {
+				if !s.n.plain() && s.n.unit.checkpointed {
+					continue // boundary node, not interval content
+				}
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	// blocked reports whether a checkpointed unit lies strictly between.
+	blocked := func(from, to float64) bool {
+		for i, s := range seg.steps {
+			if s.n.plain() || !s.n.unit.checkpointed {
+				continue
+			}
+			p := float64(i) + 0.5
+			if p > from && p < to {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Build the interval context of an RCG edge.
+	buildCtx := func(x, y *rcgNode) *intervalCtx {
+		ictx := &intervalCtx{steps: stepsBetween(x.pos, y.pos)}
+		switch x.kind {
+		case rcgStart:
+			ictx.startCk = seg.startCk
+			ictx.startEdge = seg.startEdge
+			if !seg.startCk {
+				ictx.startBudget = seg.startBudget
+				ictx.forcedStart = seg.forcedStart
+			}
+		case rcgCand:
+			ictx.startCk = true
+			e := x.edge
+			ictx.startEdge = &e
+		case rcgUnit:
+			ictx.startCk = false
+			ictx.startBudget = x.unit.exitLeft
+			ictx.forcedStart = allocMap(varSet(x.unit.exitVM))
+		}
+		switch y.kind {
+		case rcgEnd:
+			ictx.endCk = false
+			ictx.endRequired = seg.endRequired
+			ictx.forcedEnd = seg.forcedEnd
+			ictx.endEdge = seg.endEdge
+		case rcgCand:
+			ictx.endCk = true
+			e := y.edge
+			ictx.endEdge = &e
+		case rcgUnit:
+			ictx.endCk = false
+			ictx.endRequired = y.unit.entry
+			ictx.endEdge = y.unitEdge
+			ictx.extraMandatory = map[*ir.Var]bool{}
+			for _, v := range y.unit.entryVM {
+				ictx.extraMandatory[v] = true
+			}
+			ictx.extraForbidden = map[*ir.Var]bool{}
+			for v := range y.unit.nvmAccessed {
+				ictx.extraForbidden[v] = true
+			}
+			live := a.liveAt(y.unitEdge, y.unit.rep)
+			entrySet := varSet(y.unit.entryVM)
+			for _, v := range a.fs.f.Locals {
+				if live(v) && !entrySet[v] {
+					ictx.extraForbidden[v] = true
+				}
+			}
+			for _, v := range a.mod.Globals {
+				if live(v) && !entrySet[v] {
+					ictx.extraForbidden[v] = true
+				}
+			}
+		}
+		return ictx
+	}
+
+	// Dynamic program over nodes in position order (they were added in
+	// order except units; sort by pos).
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && nodes[order[j]].n.pos < nodes[order[j-1]].n.pos; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	nodes[startIdx].ok = true
+	for _, yi := range order {
+		if yi == startIdx {
+			continue
+		}
+		y := &nodes[yi]
+		for _, xi := range order {
+			x := &nodes[xi]
+			if !x.ok || x.n.pos >= y.n.pos {
+				continue
+			}
+			// A checkpointed unit strictly between makes the edge invalid.
+			if blocked(x.n.pos, y.n.pos) {
+				continue
+			}
+			// Units are mandatory: an edge may not jump over... (blocked
+			// covers it). Also forbid zero-length start→end shortcuts when
+			// both ends are the same position class.
+			ictx := buildCtx(&x.n, &y.n)
+			res, err := a.evalInterval(ictx)
+			if err != nil {
+				return nil, err
+			}
+			if !res.feasible {
+				continue
+			}
+			cand := x.dist + res.weight
+			if !y.ok || cand < y.dist {
+				y.ok = true
+				y.dist = cand
+				y.prev = xi
+				y.via = &rcgEdgeChoice{from: xi, to: yi, res: res, ictx: ictx}
+			}
+		}
+	}
+	if !nodes[endIdx].ok {
+		var names []string
+		for _, s := range seg.steps {
+			names = append(names, s.n.rep.Name)
+		}
+		if debugRCG {
+			fmt.Printf("=== infeasible segment in %s: %v\n", a.fs.f.Name, names)
+			for _, yi := range order {
+				y := nodes[yi]
+				desc := func(n rcgNode) string {
+					switch n.kind {
+					case rcgStart:
+						return "S"
+					case rcgEnd:
+						return "E"
+					case rcgUnit:
+						return fmt.Sprintf("U(%s entry=%.1f exitLeft=%.1f)", n.unit.rep.Name, n.unit.entry, n.unit.exitLeft)
+					default:
+						return fmt.Sprintf("c(%v)", n.edge)
+					}
+				}
+				fmt.Printf("  node %-50s ok=%v dist=%.1f\n", desc(y.n), y.ok, y.dist)
+				for _, xi := range order {
+					x := nodes[xi]
+					if !x.ok || x.n.pos >= y.n.pos || blocked(x.n.pos, y.n.pos) {
+						continue
+					}
+					ictx := buildCtx(&x.n, &y.n)
+					res, _ := a.evalInterval(ictx)
+					fmt.Printf("    from %-46s feasible=%v weight=%.1f\n", desc(x.n), res.feasible, res.weight)
+				}
+			}
+		}
+		return nil, fmt.Errorf("schematic: func %s: no feasible checkpoint placement for segment %v (startCk=%v budget=%.1f startBudget=%.1f endReq=%.1f forcedStart=%v forcedEnd=%v)",
+			a.fs.f.Name, names, seg.startCk, a.conf.Budget, seg.startBudget, seg.endRequired,
+			normalize(seg.forcedStart), normalize(seg.forcedEnd))
+	}
+
+	// Walk back the shortest path.
+	pl := &placement{}
+	for yi := endIdx; yi != startIdx; {
+		rec := nodes[yi]
+		ch := rec.via
+		pi := placedInterval{
+			steps:   ch.ictx.steps,
+			alloc:   ch.res.alloc,
+			startCk: ch.ictx.startCk, endCk: ch.ictx.endCk,
+			startEdge: ch.ictx.startEdge, endEdge: ch.ictx.endEdge,
+		}
+		pl.intervals = append([]placedInterval{pi}, pl.intervals...)
+		if nodes[ch.from].n.kind == rcgCand {
+			pl.ckEdges = append(pl.ckEdges, nodes[ch.from].n.edge)
+		}
+		yi = rec.prev
+	}
+	return pl, nil
+}
+
+// debugRCG enables the infeasible-segment dump (set by tests).
+var debugRCG = false

@@ -1,0 +1,40 @@
+package schematic
+
+import (
+	"schematic/internal/ir"
+)
+
+// StripCheckpoints removes all checkpoint instrumentation from a module:
+// checkpoint instructions, loop-counter state, and the per-block memory
+// allocations. Blocks introduced by edge splitting remain (they are empty
+// jumps and cost two cycles each); the module is again a valid input for
+// Apply.
+func StripCheckpoints(m *ir.Module) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if _, isCk := in.(*ir.Checkpoint); isCk {
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+			b.Alloc = nil
+		}
+	}
+}
+
+// Replan implements the recovery path of the paper's §VI: when the
+// capacitor has aged (or temperature shifted) so that its usable energy is
+// below the one the program was compiled for, the device detects repeated
+// restarts from the same checkpoint and a new placement is computed for
+// the smaller budget — deployed via an over-the-air update in the field,
+// and applied in place here.
+//
+// The module may be untransformed or carry a previous placement; any
+// existing instrumentation is stripped before the new analysis.
+func Replan(m *ir.Module, conf Config) (*Stats, error) {
+	StripCheckpoints(m)
+	return Apply(m, conf)
+}

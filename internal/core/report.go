@@ -1,0 +1,191 @@
+package schematic
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"schematic/internal/ir"
+)
+
+// WCECReport is the static worst-case energy-consumption report of a
+// transformed module: what the validator proves, presented as numbers a
+// deployment engineer can read. Every figure is a static bound, not a
+// measurement — the guarantee is that no execution exceeds it.
+type WCECReport struct {
+	Budget float64 // EB the analysis was checked against, nJ
+	Funcs  []*FuncReport
+}
+
+// FuncReport is the per-function slice of the report.
+type FuncReport struct {
+	Name string
+
+	// EntryDemand is the worst-case energy a caller must still hold when
+	// entering the function (through the first replenishment, or the whole
+	// body for checkpoint-free functions).
+	EntryDemand float64
+	// ExitResidual is the guaranteed minimum energy drained since the last
+	// replenishment when the function returns (0 for checkpoint-free
+	// functions, which export their whole cost through EntryDemand).
+	ExitResidual float64
+	// HasCheckpoints reports whether the function (transitively) contains
+	// an enabled checkpoint.
+	HasCheckpoints bool
+	// VMHighWater is the largest per-block VM allocation, bytes.
+	VMHighWater int
+	// WorstDrain is the largest worst-case drained energy at any block
+	// entry — the tightest point of the function against the budget.
+	WorstDrain float64
+
+	Checkpoints []*CkReport
+}
+
+// CkReport describes one enabled checkpoint site.
+type CkReport struct {
+	ID    int
+	Func  string
+	Block string
+	Kind  ir.CheckpointKind
+	Every int // conditional period; <=1 means always
+
+	// WorstPreFire is the worst-case energy drained when the checkpoint
+	// fires: for an always-on site, the phase-1 bound at arrival; for a
+	// conditional site, restore plus Every full iterations (each including
+	// its counter update).
+	WorstPreFire float64
+	// SaveEnergy/RestoreEnergy are the static costs of the save and
+	// restore at this site, honoring register-liveness refinement.
+	SaveEnergy    float64
+	RestoreEnergy float64
+	// SaveBytes counts the volatile bytes written by a save: registers
+	// (refined or full file) plus the live VM variables.
+	SaveBytes int
+	// Headroom is Budget − (WorstPreFire + SaveEnergy): the slack this
+	// site retains in the worst case. Never negative in a valid module.
+	Headroom float64
+}
+
+// Report validates the module and returns its worst-case energy report.
+// The error is exactly Validate's: an invalid module has no meaningful
+// report.
+func Report(m *ir.Module, conf Config) (*WCECReport, error) {
+	if conf.Model == nil {
+		return nil, fmt.Errorf("schematic: Report: Config.Model is required")
+	}
+	if conf.Budget <= 0 {
+		return nil, fmt.Errorf("schematic: Report: Config.Budget must be positive")
+	}
+	v := &validator{m: m, conf: conf, model: conf.Model}
+	if err := v.run(); err != nil {
+		return nil, err
+	}
+
+	rep := &WCECReport{Budget: conf.Budget}
+	ckOf := map[*ir.Func][]*CkReport{}
+	for ck, b := range v.ckBlocks {
+		f := b.Func
+		cr := &CkReport{
+			ID:            ck.ID,
+			Func:          f.Name,
+			Block:         b.Name,
+			Kind:          ck.Kind,
+			Every:         ck.Every,
+			WorstPreFire:  v.eFireAll[ck],
+			SaveEnergy:    v.saveCost(ck, b),
+			RestoreEnergy: v.restoreCost(ck, b),
+			SaveBytes:     saveBytes(v, ck, b),
+		}
+		cr.Headroom = conf.Budget - cr.WorstPreFire - cr.SaveEnergy
+		ckOf[f] = append(ckOf[f], cr)
+	}
+
+	for _, f := range m.Funcs {
+		fr := &FuncReport{
+			Name:           f.Name,
+			EntryDemand:    v.entryDemand[f],
+			ExitResidual:   v.exitResidual[f],
+			HasCheckpoints: v.hasCk[f],
+			Checkpoints:    ckOf[f],
+		}
+		for _, b := range f.Blocks {
+			if n := b.VMBytes(); n > fr.VMHighWater {
+				fr.VMHighWater = n
+			}
+		}
+		for _, e := range v.worstOf[f] {
+			if e > fr.WorstDrain {
+				fr.WorstDrain = e
+			}
+		}
+		sort.Slice(fr.Checkpoints, func(i, j int) bool {
+			return fr.Checkpoints[i].ID < fr.Checkpoints[j].ID
+		})
+		rep.Funcs = append(rep.Funcs, fr)
+	}
+	return rep, nil
+}
+
+// saveBytes counts the bytes a checkpoint save streams to NVM.
+func saveBytes(v *validator, ck *ir.Checkpoint, b *ir.Block) int {
+	n := v.model.RegFileBytes
+	if ck.RefinedRegs {
+		rb := (ck.LiveRegs + 2) * ir.WordBytes
+		if rb < n {
+			n = rb
+		}
+	}
+	if ck.RegsOnly {
+		return n
+	}
+	vars := ck.Save
+	if ck.SaveAll {
+		vars = vars[:0:0]
+		for vr, in := range b.Alloc {
+			if in {
+				vars = append(vars, vr)
+			}
+		}
+	}
+	for _, vr := range vars {
+		n += vr.SizeBytes()
+	}
+	return n
+}
+
+// TightestCheckpoint returns the checkpoint with the least headroom, or
+// nil when the module has none.
+func (r *WCECReport) TightestCheckpoint() *CkReport {
+	var min *CkReport
+	for _, f := range r.Funcs {
+		for _, c := range f.Checkpoints {
+			if min == nil || c.Headroom < min.Headroom {
+				min = c
+			}
+		}
+	}
+	return min
+}
+
+// Render prints the report as text.
+func (r *WCECReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "WCEC report — EB = %.1f nJ (all figures are static worst-case bounds)\n\n", r.Budget)
+	for _, f := range r.Funcs {
+		fmt.Fprintf(w, "func %s:\n", f.Name)
+		fmt.Fprintf(w, "  entry demand %.1f nJ, exit residual %.1f nJ, VM high-water %d B, worst drain %.1f nJ (%.0f%% of EB)\n",
+			f.EntryDemand, f.ExitResidual, f.VMHighWater, f.WorstDrain, f.WorstDrain/r.Budget*100)
+		for _, c := range f.Checkpoints {
+			every := ""
+			if c.Every > 1 {
+				every = fmt.Sprintf(" every %d", c.Every)
+			}
+			fmt.Fprintf(w, "  ck #%-3d %-12s %s%s: pre-fire %.1f, save %.1f (%d B), restore %.1f, headroom %.1f nJ (%.0f%%)\n",
+				c.ID, c.Block, c.Kind, every, c.WorstPreFire, c.SaveEnergy, c.SaveBytes,
+				c.RestoreEnergy, c.Headroom, c.Headroom/r.Budget*100)
+		}
+	}
+	if t := r.TightestCheckpoint(); t != nil {
+		fmt.Fprintf(w, "\ntightest site: checkpoint #%d in %s.%s with %.1f nJ headroom (%.0f%% of EB)\n",
+			t.ID, t.Func, t.Block, t.Headroom, t.Headroom/r.Budget*100)
+	}
+}

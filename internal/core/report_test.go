@@ -1,0 +1,167 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+func reportFor(t *testing.T, src string, budget float64, adjust func(*Config)) (*WCECReport, *ir.Module) {
+	t.Helper()
+	model := energy.MSP430FR5969()
+	m := compile(t, src)
+	prof := profileOf(t, m)
+	conf := Config{Model: model, Budget: budget, VMSize: 2048, Profile: prof}
+	if adjust != nil {
+		adjust(&conf)
+	}
+	if _, err := Apply(m, conf); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	rep, err := Report(m, conf)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	return rep, m
+}
+
+func TestReportHeadroomsNonNegative(t *testing.T) {
+	for _, src := range []string{sumSrc, callSrc, nestedSrc, longLoopSrc} {
+		rep, _ := reportFor(t, src, 4000, nil)
+		if rep.Budget != 4000 {
+			t.Fatalf("budget %v", rep.Budget)
+		}
+		nck := 0
+		for _, f := range rep.Funcs {
+			if f.WorstDrain > rep.Budget+1e-6 {
+				t.Errorf("%s: worst drain %.1f exceeds budget", f.Name, f.WorstDrain)
+			}
+			for _, c := range f.Checkpoints {
+				nck++
+				if c.Headroom < -1e-6 {
+					t.Errorf("%s ck#%d: negative headroom %.1f in a validated module", f.Name, c.ID, c.Headroom)
+				}
+				if c.SaveBytes <= 0 {
+					t.Errorf("%s ck#%d: save bytes %d", f.Name, c.ID, c.SaveBytes)
+				}
+				if c.WorstPreFire <= 0 {
+					t.Errorf("%s ck#%d: pre-fire bound %.1f, want > 0 (restore at minimum)", f.Name, c.ID, c.WorstPreFire)
+				}
+			}
+		}
+		if nck == 0 {
+			t.Fatalf("no checkpoints reported for %q...", src[:24])
+		}
+	}
+}
+
+func TestReportMainContract(t *testing.T) {
+	rep, _ := reportFor(t, callSrc, 5000, nil)
+	var mainRep *FuncReport
+	for _, f := range rep.Funcs {
+		if f.Name == "main" {
+			mainRep = f
+		}
+	}
+	if mainRep == nil {
+		t.Fatal("main missing from report")
+	}
+	if !mainRep.HasCheckpoints {
+		t.Error("main reported checkpoint-free after Apply (boot checkpoint exists)")
+	}
+	if mainRep.VMHighWater <= 0 {
+		t.Error("no VM allocation reported; gain-based allocation should have placed something")
+	}
+}
+
+func TestReportRefinedRegistersShrinkSaves(t *testing.T) {
+	full, _ := reportFor(t, nestedSrc, 4000, nil)
+	refined, _ := reportFor(t, nestedSrc, 4000, func(c *Config) {
+		c.RefineRegisterLiveness = true
+	})
+	fullBytes, refinedBytes := 0, 0
+	for _, f := range full.Funcs {
+		for _, c := range f.Checkpoints {
+			fullBytes += c.SaveBytes
+		}
+	}
+	for _, f := range refined.Funcs {
+		for _, c := range f.Checkpoints {
+			refinedBytes += c.SaveBytes
+		}
+	}
+	if refinedBytes >= fullBytes {
+		t.Errorf("refined save bytes %d >= full %d", refinedBytes, fullBytes)
+	}
+}
+
+func TestReportTightestAndRender(t *testing.T) {
+	rep, _ := reportFor(t, longLoopSrc, 3000, nil)
+	tight := rep.TightestCheckpoint()
+	if tight == nil {
+		t.Fatal("no tightest checkpoint")
+	}
+	for _, f := range rep.Funcs {
+		for _, c := range f.Checkpoints {
+			if c.Headroom < tight.Headroom {
+				t.Errorf("ck#%d headroom %.1f below reported tightest %.1f", c.ID, c.Headroom, tight.Headroom)
+			}
+		}
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"WCEC report", "func main", "tightest site", "headroom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportRejectsInvalidModule(t *testing.T) {
+	model := energy.MSP430FR5969()
+	m := compile(t, sumSrc)
+	prof := profileOf(t, m)
+	conf := Config{Model: model, Budget: 4000, VMSize: 2048, Profile: prof}
+	if _, err := Apply(m, conf); err != nil {
+		t.Fatal(err)
+	}
+	// A shrunken budget invalidates the placement; the report must refuse.
+	conf.Budget = 400
+	if _, err := Report(m, conf); err == nil {
+		t.Fatal("Report accepted a module that no longer fits its budget")
+	}
+}
+
+func TestReportConditionalWorstSpansPeriod(t *testing.T) {
+	rep, _ := reportFor(t, longLoopSrc, 4000, nil)
+	found := false
+	for _, f := range rep.Funcs {
+		for _, c := range f.Checkpoints {
+			if want := rep.Budget - c.WorstPreFire - c.SaveEnergy; !closeTo(c.Headroom, want) {
+				t.Errorf("ck#%d headroom %.3f, want budget−prefire−save = %.3f", c.ID, c.Headroom, want)
+			}
+			if c.Every > 1 {
+				found = true
+				// The conditional bound must cover the whole period: at
+				// minimum its restore plus Every NVM counter writes.
+				model := energy.MSP430FR5969()
+				floor := c.RestoreEnergy + float64(c.Every)*model.NVMWriteEnergy
+				if c.WorstPreFire < floor {
+					t.Errorf("ck#%d pre-fire %.1f below period floor %.1f — still the single-segment bound",
+						c.ID, c.WorstPreFire, floor)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no conditional checkpoint in longLoopSrc at this budget")
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}

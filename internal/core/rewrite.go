@@ -1,0 +1,168 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"schematic/internal/dataflow"
+	"schematic/internal/ir"
+)
+
+// rewrite applies the analysis results to the module: per-block allocation
+// maps, checkpoint instructions on the enabled (split) edges, in-block
+// checkpoints before non-conforming returns, and main's boot checkpoint.
+// Save/Restore lists follow Eq. 2: only variables live at the checkpoint
+// location are written back or reloaded.
+func (a *analyzer) rewrite() error {
+	ckID := 0
+	for _, f := range a.mod.Funcs {
+		fs := a.states[f]
+		if fs == nil {
+			return fmt.Errorf("schematic: internal: no state for %s", f.Name)
+		}
+		a.fs = fs
+
+		for _, b := range f.Blocks {
+			if al := fs.alloc[b]; len(al) > 0 {
+				b.Alloc = map[*ir.Var]bool(al)
+			}
+		}
+
+		// Precompute save/restore sets before mutating the CFG: liveness
+		// was computed on the pre-split graph.
+		// Register liveness, like variable liveness, is computed on the
+		// pre-split graph; the count of a split-edge checkpoint is the
+		// live-in count of the edge target (an over-approximation across
+		// joins, which is the safe direction).
+		var regLive *dataflow.RegLiveness
+		if a.conf.RefineRegisterLiveness {
+			regLive = dataflow.LiveRegs(f)
+		}
+		type matCk struct {
+			plan          *ckPlan
+			save, restore []*ir.Var
+			liveRegs      int
+		}
+		var mats []matCk
+		var plans []*ckPlan
+		for _, p := range fs.cks {
+			plans = append(plans, p)
+		}
+		sort.Slice(plans, func(i, j int) bool {
+			if plans[i].edge.From.Index != plans[j].edge.From.Index {
+				return plans[i].edge.From.Index < plans[j].edge.From.Index
+			}
+			return plans[i].edge.To.Index < plans[j].edge.To.Index
+		})
+		for _, p := range plans {
+			live := a.liveAt(&p.edge, nil)
+			m := matCk{
+				plan:    p,
+				save:    liveVars(p.preAlloc, live),
+				restore: liveVars(p.postAlloc, live),
+			}
+			if regLive != nil {
+				m.liveRegs = regLive.LiveInCount(p.edge.To)
+			}
+			mats = append(mats, m)
+		}
+
+		for _, m := range mats {
+			nb := ir.SplitEdge(m.plan.edge.From, m.plan.edge.To)
+			nb.Alloc = map[*ir.Var]bool(m.plan.postAlloc)
+			every := m.plan.every
+			if every <= 1 {
+				every = 0 // canonical "always" encoding (round-trip stable)
+			}
+			ck := &ir.Checkpoint{
+				ID:          ckID,
+				Kind:        ir.CkWait,
+				Every:       every,
+				Save:        m.save,
+				Restore:     m.restore,
+				RefinedRegs: regLive != nil,
+				LiveRegs:    m.liveRegs,
+			}
+			ckID++
+			nb.Instrs = append([]ir.Instr{ck}, nb.Instrs...)
+		}
+
+		// Checkpoints before non-conforming returns (single exit
+		// allocation, III-B1).
+		var retBlocksSorted []*ir.Block
+		for b := range fs.retCks {
+			retBlocksSorted = append(retBlocksSorted, b)
+		}
+		sort.Slice(retBlocksSorted, func(i, j int) bool {
+			return retBlocksSorted[i].Index < retBlocksSorted[j].Index
+		})
+		for _, b := range retBlocksSorted {
+			p := fs.retCks[b]
+			live := func(v *ir.Var) bool { return fs.live.LiveOut(v, b) }
+			if a.conf.DisableLivenessRefinement {
+				live = func(*ir.Var) bool { return true }
+			}
+			ck := &ir.Checkpoint{
+				ID:      ckID,
+				Kind:    ir.CkWait,
+				Save:    liveVars(p.preAlloc, live),
+				Restore: liveVars(p.postAlloc, live),
+			}
+			if regLive != nil {
+				// The checkpoint sits just before the terminator.
+				ck.RefinedRegs = true
+				ck.LiveRegs = regLive.LiveAtInstr(b, len(b.Instrs)-1)
+			}
+			ckID++
+			// Insert just before the terminator.
+			t := b.Instrs[len(b.Instrs)-1]
+			b.Instrs = append(append(b.Instrs[:len(b.Instrs)-1:len(b.Instrs)-1], ck), t)
+		}
+
+		if f.Name == "main" {
+			entry := f.Entry()
+			alloc := a.allocOfBlock(entry)
+			live := func(v *ir.Var) bool { return fs.live.LiveIn(v, entry) }
+			if a.conf.DisableLivenessRefinement {
+				live = func(*ir.Var) bool { return true }
+			}
+			ck := &ir.Checkpoint{
+				ID:      ckID,
+				Kind:    ir.CkWait,
+				Restore: liveVars(alloc, live),
+			}
+			if regLive != nil {
+				ck.RefinedRegs = true
+				ck.LiveRegs = regLive.LiveInCount(entry)
+			}
+			ckID++
+			entry.Instrs = append([]ir.Instr{ck}, entry.Instrs...)
+			a.stats.Checkpoints++
+		}
+	}
+
+	// Count VM variables for the stats.
+	seen := map[*ir.Var]bool{}
+	for _, fs := range a.states {
+		for _, al := range fs.alloc {
+			for v, in := range al {
+				if in {
+					seen[v] = true
+				}
+			}
+		}
+	}
+	a.stats.VMVars = len(seen)
+	return nil
+}
+
+// liveVars filters an allocation to its live members, sorted by name.
+func liveVars(alloc allocMap, live func(*ir.Var) bool) []*ir.Var {
+	var out []*ir.Var
+	for _, v := range normalize(alloc) {
+		if live(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

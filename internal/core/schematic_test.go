@@ -1,0 +1,351 @@
+package schematic
+
+import (
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+const sumSrc = `
+input int data[32];
+int acc;
+
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 32; i = i + 1) @max(32) {
+    acc = acc + data[i];
+  }
+  print(acc);
+}
+`
+
+const callSrc = `
+input int data[16];
+int total;
+
+func int weight(int x) {
+  if (x > 50) {
+    return x * 2;
+  }
+  return x;
+}
+
+func void main() {
+  int i;
+  total = 0;
+  for (i = 0; i < 16; i = i + 1) @max(16) {
+    total = total + weight(data[i]);
+  }
+  print(total);
+}
+`
+
+const nestedSrc = `
+input int m[64];
+int out1;
+
+func void main() {
+  int i;
+  int j;
+  int rowsum;
+  out1 = 0;
+  for (i = 0; i < 8; i = i + 1) @max(8) {
+    rowsum = 0;
+    for (j = 0; j < 8; j = j + 1) @max(8) {
+      rowsum = rowsum + m[i * 8 + j];
+    }
+    if (rowsum > 200) {
+      out1 = out1 + rowsum;
+    } else {
+      out1 = out1 + 1;
+    }
+  }
+  print(out1);
+}
+`
+
+func compile(t testing.TB, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func profileOf(t testing.TB, m *ir.Module) *trace.Profile {
+	t.Helper()
+	p, err := trace.Collect(m, trace.Options{Runs: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return p
+}
+
+// transformAndRun applies SCHEMATIC with the given budget and checks
+// semantic preservation and forward progress under intermittent power.
+func transformAndRun(t *testing.T, src string, budget float64, vmSize int) (*Stats, *emulator.Result, *emulator.Result) {
+	t.Helper()
+	model := energy.MSP430FR5969()
+	orig := compile(t, src)
+	prof := profileOf(t, orig)
+	inputs := map[string][]int64{}
+	for _, v := range orig.InputVars() {
+		data := make([]int64, v.Elems)
+		for i := range data {
+			data[i] = int64((i*37 + 11) % 97)
+		}
+		inputs[v.Name] = data
+	}
+
+	ref, err := emulator.Run(orig, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	tr := ir.Clone(orig)
+	stats, err := Apply(tr, Config{
+		Model:   model,
+		Budget:  budget,
+		VMSize:  vmSize,
+		Profile: prof,
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	res, err := emulator.Run(tr, emulator.Config{
+		Model:        model,
+		VMSize:       vmSize,
+		Intermittent: true,
+		EB:           budget,
+		Inputs:       inputs,
+	})
+	if err != nil {
+		t.Fatalf("intermittent run: %v", err)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("verdict = %v (failures=%d, saves=%d)\n%s",
+			res.Verdict, res.PowerFailures, res.Saves, tr.String())
+	}
+	if len(res.Output) != len(ref.Output) {
+		t.Fatalf("output = %v, want %v", res.Output, ref.Output)
+	}
+	for i := range ref.Output {
+		if res.Output[i] != ref.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d\n%s", i, res.Output[i], ref.Output[i], tr.String())
+		}
+	}
+	if res.UnsyncedReads != 0 {
+		t.Fatalf("unsynced reads = %d\n%s", res.UnsyncedReads, tr.String())
+	}
+	if res.Energy.Reexecution != 0 {
+		t.Errorf("SCHEMATIC must never re-execute, got %.1f nJ", res.Energy.Reexecution)
+	}
+	if res.PowerFailures != 0 {
+		t.Errorf("SCHEMATIC's wait discipline should avoid all power failures, got %d", res.PowerFailures)
+	}
+	return stats, ref, res
+}
+
+func TestSimpleLoopProgram(t *testing.T) {
+	stats, _, res := transformAndRun(t, sumSrc, 3000, 2048)
+	if stats.Checkpoints == 0 {
+		t.Errorf("expected checkpoints to be placed")
+	}
+	if res.MaxVMBytes > 2048 {
+		t.Errorf("VM high water %d exceeds SVM", res.MaxVMBytes)
+	}
+}
+
+func TestTightBudget(t *testing.T) {
+	// A budget that fits only a couple of loop iterations.
+	transformAndRun(t, sumSrc, 700, 2048)
+}
+
+func TestCallsWithBranches(t *testing.T) {
+	transformAndRun(t, callSrc, 2500, 2048)
+}
+
+func TestNestedLoops(t *testing.T) {
+	transformAndRun(t, nestedSrc, 3000, 2048)
+}
+
+func TestNestedLoopsTight(t *testing.T) {
+	transformAndRun(t, nestedSrc, 900, 2048)
+}
+
+const longLoopSrc = `
+input int data[16];
+int acc;
+
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 400; i = i + 1) @max(400) {
+    acc = acc + data[i % 16];
+  }
+  print(acc);
+}
+`
+
+func TestConditionalCheckpointing(t *testing.T) {
+	// The loop is far too long for one budget but many iterations fit:
+	// Algorithm 1 should produce a conditional (every-numit) back-edge
+	// checkpoint rather than one per iteration.
+	stats, _, res := transformAndRun(t, longLoopSrc, 3000, 2048)
+	if stats.CondCheckpoints == 0 {
+		t.Errorf("expected a conditional back-edge checkpoint, stats=%+v", stats)
+	}
+	// Far fewer saves than iterations.
+	if res.Saves >= 400 || res.Saves < 2 {
+		t.Errorf("saves = %d, want a small multiple of 400/numit", res.Saves)
+	}
+}
+
+func TestLargerBudgetFewerSaves(t *testing.T) {
+	_, _, tight := transformAndRun(t, sumSrc, 500, 2048)
+	_, _, roomy := transformAndRun(t, sumSrc, 8000, 2048)
+	if roomy.Saves >= tight.Saves {
+		t.Errorf("saves should shrink with the budget: tight=%d roomy=%d",
+			tight.Saves, roomy.Saves)
+	}
+}
+
+func TestVMAllocationHappens(t *testing.T) {
+	_, _, res := transformAndRun(t, sumSrc, 3000, 2048)
+	if res.Energy.VMAccesses == 0 {
+		t.Errorf("expected VM accesses under SCHEMATIC allocation")
+	}
+}
+
+func TestAllNVMAblation(t *testing.T) {
+	model := energy.MSP430FR5969()
+	orig := compile(t, sumSrc)
+	prof := profileOf(t, orig)
+
+	run := func(disable bool) *emulator.Result {
+		tr := ir.Clone(orig)
+		_, err := Apply(tr, Config{
+			Model: model, Budget: 3000, VMSize: 2048,
+			Profile: prof, DisableVM: disable,
+		})
+		if err != nil {
+			t.Fatalf("Apply(disable=%v): %v", disable, err)
+		}
+		res, err := emulator.Run(tr, emulator.Config{
+			Model: model, VMSize: 2048, Intermittent: true, EB: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != emulator.Completed {
+			t.Fatalf("disable=%v verdict=%v", disable, res.Verdict)
+		}
+		return res
+	}
+	withVM := run(false)
+	allNVM := run(true)
+	if allNVM.Energy.VMAccesses != 0 {
+		t.Errorf("All-NVM still used VM: %d accesses", allNVM.Energy.VMAccesses)
+	}
+	if withVM.Energy.Computation >= allNVM.Energy.Computation {
+		t.Errorf("VM allocation should cut computation energy: %v vs %v",
+			withVM.Energy.Computation, allNVM.Energy.Computation)
+	}
+}
+
+func TestTinyVM(t *testing.T) {
+	// With SVM = 4 bytes only scalars fit; the program must still complete
+	// correctly within the capacity.
+	_, _, res := transformAndRun(t, sumSrc, 3000, 4)
+	if res.MaxVMBytes > 4 {
+		t.Errorf("VM high water %d exceeds the 4-byte SVM", res.MaxVMBytes)
+	}
+}
+
+func TestAllocChangesOnlyAtCheckpoints(t *testing.T) {
+	model := energy.MSP430FR5969()
+	m := compile(t, nestedSrc)
+	prof := profileOf(t, m)
+	if _, err := Apply(m, Config{Model: model, Budget: 2000, VMSize: 2048, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			hasCk := false
+			for _, in := range b.Instrs {
+				if _, ok := in.(*ir.Checkpoint); ok {
+					hasCk = true
+				}
+			}
+			if hasCk {
+				continue
+			}
+			for _, s := range b.Succs() {
+				// The successor may itself start with a checkpoint.
+				if _, ok := s.Instrs[0].(*ir.Checkpoint); ok {
+					continue
+				}
+				for _, in := range s.Instrs {
+					v, _, ok := ir.AccessedVar(in)
+					if !ok {
+						continue
+					}
+					if b.InVM(v) != s.InVM(v) {
+						t.Errorf("%s: alloc of %s changes on edge %s->%s without checkpoint",
+							f.Name, v.Name, b.Name, s.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetSafetyInvariant(t *testing.T) {
+	// Dynamic check of the forward-progress guarantee: between any two
+	// checkpoint replenishments the drawn energy never exceeds EB. The
+	// emulator enforces this implicitly (a violation would power-fail and
+	// re-execute); zero re-execution across budgets is the witness.
+	for _, budget := range []float64{700, 1200, 2500, 6000} {
+		_, _, res := transformAndRun(t, callSrc, budget, 2048)
+		if res.Energy.Reexecution != 0 {
+			t.Errorf("budget %.0f: re-execution %.1f", budget, res.Energy.Reexecution)
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	m := compile(t, sumSrc)
+	model := energy.MSP430FR5969()
+	if _, err := Apply(m, Config{Budget: 100}); err == nil {
+		t.Errorf("Apply accepted nil model")
+	}
+	if _, err := Apply(m, Config{Model: model}); err == nil {
+		t.Errorf("Apply accepted zero budget")
+	}
+	// Double application must be rejected.
+	if _, err := Apply(m, Config{Model: model, Budget: 3000, VMSize: 2048}); err != nil {
+		t.Fatalf("first Apply: %v", err)
+	}
+	if _, err := Apply(m, Config{Model: model, Budget: 3000, VMSize: 2048}); err == nil {
+		t.Errorf("Apply accepted an already-transformed module")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	stats, _, _ := transformAndRun(t, nestedSrc, 2000, 2048)
+	if stats.PathsAnalyzed == 0 || stats.ScopesAnalyzed == 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+	if stats.AnalysisTime <= 0 {
+		t.Errorf("analysis time missing")
+	}
+	if stats.VMVars == 0 {
+		t.Errorf("expected some VM variables")
+	}
+}

@@ -1,0 +1,180 @@
+package schematic
+
+import (
+	"sort"
+
+	"schematic/internal/cfg"
+	"schematic/internal/dataflow"
+	"schematic/internal/ir"
+)
+
+// allocMap is a memory allocation: the set of variables resident in VM.
+type allocMap map[*ir.Var]bool
+
+func (a allocMap) clone() allocMap {
+	c := make(allocMap, len(a))
+	for v, in := range a {
+		if in {
+			c[v] = true
+		}
+	}
+	return c
+}
+
+func (a allocMap) bytes() int {
+	n := 0
+	for v, in := range a {
+		if in {
+			n += v.SizeBytes()
+		}
+	}
+	return n
+}
+
+func (a allocMap) equal(b allocMap) bool {
+	if len(normalize(a)) != len(normalize(b)) {
+		return false
+	}
+	for v, in := range a {
+		if in && !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func normalize(a allocMap) []*ir.Var {
+	var vs []*ir.Var
+	for v, in := range a {
+		if in {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+	return vs
+}
+
+// unit is a collapsed region the enclosing scope treats as a single node:
+// an analyzed loop, or a call block whose callee contains checkpoints.
+type unit struct {
+	// rep is the representative block: the loop header, or the isolated
+	// call block.
+	rep *ir.Block
+	// blocks is the set of CFG blocks the unit covers (loop body), or just
+	// the call block.
+	blocks map[*ir.Block]bool
+
+	// checkpointed units contain internal checkpoints; plain units do not.
+	checkpointed bool
+
+	// energy is the worst-case execution energy of the whole unit (plain
+	// units only).
+	energy float64
+	// entry is the worst-case energy needed at unit entry to reach (and
+	// complete) the first internal checkpoint (checkpointed units).
+	entry float64
+	// exitLeft is the guaranteed remaining energy when the unit exits
+	// (checkpointed units).
+	exitLeft float64
+
+	// vmDemand is the VM high-water mark of storage managed privately by
+	// the unit (callee locals); it stacks on top of the surrounding
+	// interval's allocation.
+	vmDemand int
+	// entryVM lists the caller-visible variables the unit needs resident
+	// in VM at entry; exitVM those resident at exit.
+	entryVM []*ir.Var
+	exitVM  []*ir.Var
+	// nvmAccessed are caller-visible variables the unit accesses from NVM;
+	// surrounding intervals must keep them in NVM for coherence.
+	nvmAccessed map[*ir.Var]bool
+	// accessed is every caller-visible variable the unit touches.
+	accessed map[*ir.Var]bool
+}
+
+// vmSet returns entryVM as a set.
+func varSet(vs []*ir.Var) map[*ir.Var]bool {
+	s := make(map[*ir.Var]bool, len(vs))
+	for _, v := range vs {
+		s[v] = true
+	}
+	return s
+}
+
+// funcSummary is the callee-side contract exported to callers (III-B1).
+type funcSummary struct {
+	hasCheckpoints bool
+
+	// Plain callees (no checkpoints anywhere inside).
+	energy   float64 // worst-case energy of one call
+	vmDemand int     // VM bytes for its locals and private allocations
+
+	// Checkpointed callees.
+	entry    float64 // energy needed at entry to reach the first checkpoint
+	exitLeft float64 // guaranteed remaining energy at return
+
+	// Caller-visible (global) allocation contract.
+	entryVM     []*ir.Var
+	exitVM      []*ir.Var
+	nvmAccessed map[*ir.Var]bool
+	accessed    map[*ir.Var]bool
+}
+
+// ckPlan records an enabled checkpoint location.
+type ckPlan struct {
+	edge  ir.Edge
+	every int // >1 for conditional back-edge checkpoints (Algorithm 1)
+	// preAlloc/postAlloc are the allocations on each side; save/restore
+	// sets are derived from them and liveness at rewrite time.
+	preAlloc  allocMap
+	postAlloc allocMap
+}
+
+// funcState is the per-function analysis state.
+type funcState struct {
+	f    *ir.Func
+	dom  *cfg.DomTree
+	lf   *cfg.LoopForest
+	live *dataflow.Liveness
+
+	analyzed map[*ir.Block]bool
+	alloc    map[*ir.Block]allocMap
+	eleft    map[*ir.Block]float64
+	etoLeave map[*ir.Block]float64
+
+	cks map[ir.Edge]*ckPlan
+	// retCks plans in-block checkpoints just before the Ret of the given
+	// blocks (single exit allocation, III-B1).
+	retCks map[*ir.Block]*ckPlan
+
+	// loopUnit maps a loop header to its collapsed unit after analysis.
+	loopUnit map[*ir.Block]*unit
+	// callUnit maps an isolated checkpointed-call block to its unit.
+	callUnit map[*ir.Block]*unit
+
+	hasCheckpoints bool
+}
+
+func newFuncState(f *ir.Func) *funcState {
+	return &funcState{
+		f:        f,
+		analyzed: map[*ir.Block]bool{},
+		alloc:    map[*ir.Block]allocMap{},
+		eleft:    map[*ir.Block]float64{},
+		etoLeave: map[*ir.Block]float64{},
+		cks:      map[ir.Edge]*ckPlan{},
+		loopUnit: map[*ir.Block]*unit{},
+		callUnit: map[*ir.Block]*unit{},
+	}
+}
+
+// ckAt returns the checkpoint plan on edge e, if enabled.
+func (fs *funcState) ckAt(e ir.Edge) *ckPlan { return fs.cks[e] }
+
+// enable records a checkpoint on e.
+func (fs *funcState) enable(e ir.Edge, pre, post allocMap, every int) *ckPlan {
+	p := &ckPlan{edge: e, every: every, preAlloc: pre, postAlloc: post}
+	fs.cks[e] = p
+	fs.hasCheckpoints = true
+	return p
+}

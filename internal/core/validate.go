@@ -1,0 +1,688 @@
+package schematic
+
+import (
+	"fmt"
+
+	"schematic/internal/cfg"
+	"schematic/internal/dataflow"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+// Validate statically checks that a transformed module obeys the
+// discipline SCHEMATIC guarantees (paper II-B), independent of how it was
+// produced:
+//
+//   - Budget safety / forward progress: on every path, the worst-case
+//     energy between two consecutive enabled checkpoints (restore + code +
+//     save) never exceeds EB; loops without a firing back-edge checkpoint
+//     are bounded by their trip count, conditional checkpoints by numit.
+//   - Capacity: the VM bytes of every block's allocation fit in SVM.
+//   - Allocation coherence: a variable's allocation changes only across a
+//     checkpoint (otherwise VM and NVM copies could diverge).
+//   - Pointer discipline: address-taken variables are never in VM.
+//
+// Validate is used by the test suite as an oracle over fuzzed programs and
+// is exported so downstream users can gate deployment on it.
+func Validate(m *ir.Module, conf Config) error {
+	if conf.Model == nil {
+		return fmt.Errorf("schematic: Validate: Config.Model is required")
+	}
+	if conf.Budget <= 0 {
+		return fmt.Errorf("schematic: Validate: Config.Budget must be positive")
+	}
+	v := &validator{m: m, conf: conf, model: conf.Model}
+	return v.run()
+}
+
+type validator struct {
+	m     *ir.Module
+	conf  Config
+	model *energy.Model
+
+	// entryDemand/exitResidual mirror the analyzer's function contracts,
+	// recomputed independently.
+	entryDemand  map[*ir.Func]float64
+	exitResidual map[*ir.Func]float64
+	hasCk        map[*ir.Func]bool
+
+	// Captured by energySafety for Report: worst-case pre-fire drain per
+	// checkpoint, its block, and per-block worst drain per function.
+	eFireAll map[*ir.Checkpoint]float64
+	ckBlocks map[*ir.Checkpoint]*ir.Block
+	worstOf  map[*ir.Func]map[*ir.Block]float64
+}
+
+func (v *validator) run() error {
+	if err := v.structural(); err != nil {
+		return err
+	}
+	// Transitive checkpoint presence, needed by the coherence analysis.
+	v.hasCk = map[*ir.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range v.m.Funcs {
+			if v.hasCk[f] {
+				continue
+			}
+			has := moduleFuncHasCk(f)
+			if !has {
+				has = anyCalleeCk(v, f)
+			}
+			if has {
+				v.hasCk[f] = true
+				changed = true
+			}
+		}
+	}
+	gu := dataflow.BuildGlobalUse(v.m)
+	for _, f := range v.m.Funcs {
+		if err := v.coherence(f, gu); err != nil {
+			return err
+		}
+	}
+	cg := cfg.BuildCallGraph(v.m)
+	order, err := cg.ReverseTopo(v.m)
+	if err != nil {
+		return err
+	}
+	v.entryDemand = map[*ir.Func]float64{}
+	v.exitResidual = map[*ir.Func]float64{}
+	v.eFireAll = map[*ir.Checkpoint]float64{}
+	v.ckBlocks = map[*ir.Checkpoint]*ir.Block{}
+	v.worstOf = map[*ir.Func]map[*ir.Block]float64{}
+	for _, f := range order {
+		if err := v.energySafety(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// structural checks capacity, pointer discipline, atomic-section
+// integrity, and refined register-count honesty (copy coherence is
+// handled by the dataflow analysis in coherence.go).
+func (v *validator) structural() error {
+	for _, f := range v.m.Funcs {
+		var regLive *dataflow.RegLiveness // built on demand
+		for _, b := range f.Blocks {
+			// A checkpoint must not sit inside an atomic region, including
+			// on a split block bridging two atomic blocks.
+			for idx, in := range b.Instrs {
+				ck, isCk := in.(*ir.Checkpoint)
+				if !isCk {
+					continue
+				}
+				// A refined register count must cover every register live
+				// after the checkpoint: the runtime restores only that
+				// many, so an understated count would corrupt resumption
+				// (and under-account the save cost).
+				if ck.RefinedRegs {
+					if ck.LiveRegs < 0 {
+						return fmt.Errorf("schematic: %s.%s: checkpoint #%d: negative refined register count",
+							f.Name, b.Name, ck.ID)
+					}
+					if regLive == nil {
+						regLive = dataflow.LiveRegs(f)
+					}
+					if need := regLive.LiveAtInstr(b, idx+1); ck.LiveRegs < need {
+						return fmt.Errorf("schematic: %s.%s: checkpoint #%d claims %d live registers but %d are live after it",
+							f.Name, b.Name, ck.ID, ck.LiveRegs, need)
+					}
+				}
+				if b.Atomic {
+					return fmt.Errorf("schematic: %s.%s: checkpoint inside an atomic section", f.Name, b.Name)
+				}
+				preds := b.Preds()
+				succs := b.Succs()
+				if len(preds) == 1 && len(succs) == 1 && preds[0].Atomic && succs[0].Atomic {
+					return fmt.Errorf("schematic: %s.%s: checkpoint on an edge inside an atomic section", f.Name, b.Name)
+				}
+			}
+			if v.conf.VMSize > 0 && b.VMBytes() > v.conf.VMSize {
+				return fmt.Errorf("schematic: %s.%s: VM allocation %d B exceeds SVM %d B",
+					f.Name, b.Name, b.VMBytes(), v.conf.VMSize)
+			}
+			for vr, in := range b.Alloc {
+				if in && vr.AddrUsed {
+					return fmt.Errorf("schematic: %s.%s: pointer-accessed %s in VM",
+						f.Name, b.Name, vr.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// energySafety verifies the forward-progress guarantee with an abstract
+// interpretation over worst-case drained energy.
+//
+// Phase 1 treats every wait checkpoint — conditional or not — as firing on
+// every pass; the fixpoint then stabilizes and yields, for every
+// checkpoint, the worst-case pre-fire energy e_fire (one inter-checkpoint
+// segment). Phase 2 re-checks each conditional checkpoint with its real
+// period k: a fire is followed by up to k segments before the next fire,
+// so `restore + k·Δ + save ≤ EB` must hold, where Δ = e_fire − restore is
+// the measured worst-case per-cycle drain. This mirrors Algorithm 1's own
+// arithmetic but is recomputed from the final IR, independent of the
+// analyzer's internal state.
+func (v *validator) energySafety(f *ir.Func) error {
+	// worst[b] = maximum energy drained since the last replenishment at
+	// block entry, -1 = unreached.
+	worst := map[*ir.Block]float64{}
+	for _, b := range f.Blocks {
+		worst[b] = -1
+	}
+	worst[f.Entry()] = v.model.RestoreRegsCost()
+
+	// eFire[ck] = stabilized worst-case drained energy when the checkpoint
+	// is reached (before counter update and save).
+	eFire := map[*ir.Checkpoint]float64{}
+	ckBlock := map[*ir.Checkpoint]*ir.Block{}
+
+	var verr error
+	scan := func(b *ir.Block, e float64) float64 {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Checkpoint:
+				if x.Kind != ir.CkWait {
+					continue // rollback/trigger styles give no static guarantee
+				}
+				if e > eFire[x] {
+					eFire[x] = e
+				}
+				ckBlock[x] = b
+				if x.Every > 1 {
+					e += v.model.NVMWriteEnergy
+				}
+				save := v.saveCost(x, b)
+				if e+save > v.conf.Budget+1e-6 {
+					verr = fmt.Errorf("schematic: %s.%s: worst-case %0.1f nJ + save %0.1f exceeds EB %0.1f at checkpoint #%d",
+						f.Name, b.Name, e, save, v.conf.Budget, x.ID)
+				}
+				e = v.restoreCost(x, b)
+			case *ir.Call:
+				e += v.model.InstrEnergy(in, ir.NVM)
+				if v.hasCk[x.Callee] {
+					if e+v.entryDemand[x.Callee] > v.conf.Budget+1e-6 {
+						verr = fmt.Errorf("schematic: %s.%s: call %s entry demand %0.1f on top of %0.1f exceeds EB",
+							f.Name, b.Name, x.Callee.Name, v.entryDemand[x.Callee], e)
+					}
+					e = v.exitResidual[x.Callee]
+				} else {
+					e += v.entryDemand[x.Callee] // total cost for plain callees
+				}
+			default:
+				space := ir.NVM
+				if vr, _, ok := ir.AccessedVar(in); ok && b.InVM(vr) {
+					space = ir.VM
+				}
+				e += v.model.InstrEnergy(in, space)
+			}
+		}
+		return e
+	}
+
+	// Phase 1: always-fire fixpoint over a view of the CFG where *maximal
+	// unchecked loops* — loops containing no wait checkpoint and no call to
+	// a checkpointed callee anywhere inside — are collapsed into a single
+	// bounded charge of (bound+1) × worst-iteration energy. Every remaining
+	// cycle passes a reset (a checkpoint or a checkpointed call), so the
+	// fixpoint stabilizes.
+	dom := cfg.Dominators(f)
+	lf := cfg.Loops(f, dom)
+
+	// Maximal unchecked loops and their bounded total cost.
+	superOf := map[*ir.Block]*cfg.Loop{}
+	superCost := map[*cfg.Loop]float64{}
+	for _, l := range lf.All { // outer before inner (preorder)
+		if !v.loopUnchecked(l) {
+			continue
+		}
+		if _, covered := superOf[l.Header]; covered {
+			continue // already inside an enclosing collapsed loop
+		}
+		bound := v.loopBound(l)
+		if bound == 0 {
+			return fmt.Errorf("schematic: %s: loop at %s has no checkpoint on its cycle and no trip bound",
+				f.Name, l.Header.Name)
+		}
+		cost := float64(bound+1) * v.loopIterEnergy(l)
+		if debugRCG {
+			fmt.Printf("validator: %s loop %s bound=%d iter=%.1f cost=%.1f\n",
+				f.Name, l.Header.Name, bound, v.loopIterEnergy(l), cost)
+		}
+		superCost[l] = cost
+		for b := range l.Blocks {
+			superOf[b] = l
+		}
+	}
+	// Exit targets of a collapsed loop.
+	loopExits := func(l *cfg.Loop) []*ir.Block {
+		var out []*ir.Block
+		for b := range l.Blocks {
+			for _, s := range b.Succs() {
+				if !l.Contains(s) {
+					out = append(out, s)
+				}
+			}
+		}
+		return out
+	}
+
+	maxRounds := len(f.Blocks) + 4
+	stabilized := false
+	for round := 0; round < maxRounds && !stabilized; round++ {
+		stabilized = true
+		for _, b := range ir.ReversePostorder(f) {
+			if worst[b] < 0 {
+				continue
+			}
+			if l, inSuper := superOf[b]; inSuper {
+				// Only the header carries the collapsed charge.
+				if b != l.Header {
+					continue
+				}
+				out := worst[b] + superCost[l]
+				if out > v.conf.Budget+1e-6 {
+					if debugRCG {
+						seen := map[*ir.Block]bool{}
+						var dump func(x *ir.Block, depth int)
+						dump = func(x *ir.Block, depth int) {
+							if depth > 8 || seen[x] {
+								return
+							}
+							seen[x] = true
+							fmt.Printf("validator: %*s%s worst=%.1f\n", depth*2, "", x.Name, worst[x])
+							for _, p := range x.Preds() {
+								dump(p, depth+1)
+							}
+						}
+						dump(b, 0)
+					}
+					return fmt.Errorf("schematic: %s: unchecked loop at %s drains %0.1f nJ (> EB %0.1f)",
+						f.Name, l.Header.Name, out, v.conf.Budget)
+				}
+				for _, s := range loopExits(l) {
+					if out > worst[s]+1e-9 {
+						worst[s] = out
+						stabilized = false
+					}
+				}
+				continue
+			}
+			out := scan(b, worst[b])
+			if verr != nil {
+				return verr
+			}
+			for _, s := range b.Succs() {
+				if _, targetSuper := superOf[s]; targetSuper && s != superOf[s].Header {
+					continue // natural loops have a single entry; ignore oddities
+				}
+				if out > worst[s]+1e-9 {
+					worst[s] = out
+					stabilized = false
+				}
+			}
+		}
+	}
+	if !stabilized {
+		if debugRCG {
+			// One more diagnostic round: report which successors still move.
+			for _, b := range ir.ReversePostorder(f) {
+				if worst[b] < 0 {
+					continue
+				}
+				if l, inSuper := superOf[b]; inSuper {
+					if b != l.Header {
+						continue
+					}
+					out := worst[b] + superCost[l]
+					for _, s := range loopExits(l) {
+						if out > worst[s]+1e-9 {
+							fmt.Printf("validator-unstable: %s: %.3f -> exit %s (%.3f)\n", b.Name, out, s.Name, worst[s])
+						}
+					}
+					continue
+				}
+				out := scan(b, worst[b])
+				for _, s := range b.Succs() {
+					if _, ts := superOf[s]; ts && s != superOf[s].Header {
+						continue
+					}
+					if out > worst[s]+1e-9 {
+						fmt.Printf("validator-unstable: %s: %.3f -> %s (%.3f)\n", b.Name, out, s.Name, worst[s])
+						for _, p := range b.Preds() {
+							fmt.Printf("  pred %s worst=%.3f\n", p.Name, worst[p])
+						}
+					}
+				}
+			}
+		}
+		return fmt.Errorf("schematic: %s: energy accounting did not stabilize — some cycle lacks a checkpoint and a trip bound", f.Name)
+	}
+	if debugRCG {
+		for _, b := range ir.ReversePostorder(f) {
+			if worst[b] >= 0 {
+				fmt.Printf("validator-worst: %s.%s = %.1f\n", f.Name, b.Name, worst[b])
+			}
+		}
+	}
+	// Phase 2: conditional checkpoints with their real period. The
+	// per-cycle drain Δ is the loop's worst-case iteration energy (the
+	// phase-1 eFire additionally covers the entry path into the loop, whose
+	// own bound is the per-arrival check in scan). Skipped firings still
+	// pay the counter update and the split block's jump.
+	for ck, e := range eFire {
+		v.eFireAll[ck] = e
+		v.ckBlocks[ck] = ckBlock[ck]
+	}
+	v.worstOf[f] = worst
+	for ck, b := range ckBlock {
+		if ck.Every <= 1 {
+			continue
+		}
+		l := lf.LoopOf(b)
+		if l == nil {
+			// A conditional checkpoint outside any loop fires at most once
+			// per arrival; the per-arrival check covers it, but the firing
+			// pass still pays the counter update.
+			v.eFireAll[ck] += v.model.NVMWriteEnergy
+			continue
+		}
+		restore := v.restoreCost(ck, b)
+		save := v.saveCost(ck, b)
+		delta := v.loopIterEnergy(l) + v.model.NVMWriteEnergy
+		if restore+float64(ck.Every)*delta+save > v.conf.Budget+1e-6 {
+			return fmt.Errorf("schematic: %s.%s: conditional checkpoint #%d every %d: restore %0.1f + %d×%0.1f + save %0.1f exceeds EB %0.1f",
+				f.Name, b.Name, ck.ID, ck.Every, restore, ck.Every, delta, save, v.conf.Budget)
+		}
+		// The true worst pre-fire drain spans the Every skipped passes
+		// (each paying an iteration plus the counter update), not just the
+		// single segment phase 1 measured.
+		if e := restore + float64(ck.Every)*delta; e > v.eFireAll[ck] {
+			v.eFireAll[ck] = e
+		}
+	}
+	// Export this function's contract for callers.
+	v.hasCk[f] = moduleFuncHasCk(f) || anyCalleeCk(v, f)
+	if !v.hasCk[f] {
+		total := 0.0
+		for _, b := range f.Blocks {
+			if worst[b] < 0 {
+				continue
+			}
+			if e := scan(b, worst[b]); e > total {
+				total = e
+			}
+		}
+		v.entryDemand[f] = total - v.model.RestoreRegsCost()
+		if v.entryDemand[f] < 0 {
+			v.entryDemand[f] = 0
+		}
+		v.exitResidual[f] = 0
+		if debugRCG {
+			fmt.Printf("validator: func %s plain total=%.1f\n", f.Name, v.entryDemand[f])
+		}
+		return nil
+	}
+	// Entry demand: worst energy from entry to the first wait checkpoint's
+	// completed save (or function exit).
+	v.entryDemand[f] = v.entryDemandOf(f)
+	worstExit := 0.0
+	for _, b := range f.Blocks {
+		if worst[b] < 0 {
+			continue
+		}
+		if _, isRet := b.Terminator().(*ir.Ret); isRet {
+			if e := scan(b, worst[b]); e > worstExit {
+				worstExit = e
+			}
+		}
+	}
+	v.exitResidual[f] = worstExit
+	if debugRCG {
+		fmt.Printf("validator: func %s hasCk=%v entryDemand=%.1f exitResidual=%.1f\n",
+			f.Name, v.hasCk[f], v.entryDemand[f], v.exitResidual[f])
+	}
+	return nil
+}
+
+// blockResets reports whether executing b replenishes the capacitor (a
+// wait checkpoint, or a call into a checkpointed callee).
+func (v *validator) blockResets(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		if ck, ok := in.(*ir.Checkpoint); ok && ck.Kind == ir.CkWait {
+			return true
+		}
+		if c, ok := in.(*ir.Call); ok && v.hasCk[c.Callee] {
+			return true
+		}
+	}
+	return false
+}
+
+// loopUnchecked reports whether the loop has a checkpoint-free cycle:
+// some header→latch path that never replenishes. Such loops accumulate
+// energy across iterations and must be bounded by their trip count. A
+// checkpoint that only sits on a side branch does not guard the cycle.
+func (v *validator) loopUnchecked(l *cfg.Loop) bool {
+	latches := map[*ir.Block]bool{}
+	for _, lt := range l.Latches {
+		latches[lt] = true
+	}
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block) bool
+	dfs = func(b *ir.Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		if v.blockResets(b) {
+			return false // every path through here replenishes
+		}
+		if latches[b] {
+			return true
+		}
+		for _, s := range b.Succs() {
+			if !l.Contains(s) || s == l.Header {
+				continue
+			}
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(l.Header)
+}
+
+// loopBound returns the loop's trip bound: the @max annotation or the
+// profile estimate, 0 when unknown.
+func (v *validator) loopBound(l *cfg.Loop) int {
+	if l.MaxIter > 0 {
+		return l.MaxIter
+	}
+	if v.conf.Profile != nil {
+		return v.conf.Profile.LoopIterEstimate(l.Header)
+	}
+	return 0
+}
+
+// blockExecWorst is the energy of one execution of b under its allocation,
+// with plain callee totals folded in (checkpointed callees are excluded —
+// unchecked loops never contain them).
+func (v *validator) blockExecWorst(b *ir.Block) float64 {
+	e := 0.0
+	for _, in := range b.Instrs {
+		space := ir.NVM
+		if vr, _, ok := ir.AccessedVar(in); ok && b.InVM(vr) {
+			space = ir.VM
+		}
+		e += v.model.InstrEnergy(in, space)
+		if c, ok := in.(*ir.Call); ok {
+			e += v.entryDemand[c.Callee]
+		}
+	}
+	return e
+}
+
+// loopIterEnergy bounds one iteration of an unchecked loop: the longest
+// header→latch path, with nested loops charged their bounded totals.
+func (v *validator) loopIterEnergy(l *cfg.Loop) float64 {
+	childOf := map[*ir.Block]*cfg.Loop{}
+	for _, c := range l.Children {
+		for b := range c.Blocks {
+			childOf[b] = c
+		}
+	}
+	memo := map[*ir.Block]float64{}
+	var worstFrom func(b *ir.Block) float64
+	worstFrom = func(b *ir.Block) float64 {
+		if c, ok := childOf[b]; ok {
+			// Collapsed child loop: bounded total, then continue from its
+			// exits that stay inside l.
+			cost := float64(v.loopBound(c)+1) * v.loopIterEnergy(c)
+			best := 0.0
+			for cb := range c.Blocks {
+				for _, s := range cb.Succs() {
+					if !c.Contains(s) && l.Contains(s) && s != l.Header {
+						if x := worstFrom(s); x > best {
+							best = x
+						}
+					}
+				}
+			}
+			return cost + best
+		}
+		if x, ok := memo[b]; ok {
+			return x
+		}
+		memo[b] = 0 // cycle guard
+		best := 0.0
+		for _, s := range b.Succs() {
+			if !l.Contains(s) || s == l.Header {
+				continue
+			}
+			if x := worstFrom(s); x > best {
+				best = x
+			}
+		}
+		memo[b] = v.blockExecWorst(b) + best
+		return memo[b]
+	}
+	return worstFrom(l.Header)
+}
+
+func moduleFuncHasCk(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(*ir.Checkpoint); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func anyCalleeCk(v *validator, f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && v.hasCk[c.Callee] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// entryDemandOf walks acyclically from the entry to the first checkpoint.
+func (v *validator) entryDemandOf(f *ir.Func) float64 {
+	demand := 0.0
+	seen := map[*ir.Block]bool{}
+	var walk func(b *ir.Block, e float64)
+	walk = func(b *ir.Block, e float64) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, in := range b.Instrs {
+			if ck, ok := in.(*ir.Checkpoint); ok && ck.Kind == ir.CkWait {
+				if x := e + v.saveCost(ck, b); x > demand {
+					demand = x
+				}
+				return
+			}
+			space := ir.NVM
+			if vr, _, ok := ir.AccessedVar(in); ok && b.InVM(vr) {
+				space = ir.VM
+			}
+			e += v.model.InstrEnergy(in, space)
+			if c, ok := in.(*ir.Call); ok {
+				if v.hasCk[c.Callee] {
+					if x := e + v.entryDemand[c.Callee]; x > demand {
+						demand = x
+					}
+					return
+				}
+				e += v.entryDemand[c.Callee]
+			}
+		}
+		if e > demand {
+			demand = e
+		}
+		for _, s := range b.Succs() {
+			walk(s, e)
+		}
+	}
+	walk(f.Entry(), 0)
+	return demand
+}
+
+func ckRegCount(ck *ir.Checkpoint) int {
+	if ck.RefinedRegs {
+		return ck.LiveRegs
+	}
+	return -1
+}
+
+func (v *validator) saveCost(ck *ir.Checkpoint, b *ir.Block) float64 {
+	e := v.model.SaveRegsCostFor(ckRegCount(ck))
+	if ck.RegsOnly {
+		return e
+	}
+	vars := ck.Save
+	if ck.SaveAll {
+		// Conservative: everything the block's allocation holds.
+		vars = vars[:0:0]
+		for vr, in := range b.Alloc {
+			if in {
+				vars = append(vars, vr)
+			}
+		}
+	}
+	for _, vr := range vars {
+		e += v.model.SaveVarCost(vr)
+	}
+	return e
+}
+
+func (v *validator) restoreCost(ck *ir.Checkpoint, b *ir.Block) float64 {
+	e := v.model.RestoreRegsCostFor(ckRegCount(ck))
+	if ck.RegsOnly {
+		return e
+	}
+	vars := ck.Restore
+	if ck.SaveAll {
+		vars = vars[:0:0]
+		for vr, in := range b.Alloc {
+			if in {
+				vars = append(vars, vr)
+			}
+		}
+	}
+	for _, vr := range vars {
+		e += v.model.RestoreVarCost(vr)
+	}
+	return e
+}

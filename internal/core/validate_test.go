@@ -1,0 +1,154 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// validateAfterApply checks the validator accepts everything the pass
+// produces, across programs and budgets.
+func TestValidateAcceptsPassOutput(t *testing.T) {
+	srcs := map[string]string{"sum": sumSrc, "call": callSrc, "nested": nestedSrc, "long": longLoopSrc}
+	model := energy.MSP430FR5969()
+	for name, src := range srcs {
+		for _, budget := range []float64{700, 1500, 4000, 20000} {
+			m := compile(t, src)
+			prof, err := trace.Collect(m, trace.Options{Runs: 5, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			conf := Config{Model: model, Budget: budget, VMSize: 2048, Profile: prof}
+			tr := ir.Clone(m)
+			if _, err := Apply(tr, conf); err != nil {
+				t.Fatalf("%s @%v: Apply: %v", name, budget, err)
+			}
+			if err := Validate(tr, conf); err != nil {
+				t.Errorf("%s @%v: Validate rejected the pass output: %v\n%s", name, budget, err, tr.String())
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBrokenPrograms(t *testing.T) {
+	model := energy.MSP430FR5969()
+	conf := Config{Model: model, Budget: 800, VMSize: 2048}
+
+	// 1. No checkpoints at all on an expensive program.
+	m := compile(t, sumSrc)
+	if err := Validate(m, conf); err == nil {
+		t.Errorf("accepted an unchecked program exceeding the budget")
+	}
+
+	// 2. Allocation flip without a checkpoint.
+	m2 := compile(t, sumSrc)
+	prof, _ := trace.Collect(m2, trace.Options{Runs: 3, Seed: 1})
+	tr := ir.Clone(m2)
+	if _, err := Apply(tr, Config{Model: model, Budget: 3000, VMSize: 2048, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	mainF := tr.FuncByName("main")
+	acc := tr.GlobalByName("acc")
+	// Flip acc's allocation in one loop block only.
+	for _, b := range mainF.Blocks {
+		if strings.HasPrefix(b.Name, "for.body") {
+			alloc := map[*ir.Var]bool{}
+			for v, in := range b.Alloc {
+				if in {
+					alloc[v] = true
+				}
+			}
+			alloc[acc] = !b.InVM(acc)
+			b.Alloc = alloc
+			break
+		}
+	}
+	if err := Validate(tr, Config{Model: model, Budget: 3000, VMSize: 2048}); err == nil {
+		t.Errorf("accepted an allocation change without a checkpoint")
+	} else if !strings.Contains(err.Error(), "copy is fresher") &&
+		!strings.Contains(err.Error(), "dropped") {
+		t.Errorf("wrong error: %v", err)
+	}
+
+	// 3. VM capacity violation.
+	m3 := compile(t, sumSrc)
+	f3 := m3.FuncByName("main")
+	data := m3.GlobalByName("data")
+	for _, b := range f3.Blocks {
+		b.Alloc = map[*ir.Var]bool{data: true}
+	}
+	if err := Validate(m3, Config{Model: model, Budget: 1e9, VMSize: 16}); err == nil {
+		t.Errorf("accepted a VM capacity violation")
+	}
+
+	// 4. Conditional checkpoint with an oversized period.
+	m4 := compile(t, sumSrc)
+	prof4, _ := trace.Collect(m4, trace.Options{Runs: 3, Seed: 1})
+	tr4 := ir.Clone(m4)
+	if _, err := Apply(tr4, Config{Model: model, Budget: 700, VMSize: 2048, Profile: prof4}); err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	for _, ck := range ir.Checkpoints(tr4) {
+		if ck.Every > 1 {
+			ck.Every *= 50
+			tampered = true
+		}
+	}
+	if tampered {
+		if err := Validate(tr4, Config{Model: model, Budget: 700, VMSize: 2048}); err == nil {
+			t.Errorf("accepted a tampered conditional checkpoint period")
+		}
+	}
+}
+
+func TestValidateAcceptsAllBenchmark(t *testing.T) {
+	// Cross-check with a MiniC program large enough to have functions,
+	// loops and calls.
+	src := `
+input int data[32];
+int out1;
+
+func int f(int x) {
+  int i;
+  int acc;
+  acc = x;
+  for (i = 0; i < 10; i = i + 1) @max(10) {
+    acc = acc + i * x;
+  }
+  return acc & 0x7FFF;
+}
+
+func void main() {
+  int i;
+  out1 = 0;
+  for (i = 0; i < 32; i = i + 1) @max(32) {
+    out1 = (out1 + f(data[i])) & 0x7FFF;
+  }
+  print(out1);
+}
+`
+	m, err := minic.Compile("v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := energy.MSP430FR5969()
+	prof, err := trace.Collect(m, trace.Options{Runs: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []float64{900, 2500, 9000} {
+		conf := Config{Model: model, Budget: budget, VMSize: 2048, Profile: prof}
+		tr := ir.Clone(m)
+		if _, err := Apply(tr, conf); err != nil {
+			t.Fatalf("@%v: %v", budget, err)
+		}
+		if err := Validate(tr, conf); err != nil {
+			t.Errorf("@%v: %v", budget, err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package dataflow implements the iterative dataflow analyses SCHEMATIC
+// needs: per-variable liveness (used by Eq. 2 to skip saving dead variables
+// and restoring write-first variables) and access-count summaries (the nR
+// and nW of Eq. 1).
+package dataflow
+
+import "math/bits"
+
+// BitSet is a fixed-universe bit set used as the lattice element of the
+// dataflow solver.
+type BitSet []uint64
+
+// NewBitSet returns an empty set over a universe of n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds element i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (i % 64) }
+
+// Clear removes element i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether the set contains i.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// UnionWith adds every element of t, reporting whether s changed.
+func (s BitSet) UnionWith(t BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] |= t[i]
+		changed = changed || s[i] != old
+	}
+	return changed
+}
+
+// DiffWith removes every element of t.
+func (s BitSet) DiffWith(t BitSet) {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+}
+
+// Copy returns an independent copy.
+func (s BitSet) Copy() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Count returns the number of elements.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether two sets over the same universe are equal.
+func (s BitSet) Equal(t BitSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}

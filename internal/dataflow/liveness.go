@@ -1,0 +1,222 @@
+package dataflow
+
+import (
+	"sort"
+
+	"schematic/internal/ir"
+)
+
+// Liveness holds per-block live-variable information for one function, at
+// the granularity of memory variables (the granularity of SCHEMATIC's
+// allocation, paper III-A).
+//
+// Precision notes, all conservative:
+//   - a store to a scalar kills it; a store to an array element does not
+//     (partial definition),
+//   - globals transitively accessed by a callee are treated as used at the
+//     call site,
+//   - every global accessed anywhere in the module is live at function
+//     exit (no interprocedural continuation tracking).
+type Liveness struct {
+	fn   *ir.Func
+	vars []*ir.Var
+	idx  map[*ir.Var]int
+	in   map[*ir.Block]BitSet
+	out  map[*ir.Block]BitSet
+}
+
+// GlobalUse summarizes, per function, the globals it (transitively) reads
+// or writes. Shared across the per-function liveness computations.
+type GlobalUse struct {
+	Accessed map[*ir.Func]map[*ir.Var]bool
+}
+
+// BuildGlobalUse computes transitive global access sets for every function
+// of the module. The call graph is acyclic (ir.Verify), so a fixed point is
+// reached in one pass over a reverse topological order; for robustness we
+// simply iterate to fixpoint.
+func BuildGlobalUse(m *ir.Module) *GlobalUse {
+	gu := &GlobalUse{Accessed: map[*ir.Func]map[*ir.Var]bool{}}
+	for _, f := range m.Funcs {
+		gu.Accessed[f] = map[*ir.Var]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			set := gu.Accessed[f]
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if v, _, ok := ir.AccessedVar(in); ok && v.Global && !set[v] {
+						set[v] = true
+						changed = true
+					}
+					if c, ok := in.(*ir.Call); ok {
+						for g := range gu.Accessed[c.Callee] {
+							if !set[g] {
+								set[g] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gu
+}
+
+// LiveVars computes liveness for f. gu may be nil, in which case it is
+// computed on the fly from f's module.
+func LiveVars(f *ir.Func, gu *GlobalUse) *Liveness {
+	if gu == nil {
+		gu = BuildGlobalUse(f.Module)
+	}
+	lv := &Liveness{
+		fn:  f,
+		idx: map[*ir.Var]int{},
+		in:  map[*ir.Block]BitSet{},
+		out: map[*ir.Block]BitSet{},
+	}
+	// Universe: this function's locals plus all globals.
+	for _, v := range f.Locals {
+		lv.idx[v] = len(lv.vars)
+		lv.vars = append(lv.vars, v)
+	}
+	for _, v := range f.Module.Globals {
+		lv.idx[v] = len(lv.vars)
+		lv.vars = append(lv.vars, v)
+	}
+	n := len(lv.vars)
+
+	// Globals accessed anywhere in the module are live at exit.
+	exitLive := NewBitSet(n)
+	for _, fn := range f.Module.Funcs {
+		for g := range gu.Accessed[fn] {
+			exitLive.Set(lv.idx[g])
+		}
+	}
+
+	gen := map[*ir.Block]BitSet{}
+	kill := map[*ir.Block]BitSet{}
+	for _, b := range f.Blocks {
+		g, k := NewBitSet(n), NewBitSet(n)
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Load:
+				i := lv.idx[x.Var]
+				if !k.Has(i) {
+					g.Set(i)
+				}
+			case *ir.Store:
+				i := lv.idx[x.Var]
+				if x.HasIndex {
+					// Partial definition: the array stays live (its other
+					// elements may be read later), so it counts as a use.
+					if !k.Has(i) {
+						g.Set(i)
+					}
+				} else if !g.Has(i) {
+					k.Set(i)
+				}
+			case *ir.Call:
+				for gvar := range gu.Accessed[x.Callee] {
+					i := lv.idx[gvar]
+					if !k.Has(i) {
+						g.Set(i)
+					}
+				}
+			}
+		}
+		gen[b], kill[b] = g, k
+		lv.in[b] = NewBitSet(n)
+		lv.out[b] = NewBitSet(n)
+	}
+
+	// Backward iteration to fixpoint, visiting blocks in reverse RPO for
+	// fast convergence.
+	rpo := ir.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.out[b]
+			if _, isRet := b.Terminator().(*ir.Ret); isRet {
+				if out.UnionWith(exitLive) {
+					changed = true
+				}
+			}
+			for _, s := range b.Succs() {
+				if out.UnionWith(lv.in[s]) {
+					changed = true
+				}
+			}
+			newIn := out.Copy()
+			newIn.DiffWith(kill[b])
+			newIn.UnionWith(gen[b])
+			if !newIn.Equal(lv.in[b]) {
+				lv.in[b] = newIn
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveIn reports whether v is live at the entry of b.
+func (lv *Liveness) LiveIn(v *ir.Var, b *ir.Block) bool {
+	i, ok := lv.idx[v]
+	return ok && lv.in[b].Has(i)
+}
+
+// LiveOut reports whether v is live at the exit of b.
+func (lv *Liveness) LiveOut(v *ir.Var, b *ir.Block) bool {
+	i, ok := lv.idx[v]
+	return ok && lv.out[b].Has(i)
+}
+
+// LiveAtEdge reports whether v is live on the CFG edge e — the liveness
+// query Eq. 2 needs at potential checkpoint locations.
+func (lv *Liveness) LiveAtEdge(v *ir.Var, e ir.Edge) bool {
+	return lv.LiveIn(v, e.To)
+}
+
+// LiveInSet returns the variables live at entry of b, sorted by name.
+func (lv *Liveness) LiveInSet(b *ir.Block) []*ir.Var {
+	var out []*ir.Var
+	set := lv.in[b]
+	for i, v := range lv.vars {
+		if set.Has(i) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RW is a read/write access count pair (the nR and nW of Eq. 1).
+type RW struct {
+	Reads  int
+	Writes int
+}
+
+// Total returns reads + writes.
+func (c RW) Total() int { return c.Reads + c.Writes }
+
+// AccessCounts tallies the memory accesses of a single block per variable.
+// Calls are not included; callers fold callee summaries separately
+// (paper III-B1).
+func AccessCounts(b *ir.Block) map[*ir.Var]RW {
+	counts := map[*ir.Var]RW{}
+	for _, in := range b.Instrs {
+		if v, write, ok := ir.AccessedVar(in); ok {
+			c := counts[v]
+			if write {
+				c.Writes++
+			} else {
+				c.Reads++
+			}
+			counts[v] = c
+		}
+	}
+	return counts
+}

@@ -1,0 +1,237 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"schematic/internal/ir"
+)
+
+const liveSrc = `module live
+global g
+global arr[4]
+global untouched
+
+func void useG() regs 2 {
+entry:
+  r0 = load g
+  r1 = const 1
+  r1 = add r0, r1
+  store g, r1
+  ret
+}
+
+func void main() regs 6 {
+  local a
+  local b
+  local dead
+entry:
+  r0 = const 1
+  store a, r0
+  store dead, r0
+  br r0, left, right
+left:
+  r1 = load a
+  store b, r1
+  jmp merge
+right:
+  r2 = const 2
+  store b, r2
+  jmp merge
+merge:
+  r3 = load b
+  store arr[r0], r3
+  call useG()
+  r4 = load arr[r0]
+  out r4
+  ret
+}
+`
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestGlobalUse(t *testing.T) {
+	m := mustParse(t, liveSrc)
+	gu := BuildGlobalUse(m)
+	mainF := m.FuncByName("main")
+	useG := m.FuncByName("useG")
+	g := m.GlobalByName("g")
+	arr := m.GlobalByName("arr")
+	unt := m.GlobalByName("untouched")
+
+	if !gu.Accessed[useG][g] {
+		t.Errorf("useG should access g")
+	}
+	if !gu.Accessed[mainF][g] {
+		t.Errorf("main should transitively access g via useG")
+	}
+	if !gu.Accessed[mainF][arr] {
+		t.Errorf("main should access arr")
+	}
+	if gu.Accessed[mainF][unt] || gu.Accessed[useG][unt] {
+		t.Errorf("untouched should be accessed by nobody")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	m := mustParse(t, liveSrc)
+	f := m.FuncByName("main")
+	lv := LiveVars(f, nil)
+	get := f.BlockByName
+	a := f.LocalByName("a")
+	b := f.LocalByName("b")
+	dead := f.LocalByName("dead")
+	g := m.GlobalByName("g")
+	arr := m.GlobalByName("arr")
+
+	// a is live into left (read there) but not into right.
+	if !lv.LiveIn(a, get("left")) {
+		t.Errorf("a should be live into left")
+	}
+	if lv.LiveIn(a, get("right")) {
+		t.Errorf("a should not be live into right")
+	}
+	// b is written in both arms before any read: not live into them.
+	if lv.LiveIn(b, get("left")) || lv.LiveIn(b, get("right")) {
+		t.Errorf("b should not be live into the branch arms")
+	}
+	if !lv.LiveIn(b, get("merge")) {
+		t.Errorf("b should be live into merge")
+	}
+	// dead is stored and never read.
+	for _, blk := range f.Blocks {
+		if lv.LiveIn(dead, blk) {
+			t.Errorf("dead live into %s", blk.Name)
+		}
+	}
+	// g is accessed by the callee, so it is live into merge (call site).
+	if !lv.LiveIn(g, get("merge")) {
+		t.Errorf("g should be live into merge via callee access")
+	}
+	// Globals accessed in the module stay live at exit.
+	if !lv.LiveOut(g, get("merge")) || !lv.LiveOut(arr, get("merge")) {
+		t.Errorf("module-accessed globals should be live out of the exit block")
+	}
+	// Array partial store keeps arr live (it is also read after).
+	if !lv.LiveIn(arr, get("merge")) {
+		t.Errorf("arr should be live into merge")
+	}
+}
+
+func TestLiveAtEdge(t *testing.T) {
+	m := mustParse(t, liveSrc)
+	f := m.FuncByName("main")
+	lv := LiveVars(f, nil)
+	a := f.LocalByName("a")
+	e := ir.Edge{From: f.BlockByName("entry"), To: f.BlockByName("left")}
+	if !lv.LiveAtEdge(a, e) {
+		t.Errorf("a should be live at entry->left")
+	}
+	e2 := ir.Edge{From: f.BlockByName("entry"), To: f.BlockByName("right")}
+	if lv.LiveAtEdge(a, e2) {
+		t.Errorf("a should be dead at entry->right")
+	}
+}
+
+func TestLiveInSetSorted(t *testing.T) {
+	m := mustParse(t, liveSrc)
+	f := m.FuncByName("main")
+	lv := LiveVars(f, nil)
+	set := lv.LiveInSet(f.BlockByName("merge"))
+	for i := 1; i < len(set); i++ {
+		if set[i-1].Name >= set[i].Name {
+			t.Errorf("LiveInSet not sorted: %v", set)
+		}
+	}
+}
+
+func TestAccessCounts(t *testing.T) {
+	m := mustParse(t, liveSrc)
+	f := m.FuncByName("main")
+	counts := AccessCounts(f.BlockByName("merge"))
+	b := f.LocalByName("b")
+	arr := m.GlobalByName("arr")
+	if c := counts[b]; c.Reads != 1 || c.Writes != 0 {
+		t.Errorf("counts[b] = %+v", c)
+	}
+	if c := counts[arr]; c.Reads != 1 || c.Writes != 1 || c.Total() != 2 {
+		t.Errorf("counts[arr] = %+v", c)
+	}
+}
+
+func TestBitSetProperties(t *testing.T) {
+	// Union is monotone and idempotent; diff removes what union added.
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := NewBitSet(n), NewBitSet(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		u := a.Copy()
+		u.UnionWith(b)
+		for _, x := range xs {
+			if !u.Has(int(x)) {
+				return false
+			}
+		}
+		for _, y := range ys {
+			if !u.Has(int(y)) {
+				return false
+			}
+		}
+		if u.UnionWith(b) { // idempotent
+			return false
+		}
+		u.DiffWith(b)
+		for _, y := range ys {
+			if u.Has(int(y)) {
+				return false
+			}
+		}
+		if u.Count() > len(xs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Errorf("Has wrong")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Errorf("Clear failed")
+	}
+	c := s.Copy()
+	if !c.Equal(s) {
+		t.Errorf("Copy not equal")
+	}
+	c.Set(5)
+	if c.Equal(s) {
+		t.Errorf("Copy shares storage")
+	}
+}

@@ -1,0 +1,89 @@
+package dataflow
+
+import (
+	"schematic/internal/ir"
+)
+
+// RegLiveness holds per-block live-register sets for one function. The
+// paper's §VII suggests reducing checkpointed data volume "by improving
+// the liveness analysis"; live-register sets let a checkpoint save only
+// the registers that still matter instead of the whole file.
+type RegLiveness struct {
+	fn  *ir.Func
+	in  map[*ir.Block]BitSet
+	out map[*ir.Block]BitSet
+}
+
+// LiveRegs computes register liveness for f (standard backward dataflow
+// over the virtual register set; Uses gen, Def kills).
+func LiveRegs(f *ir.Func) *RegLiveness {
+	n := f.NumRegs
+	rl := &RegLiveness{
+		fn:  f,
+		in:  map[*ir.Block]BitSet{},
+		out: map[*ir.Block]BitSet{},
+	}
+	gen := map[*ir.Block]BitSet{}
+	kill := map[*ir.Block]BitSet{}
+	for _, b := range f.Blocks {
+		g, k := NewBitSet(n), NewBitSet(n)
+		for _, in := range b.Instrs {
+			for _, r := range ir.Uses(in) {
+				if !k.Has(int(r)) {
+					g.Set(int(r))
+				}
+			}
+			if d, ok := ir.Def(in); ok && !g.Has(int(d)) {
+				k.Set(int(d))
+			}
+		}
+		gen[b], kill[b] = g, k
+		rl.in[b] = NewBitSet(n)
+		rl.out[b] = NewBitSet(n)
+	}
+	rpo := ir.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := rl.out[b]
+			for _, s := range b.Succs() {
+				if out.UnionWith(rl.in[s]) {
+					changed = true
+				}
+			}
+			newIn := out.Copy()
+			newIn.DiffWith(kill[b])
+			newIn.UnionWith(gen[b])
+			if !newIn.Equal(rl.in[b]) {
+				rl.in[b] = newIn
+				changed = true
+			}
+		}
+	}
+	return rl
+}
+
+// LiveInCount returns the number of registers live at entry of b.
+func (rl *RegLiveness) LiveInCount(b *ir.Block) int { return rl.in[b].Count() }
+
+// LiveAtInstr returns the number of registers live just before the i-th
+// instruction of b (recomputed by walking the block backwards).
+func (rl *RegLiveness) LiveAtInstr(b *ir.Block, idx int) int {
+	live := rl.out[b].Copy()
+	for i := len(b.Instrs) - 1; i >= idx; i-- {
+		in := b.Instrs[i]
+		if d, ok := ir.Def(in); ok {
+			live.Clear(int(d))
+		}
+		for _, r := range ir.Uses(in) {
+			live.Set(int(r))
+		}
+	}
+	return live.Count()
+}
+
+// OutSet returns a copy of the live-out register set of b, for clients
+// (like the optimizer's dead-code elimination) that walk blocks backwards
+// themselves.
+func (rl *RegLiveness) OutSet(b *ir.Block) BitSet { return rl.out[b].Copy() }

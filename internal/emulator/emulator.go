@@ -1,0 +1,193 @@
+// Package emulator executes IR programs the way the paper's ScEpTIC
+// infrastructure does: at IR level, under an intermittent power supply,
+// with precise energy monitoring.
+//
+// Power model. The platform owns a capacitor holding EB nanojoules when
+// full. Every executed instruction drains its energy; when the next
+// instruction does not fit, a power failure occurs: all volatile state
+// (registers, call stack, VM variable contents) is lost and the capacitor
+// is replenished while the device is off. The paper's experiments use the
+// time between power failures (TBPF) as the control variable and set EB to
+// the average energy consumed over that interval (IV-C); the harness
+// performs that conversion, the emulator works in energy units throughout.
+//
+// Checkpoint runtimes. Checkpoint instructions carry their runtime kind:
+//
+//   - CkWait (SCHEMATIC, ROCKCLIMB): save volatile data, sleep until the
+//     capacitor is full, restore, resume (Fig. 3). Deep sleep loses VM, so
+//     restores happen at every enabled checkpoint.
+//   - CkRollback (RATCHET, ALFRED): save and continue; a later power
+//     failure rolls execution back to the most recent save.
+//   - CkTrigger (MEMENTOS): measure the remaining energy and save only when
+//     it falls below a threshold fraction of EB.
+//
+// Energy is split into the four categories of Fig. 6 — Computation, Save,
+// Restore, Re-execution — plus the Fig. 7 sub-split of computation energy
+// into VM accesses, NVM accesses, and non-memory work.
+package emulator
+
+import (
+	"errors"
+	"fmt"
+
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+// Poison is the value unrestored VM storage materializes with. Any
+// observable poison in program output indicates a broken placement or
+// allocation pass; tests rely on this.
+const Poison int64 = 0x7A7A
+
+// Config controls one emulation.
+type Config struct {
+	Model *energy.Model
+
+	// VMSize is SVM in bytes. Accesses that would make the resident VM set
+	// exceed it abort the run with a VM-overflow verdict.
+	VMSize int
+
+	// Intermittent enables the power-failure model; EB is the capacitor
+	// energy in nJ. When Intermittent is false the program runs to
+	// completion on stable power (checkpoints still execute their
+	// save/restore work so overheads remain visible).
+	Intermittent bool
+	EB           float64
+
+	// FailEveryCycles, when positive, additionally triggers a power
+	// failure each time that many active cycles elapse since the last
+	// replenishment — the literal "periodic power failures of period TBPF"
+	// of the paper's emulator (IV-C). Wait-style checkpoints restart the
+	// period (the capacitor is full again). Usable with or without the
+	// energy model's exhaustion failures.
+	FailEveryCycles int64
+
+	// TriggerThreshold is the MEMENTOS trigger fraction: a CkTrigger
+	// checkpoint saves when remaining energy < TriggerThreshold × EB.
+	// Zero selects the default of 0.5.
+	TriggerThreshold float64
+
+	// Inputs overrides the initial values of input-annotated variables,
+	// keyed by variable name. Missing entries keep the declared Init.
+	Inputs map[string][]int64
+
+	// MaxSteps bounds total executed instructions (0 = default 500M).
+	// MaxFailures bounds power failures (0 = default 10M).
+	MaxSteps    int64
+	MaxFailures int
+
+	// Trace, when non-nil, receives every basic block entered, with its
+	// function. Used by the profiler.
+	Trace func(fn *ir.Func, b *ir.Block)
+	// OnPoison, when non-nil, fires on every read of VM storage that was
+	// never restored (a transformation bug); useful for debugging passes.
+	OnPoison func(v *ir.Var, fn *ir.Func, b *ir.Block)
+	// TraceRet, when non-nil, fires on every function return (including
+	// main's). Together with Trace it lets a profiler mirror the call
+	// stack exactly.
+	TraceRet func()
+}
+
+// Verdict says how a run ended.
+type Verdict int
+
+const (
+	// Completed: main returned.
+	Completed Verdict = iota
+	// Stuck: forward progress violation — repeated power failures with no
+	// new progress (the endless re-execution the paper's guarantee rules
+	// out).
+	Stuck
+	// VMOverflow: the resident VM working set exceeded SVM.
+	VMOverflow
+	// OutOfSteps: MaxSteps exhausted (treated as non-termination).
+	OutOfSteps
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Completed:
+		return "completed"
+	case Stuck:
+		return "stuck"
+	case VMOverflow:
+		return "vm-overflow"
+	case OutOfSteps:
+		return "out-of-steps"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Ledger is the energy account of a run, in nJ.
+type Ledger struct {
+	// The four categories of Fig. 6.
+	Computation float64
+	Save        float64
+	Restore     float64
+	Reexecution float64
+
+	// Fig. 7 split of Computation.
+	VMAccessEnergy  float64
+	NVMAccessEnergy float64
+	NoMemEnergy     float64
+	VMAccesses      int64
+	NVMAccesses     int64
+}
+
+// Total returns the full energy drawn from the capacitor.
+func (l Ledger) Total() float64 {
+	return l.Computation + l.Save + l.Restore + l.Reexecution
+}
+
+// Intermittency returns the energy spent on intermittency management.
+func (l Ledger) Intermittency() float64 { return l.Save + l.Restore + l.Reexecution }
+
+// Result reports the outcome of a run.
+type Result struct {
+	Verdict Verdict
+	Output  []int64
+	Energy  Ledger
+
+	Cycles        int64 // cycles of first-execution work (excludes re-execution)
+	TotalCycles   int64 // including re-executed work
+	Steps         int64 // instructions executed, including re-execution
+	PowerFailures int
+	Saves         int // checkpoint save operations performed
+	Sleeps        int // wait-style replenishment periods
+	MaxVMBytes    int // high-water mark of resident VM bytes
+
+	// UnsyncedReads counts reads of VM storage that was never restored
+	// (poison). Non-zero indicates a broken transformation.
+	UnsyncedReads int
+}
+
+// ErrNoMain is returned when the module lacks a main function.
+var ErrNoMain = errors.New("emulator: module has no main function")
+
+// Run executes the module under the given configuration.
+func Run(m *ir.Module, cfg Config) (*Result, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("emulator: Config.Model is nil")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if m.FuncByName("main") == nil {
+		return nil, ErrNoMain
+	}
+	if cfg.Intermittent && cfg.EB <= 0 {
+		return nil, errors.New("emulator: intermittent run needs EB > 0")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	if cfg.MaxFailures == 0 {
+		cfg.MaxFailures = 10_000_000
+	}
+	if cfg.TriggerThreshold == 0 {
+		cfg.TriggerThreshold = 0.5
+	}
+	mach := newMachine(m, cfg)
+	return mach.run()
+}

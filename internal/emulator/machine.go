@@ -1,0 +1,470 @@
+package emulator
+
+import (
+	"errors"
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// errInterrupt aborts the current instruction after a power failure or a
+// closing verdict occurred mid-execution; the machine state has already
+// been redirected.
+var errInterrupt = errors.New("emulator: instruction interrupted")
+
+// maxStagnation is the number of consecutive power failures without new
+// forward progress after which the run is declared stuck. The power model
+// is deterministic, so a genuinely trapped execution stagnates immediately;
+// the slack tolerates trigger-style checkpoints firing late.
+const maxStagnation = 8
+
+type frame struct {
+	fn      *ir.Func
+	block   *ir.Block
+	pc      int
+	regs    []int64
+	retReg  ir.Reg
+	wantRet bool
+}
+
+type snapshot struct {
+	frames   []frame // deep copies
+	vm       map[*ir.Var][]int64
+	outLen   int
+	done     int64
+	lazy     bool
+	restores []*ir.Var // variables whose restore is charged on rollback
+}
+
+type machine struct {
+	mod   *ir.Module
+	cfg   Config
+	res   Result
+	capEn float64 // remaining capacitor energy
+
+	nvm map[*ir.Var][]int64
+	vm  map[*ir.Var][]int64
+	// pending marks VM variables whose post-rollback restore cost has not
+	// been charged yet (ALFRED's deferred restoration).
+	pending map[*ir.Var]bool
+	// dirty marks VM variables written since their last save.
+	dirty map[*ir.Var]bool
+	// counters holds conditional-checkpoint iteration counters; they live
+	// in NVM and survive power failures (Algorithm 1).
+	counters map[int]int64
+
+	frames []frame
+	out    []int64
+
+	done             int64 // logical progress index along the execution
+	furthest         int64 // high-water mark of done
+	snap             *snapshot
+	stagnation       int
+	lastFailFurthest int64
+	// Snapshot-progress watchdog (paper §VI: detect restarting "from the
+	// same checkpoint twice"): recovery points must eventually advance
+	// past the furthest previously snapshotted position, or the execution
+	// is livelocked even if individual failures jitter.
+	maxSnapDone    int64
+	snapStagnation int
+
+	halted  bool // a final verdict other than Completed has been reached
+	vmBytes int
+
+	// cyclesSincePower counts active cycles since the last replenishment,
+	// for the periodic-TBPF failure mode.
+	cyclesSincePower int64
+}
+
+func newMachine(m *ir.Module, cfg Config) *machine {
+	mc := &machine{
+		mod:      m,
+		cfg:      cfg,
+		nvm:      map[*ir.Var][]int64{},
+		vm:       map[*ir.Var][]int64{},
+		pending:  map[*ir.Var]bool{},
+		dirty:    map[*ir.Var]bool{},
+		counters: map[int]int64{},
+		capEn:    cfg.EB,
+	}
+	mc.initNVM()
+	mc.bootFrames()
+	return mc
+}
+
+// initNVM loads every variable's NVM home with its initial data, applying
+// input overrides. Runs once per emulation: NVM persists across failures.
+func (mc *machine) initNVM() {
+	load := func(v *ir.Var) {
+		data := make([]int64, v.Elems)
+		copy(data, v.Init)
+		if in, ok := mc.cfg.Inputs[v.Name]; ok && v.Input {
+			copy(data, in)
+		}
+		mc.nvm[v] = data
+	}
+	for _, v := range mc.mod.Globals {
+		load(v)
+	}
+	for _, f := range mc.mod.Funcs {
+		for _, v := range f.Locals {
+			load(v)
+		}
+	}
+}
+
+func (mc *machine) bootFrames() {
+	mainFn := mc.mod.FuncByName("main")
+	mc.frames = []frame{{
+		fn:    mainFn,
+		block: mainFn.Entry(),
+		regs:  make([]int64, mainFn.NumRegs),
+	}}
+	if mc.cfg.Trace != nil {
+		mc.cfg.Trace(mainFn, mainFn.Entry())
+	}
+}
+
+func (mc *machine) top() *frame { return &mc.frames[len(mc.frames)-1] }
+
+// run drives the machine until a verdict is reached.
+func (mc *machine) run() (*Result, error) {
+	for !mc.halted {
+		if mc.res.Steps >= mc.cfg.MaxSteps {
+			mc.close(OutOfSteps)
+			break
+		}
+		finished, err := mc.step()
+		if err != nil {
+			return nil, err
+		}
+		if finished {
+			mc.res.Verdict = Completed
+			break
+		}
+	}
+	mc.res.Output = mc.out
+	return &mc.res, nil
+}
+
+// chargeKind selects the ledger bucket of a charge.
+type chargeKind int
+
+const (
+	chComp chargeKind = iota
+	chSave
+	chRestore
+)
+
+// charge attempts to draw e nJ from the capacitor. It returns false when a
+// power failure occurs instead (intermittent mode only); the caller must
+// then abandon the current operation. A nano-scale epsilon absorbs
+// floating-point association differences between the compile-time analysis
+// (which sums per block) and this per-instruction accounting.
+func (mc *machine) charge(e float64, kind chargeKind) bool {
+	if mc.cfg.Intermittent && mc.capEn+1e-6 < e {
+		return false
+	}
+	mc.capEn -= e
+	switch kind {
+	case chSave:
+		mc.res.Energy.Save += e
+	case chRestore:
+		mc.res.Energy.Restore += e
+	default:
+		if mc.done < mc.furthest {
+			mc.res.Energy.Reexecution += e
+		} else {
+			mc.res.Energy.Computation += e
+		}
+	}
+	return true
+}
+
+// chargeAccess is charge for a memory access, also feeding the Fig. 7
+// sub-split when the work is first-execution computation.
+func (mc *machine) chargeAccess(e float64, space ir.Space) bool {
+	if !mc.charge(e, chComp) {
+		return false
+	}
+	if mc.done >= mc.furthest {
+		if space == ir.VM {
+			mc.res.Energy.VMAccessEnergy += e
+			mc.res.Energy.VMAccesses++
+		} else {
+			mc.res.Energy.NVMAccessEnergy += e
+			mc.res.Energy.NVMAccesses++
+		}
+	}
+	return true
+}
+
+// step executes one instruction. It returns true when main has returned.
+func (mc *machine) step() (bool, error) {
+	fr := mc.top()
+	if fr.pc >= len(fr.block.Instrs) {
+		return false, fmt.Errorf("emulator: %s.%s: fell off block end", fr.fn.Name, fr.block.Name)
+	}
+	in := fr.block.Instrs[fr.pc]
+	mc.res.Steps++
+
+	// Periodic-TBPF mode: the supply dies every FailEveryCycles of active
+	// time, regardless of the energy drawn.
+	if mc.cfg.Intermittent && mc.cfg.FailEveryCycles > 0 &&
+		mc.cyclesSincePower >= mc.cfg.FailEveryCycles {
+		mc.powerFailure()
+		return false, nil
+	}
+
+	// Checkpoints manage their own energy and progress accounting.
+	if ck, ok := in.(*ir.Checkpoint); ok {
+		return false, mc.execCheckpoint(ck)
+	}
+
+	space := ir.NVM
+	if v, _, ok := ir.AccessedVar(in); ok && fr.block.InVM(v) {
+		space = ir.VM
+	}
+	cost := mc.cfg.Model.InstrEnergy(in, space)
+	cycles := int64(mc.cfg.Model.InstrCycles(in, space))
+
+	reexec := mc.done < mc.furthest
+	var ok bool
+	switch in.(type) {
+	case *ir.Load, *ir.Store:
+		ok = mc.chargeAccess(cost, space)
+	default:
+		ok = mc.charge(cost, chComp)
+		if ok && !reexec {
+			mc.res.Energy.NoMemEnergy += cost
+		}
+	}
+	if !ok {
+		mc.powerFailure()
+		return false, nil
+	}
+	mc.res.TotalCycles += cycles
+	mc.cyclesSincePower += cycles
+	if !reexec {
+		mc.res.Cycles += cycles
+	}
+
+	halt, err := mc.exec(in)
+	if errors.Is(err, errInterrupt) {
+		return false, nil
+	}
+	if err != nil || halt {
+		return halt, err
+	}
+	mc.done++
+	if mc.done > mc.furthest {
+		mc.furthest = mc.done
+	}
+	return false, nil
+}
+
+// exec performs the state change of a non-checkpoint instruction. It
+// returns true when the program has completed.
+func (mc *machine) exec(in ir.Instr) (bool, error) {
+	fr := mc.top()
+	switch x := in.(type) {
+	case *ir.LoopBound:
+		fr.pc++ // metadata only
+	case *ir.Const:
+		fr.regs[x.Dst] = x.Val
+		fr.pc++
+	case *ir.BinOp:
+		v, err := evalBinOp(x.Op, fr.regs[x.A], fr.regs[x.B])
+		if err != nil {
+			return false, fmt.Errorf("emulator: %s.%s: %w", fr.fn.Name, fr.block.Name, err)
+		}
+		fr.regs[x.Dst] = v
+		fr.pc++
+	case *ir.Load:
+		val, err := mc.loadVar(x, fr)
+		if err != nil {
+			return false, err
+		}
+		fr.regs[x.Dst] = val
+		fr.pc++
+	case *ir.Store:
+		if err := mc.storeVar(x, fr); err != nil {
+			return false, err
+		}
+		fr.pc++
+	case *ir.Call:
+		fr.pc++ // return continues after the call
+		nf := frame{
+			fn:      x.Callee,
+			block:   x.Callee.Entry(),
+			regs:    make([]int64, x.Callee.NumRegs),
+			retReg:  x.Dst,
+			wantRet: x.HasDst,
+		}
+		for i, a := range x.Args {
+			nf.regs[i] = fr.regs[a]
+		}
+		mc.frames = append(mc.frames, nf)
+		if mc.cfg.Trace != nil {
+			mc.cfg.Trace(nf.fn, nf.block)
+		}
+	case *ir.Out:
+		mc.out = append(mc.out, fr.regs[x.Src])
+		fr.pc++
+	case *ir.Br:
+		if fr.regs[x.Cond] != 0 {
+			mc.enterBlock(x.Then)
+		} else {
+			mc.enterBlock(x.Else)
+		}
+	case *ir.Jmp:
+		mc.enterBlock(x.Target)
+	case *ir.Ret:
+		var val int64
+		if x.HasSrc {
+			val = fr.regs[x.Src]
+		}
+		if mc.cfg.TraceRet != nil {
+			mc.cfg.TraceRet()
+		}
+		mc.frames = mc.frames[:len(mc.frames)-1]
+		if len(mc.frames) == 0 {
+			return true, nil
+		}
+		caller := mc.top()
+		if fr.wantRet {
+			caller.regs[fr.retReg] = val
+		}
+	default:
+		return false, fmt.Errorf("emulator: unknown instruction %T", in)
+	}
+	return false, nil
+}
+
+func (mc *machine) enterBlock(b *ir.Block) {
+	fr := mc.top()
+	fr.block = b
+	fr.pc = 0
+	if mc.cfg.Trace != nil {
+		mc.cfg.Trace(fr.fn, b)
+	}
+}
+
+func evalBinOp(op ir.Op, a, b int64) (int64, error) {
+	return ir.EvalOp(op, a, b)
+}
+
+func (mc *machine) loadVar(x *ir.Load, fr *frame) (int64, error) {
+	idx, err := elemIndex(x.Var, x.Index, x.HasIndex, fr)
+	if err != nil {
+		return 0, err
+	}
+	if fr.block.InVM(x.Var) {
+		arr := mc.vmStorage(x.Var, true)
+		if arr == nil {
+			return 0, errInterrupt
+		}
+		return arr[idx], nil
+	}
+	return mc.nvm[x.Var][idx], nil
+}
+
+func (mc *machine) storeVar(x *ir.Store, fr *frame) error {
+	idx, err := elemIndex(x.Var, x.Index, x.HasIndex, fr)
+	if err != nil {
+		return err
+	}
+	val := fr.regs[x.Src]
+	if fr.block.InVM(x.Var) {
+		arr := mc.vmStorage(x.Var, false)
+		if arr == nil {
+			return errInterrupt
+		}
+		arr[idx] = val
+		mc.dirty[x.Var] = true
+		return nil
+	}
+	mc.nvm[x.Var][idx] = val
+	return nil
+}
+
+func elemIndex(v *ir.Var, idxReg ir.Reg, hasIdx bool, fr *frame) (int, error) {
+	if !hasIdx {
+		return 0, nil
+	}
+	idx := fr.regs[idxReg]
+	if idx < 0 || idx >= int64(v.Elems) {
+		return 0, fmt.Errorf("emulator: %s.%s: index %d out of range for %s[%d]",
+			fr.fn.Name, fr.block.Name, idx, v.Name, v.Elems)
+	}
+	return int(idx), nil
+}
+
+// vmStorage returns the VM-resident storage of v, materializing it on
+// demand. A variable that was never restored materializes poisoned (and,
+// for reads, bumps UnsyncedReads — the signal of a broken pass). ALFRED's
+// deferred restoration is implemented here: the first access to a
+// pending-restore variable pays its restore cost.
+func (mc *machine) vmStorage(v *ir.Var, read bool) []int64 {
+	if mc.pending[v] {
+		delete(mc.pending, v)
+		if !mc.charge(mc.cfg.Model.RestoreVarCost(v), chRestore) {
+			mc.powerFailure()
+			return nil
+		}
+		if _, ok := mc.vm[v]; !ok {
+			// Deferred boot copy: the NVM home is the source of truth.
+			if !mc.addVMResident(v, append([]int64(nil), mc.nvm[v]...)) {
+				return nil
+			}
+		}
+	}
+	if arr, ok := mc.vm[v]; ok {
+		return arr
+	}
+	if read {
+		mc.res.UnsyncedReads++
+		if mc.cfg.OnPoison != nil {
+			fr := mc.top()
+			mc.cfg.OnPoison(v, fr.fn, fr.block)
+		}
+	}
+	arr := make([]int64, v.Elems)
+	for i := range arr {
+		arr[i] = Poison
+	}
+	if !mc.addVMResident(v, arr) {
+		return nil
+	}
+	return arr
+}
+
+// addVMResident registers VM storage for v, enforcing SVM. It returns
+// false (and closes the run with a VMOverflow verdict) on overflow.
+func (mc *machine) addVMResident(v *ir.Var, data []int64) bool {
+	mc.vm[v] = data
+	mc.vmBytes += v.SizeBytes()
+	if mc.vmBytes > mc.res.MaxVMBytes {
+		mc.res.MaxVMBytes = mc.vmBytes
+	}
+	if mc.cfg.VMSize > 0 && mc.vmBytes > mc.cfg.VMSize {
+		mc.close(VMOverflow)
+		return false
+	}
+	return true
+}
+
+// dropVMResident evicts v from VM.
+func (mc *machine) dropVMResident(v *ir.Var) {
+	if _, ok := mc.vm[v]; ok {
+		delete(mc.vm, v)
+		mc.vmBytes -= v.SizeBytes()
+	}
+}
+
+func (mc *machine) clearVM() {
+	mc.vm = map[*ir.Var][]int64{}
+	mc.vmBytes = 0
+	mc.pending = map[*ir.Var]bool{}
+	mc.dirty = map[*ir.Var]bool{}
+}

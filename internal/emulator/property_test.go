@@ -1,0 +1,203 @@
+package emulator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+// randomInputs mirrors trace.RandomInputs locally (the trace package
+// imports the emulator, so it cannot be used from these tests).
+func randomInputs(m *ir.Module, rng *rand.Rand) map[string][]int64 {
+	inputs := map[string][]int64{}
+	for _, v := range m.InputVars() {
+		data := make([]int64, v.Elems)
+		for i := range data {
+			data[i] = int64(rng.Intn(65536) - 32768)
+		}
+		inputs[v.Name] = data
+	}
+	return inputs
+}
+
+// checkLedger verifies the accounting identities every run must satisfy.
+func checkLedger(t *testing.T, res *Result) {
+	t.Helper()
+	l := res.Energy
+	if got := l.Computation + l.Save + l.Restore + l.Reexecution; !close2(got, l.Total()) {
+		t.Errorf("Total() %.3f != category sum %.3f", l.Total(), got)
+	}
+	if split := l.VMAccessEnergy + l.NVMAccessEnergy + l.NoMemEnergy; split > l.Computation+l.Reexecution+1e-6 {
+		t.Errorf("Fig.7 split %.3f exceeds computation+reexec %.3f", split, l.Computation+l.Reexecution)
+	}
+	for _, v := range []float64{l.Computation, l.Save, l.Restore, l.Reexecution,
+		l.VMAccessEnergy, l.NVMAccessEnergy, l.NoMemEnergy} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("ledger holds a non-physical value: %+v", l)
+		}
+	}
+	if res.TotalCycles < res.Cycles {
+		t.Errorf("TotalCycles %d < Cycles %d", res.TotalCycles, res.Cycles)
+	}
+	if res.Saves < 0 || res.Sleeps < 0 || res.PowerFailures < 0 {
+		t.Errorf("negative counters: %+v", res)
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}
+
+// TestLedgerInvariantsProperty checks the accounting identities over random
+// programs on continuous power.
+func TestLedgerInvariantsProperty(t *testing.T) {
+	model := energy.MSP430FR5969()
+	check := func(seed int64) bool {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			return true
+		}
+		inputs := randomInputs(m, rand.New(rand.NewSource(seed+1)))
+		res, err := Run(m, Config{Model: model, Inputs: inputs, MaxSteps: 20_000_000})
+		if err != nil {
+			return true // traps are legal programs
+		}
+		checkLedger(t, res)
+		// Continuous power: no intermittency costs at all.
+		return res.Energy.Save == 0 && res.Energy.Restore == 0 &&
+			res.Energy.Reexecution == 0 && res.PowerFailures == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmulatorDeterminism runs the same configuration twice and demands
+// identical results, bit for bit — the property the whole differential
+// test suite rests on.
+func TestEmulatorDeterminism(t *testing.T) {
+	model := energy.MSP430FR5969()
+	for seed := int64(0); seed < 10; seed++ {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed^0xdead)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := randomInputs(m, rand.New(rand.NewSource(seed)))
+		cfg := Config{Model: model, Inputs: inputs, MaxSteps: 20_000_000}
+		a, errA := Run(ir.Clone(m), cfg)
+		b, errB := Run(ir.Clone(m), cfg)
+		if (errA != nil) != (errB != nil) {
+			t.Fatalf("seed %d: error mismatch: %v vs %v", seed, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Verdict != b.Verdict || a.Steps != b.Steps || a.TotalCycles != b.TotalCycles ||
+			!close2(a.Energy.Total(), b.Energy.Total()) {
+			t.Fatalf("seed %d: runs diverge: %+v vs %+v", seed, a, b)
+		}
+		if len(a.Output) != len(b.Output) {
+			t.Fatalf("seed %d: output lengths diverge", seed)
+		}
+		for i := range a.Output {
+			if a.Output[i] != b.Output[i] {
+				t.Fatalf("seed %d: output[%d] diverges", seed, i)
+			}
+		}
+	}
+}
+
+// TestHugeBudgetMatchesContinuous: under an effectively infinite capacitor
+// the intermittent machine must behave like the continuous one — same
+// output, zero failures — even though checkpoints still execute.
+func TestHugeBudgetMatchesContinuous(t *testing.T) {
+	model := energy.MSP430FR5969()
+	const src = `
+input int data[16];
+int acc;
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 16; i = i + 1) @max(16) {
+    acc = acc + data[i] * 3;
+  }
+  print(acc);
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]int64{"data": make([]int64, 16)}
+	for i := range inputs["data"] {
+		inputs["data"][i] = int64(i * 5)
+	}
+	ref, err := Run(ir.Clone(m), Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Instrument with a plain wait checkpoint on the back edge, then run
+	// with a budget no segment can exhaust.
+	tr := ir.Clone(m)
+	var mainFn *ir.Func
+	for _, f := range tr.Funcs {
+		if f.Name == "main" {
+			mainFn = f
+		}
+	}
+	placed := false
+	for _, b := range mainFn.Blocks {
+		if j, ok := b.Terminator().(*ir.Jmp); ok && j.Target.Index < b.Index && !placed {
+			nb := ir.SplitEdge(b, j.Target)
+			nb.Instrs = append([]ir.Instr{&ir.Checkpoint{ID: 0, Kind: ir.CkWait, SaveAll: true}}, nb.Instrs...)
+			placed = true
+		}
+	}
+	if !placed {
+		t.Fatal("no back edge found to instrument")
+	}
+	res, err := Run(tr, Config{Model: model, Inputs: inputs, Intermittent: true, EB: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, res)
+	if res.Verdict != Completed || res.PowerFailures != 0 {
+		t.Fatalf("verdict %v, failures %d", res.Verdict, res.PowerFailures)
+	}
+	if res.Saves == 0 || res.Sleeps == 0 {
+		t.Errorf("checkpoints did not execute: saves=%d sleeps=%d", res.Saves, res.Sleeps)
+	}
+	if len(res.Output) != len(ref.Output) || res.Output[0] != ref.Output[0] {
+		t.Fatalf("output %v, want %v", res.Output, ref.Output)
+	}
+	if res.Energy.Reexecution != 0 {
+		t.Errorf("wait checkpoints must never re-execute, got %.1f", res.Energy.Reexecution)
+	}
+}
+
+// TestLedgerIntermittent checks the accounting identities on an
+// intermittent SCHEMATIC-style run including save/restore categories.
+func TestLedgerIntermittent(t *testing.T) {
+	model := energy.MSP430FR5969()
+	res, err := Run(loopProgram(t, 64, 1, true), Config{
+		Model: model, VMSize: 2048, Intermittent: true, EB: 3000,
+		Inputs: map[string][]int64{}, MaxSteps: 10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, res)
+	if res.Energy.Save == 0 || res.Energy.Restore == 0 {
+		t.Errorf("expected save and restore energy, got %+v", res.Energy)
+	}
+}

@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"testing"
+
+	"schematic/internal/ir"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	m := MSP430FR5969()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	if m.DeltaER() <= 0 || m.DeltaEW() <= 0 {
+		t.Errorf("VM must be cheaper than NVM: dER=%v dEW=%v", m.DeltaER(), m.DeltaEW())
+	}
+	// The paper quotes NVM accesses consuming up to 2.47× VM accesses.
+	ratio := m.NVMReadEnergy / m.VMReadEnergy
+	if ratio < 2.0 || ratio > 3.0 {
+		t.Errorf("NVM/VM read ratio = %.2f, want ≈2.47", ratio)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.EnergyPerCycle = 0 },
+		func(m *Model) { m.NVMReadEnergy = m.VMReadEnergy / 2 },
+		func(m *Model) { m.SavePerByte = 0 },
+		func(m *Model) { m.RegFileBytes = 0 },
+	}
+	for i, mutate := range cases {
+		m := MSP430FR5969()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a broken model", i)
+		}
+	}
+}
+
+func TestInstrEnergySpaces(t *testing.T) {
+	m := MSP430FR5969()
+	v := &ir.Var{Name: "x", Elems: 1}
+	ld := &ir.Load{Dst: 0, Var: v}
+	st := &ir.Store{Var: v, Src: 0}
+
+	if eVM, eNVM := m.InstrEnergy(ld, ir.VM), m.InstrEnergy(ld, ir.NVM); eVM >= eNVM {
+		t.Errorf("VM load (%v) should be cheaper than NVM load (%v)", eVM, eNVM)
+	}
+	if eVM, eNVM := m.InstrEnergy(st, ir.VM), m.InstrEnergy(st, ir.NVM); eVM >= eNVM {
+		t.Errorf("VM store (%v) should be cheaper than NVM store (%v)", eVM, eNVM)
+	}
+	// Non-memory instructions are space-independent.
+	add := &ir.BinOp{Op: ir.OpAdd}
+	if m.InstrEnergy(add, ir.VM) != m.InstrEnergy(add, ir.NVM) {
+		t.Errorf("ALU energy should not depend on space")
+	}
+	mul := &ir.BinOp{Op: ir.OpMul}
+	if m.InstrEnergy(mul, ir.VM) <= m.InstrEnergy(add, ir.VM) {
+		t.Errorf("mul should cost more than add")
+	}
+	if m.InstrCycles(&ir.Checkpoint{}, ir.NVM) != 0 {
+		t.Errorf("checkpoint instruction should have no static cycles")
+	}
+}
+
+func TestSaveRestoreCosts(t *testing.T) {
+	m := MSP430FR5969()
+	small := &ir.Var{Name: "s", Elems: 1}
+	big := &ir.Var{Name: "b", Elems: 100}
+
+	if m.SaveVarCost(big) <= m.SaveVarCost(small) {
+		t.Errorf("bigger variables must cost more to save")
+	}
+	if got, want := m.SaveVarCost(small), float64(ir.WordBytes)*m.SavePerByte; got != want {
+		t.Errorf("SaveVarCost(scalar) = %v, want %v", got, want)
+	}
+	full := m.SaveCost([]*ir.Var{small, big})
+	if full != m.SaveRegsCost()+m.SaveVarCost(small)+m.SaveVarCost(big) {
+		t.Errorf("SaveCost must sum registers and variables")
+	}
+	if m.RestoreCost(nil) != m.RestoreRegsCost() {
+		t.Errorf("RestoreCost(nil) should be registers only")
+	}
+}
+
+func TestBlockExecEnergy(t *testing.T) {
+	mod := ir.MustParse(`module e
+global x
+
+func void main() regs 2 {
+entry:
+  r0 = const 5
+  store x, r0
+  r1 = load x
+  out r1
+  ret
+}
+`)
+	m := MSP430FR5969()
+	blk := mod.FuncByName("main").Entry()
+	x := mod.GlobalByName("x")
+
+	eNVM := m.BlockExecEnergy(blk, nil)
+	eVM := m.BlockExecEnergy(blk, map[*ir.Var]bool{x: true})
+	if eVM >= eNVM {
+		t.Errorf("VM allocation should reduce block energy: vm=%v nvm=%v", eVM, eNVM)
+	}
+	// The difference is exactly one read and one write delta plus the cycle
+	// difference of the two accesses.
+	cycleDelta := 2 * float64(m.NVMAccessCycles-m.VMAccessCycles) * m.EnergyPerCycle
+	want := m.DeltaER() + m.DeltaEW() + cycleDelta
+	if diff := eNVM - eVM; !close(diff, want) {
+		t.Errorf("energy delta = %v, want %v", diff, want)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

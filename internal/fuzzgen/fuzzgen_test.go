@@ -1,0 +1,58 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// Every generated program must compile, verify, terminate, and be
+// deterministic.
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	model := energy.MSP430FR5969()
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := Generate(r, DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed+1000)))
+		res1, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		if res1.Verdict != emulator.Completed {
+			t.Fatalf("seed %d: verdict %v\n%s", seed, res1.Verdict, src)
+		}
+		if len(res1.Output) == 0 {
+			t.Fatalf("seed %d: no output", seed)
+		}
+		res2, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res1.Output {
+			if res1.Output[i] != res2.Output[i] {
+				t.Fatalf("seed %d: nondeterministic output", seed)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsVary(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(1)), DefaultOptions())
+	b := Generate(rand.New(rand.NewSource(2)), DefaultOptions())
+	if a == b {
+		t.Errorf("different seeds produced identical programs")
+	}
+	// Same seed is reproducible.
+	c := Generate(rand.New(rand.NewSource(1)), DefaultOptions())
+	if a != c {
+		t.Errorf("same seed produced different programs")
+	}
+}

@@ -1,0 +1,104 @@
+package ir
+
+// Builder offers a compact way to construct IR by hand, used by the MiniC
+// lowering pass, tests, and examples.
+type Builder struct {
+	Func  *Func
+	Block *Block
+}
+
+// NewBuilder starts building into the given function at a fresh entry block.
+func NewBuilder(f *Func) *Builder {
+	b := &Builder{Func: f}
+	if len(f.Blocks) == 0 {
+		b.Block = f.NewBlock("entry")
+	} else {
+		b.Block = f.Blocks[len(f.Blocks)-1]
+	}
+	return b
+}
+
+// At redirects emission to the given block.
+func (b *Builder) At(blk *Block) *Builder {
+	b.Block = blk
+	return b
+}
+
+// Emit appends an instruction to the current block.
+func (b *Builder) Emit(in Instr) {
+	b.Block.Instrs = append(b.Block.Instrs, in)
+}
+
+// Const emits a constant into a fresh register.
+func (b *Builder) Const(v int64) Reg {
+	r := b.Func.NewReg()
+	b.Emit(&Const{Dst: r, Val: v})
+	return r
+}
+
+// Bin emits a binary operation into a fresh register.
+func (b *Builder) Bin(op Op, x, y Reg) Reg {
+	r := b.Func.NewReg()
+	b.Emit(&BinOp{Dst: r, Op: op, A: x, B: y})
+	return r
+}
+
+// Un emits a unary operation into a fresh register.
+func (b *Builder) Un(op Op, x Reg) Reg {
+	r := b.Func.NewReg()
+	b.Emit(&BinOp{Dst: r, Op: op, A: x})
+	return r
+}
+
+// Load emits a scalar load.
+func (b *Builder) Load(v *Var) Reg {
+	r := b.Func.NewReg()
+	b.Emit(&Load{Dst: r, Var: v})
+	return r
+}
+
+// LoadIdx emits an indexed load.
+func (b *Builder) LoadIdx(v *Var, idx Reg) Reg {
+	r := b.Func.NewReg()
+	b.Emit(&Load{Dst: r, Var: v, Index: idx, HasIndex: true})
+	return r
+}
+
+// Store emits a scalar store.
+func (b *Builder) Store(v *Var, src Reg) {
+	b.Emit(&Store{Var: v, Src: src})
+}
+
+// StoreIdx emits an indexed store.
+func (b *Builder) StoreIdx(v *Var, idx, src Reg) {
+	b.Emit(&Store{Var: v, Index: idx, HasIndex: true, Src: src})
+}
+
+// Call emits a call; the result register is meaningful only when the callee
+// returns a value.
+func (b *Builder) Call(callee *Func, args ...Reg) Reg {
+	c := &Call{Callee: callee, Args: args}
+	if callee.HasRet {
+		c.Dst = b.Func.NewReg()
+		c.HasDst = true
+	}
+	b.Emit(c)
+	return c.Dst
+}
+
+// Out emits an output instruction.
+func (b *Builder) Out(src Reg) { b.Emit(&Out{Src: src}) }
+
+// Br terminates the current block with a conditional branch.
+func (b *Builder) Br(cond Reg, then, els *Block) {
+	b.Emit(&Br{Cond: cond, Then: then, Else: els})
+}
+
+// Jmp terminates the current block with an unconditional branch.
+func (b *Builder) Jmp(target *Block) { b.Emit(&Jmp{Target: target}) }
+
+// Ret terminates the current block with a void return.
+func (b *Builder) Ret() { b.Emit(&Ret{}) }
+
+// RetVal terminates the current block returning the given register.
+func (b *Builder) RetVal(src Reg) { b.Emit(&Ret{Src: src, HasSrc: true}) }

@@ -1,0 +1,56 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the function's CFG in Graphviz DOT format, annotated
+// with the placement results: VM allocations on each block, checkpoint
+// blocks highlighted, atomic sections shaded.
+//
+//	dot -Tsvg main.dot -o main.svg
+func WriteDot(w io.Writer, f *Func) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	for _, blk := range f.Blocks {
+		label := blk.Name
+		if n := blk.VMBytes(); n > 0 {
+			label += fmt.Sprintf("\\nvm={%s}", allocList(blk.Alloc))
+		}
+		var attrs []string
+		for _, in := range blk.Instrs {
+			if ck, ok := in.(*Checkpoint); ok {
+				tag := fmt.Sprintf("ck#%d %s", ck.ID, ck.Kind)
+				if ck.Every > 1 {
+					tag += fmt.Sprintf(" every %d", ck.Every)
+				}
+				label += "\\n" + tag
+				attrs = append(attrs, "color=red", "penwidth=2")
+				break
+			}
+		}
+		if blk.Atomic {
+			attrs = append(attrs, "style=filled", "fillcolor=lightyellow")
+		}
+		attr := ""
+		if len(attrs) > 0 {
+			attr = ", " + strings.Join(attrs, ", ")
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\"%s];\n", blk.Name, label, attr)
+	}
+	for _, blk := range f.Blocks {
+		switch t := blk.Terminator().(type) {
+		case *Br:
+			fmt.Fprintf(&b, "  %q -> %q [label=\"T\"];\n", blk.Name, t.Then.Name)
+			fmt.Fprintf(&b, "  %q -> %q [label=\"F\"];\n", blk.Name, t.Else.Name)
+		case *Jmp:
+			fmt.Fprintf(&b, "  %q -> %q;\n", blk.Name, t.Target.Name)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

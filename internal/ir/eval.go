@@ -1,0 +1,70 @@
+package ir
+
+import "fmt"
+
+// EvalOp evaluates a binary (or unary, with b ignored) operator on concrete
+// values. It is the single source of arithmetic semantics, shared by the
+// emulator and the optimizer's constant folder: division and remainder by
+// zero are runtime errors, out-of-range shift amounts yield zero, and
+// comparisons produce 0 or 1.
+func EvalOp(op Op, a, b int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case OpRem:
+		if b == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return a % b, nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		if b < 0 || b > 63 {
+			return 0, nil
+		}
+		return a << uint(b), nil
+	case OpShr:
+		if b < 0 || b > 63 {
+			return 0, nil
+		}
+		return int64(uint64(a) >> uint(b)), nil
+	case OpEq:
+		return evalBool(a == b), nil
+	case OpNe:
+		return evalBool(a != b), nil
+	case OpLt:
+		return evalBool(a < b), nil
+	case OpLe:
+		return evalBool(a <= b), nil
+	case OpGt:
+		return evalBool(a > b), nil
+	case OpGe:
+		return evalBool(a >= b), nil
+	case OpNeg:
+		return -a, nil
+	case OpNot:
+		return evalBool(a == 0), nil
+	default:
+		return 0, fmt.Errorf("unknown op %v", op)
+	}
+}
+
+func evalBool(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

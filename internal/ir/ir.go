@@ -1,0 +1,267 @@
+// Package ir defines the intermediate representation used throughout the
+// SCHEMATIC reproduction.
+//
+// The IR is a conventional three-address representation over an unbounded
+// set of per-function virtual registers, with explicit load/store
+// instructions against named memory variables. Memory variables — scalars
+// and one-dimensional arrays — are the unit of SCHEMATIC's memory
+// allocation: every variable lives either in volatile memory (VM) or in
+// non-volatile memory (NVM), and the allocation may change only at enabled
+// checkpoint locations.
+//
+// Control flow is expressed with basic blocks connected by explicit edges.
+// CFG edges are the potential checkpoint locations the SCHEMATIC analysis
+// considers; enabled checkpoints materialize as Checkpoint instructions on
+// split edges.
+package ir
+
+import "fmt"
+
+// WordBytes is the size in bytes of the machine word. The modelled target
+// (an MSP430FR5969-class microcontroller) is a 16-bit machine.
+const WordBytes = 2
+
+// Space identifies the memory a variable currently lives in.
+type Space uint8
+
+const (
+	// NVM is non-volatile memory (FRAM). Contents survive power failures.
+	NVM Space = iota
+	// VM is volatile memory (SRAM). Faster and more energy-efficient than
+	// NVM, but contents are lost on power failure and during deep sleep.
+	VM
+)
+
+func (s Space) String() string {
+	if s == VM {
+		return "vm"
+	}
+	return "nvm"
+}
+
+// Reg is a virtual register index, local to a function. Registers model the
+// CPU register file plus compiler temporaries: they are volatile and are
+// saved wholesale at checkpoints.
+type Reg int
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", int(r)) }
+
+// Var is a memory variable: a scalar (Elems == 1) or a one-dimensional
+// array. Variables are statically allocated. A function-local variable has
+// a single static storage slot (the IR forbids recursion, following the
+// paper, section III-B1), so locals and globals are treated uniformly by
+// the allocator and the emulator.
+type Var struct {
+	Name     string
+	Elems    int  // number of elements; 1 for scalars
+	Global   bool // module-scope variable
+	Input    bool // filled with workload input data before each run
+	AddrUsed bool // accessed through a pointer; pinned to NVM (paper, IV-A-c)
+
+	// Init holds optional initial values (globals only). Missing trailing
+	// elements are zero.
+	Init []int64
+
+	// Func is the owning function for locals, nil for globals.
+	Func *Func
+}
+
+// SizeBytes returns the storage footprint of the variable.
+func (v *Var) SizeBytes() int { return v.Elems * WordBytes }
+
+func (v *Var) String() string { return v.Name }
+
+// Block is a basic block: a straight-line instruction sequence ended by a
+// single terminator (Br, Jmp, or Ret).
+type Block struct {
+	Name   string
+	Func   *Func
+	Instrs []Instr
+
+	// Alloc is the memory allocation chosen for this block: the set of
+	// variables that reside in VM while this block executes. Variables not
+	// present are in NVM. Populated by placement passes; nil means
+	// everything is in NVM.
+	Alloc map[*Var]bool
+
+	// Atomic marks the block as part of an atomic section (paper §VI):
+	// checkpoint placement inside it is forbidden, so peripheral
+	// operations are never torn by a power-down.
+	Atomic bool
+
+	// Index is the position of the block in Func.Blocks, maintained by
+	// Func.Renumber.
+	Index int
+}
+
+// Terminator returns the block's terminating instruction, or nil if the
+// block is not yet terminated.
+func (b *Block) Terminator() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if t.isTerminator() {
+		return t
+	}
+	return nil
+}
+
+// Succs returns the successor blocks in terminator order.
+func (b *Block) Succs() []*Block {
+	switch t := b.Terminator().(type) {
+	case *Br:
+		return []*Block{t.Then, t.Else}
+	case *Jmp:
+		return []*Block{t.Target}
+	default:
+		return nil
+	}
+}
+
+// Preds returns the predecessor blocks, computed by scanning the function.
+// The result is stable across calls as long as the CFG does not change.
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	for _, p := range b.Func.Blocks {
+		for _, s := range p.Succs() {
+			if s == b {
+				preds = append(preds, p)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// InVM reports whether v is allocated to VM while this block executes.
+func (b *Block) InVM(v *Var) bool { return b.Alloc != nil && b.Alloc[v] }
+
+// VMBytes returns the number of bytes of VM occupied by this block's
+// allocation.
+func (b *Block) VMBytes() int {
+	n := 0
+	for v, in := range b.Alloc {
+		if in {
+			n += v.SizeBytes()
+		}
+	}
+	return n
+}
+
+// Func is a function: parameters arrive in registers 0..len(Params)-1.
+type Func struct {
+	Name    string
+	Params  []string // parameter names (for diagnostics); values in r0..rN-1
+	HasRet  bool     // returns a value
+	Locals  []*Var
+	Blocks  []*Block
+	NumRegs int // virtual registers used; r0..rNumRegs-1
+
+	Module *Module
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := Reg(f.NumRegs)
+	f.NumRegs++
+	return r
+}
+
+// NewBlock appends a new, empty block with the given name, making it unique
+// if necessary.
+func (f *Func) NewBlock(name string) *Block {
+	base := name
+	for i := 2; f.BlockByName(name) != nil; i++ {
+		name = fmt.Sprintf("%s.%d", base, i)
+	}
+	b := &Block{Name: name, Func: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// BlockByName returns the block with the given name, or nil.
+func (f *Func) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// LocalByName returns the local variable with the given name, or nil.
+func (f *Func) LocalByName(name string) *Var {
+	for _, v := range f.Locals {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// Renumber refreshes Block.Index after structural edits.
+func (f *Func) Renumber() {
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+}
+
+// Module is a compilation unit: globals plus functions. Execution starts at
+// the function named "main".
+type Module struct {
+	Name    string
+	Globals []*Var
+	Funcs   []*Func
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalByName returns the global with the given name, or nil.
+func (m *Module) GlobalByName(name string) *Var {
+	for _, v := range m.Globals {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// NewFunc appends a new function to the module.
+func (m *Module) NewFunc(name string, params []string, hasRet bool) *Func {
+	f := &Func{Name: name, Params: params, HasRet: hasRet, Module: m}
+	f.NumRegs = len(params)
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// NewGlobal appends a new global variable to the module.
+func (m *Module) NewGlobal(name string, elems int) *Var {
+	v := &Var{Name: name, Elems: elems, Global: true}
+	m.Globals = append(m.Globals, v)
+	return v
+}
+
+// InputVars returns the module's input-annotated globals in declaration
+// order. The profiler and the experiment harness fill these with workload
+// data before each run.
+func (m *Module) InputVars() []*Var {
+	var in []*Var
+	for _, v := range m.Globals {
+		if v.Input {
+			in = append(in, v)
+		}
+	}
+	return in
+}

@@ -1,0 +1,392 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `module sample
+input global data[8]
+global table[4] = {1, 2, 3, 4}
+global sum
+
+func int add(a, b) regs 3 {
+entry:
+  r2 = add r0, r1
+  ret r2
+}
+
+func void main() regs 8 {
+  local i
+  local tmp[2]
+entry:
+  r0 = const 0
+  store sum, r0
+  store i, r0
+  jmp head
+head:
+  r1 = load i
+  r2 = const 8
+  r3 = lt r1, r2
+  br r3, body, done
+body:
+  r4 = load data[r1]
+  r5 = load sum
+  r6 = call add(r4, r5)
+  store sum, r6
+  r7 = const 1
+  r6 = add r1, r7
+  store i, r6
+  jmp head
+done:
+  r5 = load sum
+  out r5
+  ret
+}
+`
+
+func parseSample(t *testing.T) *Module {
+	t.Helper()
+	m, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func TestParseBasics(t *testing.T) {
+	m := parseSample(t)
+	if m.Name != "sample" {
+		t.Errorf("module name = %q, want sample", m.Name)
+	}
+	if got := len(m.Globals); got != 3 {
+		t.Fatalf("globals = %d, want 3", got)
+	}
+	data := m.GlobalByName("data")
+	if data == nil || !data.Input || data.Elems != 8 {
+		t.Errorf("data = %+v, want input array of 8", data)
+	}
+	table := m.GlobalByName("table")
+	if table == nil || len(table.Init) != 4 || table.Init[2] != 3 {
+		t.Errorf("table init wrong: %+v", table)
+	}
+	if got := len(m.Funcs); got != 2 {
+		t.Fatalf("funcs = %d, want 2", got)
+	}
+	mainFn := m.FuncByName("main")
+	if mainFn == nil || len(mainFn.Blocks) != 4 {
+		t.Fatalf("main blocks = %d, want 4", len(mainFn.Blocks))
+	}
+	if mainFn.LocalByName("tmp").Elems != 2 {
+		t.Errorf("tmp elems wrong")
+	}
+	add := m.FuncByName("add")
+	if !add.HasRet || len(add.Params) != 2 {
+		t.Errorf("add signature wrong: %+v", add)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := parseSample(t)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if err := Verify(m2); err != nil {
+		t.Fatalf("reverify: %v", err)
+	}
+	if text2 := m2.String(); text2 != text {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	body := f.BlockByName("body")
+	sum := m.GlobalByName("sum")
+	ck := &Checkpoint{ID: 7, Kind: CkWait, Every: 3, Save: []*Var{sum}, Restore: []*Var{sum}}
+	body.Instrs = append([]Instr{ck}, body.Instrs...)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify with checkpoint: %v", err)
+	}
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	ck2 := Checkpoints(m2)
+	if len(ck2) != 1 {
+		t.Fatalf("checkpoints = %d, want 1", len(ck2))
+	}
+	got := ck2[0]
+	if got.ID != 7 || got.Kind != CkWait || got.Every != 3 ||
+		len(got.Save) != 1 || got.Save[0].Name != "sum" ||
+		len(got.Restore) != 1 || got.Restore[0].Name != "sum" {
+		t.Errorf("checkpoint round trip = %s", got)
+	}
+}
+
+func TestAllocRoundTrip(t *testing.T) {
+	// Block allocations are semantic state (the emulator charges VM or NVM
+	// per them); they must survive print → parse.
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	sum := m.GlobalByName("sum")
+	i := f.LocalByName("i")
+	f.BlockByName("body").Alloc = map[*Var]bool{sum: true, i: true}
+	f.BlockByName("head").Alloc = map[*Var]bool{i: true}
+
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, m.String())
+	}
+	f2 := m2.FuncByName("main")
+	sum2 := m2.GlobalByName("sum")
+	i2 := f2.LocalByName("i")
+	if !f2.BlockByName("body").InVM(sum2) || !f2.BlockByName("body").InVM(i2) {
+		t.Errorf("body allocation lost in round trip")
+	}
+	if !f2.BlockByName("head").InVM(i2) || f2.BlockByName("head").InVM(sum2) {
+		t.Errorf("head allocation wrong after round trip")
+	}
+	if f2.BlockByName("done").VMBytes() != 0 {
+		t.Errorf("done should have no allocation")
+	}
+	if m2.String() != m.String() {
+		t.Errorf("round trip not stable")
+	}
+}
+
+func TestSuccsPreds(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	head := f.BlockByName("head")
+	succs := head.Succs()
+	if len(succs) != 2 || succs[0].Name != "body" || succs[1].Name != "done" {
+		t.Fatalf("head succs = %v", succs)
+	}
+	preds := head.Preds()
+	if len(preds) != 2 {
+		t.Fatalf("head preds = %d, want 2 (entry, body)", len(preds))
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	rpo := ReversePostorder(f)
+	if len(rpo) != 4 {
+		t.Fatalf("rpo len = %d", len(rpo))
+	}
+	if rpo[0].Name != "entry" {
+		t.Errorf("rpo[0] = %s, want entry", rpo[0].Name)
+	}
+	pos := map[string]int{}
+	for i, b := range rpo {
+		pos[b.Name] = i
+	}
+	if pos["head"] > pos["body"] || pos["head"] > pos["done"] {
+		t.Errorf("rpo order wrong: %v", pos)
+	}
+}
+
+func TestSplitEdge(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	head := f.BlockByName("head")
+	body := f.BlockByName("body")
+	nb := SplitEdge(head, body)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify after split: %v", err)
+	}
+	br := head.Terminator().(*Br)
+	if br.Then != nb {
+		t.Errorf("branch not redirected to split block")
+	}
+	if tgt := nb.Terminator().(*Jmp).Target; tgt != body {
+		t.Errorf("split block jumps to %s, want body", tgt.Name)
+	}
+	// body's predecessor set should now contain the split block, not head.
+	for _, p := range body.Preds() {
+		if p == head {
+			t.Errorf("head still a direct predecessor of body")
+		}
+	}
+}
+
+func TestSplitEdgeJmp(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	entry := f.BlockByName("entry")
+	head := f.BlockByName("head")
+	nb := SplitEdge(entry, head)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify after split: %v", err)
+	}
+	if entry.Terminator().(*Jmp).Target != nb {
+		t.Errorf("jmp not redirected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	sum := m.GlobalByName("sum")
+	f.BlockByName("body").Alloc = map[*Var]bool{sum: true}
+
+	c := Clone(m)
+	if err := Verify(c); err != nil {
+		t.Fatalf("verify clone: %v", err)
+	}
+	if c.String() != m.String() {
+		t.Errorf("clone text differs:\n%s\n---\n%s", m.String(), c.String())
+	}
+	// Mutating the clone must not touch the original.
+	cf := c.FuncByName("main")
+	cf.BlockByName("body").Instrs = cf.BlockByName("body").Instrs[:1]
+	if len(f.BlockByName("body").Instrs) <= 1 {
+		t.Errorf("clone shares instruction slices with original")
+	}
+	csum := c.GlobalByName("sum")
+	if csum == sum {
+		t.Errorf("clone shares Var pointers with original")
+	}
+	if !cf.BlockByName("body").InVM(csum) {
+		t.Errorf("clone lost allocation map")
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "no main",
+			src:  "module m\nfunc void f() regs 0 {\nentry:\n  ret\n}\n",
+			want: "no main",
+		},
+		{
+			name: "unterminated block",
+			src:  "module m\nfunc void main() regs 1 {\nentry:\n  r0 = const 1\n}\n",
+			want: "terminator",
+		},
+		{
+			name: "recursion",
+			src: `module m
+func void main() regs 0 {
+entry:
+  call main()
+  ret
+}
+`,
+			want: "recursion",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Parse(tc.src)
+			if err == nil {
+				err = Verify(m)
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                               // no module line
+		"module m\nglobal x[0]\n",        // zero-size array
+		"module m\nglobal x\nglobal x\n", // duplicate global
+		"module m\nfunc void main() regs 0 {\nentry:\n  frob r0\n}\n", // unknown op
+		"module m\nfunc void main() regs 1 {\nentry:\n  jmp nowhere\n}\n",
+		"module m\nfunc int f(a, b) regs 1 {\nentry:\n  ret r0\n}\n", // regs < params
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted bad source:\n%s", src)
+		}
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	m := &Module{Name: "built"}
+	g := m.NewGlobal("x", 1)
+	f := m.NewFunc("main", nil, false)
+	b := NewBuilder(f)
+	v := b.Const(41)
+	one := b.Const(1)
+	sum := b.Bin(OpAdd, v, one)
+	b.Store(g, sum)
+	got := b.Load(g)
+	b.Out(got)
+	b.Ret()
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if f.NumRegs != 4 {
+		t.Errorf("NumRegs = %d, want 4", f.NumRegs)
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	m := parseSample(t)
+	// globals: data[8] + table[4] + sum = 13 words; locals: i + tmp[2] = 3 words.
+	want := 16 * WordBytes
+	if got := DataBytes(m); got != want {
+		t.Errorf("DataBytes = %d, want %d", got, want)
+	}
+}
+
+func TestUsesDef(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	body := f.BlockByName("body")
+	ld := body.Instrs[0].(*Load)
+	if uses := Uses(ld); len(uses) != 1 || uses[0] != ld.Index {
+		t.Errorf("Uses(load idx) = %v", uses)
+	}
+	if d, ok := Def(ld); !ok || d != ld.Dst {
+		t.Errorf("Def(load) = %v, %v", d, ok)
+	}
+	if v, w, ok := AccessedVar(ld); !ok || w || v.Name != "data" {
+		t.Errorf("AccessedVar(load) = %v %v %v", v, w, ok)
+	}
+	st := body.Instrs[3].(*Store)
+	if v, w, ok := AccessedVar(st); !ok || !w || v.Name != "sum" {
+		t.Errorf("AccessedVar(store) = %v %v %v", v, w, ok)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	m := parseSample(t)
+	f := m.FuncByName("main")
+	sum := m.GlobalByName("sum")
+	f.BlockByName("body").Alloc = map[*Var]bool{sum: true}
+	f.BlockByName("head").Atomic = true
+	nb := SplitEdge(f.BlockByName("body"), f.BlockByName("head"))
+	nb.Instrs = append([]Instr{&Checkpoint{ID: 3, Kind: CkWait, Every: 4}}, nb.Instrs...)
+
+	var buf strings.Builder
+	if err := WriteDot(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"main\"", "vm={sum}", "ck#3 wait every 4",
+		"fillcolor=lightyellow", "label=\"T\"", "->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}

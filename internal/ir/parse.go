@@ -1,0 +1,603 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module from its textual representation (the format produced
+// by Module.String). Parsing is two-phase so that forward references to
+// blocks and functions resolve.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	m, err := p.module()
+	if err != nil {
+		return nil, fmt.Errorf("ir: line %d: %w", p.pos+1, err)
+	}
+	return m, nil
+}
+
+// MustParse is Parse for known-good sources, panicking on error. Intended
+// for tests and embedded programs.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			p.pos++
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (p *parser) module() (*Module, error) {
+	line, ok := p.next()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return nil, fmt.Errorf("expected 'module <name>'")
+	}
+	m := &Module{Name: strings.TrimSpace(strings.TrimPrefix(line, "module "))}
+	p.pos++
+
+	// Pass 1: globals and function shells with raw bodies.
+	type rawFunc struct {
+		f     *Func
+		body  []string
+		start int
+	}
+	var raws []rawFunc
+	for {
+		line, ok := p.next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "global "), strings.HasPrefix(line, "input global "):
+			v, err := parseVarDecl(line, "global")
+			if err != nil {
+				return nil, err
+			}
+			v.Global = true
+			if m.GlobalByName(v.Name) != nil {
+				return nil, fmt.Errorf("duplicate global %q", v.Name)
+			}
+			m.Globals = append(m.Globals, v)
+			p.pos++
+		case strings.HasPrefix(line, "func "):
+			f, err := parseFuncHeader(line)
+			if err != nil {
+				return nil, err
+			}
+			if m.FuncByName(f.Name) != nil {
+				return nil, fmt.Errorf("duplicate function %q", f.Name)
+			}
+			f.Module = m
+			m.Funcs = append(m.Funcs, f)
+			p.pos++
+			start := p.pos
+			var body []string
+			closed := false
+			for p.pos < len(p.lines) {
+				l := strings.TrimSpace(p.lines[p.pos])
+				if l == "}" {
+					closed = true
+					p.pos++
+					break
+				}
+				body = append(body, p.lines[p.pos])
+				p.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("function %q: missing closing '}'", f.Name)
+			}
+			raws = append(raws, rawFunc{f: f, body: body, start: start})
+		default:
+			return nil, fmt.Errorf("unexpected %q", line)
+		}
+	}
+
+	// Pass 2: function bodies, with the full symbol table available.
+	for _, r := range raws {
+		if err := p.funcBody(m, r.f, r.body, r.start); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func parseVarDecl(line, kw string) (*Var, error) {
+	v := &Var{Elems: 1}
+	rest := line
+	if strings.HasPrefix(rest, "input ") {
+		v.Input = true
+		rest = strings.TrimPrefix(rest, "input ")
+	}
+	if !strings.HasPrefix(rest, kw+" ") {
+		return nil, fmt.Errorf("expected %q declaration in %q", kw, line)
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, kw+" "))
+
+	var initPart string
+	if i := strings.Index(rest, "="); i >= 0 {
+		initPart = strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing variable name in %q", line)
+	}
+	name := fields[0]
+	for _, f := range fields[1:] {
+		if f == "addr" {
+			v.AddrUsed = true
+		} else {
+			return nil, fmt.Errorf("unexpected token %q in %q", f, line)
+		}
+	}
+	if i := strings.Index(name, "["); i >= 0 {
+		if !strings.HasSuffix(name, "]") {
+			return nil, fmt.Errorf("malformed array size in %q", line)
+		}
+		n, err := strconv.Atoi(name[i+1 : len(name)-1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad array size in %q", line)
+		}
+		v.Elems = n
+		name = name[:i]
+	}
+	v.Name = name
+	if initPart != "" {
+		initPart = strings.TrimPrefix(initPart, "{")
+		initPart = strings.TrimSuffix(initPart, "}")
+		for _, tok := range strings.Split(initPart, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			x, err := strconv.ParseInt(tok, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad initializer %q", tok)
+			}
+			v.Init = append(v.Init, x)
+		}
+		if len(v.Init) > v.Elems {
+			return nil, fmt.Errorf("initializer for %q longer than variable", v.Name)
+		}
+	}
+	return v, nil
+}
+
+func parseFuncHeader(line string) (*Func, error) {
+	// func <ret> <name>(<params>) regs <n> {
+	rest := strings.TrimPrefix(line, "func ")
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("malformed function header %q", line)
+	}
+	f := &Func{}
+	switch fields[0] {
+	case "int":
+		f.HasRet = true
+	case "void":
+	default:
+		return nil, fmt.Errorf("bad return type %q", fields[0])
+	}
+	rest = fields[1]
+	open := strings.Index(rest, "(")
+	closeP := strings.Index(rest, ")")
+	if open < 0 || closeP < open {
+		return nil, fmt.Errorf("malformed parameter list in %q", line)
+	}
+	f.Name = strings.TrimSpace(rest[:open])
+	params := strings.TrimSpace(rest[open+1 : closeP])
+	if params != "" {
+		for _, prm := range strings.Split(params, ",") {
+			f.Params = append(f.Params, strings.TrimSpace(prm))
+		}
+	}
+	tail := strings.Fields(rest[closeP+1:])
+	if len(tail) != 2 || tail[0] != "regs" {
+		return nil, fmt.Errorf("missing 'regs <n>' in %q", line)
+	}
+	n, err := strconv.Atoi(tail[1])
+	if err != nil || n < len(f.Params) {
+		return nil, fmt.Errorf("bad register count in %q", line)
+	}
+	f.NumRegs = n
+	return f, nil
+}
+
+func (p *parser) funcBody(m *Module, f *Func, body []string, start int) error {
+	// Pre-scan for block labels so branches can forward-reference.
+	for _, raw := range body {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if f.BlockByName(name) != nil {
+				return fmt.Errorf("line %d: duplicate block %q", start, name)
+			}
+			b := &Block{Name: name, Func: f, Index: len(f.Blocks)}
+			f.Blocks = append(f.Blocks, b)
+		}
+	}
+	var cur *Block
+	ckID := 0
+	for i, raw := range body {
+		lineNo := start + i + 1
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			cur = f.BlockByName(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		if strings.HasPrefix(line, "local ") || strings.HasPrefix(line, "input local ") {
+			v, err := parseVarDecl(line, "local")
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			v.Func = f
+			if f.LocalByName(v.Name) != nil {
+				return fmt.Errorf("line %d: duplicate local %q", lineNo, v.Name)
+			}
+			f.Locals = append(f.Locals, v)
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("line %d: instruction before first block label", lineNo)
+		}
+		if line == "atomic" {
+			cur.Atomic = true
+			continue
+		}
+		if strings.HasPrefix(line, "vmalloc ") {
+			alloc := map[*Var]bool{}
+			for _, name := range strings.Split(strings.TrimPrefix(line, "vmalloc "), ",") {
+				v, err := f.resolveVar(strings.TrimSpace(name))
+				if err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				alloc[v] = true
+			}
+			cur.Alloc = alloc
+			continue
+		}
+		in, err := parseInstr(m, f, line, &ckID)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("function %q has no blocks", f.Name)
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func parseReg(tok string) (Reg, error) {
+	tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}
+
+func (f *Func) resolveVar(name string) (*Var, error) {
+	if v := f.LocalByName(name); v != nil {
+		return v, nil
+	}
+	if v := f.Module.GlobalByName(name); v != nil {
+		return v, nil
+	}
+	return nil, fmt.Errorf("unknown variable %q", name)
+}
+
+func parseInstr(m *Module, f *Func, line string, ckID *int) (Instr, error) {
+	// Assignment forms: "rN = ..."
+	if eq := strings.Index(line, "="); eq > 0 && strings.HasPrefix(line, "r") {
+		dst, err := parseReg(line[:eq])
+		if err != nil {
+			return nil, err
+		}
+		return parseRHS(m, f, dst, strings.TrimSpace(line[eq+1:]))
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "store":
+		// store var[, idx], rSrc  — rendered as "store name[rI], rS" or "store name, rS"
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "store "))
+		comma := strings.LastIndex(rest, ",")
+		if comma < 0 {
+			return nil, fmt.Errorf("malformed store %q", line)
+		}
+		src, err := parseReg(rest[comma+1:])
+		if err != nil {
+			return nil, err
+		}
+		target := strings.TrimSpace(rest[:comma])
+		st := &Store{Src: src}
+		name := target
+		if i := strings.Index(target, "["); i >= 0 {
+			if !strings.HasSuffix(target, "]") {
+				return nil, fmt.Errorf("malformed store index in %q", line)
+			}
+			idx, err := parseReg(target[i+1 : len(target)-1])
+			if err != nil {
+				return nil, err
+			}
+			st.Index, st.HasIndex = idx, true
+			name = target[:i]
+		}
+		v, err := f.resolveVar(name)
+		if err != nil {
+			return nil, err
+		}
+		st.Var = v
+		return st, nil
+	case "out":
+		r, err := parseReg(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Out{Src: r}, nil
+	case "br":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("malformed br %q", line)
+		}
+		cond, err := parseReg(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		then := f.BlockByName(strings.TrimSuffix(fields[2], ","))
+		els := f.BlockByName(fields[3])
+		if then == nil || els == nil {
+			return nil, fmt.Errorf("br to unknown block in %q", line)
+		}
+		return &Br{Cond: cond, Then: then, Else: els}, nil
+	case "jmp":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed jmp %q", line)
+		}
+		t := f.BlockByName(fields[1])
+		if t == nil {
+			return nil, fmt.Errorf("jmp to unknown block %q", fields[1])
+		}
+		return &Jmp{Target: t}, nil
+	case "ret":
+		if len(fields) == 1 {
+			return &Ret{}, nil
+		}
+		r, err := parseReg(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Ret{Src: r, HasSrc: true}, nil
+	case "call":
+		return parseCall(m, f, 0, false, line)
+	case "checkpoint":
+		return parseCheckpoint(f, fields, ckID)
+	case "loopbound":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed loopbound %q", line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad loopbound %q", fields[1])
+		}
+		return &LoopBound{Max: n}, nil
+	}
+	return nil, fmt.Errorf("unknown instruction %q", line)
+}
+
+func parseRHS(m *Module, f *Func, dst Reg, rhs string) (Instr, error) {
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty assignment")
+	}
+	switch fields[0] {
+	case "const":
+		v, err := strconv.ParseInt(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad constant %q", fields[1])
+		}
+		return &Const{Dst: dst, Val: v}, nil
+	case "load":
+		target := strings.TrimSpace(strings.TrimPrefix(rhs, "load "))
+		ld := &Load{Dst: dst}
+		name := target
+		if i := strings.Index(target, "["); i >= 0 {
+			if !strings.HasSuffix(target, "]") {
+				return nil, fmt.Errorf("malformed load index %q", rhs)
+			}
+			idx, err := parseReg(target[i+1 : len(target)-1])
+			if err != nil {
+				return nil, err
+			}
+			ld.Index, ld.HasIndex = idx, true
+			name = target[:i]
+		}
+		v, err := f.resolveVar(name)
+		if err != nil {
+			return nil, err
+		}
+		ld.Var = v
+		return ld, nil
+	case "call":
+		return parseCall(m, f, dst, true, rhs)
+	default:
+		op, ok := OpByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown operation %q", fields[0])
+		}
+		a, err := parseReg(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		bi := &BinOp{Dst: dst, Op: op, A: a}
+		if !op.IsUnary() {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("binary op needs two operands: %q", rhs)
+			}
+			b, err := parseReg(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			bi.B = b
+		} else if len(fields) != 2 {
+			return nil, fmt.Errorf("unary op needs one operand: %q", rhs)
+		}
+		return bi, nil
+	}
+}
+
+func parseCall(m *Module, f *Func, dst Reg, hasDst bool, text string) (Instr, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "call "))
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("malformed call %q", text)
+	}
+	callee := m.FuncByName(strings.TrimSpace(rest[:open]))
+	if callee == nil {
+		return nil, fmt.Errorf("call to unknown function in %q", text)
+	}
+	c := &Call{Dst: dst, HasDst: hasDst, Callee: callee}
+	args := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	if args != "" {
+		for _, a := range strings.Split(args, ",") {
+			r, err := parseReg(a)
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, r)
+		}
+	}
+	if len(c.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("call %s: want %d args, got %d",
+			callee.Name, len(callee.Params), len(c.Args))
+	}
+	if hasDst && !callee.HasRet {
+		return nil, fmt.Errorf("call %s: void function used as value", callee.Name)
+	}
+	return c, nil
+}
+
+func parseCheckpoint(f *Func, fields []string, ckID *int) (Instr, error) {
+	// checkpoint #N kind [every K] [regs-only] [save-all] [lazy]
+	//   [liveregs N] [save a,b] [restore c]
+	ck := &Checkpoint{}
+	i := 1
+	if i < len(fields) && strings.HasPrefix(fields[i], "#") {
+		n, err := strconv.Atoi(fields[i][1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad checkpoint id %q", fields[i])
+		}
+		ck.ID = n
+		i++
+	} else {
+		ck.ID = *ckID
+		*ckID++
+	}
+	if i >= len(fields) {
+		return nil, fmt.Errorf("checkpoint missing kind")
+	}
+	switch fields[i] {
+	case "wait":
+		ck.Kind = CkWait
+	case "rollback":
+		ck.Kind = CkRollback
+	case "trigger":
+		ck.Kind = CkTrigger
+	default:
+		return nil, fmt.Errorf("unknown checkpoint kind %q", fields[i])
+	}
+	i++
+	for i < len(fields) {
+		switch fields[i] {
+		case "every":
+			if i+1 >= len(fields) {
+				return nil, fmt.Errorf("checkpoint 'every' missing count")
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad 'every' count %q", fields[i+1])
+			}
+			ck.Every = n
+			i += 2
+		case "regs-only":
+			ck.RegsOnly = true
+			i++
+		case "save-all":
+			ck.SaveAll = true
+			i++
+		case "lazy":
+			ck.Lazy = true
+			i++
+		case "liveregs":
+			if i+1 >= len(fields) {
+				return nil, fmt.Errorf("checkpoint 'liveregs' missing count")
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad 'liveregs' count %q", fields[i+1])
+			}
+			ck.RefinedRegs = true
+			ck.LiveRegs = n
+			i += 2
+		case "save", "restore":
+			if i+1 >= len(fields) {
+				return nil, fmt.Errorf("checkpoint %q missing variable list", fields[i])
+			}
+			var vars []*Var
+			for _, name := range strings.Split(fields[i+1], ",") {
+				v, err := f.resolveVar(name)
+				if err != nil {
+					return nil, err
+				}
+				vars = append(vars, v)
+			}
+			if fields[i] == "save" {
+				ck.Save = vars
+			} else {
+				ck.Restore = vars
+			}
+			i += 2
+		default:
+			return nil, fmt.Errorf("unexpected checkpoint token %q", fields[i])
+		}
+	}
+	return ck, nil
+}

@@ -1,0 +1,95 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in the textual IR format accepted by Parse.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	for _, v := range m.Globals {
+		b.WriteString(v.decl("global"))
+		b.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		b.WriteByte('\n')
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+func (v *Var) decl(kw string) string {
+	var b strings.Builder
+	if v.Input {
+		b.WriteString("input ")
+	}
+	fmt.Fprintf(&b, "%s %s", kw, v.Name)
+	if v.Elems != 1 {
+		fmt.Fprintf(&b, "[%d]", v.Elems)
+	}
+	if v.AddrUsed {
+		b.WriteString(" addr")
+	}
+	if len(v.Init) > 0 {
+		b.WriteString(" = {")
+		for i, x := range v.Init {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", x)
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// String renders the function in textual IR form.
+func (f *Func) String() string {
+	var b strings.Builder
+	ret := "void"
+	if f.HasRet {
+		ret = "int"
+	}
+	fmt.Fprintf(&b, "func %s %s(%s) regs %d {\n", ret, f.Name,
+		strings.Join(f.Params, ", "), f.NumRegs)
+	for _, v := range f.Locals {
+		fmt.Fprintf(&b, "  %s\n", v.decl("local"))
+	}
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		if blk.Atomic {
+			b.WriteString("  atomic\n")
+		}
+		if n := blk.VMBytes(); n > 0 {
+			// The block's memory allocation is semantic state and must
+			// survive the textual round trip.
+			fmt.Fprintf(&b, "  vmalloc %s  ; %d B\n", allocList(blk.Alloc), n)
+		}
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func allocList(alloc map[*Var]bool) string {
+	var names []string
+	for v, in := range alloc {
+		if in {
+			names = append(names, v.Name)
+		}
+	}
+	sortStrings(names)
+	return strings.Join(names, ",")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

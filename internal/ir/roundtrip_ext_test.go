@@ -1,0 +1,93 @@
+package ir_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	schematic "schematic/internal/core"
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// TestModuleRoundTripProperty checks print→parse→print stability on random
+// compiled programs: the textual format must carry every semantic bit.
+func TestModuleRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			return true
+		}
+		text := m.String()
+		re, err := ir.Parse(text)
+		if err != nil {
+			t.Logf("seed %d: reparse failed: %v", seed, err)
+			return false
+		}
+		if re.String() != text {
+			t.Logf("seed %d: round trip not stable", seed)
+			return false
+		}
+		return ir.Verify(re) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransformedRoundTripProperty extends the round-trip property to
+// SCHEMATIC-instrumented modules: checkpoints (with save/restore lists,
+// conditional counters, refined register counts) and per-block vmalloc
+// directives must all survive the textual format.
+func TestTransformedRoundTripProperty(t *testing.T) {
+	model := energy.MSP430FR5969()
+	count := 0
+	for seed := int64(0); seed < 20; seed++ {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed^0x0712)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 2, Seed: seed, Model: model, MaxSteps: 30_000_000})
+		if err != nil {
+			continue
+		}
+		conf := schematic.Config{
+			Model: model, Budget: prof.EBForTBPF(4000), VMSize: 2048, Profile: prof,
+			RefineRegisterLiveness: seed%2 == 0,
+		}
+		if _, err := schematic.Apply(m, conf); err != nil {
+			continue
+		}
+		count++
+		text := m.String()
+		re, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse of transformed module failed: %v", seed, err)
+		}
+		if got := re.String(); got != text {
+			t.Fatalf("seed %d: transformed round trip unstable", seed)
+		}
+		// Checkpoint payloads must match field by field.
+		want, got := ir.Checkpoints(m), ir.Checkpoints(re)
+		if len(want) != len(got) {
+			t.Fatalf("seed %d: %d checkpoints reparsed, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.ID != g.ID || w.Kind != g.Kind || w.Every != g.Every ||
+				w.SaveAll != g.SaveAll || w.RegsOnly != g.RegsOnly || w.Lazy != g.Lazy ||
+				w.RefinedRegs != g.RefinedRegs || w.LiveRegs != g.LiveRegs ||
+				len(w.Save) != len(g.Save) || len(w.Restore) != len(g.Restore) {
+				t.Fatalf("seed %d: checkpoint %d changed across round trip:\n  %v\n  %v", seed, i, w, g)
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no transformed module was ever produced")
+	}
+}

@@ -1,0 +1,296 @@
+package ir
+
+import "fmt"
+
+// ReversePostorder returns the function's blocks in reverse postorder from
+// the entry. Unreachable blocks are appended at the end in declaration
+// order so that analyses still see every block.
+func ReversePostorder(f *Func) []*Block {
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		post = append(post, b)
+	}
+	visit(f.Entry())
+	out := make([]*Block, 0, len(f.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range f.Blocks {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Edge identifies a CFG edge: the potential checkpoint locations of the
+// SCHEMATIC analysis (paper, III-A).
+type Edge struct {
+	From, To *Block
+}
+
+func (e Edge) String() string { return fmt.Sprintf("%s->%s", e.From.Name, e.To.Name) }
+
+// Edges returns every CFG edge of the function, in block order.
+func Edges(f *Func) []Edge {
+	var es []Edge
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			es = append(es, Edge{From: b, To: s})
+		}
+	}
+	return es
+}
+
+// SplitEdge inserts and returns a new block on the edge from→to. The new
+// block inherits from's allocation so that splitting is allocation-neutral.
+// Placement passes put Checkpoint instructions inside it.
+func SplitEdge(from, to *Block) *Block {
+	f := from.Func
+	nb := f.NewBlock(fmt.Sprintf("ck.%s.%s", from.Name, to.Name))
+	nb.Instrs = []Instr{&Jmp{Target: to}}
+	if from.Alloc != nil {
+		nb.Alloc = make(map[*Var]bool, len(from.Alloc))
+		for v, in := range from.Alloc {
+			nb.Alloc[v] = in
+		}
+	}
+	switch t := from.Terminator().(type) {
+	case *Br:
+		// A conditional may target the same block on both arms; redirect
+		// only one arm per call, preferring Then.
+		if t.Then == to {
+			t.Then = nb
+		} else if t.Else == to {
+			t.Else = nb
+		} else {
+			panic(fmt.Sprintf("ir: SplitEdge: %s is not a successor of %s", to.Name, from.Name))
+		}
+	case *Jmp:
+		if t.Target != to {
+			panic(fmt.Sprintf("ir: SplitEdge: %s is not a successor of %s", to.Name, from.Name))
+		}
+		t.Target = nb
+	default:
+		panic(fmt.Sprintf("ir: SplitEdge: block %s has no branch terminator", from.Name))
+	}
+	f.Renumber()
+	return nb
+}
+
+// Clone deep-copies a module. Transformation passes operate on clones so
+// that several techniques can be applied independently to one program.
+func Clone(m *Module) *Module {
+	nm := &Module{Name: m.Name}
+	gmap := make(map[*Var]*Var, len(m.Globals))
+	for _, v := range m.Globals {
+		nv := cloneVar(v)
+		gmap[v] = nv
+		nm.Globals = append(nm.Globals, nv)
+	}
+	fmap := make(map[*Func]*Func, len(m.Funcs))
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Name:    f.Name,
+			Params:  append([]string(nil), f.Params...),
+			HasRet:  f.HasRet,
+			NumRegs: f.NumRegs,
+			Module:  nm,
+		}
+		fmap[f] = nf
+		nm.Funcs = append(nm.Funcs, nf)
+	}
+	for _, f := range m.Funcs {
+		nf := fmap[f]
+		vmap := make(map[*Var]*Var, len(f.Locals)+len(m.Globals))
+		for g, ng := range gmap {
+			vmap[g] = ng
+		}
+		for _, v := range f.Locals {
+			nv := cloneVar(v)
+			nv.Func = nf
+			vmap[v] = nv
+			nf.Locals = append(nf.Locals, nv)
+		}
+		bmap := make(map[*Block]*Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Func: nf, Index: b.Index, Atomic: b.Atomic}
+			if b.Alloc != nil {
+				nb.Alloc = make(map[*Var]bool, len(b.Alloc))
+				for v, in := range b.Alloc {
+					nb.Alloc[vmap[v]] = in
+				}
+			}
+			bmap[b] = nb
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		for _, b := range f.Blocks {
+			nb := bmap[b]
+			for _, in := range b.Instrs {
+				nb.Instrs = append(nb.Instrs, cloneInstr(in, vmap, bmap, fmap))
+			}
+		}
+	}
+	return nm
+}
+
+// CloneInstr copies an instruction within its function, remapping branch
+// targets through bmap (absent entries keep the original target).
+// Variables, registers, and callees are shared. Used by transformations
+// that duplicate blocks, such as loop unrolling.
+func CloneInstr(in Instr, bmap map[*Block]*Block) Instr {
+	remap := func(b *Block) *Block {
+		if nb, ok := bmap[b]; ok {
+			return nb
+		}
+		return b
+	}
+	switch i := in.(type) {
+	case *Br:
+		c := *i
+		c.Then, c.Else = remap(i.Then), remap(i.Else)
+		return &c
+	case *Jmp:
+		c := *i
+		c.Target = remap(i.Target)
+		return &c
+	case *Call:
+		c := *i
+		c.Args = append([]Reg(nil), i.Args...)
+		return &c
+	case *Checkpoint:
+		c := *i
+		c.Save = append([]*Var(nil), i.Save...)
+		c.Restore = append([]*Var(nil), i.Restore...)
+		return &c
+	case *Const:
+		c := *i
+		return &c
+	case *BinOp:
+		c := *i
+		return &c
+	case *Load:
+		c := *i
+		return &c
+	case *Store:
+		c := *i
+		return &c
+	case *Out:
+		c := *i
+		return &c
+	case *Ret:
+		c := *i
+		return &c
+	case *LoopBound:
+		c := *i
+		return &c
+	default:
+		panic(fmt.Sprintf("ir: CloneInstr: unknown instruction %T", in))
+	}
+}
+
+func cloneVar(v *Var) *Var {
+	nv := *v
+	nv.Init = append([]int64(nil), v.Init...)
+	nv.Func = nil
+	return &nv
+}
+
+func cloneInstr(in Instr, vmap map[*Var]*Var, bmap map[*Block]*Block, fmap map[*Func]*Func) Instr {
+	switch i := in.(type) {
+	case *Const:
+		c := *i
+		return &c
+	case *BinOp:
+		c := *i
+		return &c
+	case *Load:
+		c := *i
+		c.Var = vmap[i.Var]
+		return &c
+	case *Store:
+		c := *i
+		c.Var = vmap[i.Var]
+		return &c
+	case *Call:
+		c := *i
+		c.Callee = fmap[i.Callee]
+		c.Args = append([]Reg(nil), i.Args...)
+		return &c
+	case *Out:
+		c := *i
+		return &c
+	case *Br:
+		c := *i
+		c.Then, c.Else = bmap[i.Then], bmap[i.Else]
+		return &c
+	case *Jmp:
+		c := *i
+		c.Target = bmap[i.Target]
+		return &c
+	case *Ret:
+		c := *i
+		return &c
+	case *Checkpoint:
+		c := *i
+		c.Save = cloneVars(i.Save, vmap)
+		c.Restore = cloneVars(i.Restore, vmap)
+		return &c
+	case *LoopBound:
+		c := *i
+		return &c
+	default:
+		panic(fmt.Sprintf("ir: Clone: unknown instruction %T", in))
+	}
+}
+
+func cloneVars(vs []*Var, vmap map[*Var]*Var) []*Var {
+	if vs == nil {
+		return nil
+	}
+	out := make([]*Var, len(vs))
+	for i, v := range vs {
+		out[i] = vmap[v]
+	}
+	return out
+}
+
+// Checkpoints returns every checkpoint instruction in the module, in
+// deterministic (function, block, instruction) order.
+func Checkpoints(m *Module) []*Checkpoint {
+	var cks []*Checkpoint
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if ck, ok := in.(*Checkpoint); ok {
+					cks = append(cks, ck)
+				}
+			}
+		}
+	}
+	return cks
+}
+
+// DataBytes returns the total footprint of the module's variables (globals
+// plus every function's statically-allocated locals). This is the quantity
+// Table I compares against the VM size for the VM-only techniques.
+func DataBytes(m *Module) int {
+	n := 0
+	for _, v := range m.Globals {
+		n += v.SizeBytes()
+	}
+	for _, f := range m.Funcs {
+		for _, v := range f.Locals {
+			n += v.SizeBytes()
+		}
+	}
+	return n
+}

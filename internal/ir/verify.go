@@ -1,0 +1,221 @@
+package ir
+
+import "fmt"
+
+// Verify checks the structural well-formedness of a module:
+//   - every function has an entry block and every block a single terminator,
+//   - branch targets belong to the enclosing function,
+//   - registers are within the declared range,
+//   - variables referenced by instructions belong to the function or module,
+//   - "main" exists, takes no parameters, and returns no value,
+//   - array indexing is only used on arrays,
+//   - call arity matches.
+func Verify(m *Module) error {
+	main := m.FuncByName("main")
+	if main == nil {
+		return fmt.Errorf("ir: module %s has no main function", m.Name)
+	}
+	if len(main.Params) != 0 || main.HasRet {
+		return fmt.Errorf("ir: main must be 'func void main()'")
+	}
+	seenGlobal := map[string]bool{}
+	for _, v := range m.Globals {
+		if seenGlobal[v.Name] {
+			return fmt.Errorf("ir: duplicate global %q", v.Name)
+		}
+		seenGlobal[v.Name] = true
+		if v.Elems < 1 {
+			return fmt.Errorf("ir: global %q has %d elements", v.Name, v.Elems)
+		}
+		if len(v.Init) > v.Elems {
+			return fmt.Errorf("ir: global %q initializer too long", v.Name)
+		}
+	}
+	for _, f := range m.Funcs {
+		if err := verifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Func) error {
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("ir: func %s: %s", f.Name, fmt.Sprintf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return errf("no blocks")
+	}
+	if f.NumRegs < len(f.Params) {
+		return errf("NumRegs %d < %d params", f.NumRegs, len(f.Params))
+	}
+	blocks := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		blocks[b] = true
+	}
+	locals := map[string]bool{}
+	for _, v := range f.Locals {
+		if locals[v.Name] {
+			return errf("duplicate local %q", v.Name)
+		}
+		locals[v.Name] = true
+		if v.Elems < 1 {
+			return errf("local %q has %d elements", v.Name, v.Elems)
+		}
+	}
+	checkReg := func(r Reg) error {
+		if int(r) < 0 || int(r) >= f.NumRegs {
+			return errf("register %v out of range [0,%d)", r, f.NumRegs)
+		}
+		return nil
+	}
+	checkVar := func(v *Var) error {
+		if v == nil {
+			return errf("nil variable reference")
+		}
+		if v.Global {
+			if m.GlobalByName(v.Name) != v {
+				return errf("variable %q not a global of this module", v.Name)
+			}
+			return nil
+		}
+		if v.Func != f {
+			return errf("local %q belongs to another function", v.Name)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return errf("block %s is empty", b.Name)
+		}
+		for i, in := range b.Instrs {
+			last := i == len(b.Instrs)-1
+			if in.isTerminator() != last {
+				if last {
+					return errf("block %s does not end in a terminator", b.Name)
+				}
+				return errf("block %s: terminator %q not at end", b.Name, in)
+			}
+			for _, r := range Uses(in) {
+				if err := checkReg(r); err != nil {
+					return err
+				}
+			}
+			if d, ok := Def(in); ok {
+				if err := checkReg(d); err != nil {
+					return err
+				}
+			}
+			switch x := in.(type) {
+			case *Load:
+				if err := checkVar(x.Var); err != nil {
+					return err
+				}
+				if x.HasIndex && x.Var.Elems == 1 {
+					return errf("block %s: indexed load of scalar %q", b.Name, x.Var.Name)
+				}
+				if !x.HasIndex && x.Var.Elems != 1 {
+					return errf("block %s: unindexed load of array %q", b.Name, x.Var.Name)
+				}
+			case *Store:
+				if err := checkVar(x.Var); err != nil {
+					return err
+				}
+				if x.HasIndex && x.Var.Elems == 1 {
+					return errf("block %s: indexed store to scalar %q", b.Name, x.Var.Name)
+				}
+				if !x.HasIndex && x.Var.Elems != 1 {
+					return errf("block %s: unindexed store to array %q", b.Name, x.Var.Name)
+				}
+			case *Call:
+				if x.Callee == nil || m.FuncByName(x.Callee.Name) != x.Callee {
+					return errf("block %s: call to foreign function", b.Name)
+				}
+				if len(x.Args) != len(x.Callee.Params) {
+					return errf("block %s: call %s arity mismatch", b.Name, x.Callee.Name)
+				}
+				if x.HasDst && !x.Callee.HasRet {
+					return errf("block %s: value use of void call %s", b.Name, x.Callee.Name)
+				}
+			case *Br:
+				if !blocks[x.Then] || !blocks[x.Else] {
+					return errf("block %s: branch to foreign block", b.Name)
+				}
+			case *Jmp:
+				if !blocks[x.Target] {
+					return errf("block %s: jump to foreign block", b.Name)
+				}
+			case *Ret:
+				if x.HasSrc != f.HasRet {
+					return errf("block %s: return value mismatch", b.Name)
+				}
+			case *Checkpoint:
+				for _, v := range append(append([]*Var{}, x.Save...), x.Restore...) {
+					if err := checkVar(v); err != nil {
+						return err
+					}
+				}
+				if x.Every < 0 {
+					return errf("block %s: negative checkpoint period", b.Name)
+				}
+			}
+		}
+		if b.Atomic {
+			for _, in := range b.Instrs {
+				if _, isCk := in.(*Checkpoint); isCk {
+					return errf("block %s: checkpoint inside an atomic section", b.Name)
+				}
+			}
+		}
+		// Allocation sanity: only non-pointer variables may live in VM.
+		for v, in := range b.Alloc {
+			if in && v.AddrUsed {
+				return errf("block %s: pointer-accessed %q allocated to VM", b.Name, v.Name)
+			}
+		}
+	}
+	if rec := findRecursion(m); rec != "" {
+		return fmt.Errorf("ir: recursion involving %q (unsupported, paper III-B1)", rec)
+	}
+	return nil
+}
+
+// findRecursion returns the name of a function on a call-graph cycle, or "".
+func findRecursion(m *Module) string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Func]int{}
+	var cyclic *Func
+	var visit func(f *Func) bool
+	visit = func(f *Func) bool {
+		color[f] = gray
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				c, ok := in.(*Call)
+				if !ok {
+					continue
+				}
+				switch color[c.Callee] {
+				case gray:
+					cyclic = c.Callee
+					return true
+				case white:
+					if visit(c.Callee) {
+						return true
+					}
+				}
+			}
+		}
+		color[f] = black
+		return false
+	}
+	for _, f := range m.Funcs {
+		if color[f] == white && visit(f) {
+			return cyclic.Name
+		}
+	}
+	return ""
+}

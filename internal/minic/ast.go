@@ -1,0 +1,163 @@
+package minic
+
+// File is a parsed MiniC compilation unit.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Pos   Pos
+	Name  string
+	Elems int // 1 for scalars
+	Input bool
+	Init  []int64
+}
+
+// Param is a function parameter (always int).
+type Param struct {
+	Pos  Pos
+	Name string
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	HasRet bool // func int vs func void
+	Locals []*VarDecl
+	Body   []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// AssignStmt is "target = value;" or "target[idx] = value;".
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// IfStmt is an if with an optional else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil when absent
+}
+
+// WhileStmt is "while (cond) @max(N) { body }".
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Max  int // 0 when unannotated
+	Body []Stmt
+}
+
+// ForStmt is "for (init; cond; post) @max(N) { body }". Init and Post are
+// assignments and may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init *AssignStmt
+	Cond Expr
+	Post *AssignStmt
+	Max  int
+	Body []Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt advances the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// PrintStmt emits a value on the program's output stream.
+type PrintStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// AtomicStmt is "atomic { body }": checkpoint placement inside the body
+// is forbidden (paper §VI, for code driving peripherals).
+type AtomicStmt struct {
+	Pos  Pos
+	Body []Stmt
+}
+
+// ExprStmt is a bare expression statement (function call for effect).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *AssignStmt) stmtPos() Pos   { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+func (s *PrintStmt) stmtPos() Pos    { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *AtomicStmt) stmtPos() Pos   { return s.Pos }
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val int64
+}
+
+// VarRef reads a scalar variable.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// BinaryExpr is a binary operation. && and || evaluate both operands.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+func (e *NumLit) exprPos() Pos     { return e.Pos }
+func (e *VarRef) exprPos() Pos     { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }

@@ -1,0 +1,206 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			start := Pos{lx.line, lx.col}
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos+1 <= len(lx.src) {
+				if lx.pos+1 < len(lx.src) && lx.peekByte() == '*' && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				if lx.pos >= len(lx.src) {
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Lex tokenizes the entire source.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		if err := lx.skipSpaceAndComments(); err != nil {
+			return nil, err
+		}
+		startLine, startCol := lx.line, lx.col
+		mk := func(k Kind, text string) {
+			toks = append(toks, Token{Kind: k, Text: text, Line: startLine, Col: startCol})
+		}
+		if lx.pos >= len(lx.src) {
+			mk(tEOF, "")
+			return toks, nil
+		}
+		c := lx.peekByte()
+		switch {
+		case isIdentStart(c):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+				lx.advance()
+			}
+			word := lx.src[start:lx.pos]
+			if k, ok := keywords[word]; ok {
+				mk(k, word)
+			} else {
+				mk(tIdent, word)
+			}
+		case isDigit(c):
+			start := lx.pos
+			if c == '0' && lx.pos+1 < len(lx.src) &&
+				(lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+				lx.advance()
+				lx.advance()
+				for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			} else {
+				for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			}
+			text := lx.src[start:lx.pos]
+			val, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, errf(Pos{startLine, startCol}, "bad number %q", text)
+			}
+			toks = append(toks, Token{Kind: tNumber, Text: text, Val: val, Line: startLine, Col: startCol})
+		case c == '@':
+			lx.advance()
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+				lx.advance()
+			}
+			word := lx.src[start:lx.pos]
+			if word != "max" {
+				return nil, errf(Pos{startLine, startCol}, "unknown annotation @%s", word)
+			}
+			mk(tAtMax, "@max")
+		default:
+			lx.advance()
+			two := string(c)
+			if lx.pos < len(lx.src) {
+				two += string(lx.peekByte())
+			}
+			switch two {
+			case "<<":
+				lx.advance()
+				mk(tShl, two)
+				continue
+			case ">>":
+				lx.advance()
+				mk(tShr, two)
+				continue
+			case "==":
+				lx.advance()
+				mk(tEq, two)
+				continue
+			case "!=":
+				lx.advance()
+				mk(tNe, two)
+				continue
+			case "<=":
+				lx.advance()
+				mk(tLe, two)
+				continue
+			case ">=":
+				lx.advance()
+				mk(tGe, two)
+				continue
+			case "&&":
+				lx.advance()
+				mk(tAndAnd, two)
+				continue
+			case "||":
+				lx.advance()
+				mk(tOrOr, two)
+				continue
+			}
+			single := map[byte]Kind{
+				'(': tLParen, ')': tRParen, '{': tLBrace, '}': tRBrace,
+				'[': tLBracket, ']': tRBracket, ',': tComma, ';': tSemi,
+				'=': tAssign, '+': tPlus, '-': tMinus, '*': tStar,
+				'/': tSlash, '%': tPercent, '&': tAmp, '|': tPipe,
+				'^': tCaret, '<': tLt, '>': tGt, '!': tBang, '~': tTilde,
+			}
+			k, ok := single[c]
+			if !ok {
+				return nil, errf(Pos{startLine, startCol}, "unexpected character %q", string(c))
+			}
+			mk(k, string(c))
+		}
+	}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// stripBOM removes a UTF-8 byte-order mark if present.
+func stripBOM(src string) string {
+	return strings.TrimPrefix(src, "\uFEFF")
+}

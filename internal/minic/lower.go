@@ -1,0 +1,480 @@
+package minic
+
+import (
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// Compile parses, checks, and lowers MiniC source to an IR module. name
+// becomes the module name.
+func Compile(name, src string) (*ir.Module, error) {
+	file, err := ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file); err != nil {
+		return nil, err
+	}
+	m, err := Lower(file)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("minic: lowering produced invalid IR: %w", err)
+	}
+	return m, nil
+}
+
+// MustCompile is Compile for known-good sources (embedded benchmarks,
+// tests); it panics on error.
+func MustCompile(name, src string) *ir.Module {
+	m, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Lower translates a checked AST into IR.
+func Lower(file *File) (*ir.Module, error) {
+	lw := &lowerer{
+		mod:   &ir.Module{Name: file.Name},
+		funcs: map[string]*ir.Func{},
+	}
+	for _, g := range file.Globals {
+		v := lw.mod.NewGlobal(g.Name, g.Elems)
+		v.Input = g.Input
+		v.Init = append([]int64(nil), g.Init...)
+	}
+	// Declare all functions first so calls resolve regardless of order.
+	for _, fd := range file.Funcs {
+		params := make([]string, len(fd.Params))
+		for i, prm := range fd.Params {
+			params[i] = prm.Name
+		}
+		lw.funcs[fd.Name] = lw.mod.NewFunc(fd.Name, params, fd.HasRet)
+	}
+	for _, fd := range file.Funcs {
+		if err := lw.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return lw.mod, nil
+}
+
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+type lowerer struct {
+	mod   *ir.Module
+	funcs map[string]*ir.Func
+
+	fd     *FuncDecl
+	f      *ir.Func
+	b      *ir.Builder
+	vars   map[string]*ir.Var
+	params map[string]ir.Reg
+	loops  []loopCtx
+	// atomicDepth > 0 marks blocks created inside an atomic section.
+	atomicDepth int
+	// terminated is set after a return/break/continue; remaining statements
+	// in the block were rejected by sema, so emission simply stops.
+	terminated bool
+}
+
+// newBlock creates a block, marking it atomic inside atomic sections.
+func (lw *lowerer) newBlock(name string) *ir.Block {
+	b := lw.f.NewBlock(name)
+	if lw.atomicDepth > 0 {
+		b.Atomic = true
+	}
+	return b
+}
+
+func (lw *lowerer) lowerFunc(fd *FuncDecl) error {
+	lw.fd = fd
+	lw.f = lw.funcs[fd.Name]
+	lw.vars = map[string]*ir.Var{}
+	lw.params = map[string]ir.Reg{}
+	for _, g := range lw.mod.Globals {
+		lw.vars[g.Name] = g
+	}
+	for i, prm := range fd.Params {
+		lw.params[prm.Name] = ir.Reg(i)
+	}
+	for _, l := range fd.Locals {
+		v := &ir.Var{Name: l.Name, Elems: l.Elems, Func: lw.f}
+		lw.f.Locals = append(lw.f.Locals, v)
+		lw.vars[l.Name] = v
+	}
+	lw.b = ir.NewBuilder(lw.f)
+	lw.terminated = false
+	if err := lw.stmts(fd.Body); err != nil {
+		return err
+	}
+	lw.sealBlocks()
+	pruneUnreachable(lw.f)
+	return nil
+}
+
+// sealBlocks terminates every unterminated block with a default return
+// (reachable only for void fall-off-the-end; sema guarantees int functions
+// return on all live paths).
+func (lw *lowerer) sealBlocks() {
+	for _, blk := range lw.f.Blocks {
+		if blk.Terminator() != nil {
+			continue
+		}
+		lw.b.At(blk)
+		if lw.f.HasRet {
+			zero := lw.b.Const(0)
+			lw.b.RetVal(zero)
+		} else {
+			lw.b.Ret()
+		}
+	}
+}
+
+func pruneUnreachable(f *ir.Func) {
+	reach := map[*ir.Block]bool{}
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		reach[b] = true
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				visit(s)
+			}
+		}
+	}
+	visit(f.Entry())
+	var keep []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			keep = append(keep, b)
+		}
+	}
+	f.Blocks = keep
+	f.Renumber()
+}
+
+func (lw *lowerer) stmts(list []Stmt) error {
+	for _, s := range list {
+		if lw.terminated {
+			return errf(s.stmtPos(), "internal: statement after terminator")
+		}
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		return lw.assign(st)
+	case *PrintStmt:
+		r, err := lw.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		lw.b.Out(r)
+		return nil
+	case *ExprStmt:
+		call := st.X.(*CallExpr)
+		callee := lw.funcs[call.Name]
+		args, err := lw.args(call.Args)
+		if err != nil {
+			return err
+		}
+		// Discard any return value.
+		lw.b.Emit(&ir.Call{Callee: callee, Args: args})
+		return nil
+	case *ReturnStmt:
+		if st.Value != nil {
+			r, err := lw.expr(st.Value)
+			if err != nil {
+				return err
+			}
+			lw.b.RetVal(r)
+		} else {
+			lw.b.Ret()
+		}
+		lw.terminated = true
+		return nil
+	case *BreakStmt:
+		lw.b.Jmp(lw.loops[len(lw.loops)-1].breakTo)
+		lw.terminated = true
+		return nil
+	case *ContinueStmt:
+		lw.b.Jmp(lw.loops[len(lw.loops)-1].continueTo)
+		lw.terminated = true
+		return nil
+	case *IfStmt:
+		return lw.ifStmt(st)
+	case *WhileStmt:
+		return lw.whileStmt(st)
+	case *ForStmt:
+		return lw.forStmt(st)
+	case *AtomicStmt:
+		return lw.atomicStmt(st)
+	default:
+		return errf(s.stmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (lw *lowerer) assign(st *AssignStmt) error {
+	val, err := lw.expr(st.Value)
+	if err != nil {
+		return err
+	}
+	if r, isParam := lw.params[st.Name]; isParam {
+		// Parameters live in registers; "or v, v" is the move idiom.
+		lw.b.Emit(&ir.BinOp{Dst: r, Op: ir.OpOr, A: val, B: val})
+		return nil
+	}
+	v := lw.vars[st.Name]
+	if st.Index != nil {
+		idx, err := lw.expr(st.Index)
+		if err != nil {
+			return err
+		}
+		lw.b.StoreIdx(v, idx, val)
+		return nil
+	}
+	lw.b.Store(v, val)
+	return nil
+}
+
+func (lw *lowerer) ifStmt(st *IfStmt) error {
+	cond, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lw.newBlock("if.then")
+	merge := lw.newBlock("if.end")
+	elseB := merge
+	if st.Else != nil {
+		elseB = lw.newBlock("if.else")
+	}
+	lw.b.Br(cond, thenB, elseB)
+
+	lw.b.At(thenB)
+	lw.terminated = false
+	if err := lw.stmts(st.Then); err != nil {
+		return err
+	}
+	if !lw.terminated {
+		lw.b.Jmp(merge)
+	}
+	if st.Else != nil {
+		lw.b.At(elseB)
+		lw.terminated = false
+		if err := lw.stmts(st.Else); err != nil {
+			return err
+		}
+		if !lw.terminated {
+			lw.b.Jmp(merge)
+		}
+	}
+	lw.b.At(merge)
+	lw.terminated = false
+	return nil
+}
+
+func (lw *lowerer) whileStmt(st *WhileStmt) error {
+	head := lw.newBlock("while.head")
+	body := lw.newBlock("while.body")
+	latch := lw.newBlock("while.latch")
+	exit := lw.newBlock("while.end")
+
+	lw.b.Jmp(head)
+	lw.b.At(head)
+	if st.Max > 0 {
+		lw.b.Emit(&ir.LoopBound{Max: st.Max})
+	}
+	cond, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	lw.b.Br(cond, body, exit)
+
+	lw.loops = append(lw.loops, loopCtx{breakTo: exit, continueTo: latch})
+	lw.b.At(body)
+	lw.terminated = false
+	if err := lw.stmts(st.Body); err != nil {
+		return err
+	}
+	if !lw.terminated {
+		lw.b.Jmp(latch)
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+
+	// The latch is the single back-edge source (paper, III-B2).
+	lw.b.At(latch)
+	lw.b.Jmp(head)
+
+	lw.b.At(exit)
+	lw.terminated = false
+	return nil
+}
+
+func (lw *lowerer) forStmt(st *ForStmt) error {
+	if st.Init != nil {
+		if err := lw.assign(st.Init); err != nil {
+			return err
+		}
+	}
+	head := lw.newBlock("for.head")
+	body := lw.newBlock("for.body")
+	latch := lw.newBlock("for.latch")
+	exit := lw.newBlock("for.end")
+
+	lw.b.Jmp(head)
+	lw.b.At(head)
+	if st.Max > 0 {
+		lw.b.Emit(&ir.LoopBound{Max: st.Max})
+	}
+	cond, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	lw.b.Br(cond, body, exit)
+
+	lw.loops = append(lw.loops, loopCtx{breakTo: exit, continueTo: latch})
+	lw.b.At(body)
+	lw.terminated = false
+	if err := lw.stmts(st.Body); err != nil {
+		return err
+	}
+	if !lw.terminated {
+		lw.b.Jmp(latch)
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+
+	lw.b.At(latch)
+	if st.Post != nil {
+		if err := lw.assign(st.Post); err != nil {
+			return err
+		}
+	}
+	lw.b.Jmp(head)
+
+	lw.b.At(exit)
+	lw.terminated = false
+	return nil
+}
+
+// atomicStmt lowers "atomic { body }" into a run of blocks flagged
+// atomic, bracketed by ordinary blocks so checkpoints may sit on the
+// boundary edges but never inside.
+func (lw *lowerer) atomicStmt(st *AtomicStmt) error {
+	lw.atomicDepth++
+	begin := lw.newBlock("atomic.begin")
+	lw.b.Jmp(begin)
+	lw.b.At(begin)
+	if err := lw.stmts(st.Body); err != nil {
+		lw.atomicDepth--
+		return err
+	}
+	lw.atomicDepth--
+	end := lw.newBlock("atomic.end")
+	if !lw.terminated {
+		lw.b.Jmp(end)
+	}
+	lw.b.At(end)
+	lw.terminated = false
+	return nil
+}
+
+func (lw *lowerer) args(exprs []Expr) ([]ir.Reg, error) {
+	regs := make([]ir.Reg, len(exprs))
+	for i, e := range exprs {
+		r, err := lw.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = r
+	}
+	return regs, nil
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpShr,
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe,
+	">": ir.OpGt, ">=": ir.OpGe,
+}
+
+func (lw *lowerer) expr(e Expr) (ir.Reg, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		return lw.b.Const(x.Val), nil
+	case *VarRef:
+		if r, isParam := lw.params[x.Name]; isParam {
+			return r, nil
+		}
+		return lw.b.Load(lw.vars[x.Name]), nil
+	case *IndexExpr:
+		idx, err := lw.expr(x.Index)
+		if err != nil {
+			return 0, err
+		}
+		return lw.b.LoadIdx(lw.vars[x.Name], idx), nil
+	case *CallExpr:
+		callee := lw.funcs[x.Name]
+		args, err := lw.args(x.Args)
+		if err != nil {
+			return 0, err
+		}
+		return lw.b.Call(callee, args...), nil
+	case *UnaryExpr:
+		v, err := lw.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "-":
+			return lw.b.Un(ir.OpNeg, v), nil
+		case "!":
+			return lw.b.Un(ir.OpNot, v), nil
+		case "~":
+			minusOne := lw.b.Const(-1)
+			return lw.b.Bin(ir.OpXor, v, minusOne), nil
+		default:
+			return 0, errf(x.Pos, "internal: unknown unary %q", x.Op)
+		}
+	case *BinaryExpr:
+		l, err := lw.expr(x.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := lw.expr(x.R)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "&&":
+			// Non-short-circuit: (l != 0) & (r != 0).
+			zero := lw.b.Const(0)
+			lb := lw.b.Bin(ir.OpNe, l, zero)
+			rb := lw.b.Bin(ir.OpNe, r, zero)
+			return lw.b.Bin(ir.OpAnd, lb, rb), nil
+		case "||":
+			zero := lw.b.Const(0)
+			lb := lw.b.Bin(ir.OpNe, l, zero)
+			rb := lw.b.Bin(ir.OpNe, r, zero)
+			return lw.b.Bin(ir.OpOr, lb, rb), nil
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return 0, errf(x.Pos, "internal: unknown operator %q", x.Op)
+		}
+		return lw.b.Bin(op, l, r), nil
+	default:
+		return 0, errf(e.exprPos(), "internal: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,430 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+// runMC compiles and executes a MiniC program, returning its output.
+func runMC(t *testing.T, src string) []int64 {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := emulator.Run(m, emulator.Config{Model: energy.MSP430FR5969()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("verdict: %v", res.Verdict)
+	}
+	return res.Output
+}
+
+func wantOutput(t *testing.T, src string, want ...int64) {
+	t.Helper()
+	got := runMC(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantOutput(t, `
+func void main() {
+  int x;
+  x = 2 + 3 * 4;        // precedence
+  print(x);
+  x = (2 + 3) * 4;
+  print(x);
+  x = 17 % 5;
+  print(x);
+  x = 1 << 10;
+  print(x);
+  x = 1024 >> 3;
+  print(x);
+  x = -7;
+  print(x);
+  x = 0xFF & 0x0F;
+  print(x);
+  x = 0xF0 | 0x0F;
+  print(x);
+  x = 0xFF ^ 0x0F;
+  print(x);
+  x = ~0;
+  print(x);
+}
+`, 14, 20, 2, 1024, 128, -7, 15, 255, 240, -1)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	wantOutput(t, `
+func void main() {
+  print(3 < 4);
+  print(4 <= 4);
+  print(5 > 6);
+  print(5 >= 6);
+  print(5 == 5);
+  print(5 != 5);
+  print(1 && 2);
+  print(1 && 0);
+  print(0 || 3);
+  print(0 || 0);
+  print(!0);
+  print(!9);
+}
+`, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0)
+}
+
+func TestControlFlow(t *testing.T) {
+	wantOutput(t, `
+func void main() {
+  int i;
+  int sum;
+  sum = 0;
+  for (i = 0; i < 10; i = i + 1) @max(10) {
+    if (i % 2 == 0) {
+      sum = sum + i;
+    } else {
+      sum = sum - 1;
+    }
+  }
+  print(sum);
+  i = 0;
+  while (i < 100) @max(10) {
+    i = i + 17;
+    if (i > 50) {
+      break;
+    }
+  }
+  print(i);
+  sum = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 1) {
+      continue;
+    }
+    sum = sum + 1;
+  }
+  print(sum);
+}
+`, 15, 51, 5)
+}
+
+func TestElseIfChain(t *testing.T) {
+	wantOutput(t, `
+func int classify(int x) {
+  if (x < 10) {
+    return 1;
+  } else if (x < 100) {
+    return 2;
+  } else {
+    return 3;
+  }
+}
+
+func void main() {
+  print(classify(5));
+  print(classify(50));
+  print(classify(500));
+}
+`, 1, 2, 3)
+}
+
+func TestArraysAndGlobals(t *testing.T) {
+	wantOutput(t, `
+int table[5] = {10, 20, 30, 40, 50};
+int acc;
+
+func void main() {
+  int i;
+  int local[3];
+  acc = 0;
+  for (i = 0; i < 5; i = i + 1) @max(5) {
+    acc = acc + table[i];
+  }
+  print(acc);
+  for (i = 0; i < 3; i = i + 1) @max(3) {
+    local[i] = i * i;
+  }
+  print(local[0] + local[1] + local[2]);
+}
+`, 150, 5)
+}
+
+func TestFunctionsAndParams(t *testing.T) {
+	wantOutput(t, `
+func int add3(int a, int b, int c) {
+  return a + b + c;
+}
+
+func int countdown(int n) {
+  int steps;
+  steps = 0;
+  while (n > 0) @max(32) {
+    n = n >> 1;       // parameter reassignment
+    steps = steps + 1;
+  }
+  return steps;
+}
+
+func void main() {
+  print(add3(1, 2, 3));
+  print(countdown(255));
+}
+`, 6, 8)
+}
+
+func TestLoopBoundAnnotationsReachIR(t *testing.T) {
+	m, err := Compile("t", `
+func void main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) @max(8) {
+    print(i);
+  }
+  while (i > 0) @max(99) {
+    i = i - 1;
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int
+	for _, b := range m.FuncByName("main").Blocks {
+		for _, in := range b.Instrs {
+			if lb, ok := in.(*ir.LoopBound); ok {
+				bounds = append(bounds, lb.Max)
+			}
+		}
+	}
+	if len(bounds) != 2 || bounds[0] != 8 || bounds[1] != 99 {
+		t.Errorf("bounds = %v, want [8 99]", bounds)
+	}
+}
+
+func TestInputGlobals(t *testing.T) {
+	m, err := Compile("t", `
+input int data[4];
+
+func void main() {
+  print(data[0] + data[3]);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.GlobalByName("data")
+	if v == nil || !v.Input {
+		t.Fatalf("data not marked as input")
+	}
+	res, err := emulator.Run(m, emulator.Config{
+		Model:  energy.MSP430FR5969(),
+		Inputs: map[string][]int64{"data": {5, 0, 0, 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 12 {
+		t.Errorf("output = %v, want [12]", res.Output)
+	}
+}
+
+func TestSingleBackEdgePerLoop(t *testing.T) {
+	// continue must route through the latch so loops keep one back-edge.
+	m, err := Compile("t", `
+func void main() {
+  int i;
+  int n;
+  n = 0;
+  for (i = 0; i < 6; i = i + 1) @max(6) {
+    if (i == 2) {
+      continue;
+    }
+    n = n + 1;
+  }
+  print(n);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("main")
+	var head *ir.Block
+	for _, b := range f.Blocks {
+		if strings.HasPrefix(b.Name, "for.head") {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	backs := 0
+	for _, p := range head.Preds() {
+		if strings.HasPrefix(p.Name, "for.latch") {
+			backs++
+		}
+	}
+	if preds := head.Preds(); len(preds) != 2 {
+		t.Errorf("for.head preds = %d, want 2 (entry-side + latch)", len(preds))
+	}
+	if backs != 1 {
+		t.Errorf("latch preds of head = %d, want exactly 1", backs)
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func void main() { x = 1; }", "undefined variable"},
+		{"func void main() { int x; x = y; }", "undefined variable"},
+		{"func void main() { f(); }", "undefined function"},
+		{"int a[4];\nfunc void main() { a = 1; }", "element-wise"},
+		{"int a[4];\nfunc void main() { print(a); }", "without an index"},
+		{"func void main() { int x; x = x[3]; }", "not an array"},
+		{"func void main() { int x; x[0] = 1; }", "not an array"},
+		{"func int f() { return 1; }\nfunc void main() { int x; x = f(1); }", "argument"},
+		{"func void f() { return; }\nfunc void main() { int x; x = f(); }", "used as a value"},
+		{"func void main() { break; }", "break outside"},
+		{"func void main() { continue; }", "continue outside"},
+		{"func void main() { return 3; }", "cannot return a value"},
+		{"func int f() { int x; x = 1; }\nfunc void main() { print(f()); }", "not all paths return"},
+		{"func int f(int a) { if (a) { return 1; } }\nfunc void main() { print(f(1)); }", "not all paths return"},
+		{"func void main() { return; print(1); }", "unreachable"},
+		{"func void main() { int x; int x; }", "duplicate local"},
+		{"func void f(int a, int a) { }\nfunc void main() { }", "duplicate parameter"},
+		{"int g;\nint g;\nfunc void main() { }", "duplicate global"},
+		{"func int main() { return 1; }", "main must be"},
+		{"func void nope() { }", "missing 'func void main"},
+		{"func void main(int x) { }", "main must be"},
+		{"func void main() { int a[3]; a[0](); }", "expected"},
+	}
+	for _, tc := range cases {
+		_, err := Compile("t", tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("source %q:\n  error = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"func void main() { int x x; }",
+		"func void main() { if 1 { } }",
+		"func void main() { for (;;) { } }",
+		"func void main() { print(1) }",
+		"func void main() @max(3) { }",
+		"func void main() { while (1) @max(0) { } }",
+		"int a[0];\nfunc void main() { }",
+		"func void main() { /* unterminated",
+		"func void main() { int x; x = 1 ? 2 : 3; }",
+		"func void main() { @frob(1); }",
+		"input int x;\nfunc void main() { input int y; }",
+	}
+	for _, src := range cases {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("accepted bad source:\n%s", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Lex("int x;\n  x = 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	// "x" on line 2 column 3.
+	var found bool
+	for _, tok := range toks {
+		if tok.Kind == tIdent && tok.Line == 2 && tok.Col == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("position tracking broken: %+v", toks)
+	}
+}
+
+func TestHexAndComments(t *testing.T) {
+	wantOutput(t, `
+// line comment
+/* block
+   comment */
+func void main() {
+  print(0x10); // sixteen
+  print(0XFF);
+}
+`, 16, 255)
+}
+
+func TestCompiledProgramRoundTripsThroughIRText(t *testing.T) {
+	m, err := Compile("rt", `
+int acc;
+func int twice(int x) { return x * 2; }
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 4; i = i + 1) @max(4) {
+    acc = acc + twice(i);
+  }
+  print(acc);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m.String()
+	m2, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	r1, err := emulator.Run(m, emulator.Config{Model: energy.MSP430FR5969()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := emulator.Run(m2, emulator.Config{Model: energy.MSP430FR5969()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Output) != 1 || r1.Output[0] != 12 || r2.Output[0] != r1.Output[0] {
+		t.Errorf("outputs: %v vs %v", r1.Output, r2.Output)
+	}
+}
+
+func TestAtomicStatement(t *testing.T) {
+	wantOutput(t, `
+int dev;
+func void main() {
+  int i;
+  dev = 0;
+  for (i = 0; i < 4; i = i + 1) @max(4) {
+    atomic {
+      dev = dev * 2 + 1;
+    }
+  }
+  print(dev);
+}
+`, 15)
+	// Nested atomic sections are rejected.
+	if _, err := Compile("t", `
+func void main() {
+  atomic { atomic { print(1); } }
+}
+`); err == nil || !strings.Contains(err.Error(), "nested atomic") {
+		t.Errorf("nested atomic accepted: %v", err)
+	}
+}

@@ -1,0 +1,544 @@
+package minic
+
+type parser struct {
+	toks []Token
+	pos  int
+	name string
+}
+
+// ParseFile parses MiniC source into an AST. name labels the compilation
+// unit (it becomes the IR module name).
+func ParseFile(name, src string) (*File, error) {
+	toks, err := Lex(stripBOM(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, name: name}
+	return p.file()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) curPos() Pos { return Pos{p.cur().Line, p.cur().Col} }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.curPos(), "expected %v, found %v %q", k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{Name: p.name}
+	for !p.at(tEOF) {
+		switch p.cur().Kind {
+		case tInput, tInt:
+			decl, err := p.varDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, decl)
+		case tFunc:
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, errf(p.curPos(), "expected declaration, found %v %q", p.cur().Kind, p.cur().Text)
+		}
+	}
+	return f, nil
+}
+
+// varDecl parses "[input] int name[size] [= {...}];".
+func (p *parser) varDecl(allowInput bool) (*VarDecl, error) {
+	pos := p.curPos()
+	d := &VarDecl{Pos: pos, Elems: 1}
+	if p.accept(tInput) {
+		if !allowInput {
+			return nil, errf(pos, "input qualifier is only valid on globals")
+		}
+		d.Input = true
+	}
+	if _, err := p.expect(tInt); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = nameTok.Text
+	if p.accept(tLBracket) {
+		sz, err := p.expect(tNumber)
+		if err != nil {
+			return nil, err
+		}
+		if sz.Val < 1 {
+			return nil, errf(Pos{sz.Line, sz.Col}, "array size must be at least 1")
+		}
+		d.Elems = int(sz.Val)
+		if _, err := p.expect(tRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tAssign) {
+		if _, err := p.expect(tLBrace); err != nil {
+			return nil, err
+		}
+		for !p.at(tRBrace) {
+			neg := p.accept(tMinus)
+			n, err := p.expect(tNumber)
+			if err != nil {
+				return nil, err
+			}
+			v := n.Val
+			if neg {
+				v = -v
+			}
+			d.Init = append(d.Init, v)
+			if !p.accept(tComma) {
+				break
+			}
+		}
+		if _, err := p.expect(tRBrace); err != nil {
+			return nil, err
+		}
+		if len(d.Init) > d.Elems {
+			return nil, errf(pos, "initializer for %s has %d values but the variable holds %d",
+				d.Name, len(d.Init), d.Elems)
+		}
+	}
+	if _, err := p.expect(tSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.curPos()
+	p.next() // func
+	fn := &FuncDecl{Pos: pos}
+	switch {
+	case p.accept(tInt):
+		fn.HasRet = true
+	case p.accept(tVoid):
+	default:
+		return nil, errf(p.curPos(), "expected 'int' or 'void' return type")
+	}
+	nameTok, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	fn.Name = nameTok.Text
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(tRParen) {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tComma); err != nil {
+				return nil, err
+			}
+		}
+		ppos := p.curPos()
+		if _, err := p.expect(tInt); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Pos: ppos, Name: id.Text})
+	}
+	p.next() // )
+	if _, err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	// Local declarations come first, then statements.
+	for p.at(tInt) {
+		d, err := p.varDecl(false)
+		if err != nil {
+			return nil, err
+		}
+		fn.Locals = append(fn.Locals, d)
+	}
+	body, err := p.stmtsUntilBrace()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) stmtsUntilBrace() ([]Stmt, error) {
+	var stmts []Stmt
+	for !p.at(tRBrace) {
+		if p.at(tEOF) {
+			return nil, errf(p.curPos(), "unexpected end of file, missing '}'")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	return p.stmtsUntilBrace()
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.curPos()
+	switch p.cur().Kind {
+	case tIf:
+		p.next()
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+		if p.accept(tElse) {
+			if p.at(tIf) {
+				// else-if chains: parse the nested if as the sole else stmt.
+				nested, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = []Stmt{nested}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+	case tWhile:
+		p.next()
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		maxIter, err := p.optMax()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Max: maxIter, Body: body}, nil
+	case tFor:
+		p.next()
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		var init, post *AssignStmt
+		if !p.at(tSemi) {
+			a, err := p.assignNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			init = a
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		if !p.at(tRParen) {
+			a, err := p.assignNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			post = a
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		maxIter, err := p.optMax()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: pos, Init: init, Cond: cond, Post: post, Max: maxIter, Body: body}, nil
+	case tReturn:
+		p.next()
+		st := &ReturnStmt{Pos: pos}
+		if !p.at(tSemi) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case tBreak:
+		p.next()
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case tContinue:
+		p.next()
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case tAtomic:
+		p.next()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Pos: pos, Body: body}, nil
+	case tPrint:
+		p.next()
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos: pos, Value: v}, nil
+	case tIdent:
+		// Assignment or call statement.
+		if p.toks[p.pos+1].Kind == tLParen {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tSemi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: pos, X: x}, nil
+		}
+		a, err := p.assignNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		return a, nil
+	default:
+		return nil, errf(pos, "expected statement, found %v %q", p.cur().Kind, p.cur().Text)
+	}
+}
+
+func (p *parser) optMax() (int, error) {
+	if !p.accept(tAtMax) {
+		return 0, nil
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return 0, err
+	}
+	n, err := p.expect(tNumber)
+	if err != nil {
+		return 0, err
+	}
+	if n.Val < 1 {
+		return 0, errf(Pos{n.Line, n.Col}, "@max must be at least 1")
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return 0, err
+	}
+	return int(n.Val), nil
+}
+
+func (p *parser) assignNoSemi() (*AssignStmt, error) {
+	pos := p.curPos()
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	st := &AssignStmt{Pos: pos, Name: name.Text}
+	if p.accept(tLBracket) {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBracket); err != nil {
+			return nil, err
+		}
+		st.Index = idx
+	}
+	if _, err := p.expect(tAssign); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	st.Value = v
+	return st, nil
+}
+
+// Expression precedence, loosest first:
+//
+//	||  &&  |  ^  &  == !=  < <= > >=  << >>  + -  * / %  unary
+var binPrec = map[Kind]int{
+	tOrOr: 1, tAndAnd: 2, tPipe: 3, tCaret: 4, tAmp: 5,
+	tEq: 6, tNe: 6, tLt: 7, tLe: 7, tGt: 7, tGe: 7,
+	tShl: 8, tShr: 8, tPlus: 9, tMinus: 9,
+	tStar: 10, tSlash: 10, tPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: Pos{op.Line, op.Col}, Op: op.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	pos := p.curPos()
+	switch p.cur().Kind {
+	case tMinus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: "-", X: x}, nil
+	case tBang:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: "!", X: x}, nil
+	case tTilde:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: "~", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	pos := p.curPos()
+	switch p.cur().Kind {
+	case tNumber:
+		t := p.next()
+		return &NumLit{Pos: pos, Val: t.Val}, nil
+	case tLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tIdent:
+		name := p.next().Text
+		switch {
+		case p.accept(tLParen):
+			call := &CallExpr{Pos: pos, Name: name}
+			for !p.at(tRParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // )
+			return call, nil
+		case p.accept(tLBracket):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: pos, Name: name, Index: idx}, nil
+		default:
+			return &VarRef{Pos: pos, Name: name}, nil
+		}
+	default:
+		return nil, errf(pos, "expected expression, found %v %q", p.cur().Kind, p.cur().Text)
+	}
+}

@@ -1,0 +1,74 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/ir"
+)
+
+// FuzzCompileRobustness feeds arbitrary bytes to the front end: Compile
+// must either return an error or a verifiable module — never panic, never
+// hand a broken module downstream. Run with
+//
+//	go test ./internal/minic -fuzz FuzzCompileRobustness -fuzztime 30s
+func FuzzCompileRobustness(f *testing.F) {
+	f.Add("func void main() { print(1); }")
+	f.Add("int g;\nfunc void main() { g = 1; }")
+	f.Add("func int f(int x) { return x; } func void main() { print(f(2)); }")
+	f.Add("for (;;) @max() {")
+	f.Add("input int a[4]; func void main() { atomic { print(a[0]); } }")
+	f.Add("\x00\xff\xfe")
+	f.Add("func void main() { int x; x = 1 / 0; }")
+	f.Add(strings.Repeat("((((", 200))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Compile("fuzz", src)
+		if err != nil {
+			return // rejection is always fine
+		}
+		if m == nil {
+			t.Fatal("nil module with nil error")
+		}
+		if verr := ir.Verify(m); verr != nil {
+			t.Fatalf("front end produced an unverifiable module: %v\n%s", verr, src)
+		}
+	})
+}
+
+// TestCompileErrorsArePositioned checks that front-end diagnostics carry
+// line:column positions — the property users depend on.
+func TestCompileErrorsArePositioned(t *testing.T) {
+	cases := []string{
+		"func void main() { x = 1; }",                  // undeclared
+		"int g;\nfunc void main() { g = ; }",           // missing expr
+		"func void main() { for (;;) { } }",            // missing @max
+		"int g;\nint g;\nfunc void main() { }",         // redeclaration
+		"func int f() { }\nfunc void main() { }",       // missing return
+		"func void main() { print(1) }",                // missing semicolon
+		"input int a[2];\nfunc void main() { a = 1; }", // array misuse
+	}
+	for _, src := range cases {
+		_, err := Compile("t", src)
+		if err == nil {
+			t.Errorf("accepted invalid program: %q", src)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, ":") {
+			t.Errorf("diagnostic without position: %q -> %v", src, err)
+		}
+	}
+}
+
+// TestDeeplyNestedExpressions must not blow the stack or hang.
+func TestDeeplyNestedExpressions(t *testing.T) {
+	src := "int g;\nfunc void main() { g = " + strings.Repeat("(", 3000) + "1" +
+		strings.Repeat(")", 3000) + "; }"
+	// Either outcome (accept or reject) is fine; termination is the test.
+	if m, err := Compile("t", src); err == nil {
+		if verr := ir.Verify(m); verr != nil {
+			t.Fatal(verr)
+		}
+	}
+}

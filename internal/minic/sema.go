@@ -1,0 +1,288 @@
+package minic
+
+// Check performs semantic analysis on a parsed file: symbol resolution,
+// scalar/array usage, call arity and value-use consistency, control-flow
+// placement of break/continue, all-paths-return for int functions, and the
+// main signature.
+func Check(f *File) error {
+	c := &checker{
+		file:    f,
+		globals: map[string]*VarDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	return c.run()
+}
+
+type checker struct {
+	file    *File
+	globals map[string]*VarDecl
+	funcs   map[string]*FuncDecl
+
+	// Per-function state.
+	fn          *FuncDecl
+	locals      map[string]*VarDecl
+	params      map[string]bool
+	loops       int
+	atomicDepth int
+}
+
+func (c *checker) run() error {
+	for _, g := range c.file.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, fn := range c.file.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return errf(fn.Pos, "duplicate function %q", fn.Name)
+		}
+		if _, clash := c.globals[fn.Name]; clash {
+			return errf(fn.Pos, "function %q collides with a global variable", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	mainFn, ok := c.funcs["main"]
+	if !ok {
+		return errf(Pos{1, 1}, "missing 'func void main()'")
+	}
+	if mainFn.HasRet || len(mainFn.Params) != 0 {
+		return errf(mainFn.Pos, "main must be 'func void main()' with no parameters")
+	}
+	for _, fn := range c.file.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.locals = map[string]*VarDecl{}
+	c.params = map[string]bool{}
+	c.loops = 0
+	for _, prm := range fn.Params {
+		if c.params[prm.Name] {
+			return errf(prm.Pos, "duplicate parameter %q", prm.Name)
+		}
+		c.params[prm.Name] = true
+	}
+	for _, l := range fn.Locals {
+		if _, dup := c.locals[l.Name]; dup {
+			return errf(l.Pos, "duplicate local %q", l.Name)
+		}
+		if c.params[l.Name] {
+			return errf(l.Pos, "local %q shadows a parameter", l.Name)
+		}
+		c.locals[l.Name] = l
+	}
+	if err := c.checkStmts(fn.Body); err != nil {
+		return err
+	}
+	if fn.HasRet && !stmtsReturn(fn.Body) {
+		return errf(fn.Pos, "function %q: not all paths return a value", fn.Name)
+	}
+	return nil
+}
+
+// stmtsReturn reports whether the statement list definitely returns on
+// every path (conservatively).
+func stmtsReturn(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ReturnStmt:
+			return true
+		case *IfStmt:
+			if st.Else != nil && stmtsReturn(st.Then) && stmtsReturn(st.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lookupVar resolves a variable name: locals and params shadow globals.
+func (c *checker) lookupVar(name string) (decl *VarDecl, isParam bool, ok bool) {
+	if c.params[name] {
+		return nil, true, true
+	}
+	if d, found := c.locals[name]; found {
+		return d, false, true
+	}
+	if d, found := c.globals[name]; found {
+		return d, false, true
+	}
+	return nil, false, false
+}
+
+func (c *checker) checkStmts(stmts []Stmt) error {
+	for i, s := range stmts {
+		terminal := false
+		switch s.(type) {
+		case *ReturnStmt, *BreakStmt, *ContinueStmt:
+			terminal = true
+		}
+		if terminal && i != len(stmts)-1 {
+			return errf(stmts[i+1].stmtPos(), "unreachable code")
+		}
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		decl, isParam, ok := c.lookupVar(st.Name)
+		if !ok {
+			return errf(st.Pos, "undefined variable %q", st.Name)
+		}
+		if isParam {
+			if st.Index != nil {
+				return errf(st.Pos, "parameter %q is not an array", st.Name)
+			}
+		} else if st.Index != nil {
+			if decl.Elems == 1 {
+				return errf(st.Pos, "%q is a scalar, not an array", st.Name)
+			}
+			if err := c.checkExpr(st.Index); err != nil {
+				return err
+			}
+		} else if decl.Elems != 1 {
+			return errf(st.Pos, "array %q must be assigned element-wise", st.Name)
+		}
+		return c.checkExpr(st.Value)
+	case *IfStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmts(st.Then); err != nil {
+			return err
+		}
+		return c.checkStmts(st.Else)
+	case *WhileStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmts(st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmts(st.Body)
+	case *ReturnStmt:
+		if c.fn.HasRet && st.Value == nil {
+			return errf(st.Pos, "function %q must return a value", c.fn.Name)
+		}
+		if !c.fn.HasRet && st.Value != nil {
+			return errf(st.Pos, "void function %q cannot return a value", c.fn.Name)
+		}
+		if st.Value != nil {
+			return c.checkExpr(st.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "continue outside a loop")
+		}
+		return nil
+	case *AtomicStmt:
+		if c.atomicDepth > 0 {
+			return errf(st.Pos, "nested atomic sections")
+		}
+		c.atomicDepth++
+		defer func() { c.atomicDepth-- }()
+		return c.checkStmts(st.Body)
+	case *PrintStmt:
+		return c.checkExpr(st.Value)
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			return errf(st.Pos, "expression statement must be a call")
+		}
+		return c.checkCall(call, false)
+	default:
+		return errf(s.stmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *NumLit:
+		return nil
+	case *VarRef:
+		decl, isParam, ok := c.lookupVar(x.Name)
+		if !ok {
+			return errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		if !isParam && decl.Elems != 1 {
+			return errf(x.Pos, "array %q used without an index", x.Name)
+		}
+		return nil
+	case *IndexExpr:
+		decl, isParam, ok := c.lookupVar(x.Name)
+		if !ok {
+			return errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		if isParam {
+			return errf(x.Pos, "parameter %q is not an array", x.Name)
+		}
+		if decl.Elems == 1 {
+			return errf(x.Pos, "%q is a scalar, not an array", x.Name)
+		}
+		return c.checkExpr(x.Index)
+	case *CallExpr:
+		return c.checkCall(x, true)
+	case *UnaryExpr:
+		return c.checkExpr(x.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(x.L); err != nil {
+			return err
+		}
+		return c.checkExpr(x.R)
+	default:
+		return errf(e.exprPos(), "internal: unknown expression %T", e)
+	}
+}
+
+func (c *checker) checkCall(call *CallExpr, wantValue bool) error {
+	fn, ok := c.funcs[call.Name]
+	if !ok {
+		return errf(call.Pos, "undefined function %q", call.Name)
+	}
+	if len(call.Args) != len(fn.Params) {
+		return errf(call.Pos, "%s takes %d argument(s), got %d",
+			call.Name, len(fn.Params), len(call.Args))
+	}
+	if wantValue && !fn.HasRet {
+		return errf(call.Pos, "void function %q used as a value", call.Name)
+	}
+	for _, a := range call.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package minic implements the source language front end of the
+// reproduction: a small C-like language (MiniC) with a lexer, a
+// recursive-descent parser, semantic analysis, and lowering to the IR of
+// package ir.
+//
+// The paper's toolchain compiles C with clang and operates on LLVM IR;
+// MiniC plays the role of C here. The language is deliberately small but
+// sufficient for the MiBench2-style benchmarks of the evaluation:
+//
+//	// global declarations
+//	input int data[64];          // filled with workload input before a run
+//	int table[256] = {1, 2, 3};  // optional initializer
+//	int sum;
+//
+//	func int clamp(int x, int hi) {
+//	    if (x > hi) { return hi; }
+//	    return x;
+//	}
+//
+//	func void main() {
+//	    int i;
+//	    sum = 0;
+//	    for (i = 0; i < 64; i = i + 1) @max(64) {
+//	        sum = sum + data[i];
+//	    }
+//	    print(sum);
+//	}
+//
+// Notes:
+//   - the only scalar type is int (a machine word);
+//   - arrays are one-dimensional with compile-time sizes;
+//   - loops take an optional @max(N) bound annotation, used by checkpoint
+//     placement (paper, III-B2);
+//   - && and || evaluate both operands (no short-circuit); MiniC code must
+//     not rely on the right operand being skipped;
+//   - variables are memory objects and are never promoted to registers,
+//     matching the paper's variable-granularity memory allocation.
+package minic
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	tEOF Kind = iota
+	tIdent
+	tNumber
+
+	// Keywords.
+	tFunc
+	tInt
+	tVoid
+	tInput
+	tIf
+	tElse
+	tWhile
+	tFor
+	tReturn
+	tBreak
+	tContinue
+	tPrint
+	tAtomic
+	tAtMax
+
+	// Punctuation.
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tComma
+	tSemi
+	tAssign
+
+	// Operators.
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tPercent
+	tAmp
+	tPipe
+	tCaret
+	tShl
+	tShr
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tAndAnd
+	tOrOr
+	tBang
+	tTilde
+)
+
+var kindNames = map[Kind]string{
+	tEOF: "end of file", tIdent: "identifier", tNumber: "number",
+	tFunc: "'func'", tInt: "'int'", tVoid: "'void'", tInput: "'input'",
+	tIf: "'if'", tElse: "'else'", tWhile: "'while'", tFor: "'for'",
+	tReturn: "'return'", tBreak: "'break'", tContinue: "'continue'",
+	tPrint: "'print'", tAtomic: "'atomic'", tAtMax: "'@max'",
+	tLParen: "'('", tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'",
+	tLBracket: "'['", tRBracket: "']'", tComma: "','", tSemi: "';'",
+	tAssign: "'='",
+	tPlus:   "'+'", tMinus: "'-'", tStar: "'*'", tSlash: "'/'",
+	tPercent: "'%'", tAmp: "'&'", tPipe: "'|'", tCaret: "'^'",
+	tShl: "'<<'", tShr: "'>>'", tEq: "'=='", tNe: "'!='",
+	tLt: "'<'", tLe: "'<='", tGt: "'>'", tGe: "'>='",
+	tAndAnd: "'&&'", tOrOr: "'||'", tBang: "'!'", tTilde: "'~'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"func": tFunc, "int": tInt, "void": tVoid, "input": tInput,
+	"if": tIf, "else": tElse, "while": tWhile, "for": tFor,
+	"return": tReturn, "break": tBreak, "continue": tContinue,
+	"print": tPrint, "atomic": tAtomic,
+}
+
+// Token is a lexed token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // for tNumber
+	Line int
+	Col  int
+}
+
+// Pos is a source position used in diagnostics.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: %v: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

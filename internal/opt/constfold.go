@@ -1,0 +1,151 @@
+package opt
+
+import (
+	"schematic/internal/ir"
+)
+
+// foldConstants performs local constant propagation and folding within each
+// block: BinOps whose operands are known constants are replaced by Const
+// instructions (with the emulator's exact arithmetic — a trapping
+// division is never folded), algebraic identities are reduced, and a
+// conditional branch on a known constant becomes an unconditional jump.
+func foldConstants(f *ir.Func, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		consts := map[ir.Reg]int64{}
+		for i, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Const:
+				consts[x.Dst] = x.Val
+
+			case *ir.BinOp:
+				av, aok := consts[x.A]
+				var bv int64
+				bok := false
+				if !x.Op.IsUnary() {
+					bv, bok = consts[x.B]
+				}
+				if aok && (x.Op.IsUnary() || bok) {
+					if v, err := ir.EvalOp(x.Op, av, bv); err == nil {
+						b.Instrs[i] = &ir.Const{Dst: x.Dst, Val: v}
+						consts[x.Dst] = v
+						st.Folded++
+						changed = true
+						continue
+					}
+				}
+				if n, ok := simplifyAlgebraic(x, av, aok, bv, bok); ok {
+					b.Instrs[i] = n
+					if c, isConst := n.(*ir.Const); isConst {
+						consts[c.Dst] = c.Val
+					} else {
+						delete(consts, x.Dst)
+					}
+					st.Simplified++
+					changed = true
+					continue
+				}
+				delete(consts, x.Dst)
+
+			case *ir.Br:
+				if v, ok := consts[x.Cond]; ok {
+					t := x.Then
+					if v == 0 {
+						t = x.Else
+					}
+					b.Instrs[i] = &ir.Jmp{Target: t}
+					st.Branches++
+					changed = true
+				} else if x.Then == x.Else {
+					b.Instrs[i] = &ir.Jmp{Target: x.Then}
+					st.Branches++
+					changed = true
+				}
+
+			default:
+				if d, ok := ir.Def(in); ok {
+					delete(consts, d)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// move builds the IR's register-copy idiom (dst = src | src).
+func move(dst, src ir.Reg) *ir.BinOp {
+	return &ir.BinOp{Dst: dst, Op: ir.OpOr, A: src, B: src}
+}
+
+// simplifyAlgebraic reduces a BinOp with one known-constant operand using
+// identities that hold for the emulator's exact int64 arithmetic:
+//
+//	x+0, 0+x, x-0, x|0, 0|x, x^0, 0^x, x<<0, x>>0, x*1, 1*x, x/1  → move
+//	x*0, 0*x, x&0, 0&x, 0/x†, 0<<x, 0>>x                           → const 0
+//
+// († only when the divisor is a known non-zero constant, so the trap is
+// preserved.) The zero-shift cases require the shift amount in range,
+// which a constant 0 trivially is.
+func simplifyAlgebraic(x *ir.BinOp, av int64, aok bool, bv int64, bok bool) (ir.Instr, bool) {
+	if x.Op.IsUnary() {
+		return nil, false
+	}
+	aZero, bZero := aok && av == 0, bok && bv == 0
+	aOne, bOne := aok && av == 1, bok && bv == 1
+	if x.A == x.B && (x.Op == ir.OpSub || x.Op == ir.OpXor) {
+		return &ir.Const{Dst: x.Dst, Val: 0}, true
+	}
+	switch x.Op {
+	case ir.OpAdd:
+		if bZero {
+			return move(x.Dst, x.A), true
+		}
+		if aZero {
+			return move(x.Dst, x.B), true
+		}
+	case ir.OpSub:
+		if bZero {
+			return move(x.Dst, x.A), true
+		}
+	case ir.OpMul:
+		if bOne {
+			return move(x.Dst, x.A), true
+		}
+		if aOne {
+			return move(x.Dst, x.B), true
+		}
+		if aZero || bZero {
+			return &ir.Const{Dst: x.Dst, Val: 0}, true
+		}
+	case ir.OpDiv:
+		if bOne {
+			return move(x.Dst, x.A), true
+		}
+		if aZero && bok && bv != 0 {
+			return &ir.Const{Dst: x.Dst, Val: 0}, true
+		}
+	case ir.OpRem:
+		if bOne {
+			return &ir.Const{Dst: x.Dst, Val: 0}, true
+		}
+	case ir.OpOr, ir.OpXor:
+		if bZero && x.A != x.B { // x|x is the move idiom; leave it alone
+			return move(x.Dst, x.A), true
+		}
+		if aZero && x.A != x.B {
+			return move(x.Dst, x.B), true
+		}
+	case ir.OpAnd:
+		if aZero || bZero {
+			return &ir.Const{Dst: x.Dst, Val: 0}, true
+		}
+	case ir.OpShl, ir.OpShr:
+		if bZero {
+			return move(x.Dst, x.A), true
+		}
+		if aZero {
+			return &ir.Const{Dst: x.Dst, Val: 0}, true
+		}
+	}
+	return nil, false
+}

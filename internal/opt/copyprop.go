@@ -1,0 +1,51 @@
+package opt
+
+import (
+	"schematic/internal/ir"
+)
+
+// propagateCopies forwards register copies within each block: after
+// `dst = or src, src` (the IR's move idiom), later uses of dst read src
+// directly until either register is redefined. The copy itself becomes
+// dead and falls to DCE.
+func propagateCopies(f *ir.Func, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		copies := map[ir.Reg]ir.Reg{} // dst -> src, both currently valid
+		for _, in := range b.Instrs {
+			// Resolve uses through the active copies (transitively: a
+			// chain of moves collapses to its ultimate source).
+			rewriteUses(in, func(r ir.Reg) ir.Reg {
+				n := 0
+				for {
+					src, ok := copies[r]
+					if !ok {
+						return r
+					}
+					r = src
+					if n++; n > len(copies) {
+						return r // cycle guard; cannot happen with valid maps
+					}
+					st.Copies++
+					changed = true
+				}
+			})
+			d, hasDef := ir.Def(in)
+			if !hasDef {
+				continue
+			}
+			// The definition invalidates d as a copy destination and as
+			// any copy's source.
+			delete(copies, d)
+			for dst, src := range copies {
+				if src == d {
+					delete(copies, dst)
+				}
+			}
+			if x, ok := in.(*ir.BinOp); ok && x.Op == ir.OpOr && x.A == x.B && x.A != x.Dst {
+				copies[x.Dst] = x.A
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,42 @@
+package opt
+
+import (
+	"schematic/internal/dataflow"
+	"schematic/internal/ir"
+)
+
+// eliminateDeadCode removes instructions whose defined register is dead
+// and whose execution has no observable effect. Stores, calls, output,
+// checkpoints, loop annotations, terminators, and potentially-trapping
+// divisions always stay.
+func eliminateDeadCode(f *ir.Func, st *Stats) bool {
+	rl := dataflow.LiveRegs(f)
+	changed := false
+	for _, b := range f.Blocks {
+		live := rl.OutSet(b)
+		kept := make([]ir.Instr, 0, len(b.Instrs))
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			d, hasDef := ir.Def(in)
+			if hasDef && !live.Has(int(d)) && !hasSideEffect(in) {
+				st.DeadInstrs++
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+			if hasDef {
+				live.Clear(int(d))
+			}
+			for _, u := range ir.Uses(in) {
+				live.Set(int(u))
+			}
+		}
+		if len(kept) != len(b.Instrs) {
+			for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+				kept[i], kept[j] = kept[j], kept[i]
+			}
+			b.Instrs = kept
+		}
+	}
+	return changed
+}

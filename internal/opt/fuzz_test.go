@@ -1,0 +1,172 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	schematic "schematic/internal/core"
+	"schematic/internal/emulator"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// TestFuzzOptimizerPreservesBehaviour compiles random programs, optimizes
+// them, and demands bit-identical output against the unoptimized module on
+// the same inputs — including programs that trap (the trap must be
+// preserved, though possibly at a different instruction).
+func TestFuzzOptimizerPreservesBehaviour(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 8
+	}
+	shrunk := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed^0x09b7)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed+123)))
+		ref, refErr := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 30_000_000})
+
+		om := ir.Clone(m)
+		before := instrCountAll(om)
+		if _, err := Optimize(om); err != nil {
+			t.Fatalf("seed %d: Optimize: %v", seed, err)
+		}
+		after := instrCountAll(om)
+		if after > before {
+			t.Errorf("seed %d: optimization grew the program: %d -> %d", seed, before, after)
+		}
+		if after < before {
+			shrunk++
+		}
+		res, optErr := emulator.Run(om, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 30_000_000})
+		if (refErr != nil) != (optErr != nil) {
+			t.Fatalf("seed %d: trap behaviour changed: ref=%v opt=%v", seed, refErr, optErr)
+		}
+		if refErr != nil {
+			continue // both trapped; outputs up to the trap are unchecked, as in real compilers
+		}
+		if res.Verdict != ref.Verdict {
+			t.Fatalf("seed %d: verdict %v vs %v", seed, res.Verdict, ref.Verdict)
+		}
+		if len(res.Output) != len(ref.Output) {
+			t.Fatalf("seed %d: output length %d vs %d", seed, len(res.Output), len(ref.Output))
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("seed %d: output[%d] = %d, want %d\n%s", seed, i, res.Output[i], ref.Output[i], om.String())
+			}
+		}
+	}
+	if shrunk == 0 {
+		t.Error("optimizer never shrank any fuzz program — passes are vacuous")
+	}
+}
+
+// TestFuzzOptimizeThenSchematic runs the full production pipeline on random
+// programs — optimize, profile, place checkpoints, validate, execute
+// intermittently — and demands the paper's guarantees on the optimized
+// module.
+func TestFuzzOptimizeThenSchematic(t *testing.T) {
+	seeds := int64(15)
+	if testing.Short() {
+		seeds = 5
+	}
+	applied := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed^0x0d17)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if _, err := Optimize(m); err != nil {
+			t.Fatalf("seed %d: Optimize: %v", seed, err)
+		}
+		prof, err := trace.Collect(m, trace.Options{Runs: 3, Seed: seed, Model: model, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed+77)))
+		ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 60_000_000})
+		if err != nil || ref.Verdict != emulator.Completed {
+			continue // trapping or huge programs are covered elsewhere
+		}
+		eb := prof.EBForTBPF(4_000)
+		conf := schematic.Config{Model: model, Budget: eb, VMSize: 2048, Profile: prof}
+		tr := ir.Clone(m)
+		if _, err := schematic.Apply(tr, conf); err != nil {
+			continue // honest infeasibility
+		}
+		applied++
+		if err := schematic.Validate(tr, conf); err != nil {
+			t.Fatalf("seed %d: Validate rejected optimized+placed module: %v", seed, err)
+		}
+		res, err := emulator.Run(tr, emulator.Config{
+			Model: model, VMSize: 2048, Intermittent: true, EB: eb,
+			Inputs: inputs, MaxSteps: 120_000_000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Verdict != emulator.Completed || res.PowerFailures != 0 || res.Energy.Reexecution != 0 {
+			t.Fatalf("seed %d: verdict=%v failures=%d reexec=%.1f",
+				seed, res.Verdict, res.PowerFailures, res.Energy.Reexecution)
+		}
+		if res.UnsyncedReads != 0 {
+			t.Fatalf("seed %d: %d poison reads", seed, res.UnsyncedReads)
+		}
+		for i := range ref.Output {
+			if i >= len(res.Output) || res.Output[i] != ref.Output[i] {
+				t.Fatalf("seed %d: output mismatch at %d", seed, i)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no optimized fuzz program was ever transformable")
+	}
+	t.Logf("pipeline fuzz: %d optimized+placed runs verified", applied)
+}
+
+// TestOptimizerInvariants is a quick-check property: on arbitrary
+// generator seeds, optimization keeps the module verifiable, is idempotent,
+// and never grows the instruction count.
+func TestOptimizerInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			return true
+		}
+		before := instrCountAll(m)
+		if _, err := Optimize(m); err != nil {
+			return false
+		}
+		mid := instrCountAll(m)
+		if mid > before {
+			return false
+		}
+		st2, err := Optimize(m)
+		if err != nil || st2.Total() != 0 {
+			return false
+		}
+		return ir.Verify(m) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func instrCountAll(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}

@@ -1,0 +1,117 @@
+package opt
+
+import (
+	"sort"
+
+	"schematic/internal/cfg"
+	"schematic/internal/ir"
+)
+
+// hoistInvariantLoads performs loop-invariant code motion for scalar
+// loads: a variable loaded inside a loop but stored nowhere in it is read
+// once in the preheader and forwarded to every in-loop use through a fresh
+// register. Scalar loads cannot trap, so the hoist is safe even when the
+// loop body would not have executed; it only trades one read per
+// iteration for one read per loop entry.
+//
+// A global variable is only hoisted when the loop contains no calls (a
+// callee may store any global). Locals are immune: the IR forbids
+// recursion, so no callee can name this function's locals.
+func hoistInvariantLoads(f *ir.Func, st *Stats) bool {
+	dom := cfg.Dominators(f)
+	forest := cfg.Loops(f, dom)
+	changed := false
+	for _, l := range forest.BottomUp() {
+		if hoistInLoop(f, l, st) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func hoistInLoop(f *ir.Func, l *cfg.Loop, st *Stats) bool {
+	pre := preheader(f, l)
+	if pre == nil {
+		return false
+	}
+
+	stored := map[*ir.Var]bool{}
+	hasCall := false
+	loads := map[*ir.Var][]*ir.Load{}
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Store:
+				stored[x.Var] = true
+			case *ir.Call:
+				hasCall = true
+			case *ir.Load:
+				if !x.HasIndex && !x.Var.AddrUsed {
+					loads[x.Var] = append(loads[x.Var], x)
+				}
+			}
+		}
+	}
+
+	var vars []*ir.Var
+	for v := range loads {
+		if stored[v] {
+			continue
+		}
+		if hasCall && isGlobal(f, v) {
+			continue
+		}
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+
+	changed := false
+	for _, v := range vars {
+		rv := f.NewReg()
+		// Insert the single load just before the preheader's terminator.
+		t := pre.Instrs[len(pre.Instrs)-1]
+		pre.Instrs = append(append(pre.Instrs[:len(pre.Instrs)-1:len(pre.Instrs)-1],
+			&ir.Load{Dst: rv, Var: v}), t)
+		for b := range l.Blocks {
+			for i, in := range b.Instrs {
+				if ld, ok := in.(*ir.Load); ok && ld.Var == v && !ld.HasIndex {
+					b.Instrs[i] = move(ld.Dst, rv)
+				}
+			}
+		}
+		st.Hoisted++
+		changed = true
+	}
+	return changed
+}
+
+// preheader returns the unique out-of-loop predecessor of the loop header,
+// or nil when the loop cannot be safely extended (multiple entries, or the
+// entering block lives in an atomic section the hoisted load would join).
+func preheader(f *ir.Func, l *cfg.Loop) *ir.Block {
+	var pre *ir.Block
+	for _, p := range l.Header.Preds() {
+		if l.Blocks[p] {
+			continue
+		}
+		if pre != nil {
+			return nil
+		}
+		pre = p
+	}
+	if pre == nil || pre.Terminator() == nil {
+		return nil
+	}
+	return pre
+}
+
+// isGlobal reports whether v is a module-level variable rather than one of
+// f's locals.
+func isGlobal(f *ir.Func, v *ir.Var) bool {
+	for _, lv := range f.Locals {
+		if lv == v {
+			return false
+		}
+	}
+	return true
+}

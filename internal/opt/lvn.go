@@ -1,0 +1,121 @@
+package opt
+
+import (
+	"schematic/internal/ir"
+)
+
+// exprKey identifies a computed value within a block: the operator and the
+// value numbers of its operands (commutative operators are normalized).
+type exprKey struct {
+	op     ir.Op
+	va, vb int
+}
+
+// numberValues performs local value numbering: within a block, a BinOp
+// recomputing an already-available value, or a Const re-materializing an
+// already-loaded constant, is replaced by a register move. Register moves
+// themselves just share the source's value number, so chains of copies
+// do not hide redundancy.
+func numberValues(f *ir.Func, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		next := 0
+		val := map[ir.Reg]int{}    // register -> value number
+		constVN := map[int64]int{} // constant -> value number
+		exprVN := map[exprKey]int{}
+		holder := map[int]ir.Reg{} // value number -> register still holding it
+		num := func(r ir.Reg) int {
+			if v, ok := val[r]; ok {
+				return v
+			}
+			next++
+			val[r] = next
+			return next
+		}
+		// invalidate drops d as the holder of any value: d is being
+		// redefined, but value numbers already copied to other registers
+		// stay valid.
+		invalidate := func(d ir.Reg) {
+			if v, ok := val[d]; ok && holder[v] == d {
+				delete(holder, v)
+			}
+			delete(val, d)
+		}
+
+		for i, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Const:
+				// Constants get value numbers (so expressions over equal
+				// constants unify) but are never rewritten into moves:
+				// rematerializing a constant costs the same cycle as a
+				// copy, and rewriting would oscillate with the folder.
+				invalidate(x.Dst)
+				v, known := constVN[x.Val]
+				if !known {
+					next++
+					v = next
+					constVN[x.Val] = v
+				}
+				if _, ok := holder[v]; !ok {
+					holder[v] = x.Dst
+				}
+				val[x.Dst] = v
+
+			case *ir.BinOp:
+				if x.Op == ir.OpOr && x.A == x.B {
+					// The move idiom: the destination aliases the source's
+					// value; no expression is computed.
+					v := num(x.A)
+					invalidate(x.Dst)
+					val[x.Dst] = v
+					if _, ok := holder[v]; !ok {
+						holder[v] = x.Dst
+					}
+					continue
+				}
+				va := num(x.A)
+				vb := 0
+				if !x.Op.IsUnary() {
+					vb = num(x.B)
+				}
+				if commutative(x.Op) && va > vb {
+					va, vb = vb, va
+				}
+				key := exprKey{op: x.Op, va: va, vb: vb}
+				invalidate(x.Dst)
+				v, known := exprVN[key]
+				if !known {
+					next++
+					v = next
+					exprVN[key] = v
+				}
+				if r, ok := holder[v]; ok && r != x.Dst {
+					b.Instrs[i] = move(x.Dst, r)
+					st.CSE++
+					changed = true
+				} else {
+					holder[v] = x.Dst
+				}
+				val[x.Dst] = v
+
+			default:
+				if d, ok := ir.Def(in); ok {
+					invalidate(d)
+					next++
+					val[d] = next
+					holder[next] = d
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// commutative reports whether operand order is irrelevant.
+func commutative(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpEq, ir.OpNe:
+		return true
+	}
+	return false
+}

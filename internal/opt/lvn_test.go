@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/ir"
+)
+
+func countOps(m *ir.Module, op ir.Op) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if x, ok := in.(*ir.BinOp); ok && x.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func countLoadsOf(m *ir.Module, name string) (inLoop, total int) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if ld, ok := in.(*ir.Load); ok && ld.Var.Name == name {
+					total++
+				}
+			}
+		}
+	}
+	return 0, total
+}
+
+func TestLocalValueNumbering(t *testing.T) {
+	m := compile(t, `
+input int x[2];
+int g;
+int h;
+func void main() {
+  int a;
+  int b;
+  a = x[0];
+  b = x[1];
+  g = a * b + a;
+  h = a * b + b;
+  print(g);
+  print(h);
+}
+`)
+	inputs := map[string][]int64{"x": {7, 9}}
+	ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := optimize(t, m)
+	if st.CSE == 0 {
+		t.Error("a*b computed twice but CSE found nothing")
+	}
+	if n := countOps(m, ir.OpMul); n != 1 {
+		t.Errorf("%d multiplies survive, want 1:\n%s", n, m.String())
+	}
+	res, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, ref.Output, res.Output)
+}
+
+func TestLVNCommutativity(t *testing.T) {
+	m := compile(t, `
+input int x[2];
+int g;
+func void main() {
+  int a;
+  int b;
+  a = x[0];
+  b = x[1];
+  g = a + b;
+  g = g * (b + a);
+  print(g);
+}
+`)
+	optimize(t, m)
+	// a+b and b+a must unify: exactly one add left (the loop counter-free
+	// body has no other adds).
+	if n := countOps(m, ir.OpAdd); n != 1 {
+		t.Errorf("%d adds survive, want 1 (commutative CSE failed):\n%s", n, m.String())
+	}
+}
+
+func TestLVNDivisionPreservesTrap(t *testing.T) {
+	m := compile(t, `
+input int x[2];
+int g;
+func void main() {
+  int a;
+  int d;
+  a = x[0];
+  d = x[1];
+  g = a / d + a / d;
+  print(g);
+}
+`)
+	st := optimize(t, m)
+	if st.CSE == 0 {
+		t.Error("identical divisions not unified")
+	}
+	// With a zero divisor the program must still trap.
+	if _, err := emulator.Run(m, emulator.Config{
+		Model: model, Inputs: map[string][]int64{"x": {5, 0}},
+	}); err == nil {
+		t.Fatal("division trap lost")
+	}
+	// With a non-zero divisor the value must be right: 5/2+5/2 = 4.
+	res, err := emulator.Run(m, emulator.Config{
+		Model: model, Inputs: map[string][]int64{"x": {5, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, []int64{4}, res.Output)
+}
+
+func TestHoistInvariantLoad(t *testing.T) {
+	m := compile(t, `
+input int data[16];
+int scale;
+int acc;
+func void main() {
+  int i;
+  scale = 3;
+  acc = 0;
+  for (i = 0; i < 16; i = i + 1) @max(16) {
+    acc = acc + data[i] * scale;
+  }
+  print(acc);
+}
+`)
+	inputs := map[string][]int64{"data": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}}
+	ref, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := optimize(t, m)
+	if st.Hoisted == 0 {
+		t.Errorf("loop-invariant load of scale not hoisted:\n%s", m.String())
+	}
+	// Exactly one load of scale must remain, outside the loop.
+	if _, total := countLoadsOf(m, "scale"); total > 1 {
+		t.Errorf("%d loads of scale survive, want <= 1", total)
+	}
+	res, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, ref.Output, res.Output)
+}
+
+func TestNoHoistAcrossStore(t *testing.T) {
+	m := compile(t, `
+int knob;
+int acc;
+func void main() {
+  int i;
+  knob = 1;
+  acc = 0;
+  for (i = 0; i < 8; i = i + 1) @max(8) {
+    acc = acc + knob;
+    knob = knob + 1;
+  }
+  print(acc);
+}
+`)
+	before := run(t, m)
+	optimize(t, m)
+	sameOutput(t, before, run(t, m))
+}
+
+func TestNoGlobalHoistPastCall(t *testing.T) {
+	m := compile(t, `
+int g;
+int acc;
+
+func int bump() {
+  g = g + 1;
+  return g;
+}
+
+func void main() {
+  int i;
+  g = 0;
+  acc = 0;
+  for (i = 0; i < 5; i = i + 1) @max(5) {
+    acc = acc + bump() + g;
+  }
+  print(acc);
+}
+`)
+	before := run(t, m)
+	optimize(t, m)
+	sameOutput(t, before, run(t, m))
+}

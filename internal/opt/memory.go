@@ -1,0 +1,90 @@
+package opt
+
+import (
+	"schematic/internal/ir"
+)
+
+// forwardStores performs local store-to-load forwarding and redundant-load
+// elimination on scalar variables: within a block, a load that follows a
+// store (or an earlier load) of the same variable with no intervening
+// clobber is replaced by a register move. Calls clobber everything (the
+// callee may write any global); indexed accesses and address-taken
+// variables are never tracked. Distinct variables never alias (the IR has
+// no pointers, paper III-B1).
+func forwardStores(f *ir.Func, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := map[*ir.Var]ir.Reg{} // scalar variable -> register holding its value
+		for i, in := range b.Instrs {
+			if x, ok := in.(*ir.Load); ok && !x.HasIndex && !x.Var.AddrUsed {
+				if r, ok := avail[x.Var]; ok && r != x.Dst {
+					in = move(x.Dst, r)
+					b.Instrs[i] = in
+					st.LoadsForwarded++
+					changed = true
+				}
+			}
+
+			// A register definition invalidates entries relying on it.
+			if d, ok := ir.Def(in); ok {
+				for v, r := range avail {
+					if r == d {
+						delete(avail, v)
+					}
+				}
+			}
+
+			switch x := in.(type) {
+			case *ir.Store:
+				if x.HasIndex || x.Var.AddrUsed {
+					delete(avail, x.Var)
+				} else {
+					avail[x.Var] = x.Src
+				}
+			case *ir.Load:
+				if !x.HasIndex && !x.Var.AddrUsed {
+					if _, ok := avail[x.Var]; !ok {
+						avail[x.Var] = x.Dst
+					}
+				}
+			case *ir.Call:
+				avail = map[*ir.Var]ir.Reg{}
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateDeadStores removes non-indexed stores to variables that are
+// never loaded anywhere in the module. With no pointers and observable
+// behaviour limited to the output stream, a never-read variable's value
+// cannot matter. Indexed stores stay: their bounds check is the program's
+// behaviour.
+func eliminateDeadStores(m *ir.Module, st *Stats) bool {
+	loaded := map[*ir.Var]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if ld, ok := in.(*ir.Load); ok {
+					loaded[ld.Var] = true
+				}
+			}
+		}
+	}
+	changed := false
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if s, ok := in.(*ir.Store); ok && !s.HasIndex && !s.Var.AddrUsed && !loaded[s.Var] {
+					st.DeadStores++
+					changed = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+	return changed
+}

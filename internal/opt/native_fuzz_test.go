@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// FuzzOptimizer is the native fuzzing entry point for the optimizer:
+// optimized code must behave exactly like the original on the same
+// inputs, never grow, and stay verifiable. Run with
+//
+//	go test ./internal/opt -fuzz FuzzOptimizer -fuzztime 30s
+func FuzzOptimizer(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	m := energy.MSP430FR5969()
+
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		mod, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("generator produced uncompilable source: %v\n%s", err, src)
+		}
+		inputs := trace.RandomInputs(mod, rand.New(rand.NewSource(seed^0x0b7a)))
+		ref, refErr := emulator.Run(mod, emulator.Config{Model: m, Inputs: inputs, MaxSteps: 30_000_000})
+
+		om := ir.Clone(mod)
+		before := instrCountAll(om)
+		if _, err := Optimize(om); err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		if err := ir.Verify(om); err != nil {
+			t.Fatalf("optimizer broke the module: %v", err)
+		}
+		if after := instrCountAll(om); after > before {
+			t.Fatalf("optimizer grew the program: %d -> %d", before, after)
+		}
+		res, optErr := emulator.Run(om, emulator.Config{Model: m, Inputs: inputs, MaxSteps: 30_000_000})
+		if (refErr != nil) != (optErr != nil) {
+			t.Fatalf("trap behaviour changed: ref=%v opt=%v", refErr, optErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if res.Verdict != ref.Verdict {
+			t.Fatalf("verdict %v vs %v", res.Verdict, ref.Verdict)
+		}
+		if len(res.Output) != len(ref.Output) {
+			t.Fatalf("output length %d vs %d", len(res.Output), len(ref.Output))
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("output[%d] = %d, want %d", i, res.Output[i], ref.Output[i])
+			}
+		}
+		if res.Steps > ref.Steps {
+			t.Fatalf("optimized run executes more instructions: %d vs %d", res.Steps, ref.Steps)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package opt implements classic scalar and control-flow optimizations on
+// the IR. The paper's toolchain runs SCHEMATIC on LLVM IR that has already
+// been optimized; MiniC's lowering is deliberately naive, so this package
+// is the corresponding substrate: constant folding, algebraic
+// simplification, local copy propagation, branch simplification, CFG
+// cleanup, and liveness-based dead-code elimination.
+//
+// Optimization must run before checkpoint placement: the passes treat the
+// IR as a plain sequential program and know nothing about enabled
+// checkpoint locations, so Optimize rejects instrumented modules. All
+// passes preserve the emulator's exact arithmetic (shared via ir.EvalOp),
+// including division-by-zero trapping: a BinOp that could trap is never
+// folded away or removed.
+package opt
+
+import (
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// Stats counts what the optimizer did.
+type Stats struct {
+	Folded         int // BinOps replaced by constants
+	Simplified     int // algebraic identities reduced
+	Copies         int // copy uses forwarded
+	CSE            int // redundant computations replaced by moves (local value numbering)
+	Hoisted        int // loop-invariant loads moved to preheaders
+	LoadsForwarded int // loads replaced by register moves
+	DeadStores     int // stores to never-read variables removed
+	DeadInstrs     int // instructions removed by DCE
+	DeadBlocks     int // unreachable blocks removed
+	Branches       int // conditional branches turned unconditional
+	MergedBlocks   int // straight-line block merges
+	Rounds         int // fixpoint rounds across all functions
+}
+
+// Total returns the total number of applied rewrites.
+func (s *Stats) Total() int {
+	return s.Folded + s.Simplified + s.Copies + s.CSE + s.Hoisted +
+		s.LoadsForwarded + s.DeadStores + s.DeadInstrs + s.DeadBlocks +
+		s.Branches + s.MergedBlocks
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("folded %d, simplified %d, copies %d, cse %d, hoisted %d, loads fwd %d, dead stores %d, dead instrs %d, dead blocks %d, branches %d, merges %d",
+		s.Folded, s.Simplified, s.Copies, s.CSE, s.Hoisted, s.LoadsForwarded,
+		s.DeadStores, s.DeadInstrs, s.DeadBlocks, s.Branches, s.MergedBlocks)
+}
+
+// maxRounds bounds the per-function fixpoint iteration. Each round either
+// strictly shrinks the program or terminates the loop, so this is a
+// safety net, not a tuning knob.
+const maxRounds = 32
+
+// Optimize runs all passes to a fixpoint on every function and verifies
+// the result. It returns an error if the module is already instrumented
+// with checkpoints (optimize first, place checkpoints second) or if a pass
+// broke structural invariants — the latter is a bug, caught here rather
+// than downstream.
+func Optimize(m *ir.Module) (*Stats, error) {
+	if n := len(ir.Checkpoints(m)); n != 0 {
+		return nil, fmt.Errorf("opt: module has %d checkpoints; optimization must run before placement", n)
+	}
+	st := &Stats{}
+	// Dead-store elimination needs whole-module load information, so it
+	// runs between per-function fixpoints; a removed store can expose more
+	// per-function work (a newly dead address computation, an emptied
+	// block), so the whole pipeline repeats until it too is stable.
+	for outer := 0; outer < maxRounds; outer++ {
+		for _, f := range m.Funcs {
+			for round := 0; round < maxRounds; round++ {
+				st.Rounds++
+				changed := foldConstants(f, st)
+				changed = forwardStores(f, st) || changed
+				changed = numberValues(f, st) || changed
+				changed = propagateCopies(f, st) || changed
+				changed = hoistInvariantLoads(f, st) || changed
+				changed = simplifyCFG(f, st) || changed
+				changed = eliminateDeadCode(f, st) || changed
+				if !changed {
+					break
+				}
+			}
+		}
+		if !eliminateDeadStores(m, st) {
+			break
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("opt: internal: %w", err)
+	}
+	return st, nil
+}
+
+// rewriteUses applies fn to every register read by the instruction,
+// in place.
+func rewriteUses(in ir.Instr, fn func(ir.Reg) ir.Reg) {
+	switch x := in.(type) {
+	case *ir.BinOp:
+		x.A = fn(x.A)
+		if !x.Op.IsUnary() {
+			x.B = fn(x.B)
+		}
+	case *ir.Load:
+		if x.HasIndex {
+			x.Index = fn(x.Index)
+		}
+	case *ir.Store:
+		if x.HasIndex {
+			x.Index = fn(x.Index)
+		}
+		x.Src = fn(x.Src)
+	case *ir.Call:
+		for i := range x.Args {
+			x.Args[i] = fn(x.Args[i])
+		}
+	case *ir.Out:
+		x.Src = fn(x.Src)
+	case *ir.Br:
+		x.Cond = fn(x.Cond)
+	case *ir.Ret:
+		if x.HasSrc {
+			x.Src = fn(x.Src)
+		}
+	}
+}
+
+// hasSideEffect reports whether removing the instruction (assuming its
+// defined register is dead) could change observable behaviour. Loads are
+// effect-free; a BinOp is effect-free unless it can trap.
+func hasSideEffect(in ir.Instr) bool {
+	switch x := in.(type) {
+	case *ir.Const, *ir.Load:
+		return false
+	case *ir.BinOp:
+		// Division and remainder trap on a zero divisor; without knowing
+		// the divisor they must stay.
+		return x.Op == ir.OpDiv || x.Op == ir.OpRem
+	default:
+		return true
+	}
+}

@@ -1,0 +1,354 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+var model = energy.MSP430FR5969()
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func optimize(t *testing.T, m *ir.Module) *Stats {
+	t.Helper()
+	st, err := Optimize(m)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return st
+}
+
+func instrCount(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+func run(t *testing.T, m *ir.Module) []int64 {
+	t.Helper()
+	res, err := emulator.Run(m, emulator.Config{Model: model})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	return res.Output
+}
+
+func sameOutput(t *testing.T, a, b []int64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("output %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output[%d]: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := compile(t, `
+int g;
+func void main() {
+  g = 3 * 4 + 2;
+  print(g);
+}
+`)
+	before := run(t, m)
+	st := optimize(t, m)
+	if st.Folded == 0 {
+		t.Error("no constants folded in an all-constant expression")
+	}
+	sameOutput(t, before, run(t, m))
+	// After folding and DCE the body must contain no BinOp at all.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if _, ok := in.(*ir.BinOp); ok {
+					t.Errorf("BinOp survived folding: %v", in)
+				}
+			}
+		}
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m := compile(t, `
+int g;
+func void main() {
+  int z;
+  z = 0;
+  g = 7 / z;
+  print(g);
+}
+`)
+	optimize(t, m)
+	// The division must survive: its trap is the program's behaviour.
+	found := false
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if x, ok := in.(*ir.BinOp); ok && x.Op == ir.OpDiv {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("trapping division was folded away")
+	}
+	if _, err := emulator.Run(m, emulator.Config{Model: model}); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("trap lost: %v", err)
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	m := compile(t, `
+input int x[2];
+int g;
+func void main() {
+  int v;
+  v = x[0];
+  g = v * 1 + 0;
+  g = g - 0;
+  g = g * 0 + v;
+  print(g);
+}
+`)
+	inputs := map[string][]int64{"x": {41, 0}}
+	refRes, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := optimize(t, m)
+	if st.Simplified == 0 {
+		t.Error("no algebraic identity applied")
+	}
+	optRes, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, refRes.Output, optRes.Output)
+}
+
+func TestBranchFolding(t *testing.T) {
+	m := compile(t, `
+int g;
+func void main() {
+  if (1 < 2) {
+    g = 10;
+  } else {
+    g = 20;
+  }
+  print(g);
+}
+`)
+	before := run(t, m)
+	st := optimize(t, m)
+	if st.Branches == 0 {
+		t.Error("constant branch not folded")
+	}
+	if st.DeadBlocks == 0 {
+		t.Error("dead arm not removed")
+	}
+	sameOutput(t, before, run(t, m))
+	// The whole function should collapse to a single block.
+	for _, f := range m.Funcs {
+		if f.Name == "main" && len(f.Blocks) != 1 {
+			t.Errorf("main has %d blocks after optimization, want 1:\n%s", len(f.Blocks), m.String())
+		}
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	m := compile(t, `
+input int x[2];
+int g;
+func void main() {
+  int unused;
+  unused = x[0] * 3;
+  g = 5;
+  print(g);
+}
+`)
+	st := optimize(t, m)
+	if st.DeadInstrs == 0 {
+		t.Error("dead multiply not removed")
+	}
+	// The load feeding only dead code must go too (loads are effect-free),
+	// but the store to the dead *variable* stays: memory writes are
+	// observable by later code in general.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if x, ok := in.(*ir.BinOp); ok && x.Op == ir.OpMul {
+					t.Errorf("dead multiply survived: %v", in)
+				}
+			}
+		}
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	m := compile(t, `
+input int x[2];
+int g;
+func void main() {
+  int a;
+  int b;
+  a = x[0];
+  b = a;
+  g = b + b;
+  print(g);
+}
+`)
+	inputs := map[string][]int64{"x": {21, 0}}
+	refRes, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := instrCount(m)
+	st := optimize(t, m)
+	if st.Total() == 0 {
+		t.Error("optimizer found nothing in a copy chain")
+	}
+	if after := instrCount(m); after >= before {
+		t.Errorf("instruction count %d -> %d, want a reduction", before, after)
+	}
+	optRes, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, refRes.Output, optRes.Output)
+}
+
+func TestLoopStructureSurvives(t *testing.T) {
+	m := compile(t, `
+input int data[8];
+int acc;
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 8; i = i + 1) @max(8) {
+    acc = acc + data[i];
+  }
+  print(acc);
+}
+`)
+	inputs := map[string][]int64{"data": {1, 2, 3, 4, 5, 6, 7, 8}}
+	refRes, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimize(t, m)
+	// The @max annotation must survive for the placement pass.
+	found := false
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if _, ok := in.(*ir.LoopBound); ok {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("LoopBound annotation lost")
+	}
+	optRes, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, refRes.Output, optRes.Output)
+}
+
+func TestAtomicBlocksNotMergedAcrossBoundary(t *testing.T) {
+	m := compile(t, `
+int g;
+func void main() {
+  g = 1;
+  atomic {
+    g = g + 1;
+    print(g);
+  }
+  g = g + 1;
+  print(g);
+}
+`)
+	before := run(t, m)
+	optimize(t, m)
+	sameOutput(t, before, run(t, m))
+	// Atomic markers must survive exactly: at least one atomic block with
+	// the print inside, and the trailing print in a non-atomic block.
+	var atomicOut, plainOut bool
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if _, ok := in.(*ir.Out); ok {
+					if b.Atomic {
+						atomicOut = true
+					} else {
+						plainOut = true
+					}
+				}
+			}
+		}
+	}
+	if !atomicOut || !plainOut {
+		t.Errorf("atomic boundary lost: atomicOut=%v plainOut=%v\n%s", atomicOut, plainOut, m.String())
+	}
+}
+
+func TestRejectsInstrumentedModule(t *testing.T) {
+	m := compile(t, `
+int g;
+func void main() {
+  g = 1;
+  print(g);
+}
+`)
+	m.Funcs[0].Entry().Instrs = append([]ir.Instr{&ir.Checkpoint{Kind: ir.CkWait}},
+		m.Funcs[0].Entry().Instrs...)
+	if _, err := Optimize(m); err == nil {
+		t.Fatal("Optimize accepted an instrumented module")
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	m := compile(t, `
+input int data[4];
+int acc;
+func void main() {
+  int i;
+  acc = 0;
+  for (i = 0; i < 4; i = i + 1) @max(4) {
+    acc = acc + data[i] * 2 + 0;
+  }
+  print(acc);
+}
+`)
+	optimize(t, m)
+	st2 := optimize(t, m)
+	if st2.Total() != 0 {
+		t.Errorf("second Optimize still found %d rewrites (%v)", st2.Total(), st2)
+	}
+}

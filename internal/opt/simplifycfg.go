@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"schematic/internal/ir"
+)
+
+// simplifyCFG removes unreachable blocks, threads jumps through empty
+// forwarding blocks, and merges straight-line block pairs. The entry block
+// is never removed; a block carrying a LoopBound annotation is never
+// merged into its predecessor (the annotation must stay at the head of
+// its loop header).
+func simplifyCFG(f *ir.Func, st *Stats) bool {
+	changed := false
+	if removeUnreachable(f, st) {
+		changed = true
+	}
+	if threadForwarders(f, st) {
+		changed = true
+	}
+	if mergeStraightLine(f, st) {
+		changed = true
+	}
+	return changed
+}
+
+// removeUnreachable drops every block not reachable from the entry.
+func removeUnreachable(f *ir.Func, st *Stats) bool {
+	reach := map[*ir.Block]bool{}
+	var walk func(*ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Entry())
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			st.DeadBlocks++
+		}
+	}
+	f.Blocks = kept
+	f.Renumber()
+	return true
+}
+
+// threadForwarders redirects edges around blocks that contain nothing but
+// an unconditional jump.
+func threadForwarders(f *ir.Func, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if b == f.Entry() || len(b.Instrs) != 1 {
+			continue
+		}
+		j, ok := b.Instrs[0].(*ir.Jmp)
+		if !ok || j.Target == b {
+			continue
+		}
+		redirected := false
+		for _, p := range b.Preds() {
+			switch t := p.Terminator().(type) {
+			case *ir.Jmp:
+				t.Target = j.Target
+				redirected = true
+			case *ir.Br:
+				if t.Then == b {
+					t.Then = j.Target
+					redirected = true
+				}
+				if t.Else == b {
+					t.Else = j.Target
+					redirected = true
+				}
+			}
+		}
+		if redirected {
+			changed = true // b is now unreachable; the next round removes it
+		}
+	}
+	return changed
+}
+
+// mergeStraightLine merges b into its unique successor c when c's unique
+// predecessor is b: b's trailing jump is replaced by c's body. Atomicity
+// must agree (merging would otherwise extend or shrink the protected
+// region) and c must not carry a loop annotation.
+func mergeStraightLine(f *ir.Func, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for {
+			j, ok := b.Terminator().(*ir.Jmp)
+			if !ok {
+				break
+			}
+			c := j.Target
+			if c == b || c == f.Entry() || c.Atomic != b.Atomic {
+				break
+			}
+			if preds := c.Preds(); len(preds) != 1 || preds[0] != b {
+				break
+			}
+			if _, bound := c.Instrs[0].(*ir.LoopBound); bound {
+				break
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], c.Instrs...)
+			c.Instrs = nil // unreachable; removed below
+			st.MergedBlocks++
+			changed = true
+		}
+	}
+	if changed {
+		kept := f.Blocks[:0]
+		for _, b := range f.Blocks {
+			if len(b.Instrs) > 0 {
+				kept = append(kept, b)
+			}
+		}
+		f.Blocks = kept
+		f.Renumber()
+	}
+	return changed
+}
