@@ -1,0 +1,20 @@
+# Tier-1 gate: everything a PR must keep green.
+.PHONY: ci vet build test race short
+
+ci: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Fast local loop: skips the slow full-matrix experiments.
+short:
+	go test -short ./...

@@ -11,6 +11,13 @@
 //	paper -headline           # §IV-D averages
 //	paper -ablations          # design-choice ablation study (beyond paper)
 //
+// The experiment grid fans out across -jobs worker goroutines (default:
+// all CPUs; -jobs 1 runs sequentially). Tables and figures go to stdout
+// and are byte-identical regardless of -jobs; timings and the run-report
+// summary go to stderr. -stats FILE dumps one NDJSON record per grid
+// cell (wall/apply/emulate timings, steps, power failures, energy
+// breakdown) for offline analysis.
+//
 // Absolute numbers come from this reproduction's energy model, not the
 // authors' testbed; the shapes are the object of comparison (see
 // EXPERIMENTS.md).
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"schematic/internal/bench"
@@ -34,13 +42,19 @@ func main() {
 		all         = flag.Bool("all", false, "regenerate everything")
 		profileRuns = flag.Int("profile-runs", 50, "profiling executions per benchmark")
 		vmSize      = flag.Int("vmsize", 2048, "SVM in bytes")
+		seed        = flag.Int64("seed", 1, "input-generation seed")
 		fig8Bench   = flag.String("fig8-bench", "crc", "benchmark for the Figure 8 sweep")
+		jobs        = flag.Int("jobs", runtime.NumCPU(), "experiment-grid workers (1 = sequential)")
+		statsOut    = flag.String("stats", "", "dump per-cell NDJSON records to this file")
 	)
 	flag.Parse()
 
 	h := bench.NewHarness()
 	h.ProfileRuns = *profileRuns
 	h.VMSize = *vmSize
+	h.Seed = *seed
+	h.Jobs = *jobs
+	report := h.StartReport()
 
 	if !*all && *table == 0 && *figure == 0 && !*headline && !*ablations {
 		flag.Usage()
@@ -52,7 +66,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paper: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *all || *table == 1 {
@@ -62,6 +76,7 @@ func main() {
 				return err
 			}
 			bench.RenderTable1(os.Stdout, t1)
+			fmt.Println()
 			return nil
 		})
 	}
@@ -72,6 +87,7 @@ func main() {
 				return err
 			}
 			bench.RenderTable2(os.Stdout, rows)
+			fmt.Println()
 			return nil
 		})
 	}
@@ -82,6 +98,7 @@ func main() {
 				return err
 			}
 			bench.RenderTable3(os.Stdout, t3)
+			fmt.Println()
 			return nil
 		})
 	}
@@ -95,6 +112,7 @@ func main() {
 			}
 			if *all || *figure == 6 {
 				bench.RenderFigure6(os.Stdout, fig6, bench.Fig6TBPF)
+				fmt.Println()
 			}
 			return nil
 		})
@@ -106,6 +124,7 @@ func main() {
 				return err
 			}
 			bench.RenderFigure7(os.Stdout, fig7, bench.Fig6TBPF)
+			fmt.Println()
 			return nil
 		})
 	}
@@ -116,12 +135,14 @@ func main() {
 				return err
 			}
 			bench.RenderFigure8(os.Stdout, fig8, *fig8Bench)
+			fmt.Println()
 			return nil
 		})
 	}
 	if *all || *headline {
 		run("Headline", func() error {
 			bench.RenderHeadline(os.Stdout, bench.ComputeHeadline(fig6))
+			fmt.Println()
 			return nil
 		})
 	}
@@ -132,7 +153,26 @@ func main() {
 				return err
 			}
 			bench.RenderAblations(os.Stdout, abl, bench.Fig6TBPF)
+			fmt.Println()
 			return nil
 		})
+	}
+
+	report.Summary(os.Stderr, h)
+	if *statsOut != "" {
+		f, err := os.Create(*statsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper: -stats: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteNDJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: -stats: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: -stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d cell records to %s\n", len(report.Records()), *statsOut)
 	}
 }

@@ -60,22 +60,29 @@ func Variants() []Variant {
 
 // Ablations runs every variant on every benchmark at one TBPF, indexed
 // [bench][variant]. This is the design-choice study DESIGN.md calls out:
-// each row quantifies what one mechanism of the paper contributes.
+// each row quantifies what one mechanism of the paper contributes. Cells
+// run on the harness worker pool.
 func (h *Harness) Ablations(tbpf int64) (map[string]map[string]*TechRun, error) {
 	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, b := range bms {
+		for _, v := range Variants() {
+			cells = append(cells, Cell{Bench: b, Tech: v, TBPF: tbpf})
+		}
+	}
+	results, err := h.RunGrid("ablations", cells)
 	if err != nil {
 		return nil, err
 	}
 	out := map[string]map[string]*TechRun{}
 	for _, b := range bms {
 		out[b.Name] = map[string]*TechRun{}
-		for _, v := range Variants() {
-			tr, err := h.Run(b, v, tbpf)
-			if err != nil {
-				return nil, err
-			}
-			out[b.Name][v.Label] = tr
-		}
+	}
+	for i, cell := range cells {
+		out[cell.Bench.Name][cell.Tech.Name()] = results[i]
 	}
 	return out, nil
 }

@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
-
-	"schematic/internal/baselines"
 )
 
 // Fig6TBPF is the TBPF the paper uses for the energy-breakdown figures
@@ -47,23 +44,29 @@ type Table2Row struct {
 }
 
 // Table2 measures each benchmark's execution time (continuous power, all
-// data in VM) and the minimal number of power failures per TBPF.
+// data in VM) and the minimal number of power failures per TBPF. The
+// per-benchmark reference runs are independent, so they fan out across
+// the harness worker pool; rows come back in benchmark order regardless.
 func (h *Harness) Table2() ([]Table2Row, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table2Row
-	for _, b := range bms {
-		ref, err := h.ReferenceAllVM(b)
+	rows := make([]Table2Row, len(bms))
+	err = h.parallelFor(len(bms), func(i int) error {
+		ref, err := h.ReferenceAllVM(bms[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Table2Row{Bench: b.Name, Cycles: ref.Cycles, MinFailures: map[int64]int64{}}
+		row := Table2Row{Bench: bms[i].Name, Cycles: ref.Cycles, MinFailures: map[int64]int64{}}
 		for _, tbpf := range TBPFs {
 			row.MinFailures[tbpf] = ref.Cycles / tbpf
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -71,18 +74,25 @@ func (h *Harness) Table2() ([]Table2Row, error) {
 // Table3 runs every technique on every benchmark for every TBPF and
 // reports which combinations terminate (forward progress, Table III).
 // The result is indexed [technique][tbpf][bench]. Cells are independent
-// (each transforms its own clone), so they run in parallel.
+// (each transforms its own clone), so they fan out across the harness
+// worker pool; the shared profiles and references are single-flight
+// cached, so each is computed exactly once.
 func (h *Harness) Table3() (map[string]map[int64]map[string]*TechRun, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
 	}
-	// Profiles and references are cached with lazy initialization; warm
-	// them serially so the parallel phase only reads.
-	for _, b := range bms {
-		if _, err := h.Profile(b); err != nil {
-			return nil, err
+	var cells []Cell
+	for _, tech := range Techniques() {
+		for _, tbpf := range TBPFs {
+			for _, b := range bms {
+				cells = append(cells, Cell{Bench: b, Tech: tech, TBPF: tbpf})
+			}
 		}
+	}
+	results, err := h.RunGrid("table3", cells)
+	if err != nil {
+		return nil, err
 	}
 	out := map[string]map[int64]map[string]*TechRun{}
 	for _, tech := range Techniques() {
@@ -91,113 +101,92 @@ func (h *Harness) Table3() (map[string]map[int64]map[string]*TechRun, error) {
 			out[tech.Name()][tbpf] = map[string]*TechRun{}
 		}
 	}
-	type job struct {
-		tech baselines.Technique
-		tbpf int64
-		b    *Benchmark
-	}
-	var jobs []job
-	for _, tech := range Techniques() {
-		for _, tbpf := range TBPFs {
-			for _, b := range bms {
-				jobs = append(jobs, job{tech, tbpf, b})
-			}
-		}
-	}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	sem := make(chan struct{}, 8)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tr, err := h.Run(j.b, j.tech, j.tbpf)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-				return
-			}
-			if err == nil {
-				out[j.tech.Name()][j.tbpf][j.b.Name] = tr
-			}
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, cell := range cells {
+		out[cell.Tech.Name()][cell.TBPF][cell.Bench.Name] = results[i]
 	}
 	return out, nil
 }
 
 // Figure6 returns the energy breakdown of every benchmark × technique at
-// the given TBPF, indexed [bench][technique].
+// the given TBPF, indexed [bench][technique]. Cells run on the harness
+// worker pool.
 func (h *Harness) Figure6(tbpf int64) (map[string]map[string]*TechRun, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
 	}
-	out := map[string]map[string]*TechRun{}
+	var cells []Cell
 	for _, b := range bms {
-		out[b.Name] = map[string]*TechRun{}
 		for _, tech := range Techniques() {
-			tr, err := h.Run(b, tech, tbpf)
-			if err != nil {
-				return nil, err
-			}
-			out[b.Name][tech.Name()] = tr
+			cells = append(cells, Cell{Bench: b, Tech: tech, TBPF: tbpf})
 		}
 	}
-	return out, nil
-}
-
-// Figure7 compares SCHEMATIC against the All-NVM ablation, indexed
-// [bench][variant] with variants "Schematic" and "All-NVM".
-func (h *Harness) Figure7(tbpf int64) (map[string]map[string]*TechRun, error) {
-	bms, err := All()
+	results, err := h.RunGrid("figure6", cells)
 	if err != nil {
 		return nil, err
 	}
 	out := map[string]map[string]*TechRun{}
 	for _, b := range bms {
 		out[b.Name] = map[string]*TechRun{}
-		schRun, err := h.Run(b, Schematic{}, tbpf)
-		if err != nil {
-			return nil, err
+	}
+	for i, cell := range cells {
+		out[cell.Bench.Name][cell.Tech.Name()] = results[i]
+	}
+	return out, nil
+}
+
+// Figure7 compares SCHEMATIC against the All-NVM ablation, indexed
+// [bench][variant] with variants "Schematic" and "All-NVM". Cells run on
+// the harness worker pool.
+func (h *Harness) Figure7(tbpf int64) (map[string]map[string]*TechRun, error) {
+	bms, err := All()
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, b := range bms {
+		cells = append(cells,
+			Cell{Bench: b, Tech: Schematic{}, TBPF: tbpf},
+			Cell{Bench: b, Tech: AllNVMTechnique(), TBPF: tbpf})
+	}
+	results, err := h.RunGrid("figure7", cells)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]*TechRun{}
+	for i, b := range bms {
+		out[b.Name] = map[string]*TechRun{
+			"Schematic": results[2*i],
+			"All-NVM":   results[2*i+1],
 		}
-		nvmRun, err := h.Run(b, AllNVMTechnique(), tbpf)
-		if err != nil {
-			return nil, err
-		}
-		out[b.Name]["Schematic"] = schRun
-		out[b.Name]["All-NVM"] = nvmRun
 	}
 	return out, nil
 }
 
 // Figure8 sweeps the capacitor size (via TBPF, as the paper does for
 // implementation simplicity on the emulator) for one benchmark, indexed
-// [technique][tbpf].
+// [technique][tbpf]. Cells run on the harness worker pool.
 func (h *Harness) Figure8(benchName string) (map[string]map[int64]*TechRun, error) {
 	b, err := ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, tech := range Techniques() {
+		for _, tbpf := range TBPFs {
+			cells = append(cells, Cell{Bench: b, Tech: tech, TBPF: tbpf})
+		}
+	}
+	results, err := h.RunGrid("figure8", cells)
 	if err != nil {
 		return nil, err
 	}
 	out := map[string]map[int64]*TechRun{}
 	for _, tech := range Techniques() {
 		out[tech.Name()] = map[int64]*TechRun{}
-		for _, tbpf := range TBPFs {
-			tr, err := h.Run(b, tech, tbpf)
-			if err != nil {
-				return nil, err
-			}
-			out[tech.Name()][tbpf] = tr
-		}
+	}
+	for i, cell := range cells {
+		out[cell.Tech.Name()][cell.TBPF] = results[i]
 	}
 	return out, nil
 }

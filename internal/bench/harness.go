@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"schematic/internal/baselines"
 	"schematic/internal/baselines/alfred"
@@ -56,15 +58,76 @@ func AllNVMTechnique() baselines.Technique { return allnvm.AllNVM{} }
 // (IV-C), in cycles.
 var TBPFs = []int64{1_000, 10_000, 100_000}
 
+// profileKey identifies a cached profile. Every parameter that influences
+// trace.Collect participates, so changing ProfileRuns, Seed or Model on
+// the harness transparently recomputes instead of returning stale data.
+type profileKey struct {
+	bench string
+	runs  int
+	seed  int64
+	model *energy.Model
+}
+
+// refKey identifies a cached continuous-power reference run. The
+// reference depends on the inputs (Seed) and the energy model, but not on
+// VMSize or ProfileRuns.
+type refKey struct {
+	bench string
+	seed  int64
+	model *energy.Model
+}
+
+// profileEntry / refEntry are single-flight cache slots: the map lookup
+// is guarded by Harness.mu, the (expensive) computation runs exactly once
+// under the entry's own sync.Once, and concurrent requesters block on it
+// rather than duplicating work.
+type profileEntry struct {
+	once sync.Once
+	p    *trace.Profile
+	err  error
+}
+
+type refEntry struct {
+	once sync.Once
+	res  *emulator.Result
+	err  error
+}
+
+// CacheStats counts harness cache traffic; useful both for the run report
+// and for regression tests that assert work is not silently reused (or
+// silently duplicated).
+type CacheStats struct {
+	ProfileHits, ProfileMisses int64
+	RefHits, RefMisses         int64
+	CellRefHits, CellRefMisses int64
+}
+
 // Harness runs the paper's experiments on the benchmark suite.
+//
+// Concurrency contract: a Harness is safe for concurrent use by multiple
+// goroutines once configured. The configuration fields (Model, VMSize,
+// ProfileRuns, Seed, Jobs) are read without synchronization by Run and
+// the experiment drivers, so set them before the first Run/experiment
+// call and do not mutate them while runs are in flight. Changing them
+// between (sequential) runs is supported: caches are keyed by the
+// parameters they depend on, so a change never yields stale results.
 type Harness struct {
 	Model       *energy.Model
 	VMSize      int // SVM: 2 KB on the MSP430FR5969
 	ProfileRuns int // profiling executions per benchmark (the paper: 1000)
 	Seed        int64
 
-	profiles map[string]*trace.Profile
-	refs     map[string]*emulator.Result
+	// Jobs is the worker count for the experiment grids (Table III, the
+	// figures, the ablations). Zero or negative selects runtime.NumCPU().
+	// Jobs == 1 reproduces the sequential execution order exactly.
+	Jobs int
+
+	mu       sync.Mutex
+	profiles map[profileKey]*profileEntry
+	refs     map[refKey]*refEntry // all-data-in-VM references (Table II)
+	cellRefs map[refKey]*refEntry // untransformed correctness references
+	stats    CacheStats
+	report   *RunReport
 }
 
 // NewHarness builds a harness with the paper's platform defaults.
@@ -74,54 +137,155 @@ func NewHarness() *Harness {
 		VMSize:      2048,
 		ProfileRuns: 50,
 		Seed:        1,
-		profiles:    map[string]*trace.Profile{},
-		refs:        map[string]*emulator.Result{},
+		profiles:    map[profileKey]*profileEntry{},
+		refs:        map[refKey]*refEntry{},
+		cellRefs:    map[refKey]*refEntry{},
 	}
 }
 
-// Profile returns the benchmark's execution profile (cached).
+// CacheStats returns a snapshot of the cache hit/miss counters.
+func (h *Harness) CacheStats() CacheStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Profile returns the benchmark's execution profile, computed at most
+// once per (benchmark, ProfileRuns, Seed, Model) configuration.
 func (h *Harness) Profile(b *Benchmark) (*trace.Profile, error) {
-	if p, ok := h.profiles[b.Name]; ok {
-		return p, nil
+	key := profileKey{bench: b.Name, runs: h.ProfileRuns, seed: h.Seed, model: h.Model}
+	h.mu.Lock()
+	if h.profiles == nil {
+		h.profiles = map[profileKey]*profileEntry{}
 	}
-	m, err := b.Module()
-	if err != nil {
-		return nil, err
+	e, ok := h.profiles[key]
+	if !ok {
+		e = &profileEntry{}
+		h.profiles[key] = e
+		h.stats.ProfileMisses++
+	} else {
+		h.stats.ProfileHits++
 	}
-	p, err := trace.Collect(m, trace.Options{Runs: h.ProfileRuns, Seed: h.Seed, Model: h.Model})
-	if err != nil {
-		return nil, fmt.Errorf("profile %s: %w", b.Name, err)
-	}
-	h.profiles[b.Name] = p
-	return p, nil
+	h.mu.Unlock()
+	e.once.Do(func() {
+		m, err := b.Module()
+		if err != nil {
+			e.err = err
+			return
+		}
+		p, err := trace.Collect(m, trace.Options{Runs: key.runs, Seed: key.seed, Model: key.model})
+		if err != nil {
+			e.err = fmt.Errorf("profile %s: %w", b.Name, err)
+			return
+		}
+		e.p = p
+	})
+	return e.p, e.err
 }
 
 // ReferenceAllVM runs the untransformed benchmark on continuous power with
 // all data in VM — the execution-time reference of Table II ("in clock
-// cycles, with all data in VM").
+// cycles, with all data in VM"). Computed at most once per (benchmark,
+// Seed, Model) configuration.
 func (h *Harness) ReferenceAllVM(b *Benchmark) (*emulator.Result, error) {
-	if r, ok := h.refs[b.Name]; ok {
-		return r, nil
+	key := refKey{bench: b.Name, seed: h.Seed, model: h.Model}
+	h.mu.Lock()
+	if h.refs == nil {
+		h.refs = map[refKey]*refEntry{}
 	}
-	m, err := b.Module()
-	if err != nil {
-		return nil, err
+	e, ok := h.refs[key]
+	if !ok {
+		e = &refEntry{}
+		h.refs[key] = e
+		h.stats.RefMisses++
+	} else {
+		h.stats.RefHits++
 	}
-	clone := ir.Clone(m)
-	baselines.AllocAllVM(clone)
-	inputs, err := b.Inputs(h.Seed)
-	if err != nil {
-		return nil, err
+	h.mu.Unlock()
+	e.once.Do(func() {
+		m, err := b.Module()
+		if err != nil {
+			e.err = err
+			return
+		}
+		clone := ir.Clone(m)
+		baselines.AllocAllVM(clone)
+		inputs, err := b.Inputs(key.seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		// PrewarmVM: the untransformed module has no checkpoints to
+		// restore the VM-allocated data, so the boot copy is assumed done
+		// before measurement starts (the paper measures "with all data in
+		// VM", not the cost of getting it there).
+		res, err := emulator.Run(clone, emulator.Config{Model: key.model, Inputs: inputs, PrewarmVM: true})
+		if err != nil {
+			e.err = err
+			return
+		}
+		if res.Verdict != emulator.Completed {
+			e.err = fmt.Errorf("reference %s: %v", b.Name, res.Verdict)
+			return
+		}
+		if res.UnsyncedReads > 0 {
+			e.err = fmt.Errorf("reference %s: %d unsynced VM reads", b.Name, res.UnsyncedReads)
+			return
+		}
+		e.res = res
+	})
+	return e.res, e.err
+}
+
+// referenceOutput runs the untransformed benchmark on continuous power
+// with its as-compiled allocation — the correctness reference each
+// experiment cell compares against. It is computed once per (benchmark,
+// Seed, Model) and shared across all (technique, TBPF) cells; the
+// returned Result is immutable.
+func (h *Harness) referenceOutput(b *Benchmark) (*emulator.Result, error) {
+	key := refKey{bench: b.Name, seed: h.Seed, model: h.Model}
+	h.mu.Lock()
+	if h.cellRefs == nil {
+		h.cellRefs = map[refKey]*refEntry{}
 	}
-	res, err := emulator.Run(clone, emulator.Config{Model: h.Model, Inputs: inputs})
-	if err != nil {
-		return nil, err
+	e, ok := h.cellRefs[key]
+	if !ok {
+		e = &refEntry{}
+		h.cellRefs[key] = e
+		h.stats.CellRefMisses++
+	} else {
+		h.stats.CellRefHits++
 	}
-	if res.Verdict != emulator.Completed {
-		return nil, fmt.Errorf("reference %s: %v", b.Name, res.Verdict)
-	}
-	h.refs[b.Name] = res
-	return res, nil
+	h.mu.Unlock()
+	e.once.Do(func() {
+		m, err := b.Module()
+		if err != nil {
+			e.err = err
+			return
+		}
+		inputs, err := b.Inputs(key.seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		res, err := emulator.Run(m, emulator.Config{Model: key.model, Inputs: inputs})
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res = res
+	})
+	return e.res, e.err
+}
+
+// CellStats records the per-cell observability of one Run: wall time and
+// the phase split between profiling (zero on a cache hit), applying the
+// transformation, and emulating the intermittent execution.
+type CellStats struct {
+	Wall    time.Duration
+	Profile time.Duration
+	Apply   time.Duration
+	Emulate time.Duration
 }
 
 // TechRun is the outcome of one (benchmark, technique, TBPF) cell.
@@ -140,6 +304,9 @@ type TechRun struct {
 	Res *emulator.Result
 	// RefOutput is the continuous-power output for correctness checking.
 	RefOutput []int64
+
+	// Stats is the per-cell observability record.
+	Stats CellStats
 }
 
 // Completed reports whether the cell counts as ✓.
@@ -162,16 +329,21 @@ func (tr *TechRun) Correct() bool {
 }
 
 // Run executes one cell: transform with the technique for the EB derived
-// from the TBPF, then emulate under intermittent power.
+// from the TBPF, then emulate under intermittent power. Run is safe for
+// concurrent use; the profile and the continuous-power reference are
+// computed once per configuration and shared across cells.
 func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*TechRun, error) {
+	start := time.Now()
 	m, err := b.Module()
 	if err != nil {
 		return nil, err
 	}
+	profStart := time.Now()
 	prof, err := h.Profile(b)
 	if err != nil {
 		return nil, err
 	}
+	profDur := time.Since(profStart)
 	tr := &TechRun{
 		Bench:     b.Name,
 		Technique: tech.Name(),
@@ -179,6 +351,7 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 		EB:        prof.EBForTBPF(tbpf),
 		Supported: tech.SupportsVM(m, h.VMSize),
 	}
+	defer func() { tr.Stats.Wall = time.Since(start); tr.Stats.Profile = profDur }()
 	if !tr.Supported {
 		return tr, nil
 	}
@@ -186,12 +359,13 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 	if err != nil {
 		return nil, err
 	}
-	ref, err := emulator.Run(m, emulator.Config{Model: h.Model, Inputs: inputs})
+	ref, err := h.referenceOutput(b)
 	if err != nil {
 		return nil, err
 	}
 	tr.RefOutput = ref.Output
 
+	applyStart := time.Now()
 	clone := ir.Clone(m)
 	if err := tech.Apply(clone, baselines.Params{
 		Model:   h.Model,
@@ -200,8 +374,11 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 		Profile: prof,
 	}); err != nil {
 		tr.ApplyErr = err
+		tr.Stats.Apply = time.Since(applyStart)
 		return tr, nil
 	}
+	tr.Stats.Apply = time.Since(applyStart)
+	emuStart := time.Now()
 	res, err := emulator.Run(clone, emulator.Config{
 		Model:        h.Model,
 		VMSize:       h.VMSize,
@@ -212,6 +389,7 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/TBPF=%d: %w", b.Name, tech.Name(), tbpf, err)
 	}
+	tr.Stats.Emulate = time.Since(emuStart)
 	tr.Res = res
 	return tr, nil
 }

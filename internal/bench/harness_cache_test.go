@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"testing"
+)
+
+// Regression: the harness caches used to key by benchmark name only, so
+// changing Seed or ProfileRuns after a first run silently returned stale
+// results. The cache key now includes every parameter the computation
+// depends on.
+func TestProfileCacheRespectsParameters(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	b, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := h.Profile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Runs != 2 || p1.Seed != 1 {
+		t.Fatalf("profile has Runs=%d Seed=%d, want 2/1", p1.Runs, p1.Seed)
+	}
+
+	// Changing ProfileRuns must recompute, not return the stale profile.
+	h.ProfileRuns = 4
+	p2, err := h.Profile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Runs != 4 {
+		t.Errorf("stale profile: Runs=%d after setting ProfileRuns=4", p2.Runs)
+	}
+
+	// Changing Seed must recompute too.
+	h.Seed = 99
+	p3, err := h.Profile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Seed != 99 {
+		t.Errorf("stale profile: Seed=%d after setting Seed=99", p3.Seed)
+	}
+
+	// Restoring an earlier configuration hits the cache (same object).
+	h.ProfileRuns, h.Seed = 2, 1
+	p4, err := h.Profile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 != p1 {
+		t.Errorf("restored configuration missed the cache")
+	}
+	cs := h.CacheStats()
+	if cs.ProfileMisses != 3 || cs.ProfileHits != 1 {
+		t.Errorf("profile cache traffic = %d misses / %d hits, want 3/1",
+			cs.ProfileMisses, cs.ProfileHits)
+	}
+}
+
+// Regression: ReferenceAllVM cached by benchmark name only, ignoring the
+// Seed that determines the inputs.
+func TestReferenceCacheRespectsSeed(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	b, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h.ReferenceAllVM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Seed = 7
+	r2, err := h.ReferenceAllVM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Errorf("seed change returned the cached reference")
+	}
+	h.Seed = 1
+	r3, err := h.ReferenceAllVM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r1 {
+		t.Errorf("restoring the seed missed the cache")
+	}
+	cs := h.CacheStats()
+	if cs.RefMisses != 2 || cs.RefHits != 1 {
+		t.Errorf("reference cache traffic = %d misses / %d hits, want 2/1",
+			cs.RefMisses, cs.RefHits)
+	}
+}
+
+// Regression: the Table II reference ran the checkpoint-free module with
+// all data allocated to VM but nothing ever materialized it there, so
+// the measurement silently read poison values — the same numbers for
+// every seed. The VM is now prewarmed from the NVM homes and the
+// harness rejects references with unsynced reads.
+func TestReferenceReadsRealData(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	b, err := ByName("crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h.ReferenceAllVM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.UnsyncedReads != 0 {
+		t.Fatalf("reference run has %d unsynced VM reads (poison data)", r1.UnsyncedReads)
+	}
+	// The CRC of the seeded message must react to the seed.
+	h.Seed = 7
+	r7, err := h.ReferenceAllVM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Output) != 1 || len(r7.Output) != 1 || r1.Output[0] == r7.Output[0] {
+		t.Errorf("reference output is input-insensitive: seed1=%v seed7=%v", r1.Output, r7.Output)
+	}
+}
+
+// Regression: Run used to re-emulate the untransformed continuous-power
+// reference for every (technique, TBPF) cell; it is now computed once per
+// (benchmark, seed) and shared.
+func TestCellReferenceComputedOnce(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	b, err := ByName("crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refOutput []int64
+	for _, tech := range Techniques() {
+		for _, tbpf := range TBPFs {
+			tr, err := h.Run(b, tech, tbpf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refOutput == nil {
+				refOutput = tr.RefOutput
+			} else if len(tr.RefOutput) != len(refOutput) {
+				t.Fatalf("reference output changed across cells")
+			}
+		}
+	}
+	cs := h.CacheStats()
+	if cs.CellRefMisses != 1 {
+		t.Errorf("cell reference computed %d times for one benchmark, want 1", cs.CellRefMisses)
+	}
+	wantHits := int64(len(Techniques())*len(TBPFs) - 1)
+	if cs.CellRefHits != wantHits {
+		t.Errorf("cell reference hits = %d, want %d", cs.CellRefHits, wantHits)
+	}
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// cheapGrid builds a small grid over the two cheapest benchmarks so the
+// determinism and race tests stay fast.
+func cheapGrid(t *testing.T) []Cell {
+	t.Helper()
+	var cells []Cell
+	for _, name := range []string{"randmath", "crc"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tech := range Techniques() {
+			for _, tbpf := range TBPFs {
+				cells = append(cells, Cell{Bench: b, Tech: tech, TBPF: tbpf})
+			}
+		}
+	}
+	return cells
+}
+
+// sameRun asserts two TechRuns from identical configurations are
+// observationally identical (timings excluded — they are wall clock).
+func sameRun(t *testing.T, a, b *TechRun) {
+	t.Helper()
+	if a.Bench != b.Bench || a.Technique != b.Technique || a.TBPF != b.TBPF {
+		t.Fatalf("cell mismatch: %s/%s/%d vs %s/%s/%d",
+			a.Bench, a.Technique, a.TBPF, b.Bench, b.Technique, b.TBPF)
+	}
+	ctx := a.Bench + "/" + a.Technique
+	if a.EB != b.EB {
+		t.Errorf("%s: EB %v != %v", ctx, a.EB, b.EB)
+	}
+	if a.Supported != b.Supported || a.Completed() != b.Completed() || a.Correct() != b.Correct() {
+		t.Errorf("%s: verdict mismatch", ctx)
+	}
+	if (a.Res == nil) != (b.Res == nil) {
+		t.Fatalf("%s: result presence mismatch", ctx)
+	}
+	if a.Res != nil {
+		if a.Res.Cycles != b.Res.Cycles || a.Res.TotalCycles != b.Res.TotalCycles ||
+			a.Res.Steps != b.Res.Steps || a.Res.PowerFailures != b.Res.PowerFailures ||
+			a.Res.Saves != b.Res.Saves || a.Res.Energy != b.Res.Energy {
+			t.Errorf("%s: emulation results diverge: %+v vs %+v", ctx, a.Res, b.Res)
+		}
+	}
+}
+
+// TestGridDeterminismAcrossJobs runs the same grid sequentially and on 8
+// workers and requires observationally identical results in identical
+// order.
+func TestGridDeterminismAcrossJobs(t *testing.T) {
+	seq := NewHarness()
+	seq.ProfileRuns = 2
+	seq.Jobs = 1
+	par := NewHarness()
+	par.ProfileRuns = 2
+	par.Jobs = 8
+
+	sr, err := seq.RunGrid("test", cheapGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := par.RunGrid("test", cheapGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr) != len(pr) {
+		t.Fatalf("result count %d != %d", len(sr), len(pr))
+	}
+	for i := range sr {
+		sameRun(t, sr[i], pr[i])
+	}
+	// The parallel harness must not have duplicated the shared work:
+	// 2 benchmarks → 2 profile computations and 2 cell references.
+	cs := par.CacheStats()
+	if cs.ProfileMisses != 2 {
+		t.Errorf("profile misses = %d, want 2 (single-flight broken)", cs.ProfileMisses)
+	}
+	if cs.CellRefMisses != 2 {
+		t.Errorf("cell-ref misses = %d, want 2 (reference recomputed per cell)", cs.CellRefMisses)
+	}
+}
+
+// TestTablesDeterminismAcrossJobs renders Table II, Table III and Figure
+// 6 at -jobs 1 and -jobs 8 and requires byte-identical output.
+func TestTablesDeterminismAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tables are slow")
+	}
+	render := func(jobs int) string {
+		h := NewHarness()
+		h.ProfileRuns = 2
+		h.Jobs = jobs
+		var buf bytes.Buffer
+		rows, err := h.Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		RenderTable2(&buf, rows)
+		t3, err := h.Table3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		RenderTable3(&buf, t3)
+		fig6, err := h.Figure6(Fig6TBPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RenderFigure6(&buf, fig6, Fig6TBPF)
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("-jobs 1 and -jobs 8 output differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", seq, par)
+	}
+}
+
+// TestHarnessConcurrentUse hammers the cached entry points from many
+// goroutines (run under -race by the CI gate) and checks the
+// single-flight property: concurrent requests for the same key must
+// collapse to one computation returning one shared object.
+func TestHarnessConcurrentUse(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	b, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	profiles := make([]any, goroutines)
+	refs := make([]any, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := h.Profile(b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			profiles[i] = p
+			r, err := h.ReferenceAllVM(b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			refs[i] = r
+			if _, err := h.Run(b, Schematic{}, 10_000); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if profiles[i] != profiles[0] {
+			t.Fatalf("goroutine %d got a different profile object", i)
+		}
+		if refs[i] != refs[0] {
+			t.Fatalf("goroutine %d got a different reference object", i)
+		}
+	}
+	cs := h.CacheStats()
+	if cs.ProfileMisses != 1 {
+		t.Errorf("profile misses = %d, want 1", cs.ProfileMisses)
+	}
+	if cs.RefMisses != 1 {
+		t.Errorf("reference misses = %d, want 1", cs.RefMisses)
+	}
+	if cs.CellRefMisses != 1 {
+		t.Errorf("cell-ref misses = %d, want 1", cs.CellRefMisses)
+	}
+}
+
+// TestRunReportNDJSON checks the observability pipeline: every grid cell
+// yields one NDJSON record with the phase timings and emulator counters.
+func TestRunReportNDJSON(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	h.Jobs = 4
+	report := h.StartReport()
+	cells := cheapGrid(t)
+	if _, err := h.RunGrid("ndjson-test", cells); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(cells) {
+		t.Fatalf("got %d NDJSON lines, want %d", len(lines), len(cells))
+	}
+	for _, line := range lines {
+		var rec CellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if rec.Experiment != "ndjson-test" || rec.Bench == "" || rec.Technique == "" || rec.TBPF == 0 {
+			t.Errorf("incomplete record: %q", line)
+		}
+		if rec.WallMS <= 0 {
+			t.Errorf("%s/%s: wall time missing", rec.Bench, rec.Technique)
+		}
+		if rec.Completed && (rec.Steps <= 0 || rec.EnergyTotalNJ <= 0) {
+			t.Errorf("%s/%s: counters missing on completed cell: %q", rec.Bench, rec.Technique, line)
+		}
+	}
+	// Records must come back sorted by (experiment, bench, technique, TBPF).
+	for i := 1; i < len(lines); i++ {
+		var a, b CellRecord
+		_ = json.Unmarshal([]byte(lines[i-1]), &a)
+		_ = json.Unmarshal([]byte(lines[i]), &b)
+		ka := a.Bench + "\x00" + a.Technique
+		kb := b.Bench + "\x00" + b.Technique
+		if ka > kb || (ka == kb && a.TBPF >= b.TBPF) {
+			t.Errorf("records out of order at line %d", i)
+		}
+	}
+	// The summary must mention the cell count and cache traffic.
+	var sum bytes.Buffer
+	report.Summary(&sum, h)
+	if !strings.Contains(sum.String(), "cells") || !strings.Contains(sum.String(), "caches:") {
+		t.Errorf("summary incomplete:\n%s", sum.String())
+	}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	// keyed by variable name. Missing entries keep the declared Init.
 	Inputs map[string][]int64
 
+	// PrewarmVM materializes every block-allocated VM variable from its
+	// NVM home at boot, free of charge — the "all data already in VM"
+	// precondition of continuous-power reference measurements on modules
+	// without checkpoints (which would otherwise read poison).
+	PrewarmVM bool
+
 	// MaxSteps bounds total executed instructions (0 = default 500M).
 	// MaxFailures bounds power failures (0 = default 10M).
 	MaxSteps    int64

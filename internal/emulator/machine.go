@@ -88,8 +88,34 @@ func newMachine(m *ir.Module, cfg Config) *machine {
 		capEn:    cfg.EB,
 	}
 	mc.initNVM()
+	if cfg.PrewarmVM {
+		mc.prewarmVM()
+	}
 	mc.bootFrames()
 	return mc
+}
+
+// prewarmVM materializes every block-allocated VM variable from its NVM
+// home before execution starts, free of charge — the "all data already
+// in VM" precondition of reference measurements. Without it a module
+// that allocates variables to VM but has no checkpoints (nothing to
+// restore them) would read poison.
+func (mc *machine) prewarmVM() {
+	for _, f := range mc.mod.Funcs {
+		for _, b := range f.Blocks {
+			for v, in := range b.Alloc {
+				if !in {
+					continue
+				}
+				if _, ok := mc.vm[v]; ok {
+					continue
+				}
+				if !mc.addVMResident(v, append([]int64(nil), mc.nvm[v]...)) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // initNVM loads every variable's NVM home with its initial data, applying

@@ -14,6 +14,7 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"schematic/internal/emulator"
 	"schematic/internal/energy"
@@ -47,9 +48,15 @@ type blockKey struct {
 	Func, Block string
 }
 
-// Profile holds the gathered execution statistics.
+// Profile holds the gathered execution statistics. A Profile is
+// immutable once Collect returns, so it may be shared across goroutines
+// without synchronization.
 type Profile struct {
 	Runs int
+	// Seed is the input-generation seed the profile was collected with.
+	Seed int64
+	// Elapsed is the wall time Collect spent gathering the profile.
+	Elapsed time.Duration
 
 	edgeCount   map[string]map[edgeKey]int64 // by function name
 	blockCount  map[blockKey]int64
@@ -97,8 +104,10 @@ func Collect(m *ir.Module, opts Options) (*Profile, error) {
 	if model == nil {
 		model = energy.MSP430FR5969()
 	}
+	start := time.Now()
 	p := &Profile{
 		Runs:             opts.Runs,
+		Seed:             opts.Seed,
 		edgeCount:        map[string]map[edgeKey]int64{},
 		blockCount:       map[blockKey]int64{},
 		invocations:      map[string]int64{},
@@ -158,6 +167,7 @@ func Collect(m *ir.Module, opts Options) (*Profile, error) {
 	p.AvgCycles = float64(totalCycles) / float64(opts.Runs)
 	p.AvgEnergy = totalEnergy / float64(opts.Runs)
 	p.estimateLoopIters(m)
+	p.Elapsed = time.Since(start)
 	return p, nil
 }
 

@@ -38,6 +38,12 @@ func TestCollectBasics(t *testing.T) {
 	if p.Runs != 20 {
 		t.Errorf("Runs = %d", p.Runs)
 	}
+	if p.Seed != 42 {
+		t.Errorf("Seed = %d, want 42 (collection parameters must be recorded)", p.Seed)
+	}
+	if p.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", p.Elapsed)
+	}
 	mainF := m.FuncByName("main")
 	stepF := m.FuncByName("step")
 
