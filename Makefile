@@ -1,7 +1,12 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci vet build test race short
+.PHONY: ci fmt vet build test race short cover
 
-ci: vet build race
+ci: fmt vet build race
+
+# Fail when any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	go vet ./...
@@ -18,3 +23,7 @@ race:
 # Fast local loop: skips the slow full-matrix experiments.
 short:
 	go test -short ./...
+
+# Per-package statement coverage.
+cover:
+	go test -cover ./...

@@ -6,29 +6,46 @@
 //	iemu -eb 3000 prog.ir              # intermittent, capacitor = 3000 nJ
 //	iemu -eb 3000 -vmsize 2048 prog.ir
 //	iemu -seed 7 prog.mc               # workload inputs from another seed
+//
+// Observability exports (see "Observing a run" in the README):
+//
+//	iemu -eb 3000 -timeline t.json prog.mc   # Chrome trace (Perfetto)
+//	iemu -eb 3000 -folded f.txt prog.mc      # energy flamegraph stacks
+//	iemu -eb 3000 -events e.ndjson prog.mc   # raw event stream
+//	iemu -eb 3000 -sites prog.mc             # per-checkpoint-site table
+//
+// The exit status is 0 only when the run completes; other verdicts
+// (stuck, poisoned, budget exceeded) exit 1 so scripts can rely on it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"schematic/internal/emulator"
 	"schematic/internal/energy"
 	"schematic/internal/ir"
 	"schematic/internal/minic"
+	"schematic/internal/obs"
 	"schematic/internal/trace"
 )
 
 func main() {
 	var (
-		eb     = flag.Float64("eb", 0, "capacitor energy in nJ (0 = continuous power)")
-		period = flag.Int64("tbpf", 0, "also fail every this many active cycles (periodic TBPF mode)")
-		vmSize = flag.Int("vmsize", 2048, "SVM in bytes")
-		seed   = flag.Int64("seed", 1, "input seed")
-		quiet  = flag.Bool("q", false, "print only the program output")
+		eb       = flag.Float64("eb", 0, "capacitor energy in nJ (0 = continuous power)")
+		period   = flag.Int64("tbpf", 0, "also fail every this many active cycles (periodic TBPF mode)")
+		vmSize   = flag.Int("vmsize", 2048, "SVM in bytes")
+		seed     = flag.Int64("seed", 1, "input seed")
+		quiet    = flag.Bool("q", false, "print only the program output")
+		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto) to this file")
+		folded   = flag.String("folded", "", "write folded energy stacks (flamegraph input) to this file")
+		events   = flag.String("events", "", "write the raw NDJSON event stream to this file")
+		sites    = flag.Bool("sites", false, "print the per-checkpoint-site energy table")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,7 +64,7 @@ func main() {
 		fail(err)
 		fail(ir.Verify(m))
 	} else {
-		name := strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".mc")
+		name := strings.TrimSuffix(filepath.Base(path), ".mc")
 		m, err = minic.Compile(name, src)
 		fail(err)
 	}
@@ -68,23 +85,84 @@ func main() {
 			cfg.EB = 1e12 // energy unconstrained: failures come from the period
 		}
 	}
+
+	var (
+		observers []emulator.Observer
+		tl        *obs.Timeline
+		fl        *obs.Flame
+		sw        *obs.StreamWriter
+		col       *obs.Collector
+		eventsF   *os.File
+	)
+	if *timeline != "" {
+		tl = obs.NewTimeline(cfg.Model.EnergyPerCycle)
+		observers = append(observers, tl)
+	}
+	if *folded != "" {
+		fl = obs.NewFlame()
+		observers = append(observers, fl)
+	}
+	if *events != "" {
+		eventsF, err = os.Create(*events)
+		fail(err)
+		sw = obs.NewStreamWriter(eventsF)
+		observers = append(observers, sw)
+	}
+	if *sites {
+		col = obs.NewCollector()
+		observers = append(observers, col)
+	}
+	cfg.Observer = emulator.MultiObserver(observers...)
+
 	res, err := emulator.Run(m, cfg)
 	fail(err)
+
+	if tl != nil {
+		fail(writeTo(*timeline, tl.WriteChromeTrace))
+	}
+	if fl != nil {
+		fail(writeTo(*folded, fl.WriteFolded))
+	}
+	if sw != nil {
+		fail(sw.Flush())
+		fail(eventsF.Close())
+	}
 
 	for _, v := range res.Output {
 		fmt.Println(v)
 	}
-	if *quiet {
-		return
+	if !*quiet {
+		l := res.Energy
+		fmt.Fprintf(os.Stderr, "verdict:        %v\n", res.Verdict)
+		fmt.Fprintf(os.Stderr, "cycles:         %d (total incl. re-exec: %d)\n", res.Cycles, res.TotalCycles)
+		fmt.Fprintf(os.Stderr, "energy:         %.1f µJ  (compute %.1f, save %.1f, restore %.1f, re-exec %.1f)\n",
+			l.Total()/1000, l.Computation/1000, l.Save/1000, l.Restore/1000, l.Reexecution/1000)
+		fmt.Fprintf(os.Stderr, "power failures: %d   saves: %d   restores: %d   sleeps: %d\n",
+			res.PowerFailures, res.Saves, res.Restores, res.Sleeps)
+		fmt.Fprintf(os.Stderr, "VM high water:  %d B\n", res.MaxVMBytes)
 	}
-	l := res.Energy
-	fmt.Fprintf(os.Stderr, "verdict:        %v\n", res.Verdict)
-	fmt.Fprintf(os.Stderr, "cycles:         %d (total incl. re-exec: %d)\n", res.Cycles, res.TotalCycles)
-	fmt.Fprintf(os.Stderr, "energy:         %.1f µJ  (compute %.1f, save %.1f, restore %.1f, re-exec %.1f)\n",
-		l.Total()/1000, l.Computation/1000, l.Save/1000, l.Restore/1000, l.Reexecution/1000)
-	fmt.Fprintf(os.Stderr, "power failures: %d   saves: %d   sleeps: %d\n",
-		res.PowerFailures, res.Saves, res.Sleeps)
-	fmt.Fprintf(os.Stderr, "VM high water:  %d B\n", res.MaxVMBytes)
+	if col != nil {
+		if err := col.Reconcile(res); err != nil {
+			fail(err)
+		}
+		col.RenderSites(os.Stderr)
+	}
+	if res.Verdict != emulator.Completed {
+		os.Exit(1)
+	}
+}
+
+// writeTo writes an exporter's output to path.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -54,6 +54,10 @@ func main() {
 	h.VMSize = *vmSize
 	h.Seed = *seed
 	h.Jobs = *jobs
+	// -stats turns on per-site attribution: every cell's energy is
+	// reconciled against the observer ledgers and the hottest checkpoint
+	// sites are embedded in each NDJSON record.
+	h.CollectSites = *statsOut != ""
 	report := h.StartReport()
 
 	if !*all && *table == 0 && *figure == 0 && !*headline && !*ablations {

@@ -15,6 +15,7 @@ import (
 	"schematic/internal/emulator"
 	"schematic/internal/energy"
 	"schematic/internal/ir"
+	"schematic/internal/obs"
 	"schematic/internal/trace"
 )
 
@@ -121,6 +122,19 @@ type Harness struct {
 	// figures, the ablations). Zero or negative selects runtime.NumCPU().
 	// Jobs == 1 reproduces the sequential execution order exactly.
 	Jobs int
+
+	// CollectSites attaches an obs.Collector to every cell's intermittent
+	// run: per-checkpoint-site attribution is reconciled against the
+	// cell's energy ledger (a mismatch fails the cell) and the hottest
+	// sites land in TechRun.HotSites / the run-report records.
+	CollectSites bool
+
+	// CellObserver, when non-nil, supplies an extra emulator.Observer for
+	// each cell's intermittent run. Cells run concurrently (see Jobs), so
+	// either return a fresh observer per call or one that is safe for
+	// concurrent use. Like the other configuration fields it must be set
+	// before the first Run.
+	CellObserver func(bench, technique string, tbpf int64) emulator.Observer
 
 	mu       sync.Mutex
 	profiles map[profileKey]*profileEntry
@@ -307,6 +321,10 @@ type TechRun struct {
 
 	// Stats is the per-cell observability record.
 	Stats CellStats
+
+	// HotSites is the per-checkpoint-site attribution, hottest first
+	// (populated only when Harness.CollectSites is set).
+	HotSites []obs.SiteStats
 }
 
 // Completed reports whether the cell counts as ✓.
@@ -378,6 +396,17 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 		return tr, nil
 	}
 	tr.Stats.Apply = time.Since(applyStart)
+
+	var col *obs.Collector
+	var observers []emulator.Observer
+	if h.CollectSites {
+		col = obs.NewCollector()
+		observers = append(observers, col)
+	}
+	if h.CellObserver != nil {
+		observers = append(observers, h.CellObserver(b.Name, tech.Name(), tbpf))
+	}
+
 	emuStart := time.Now()
 	res, err := emulator.Run(clone, emulator.Config{
 		Model:        h.Model,
@@ -385,11 +414,18 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 		Intermittent: true,
 		EB:           tr.EB,
 		Inputs:       inputs,
+		Observer:     emulator.MultiObserver(observers...),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/TBPF=%d: %w", b.Name, tech.Name(), tbpf, err)
 	}
 	tr.Stats.Emulate = time.Since(emuStart)
 	tr.Res = res
+	if col != nil {
+		if err := col.Reconcile(res); err != nil {
+			return nil, fmt.Errorf("%s/%s/TBPF=%d: %w", b.Name, tech.Name(), tbpf, err)
+		}
+		tr.HotSites = col.TopSites(5)
+	}
 	return tr, nil
 }

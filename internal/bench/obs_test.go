@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"schematic/internal/emulator"
+)
+
+// TestAttributionReconcilesAllBenchmarks runs SCHEMATIC over every
+// bundled benchmark with site collection on: Harness.Run reconciles the
+// observer's attribution against the cell's energy ledger and fails the
+// cell on any mismatch, so this test is the suite-wide enforcement of
+// the attribution invariant.
+func TestAttributionReconcilesAllBenchmarks(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	h.CollectSites = true
+	bms, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bms {
+		tr, err := h.Run(b, Schematic{}, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err) // includes reconciliation failures
+		}
+		if tr.Res != nil && len(tr.HotSites) == 0 && tr.Res.Energy.Total() > 0 {
+			t.Errorf("%s: run consumed energy but no sites attributed", b.Name)
+		}
+	}
+}
+
+// TestAttributionReconcilesAllTechniques covers the other axis: one
+// benchmark under all five checkpoint runtimes (wait, rollback, trigger,
+// lazy), since each runtime charges energy on different code paths.
+func TestAttributionReconcilesAllTechniques(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	h.CollectSites = true
+	b, err := ByName("crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range Techniques() {
+		if _, err := h.Run(b, tech, 10000); err != nil {
+			t.Fatalf("crc/%s: %v", tech.Name(), err)
+		}
+	}
+}
+
+// countingObserver counts events; safe for concurrent use.
+type countingObserver struct{ n atomic.Int64 }
+
+func (c *countingObserver) Event(emulator.Event) { c.n.Add(1) }
+
+// TestCellObserverHook checks the per-cell observer injection: the hook
+// is called with the cell coordinates and its observer sees the run.
+func TestCellObserverHook(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	var co countingObserver
+	var hookCells atomic.Int64
+	h.CellObserver = func(bench, technique string, tbpf int64) emulator.Observer {
+		if bench != "crc" || technique != "Schematic" || tbpf != 10000 {
+			t.Errorf("hook got (%s, %s, %d)", bench, technique, tbpf)
+		}
+		hookCells.Add(1)
+		return &co
+	}
+	b, err := ByName("crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := h.Run(b, Schematic{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Completed() {
+		t.Fatalf("cell did not complete: %+v", tr)
+	}
+	if hookCells.Load() != 1 {
+		t.Errorf("hook called %d times, want 1", hookCells.Load())
+	}
+	if co.n.Load() == 0 {
+		t.Error("cell observer saw no events")
+	}
+}

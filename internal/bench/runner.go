@@ -138,6 +138,7 @@ type CellRecord struct {
 	TotalCycles   int64 `json:"total_cycles,omitempty"`
 	PowerFailures int   `json:"power_failures,omitempty"`
 	Saves         int   `json:"saves,omitempty"`
+	Restores      int   `json:"restores,omitempty"`
 
 	// Energy-category breakdown (Fig. 6 categories), nJ.
 	EnergyComputeNJ float64 `json:"energy_compute_nj,omitempty"`
@@ -145,6 +146,22 @@ type CellRecord struct {
 	EnergyRestoreNJ float64 `json:"energy_restore_nj,omitempty"`
 	EnergyReexecNJ  float64 `json:"energy_reexec_nj,omitempty"`
 	EnergyTotalNJ   float64 `json:"energy_total_nj,omitempty"`
+
+	// HotSites is the top-N hottest checkpoint sites by attributed energy
+	// (present only when the harness ran with CollectSites).
+	HotSites []HotSite `json:"hot_sites,omitempty"`
+}
+
+// HotSite is the NDJSON form of one checkpoint site's attribution.
+type HotSite struct {
+	Site       int     `json:"site"`
+	Fires      int64   `json:"fires"`
+	Saves      int64   `json:"saves"`
+	Restores   int64   `json:"restores"`
+	BytesSaved int64   `json:"bytes_saved"`
+	SaveNJ     float64 `json:"save_nj"`
+	RestoreNJ  float64 `json:"restore_nj"`
+	ReexecNJ   float64 `json:"reexec_nj"`
 }
 
 func recordOf(experiment string, tr *TechRun) CellRecord {
@@ -172,11 +189,24 @@ func recordOf(experiment string, tr *TechRun) CellRecord {
 		rec.TotalCycles = tr.Res.TotalCycles
 		rec.PowerFailures = tr.Res.PowerFailures
 		rec.Saves = tr.Res.Saves
+		rec.Restores = tr.Res.Restores
 		rec.EnergyComputeNJ = tr.Res.Energy.Computation
 		rec.EnergySaveNJ = tr.Res.Energy.Save
 		rec.EnergyRestoreNJ = tr.Res.Energy.Restore
 		rec.EnergyReexecNJ = tr.Res.Energy.Reexecution
 		rec.EnergyTotalNJ = tr.Res.Energy.Total()
+	}
+	for _, s := range tr.HotSites {
+		rec.HotSites = append(rec.HotSites, HotSite{
+			Site:       s.Site,
+			Fires:      s.Fires,
+			Saves:      s.Saves,
+			Restores:   s.Restores,
+			BytesSaved: s.BytesSaved,
+			SaveNJ:     s.SaveEnergy,
+			RestoreNJ:  s.RestoreEnergy,
+			ReexecNJ:   s.ReexecEnergy,
+		})
 	}
 	return rec
 }

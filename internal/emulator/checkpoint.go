@@ -60,6 +60,11 @@ func (mc *machine) restoreSet(ck *ir.Checkpoint, saved []*ir.Var) []*ir.Var {
 // has redirected control).
 func (mc *machine) execCheckpoint(ck *ir.Checkpoint) error {
 	fr := mc.top()
+	mc.curSite = ck.ID
+	defer func() { mc.curSite = -1 }()
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvCheckpointHit, Site: ck.ID, Fn: fr.fn, Block: fr.block})
+	}
 
 	// Conditional checkpointing (Algorithm 1): the iteration counter lives
 	// in NVM so it survives power failures; updating it costs one NVM
@@ -88,13 +93,45 @@ func (mc *machine) execCheckpoint(ck *ir.Checkpoint) error {
 	return nil
 }
 
-// bumpProgress advances the logical progress index for the checkpoint
-// instruction itself.
+// bumpProgress advances the logical progress index past one completed
+// instruction and closes the re-execution span when it catches the
+// previous high-water mark.
 func (mc *machine) bumpProgress() {
 	mc.done++
 	if mc.done > mc.furthest {
 		mc.furthest = mc.done
 	}
+	if mc.inReexec && mc.done >= mc.furthest {
+		mc.inReexec = false
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvReexecEnd, Site: mc.reexecSite})
+		}
+	}
+}
+
+// startReexec opens a re-execution span when the recovery point lies
+// before the previous high-water mark. site is the checkpoint execution
+// resumed from (-1 for a cold restart).
+func (mc *machine) startReexec(site int) {
+	if mc.done >= mc.furthest || mc.inReexec {
+		return
+	}
+	mc.inReexec = true
+	mc.reexecSite = site
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvReexecStart, Site: site})
+	}
+}
+
+// checkpointBytes is the data volume of a save/restore operation:
+// machine state for the given refined live-register count (-1 = full
+// register file) plus the listed variables.
+func (mc *machine) checkpointBytes(liveRegs int, vars []*ir.Var) int {
+	b := mc.cfg.Model.RegBytesFor(liveRegs)
+	for _, v := range vars {
+		b += v.SizeBytes()
+	}
+	return b
 }
 
 // addCkCycles accounts the time of checkpoint save/restore work: copying
@@ -120,6 +157,10 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 		mc.powerFailure()
 		return
 	}
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvSave, Site: ck.ID, Energy: saveCost,
+			Bytes: mc.checkpointBytes(regCount(ck), saved), Fn: fr.fn, Block: fr.block})
+	}
 	mc.addCkCycles(saveCost)
 	for _, v := range saved {
 		if arr, ok := mc.vm[v]; ok {
@@ -132,15 +173,21 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	// Snapshot the post-restore state: resume at the next instruction with
 	// only the restore set resident in VM.
 	fr.pc++
-	mc.takeSnapshot(restores, false)
+	mc.takeSnapshot(restores, false, ck.ID)
 	fr.pc--
 
 	// Deep sleep: replenish; VM content is lost (paper, IV-D: "conservatively
 	// assuming that the platform goes into deep sleep and thus VM is lost").
 	if mc.cfg.Intermittent {
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvSleepStart, Site: ck.ID, CapEnergy: mc.capEn})
+		}
 		mc.capEn = mc.cfg.EB
 		mc.cyclesSincePower = 0
 		mc.res.Sleeps++
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvSleepEnd, Site: ck.ID, CapEnergy: mc.capEn})
+		}
 	}
 	mc.clearVM()
 
@@ -151,6 +198,11 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	if !mc.charge(restoreCost, chRestore) {
 		mc.powerFailure()
 		return
+	}
+	mc.res.Restores++
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvRestore, Site: ck.ID, Energy: restoreCost,
+			Bytes: mc.checkpointBytes(regCount(ck), restores), Fn: fr.fn, Block: fr.block})
 	}
 	mc.addCkCycles(restoreCost)
 	for _, v := range restores {
@@ -202,6 +254,10 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 		mc.powerFailure()
 		return
 	}
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvSave, Site: ck.ID, Energy: saveCost,
+			Bytes: mc.checkpointBytes(regCount(ck), saved), Fn: fr.fn, Block: fr.block})
+	}
 	mc.addCkCycles(saveCost)
 	for _, v := range saved {
 		if arr, ok := mc.vm[v]; ok {
@@ -211,7 +267,7 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 	}
 	mc.res.Saves++
 	fr.pc++
-	mc.takeSnapshot(mc.residentVars(), ck.Lazy)
+	mc.takeSnapshot(mc.residentVars(), ck.Lazy, ck.ID)
 	mc.bumpProgress()
 }
 
@@ -234,6 +290,10 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 			mc.powerFailure()
 			return
 		}
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvSave, Site: ck.ID, Energy: saveCost,
+				Bytes: mc.checkpointBytes(-1, saved), Fn: fr.fn, Block: fr.block})
+		}
 		mc.addCkCycles(saveCost)
 		for _, v := range saved {
 			copy(mc.nvm[v], mc.vm[v])
@@ -241,7 +301,7 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 		}
 		mc.res.Saves++
 		fr.pc++
-		mc.takeSnapshot(saved, false)
+		mc.takeSnapshot(saved, false, ck.ID)
 		mc.bumpProgress()
 		return
 	}
@@ -259,14 +319,17 @@ func (mc *machine) residentVars() []*ir.Var {
 }
 
 // takeSnapshot records the recovery point: the full volatile state as it
-// must look when execution resumes here.
-func (mc *machine) takeSnapshot(restores []*ir.Var, lazy bool) {
+// must look when execution resumes here. site is the checkpoint that
+// takes it; post-failure restore and re-execution energy is attributed
+// to it.
+func (mc *machine) takeSnapshot(restores []*ir.Var, lazy bool, site int) {
 	sn := &snapshot{
 		frames:   make([]frame, len(mc.frames)),
 		vm:       make(map[*ir.Var][]int64, len(restores)),
 		outLen:   len(mc.out),
 		done:     mc.done + 1, // resume after the checkpoint instruction
 		lazy:     lazy,
+		site:     site,
 		restores: append([]*ir.Var(nil), restores...),
 	}
 	for i := range mc.frames {
@@ -311,7 +374,29 @@ func (mc *machine) takeSnapshot(restores []*ir.Var, lazy bool) {
 // capacitor replenishes while the device is off, and execution resumes from
 // the last snapshot (or from scratch when none exists yet).
 func (mc *machine) powerFailure() {
+	// The failure aborts whatever checkpoint was executing; recovery work
+	// below is attributed to the snapshot's site, not the aborted one.
+	mc.curSite = -1
 	mc.res.PowerFailures++
+	if mc.obs != nil {
+		ev := Event{Kind: EvPowerFailure, CapEnergy: mc.capEn, Site: -1}
+		if mc.snap != nil {
+			ev.Site = mc.snap.site
+		}
+		if len(mc.frames) > 0 {
+			fr := mc.top()
+			ev.Fn, ev.Block = fr.fn, fr.block
+		}
+		mc.emit(ev)
+	}
+	// A failure mid-re-execution truncates the open span; recovery below
+	// opens a fresh one.
+	if mc.inReexec {
+		mc.inReexec = false
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvReexecEnd, Site: mc.reexecSite})
+		}
+	}
 	if mc.res.PowerFailures > mc.cfg.MaxFailures {
 		mc.close(Stuck)
 		return
@@ -338,6 +423,7 @@ func (mc *machine) powerFailure() {
 		mc.out = mc.out[:0]
 		mc.done = 0
 		mc.bootFrames()
+		mc.startReexec(-1)
 		return
 	}
 	sn := mc.snap
@@ -349,12 +435,27 @@ func (mc *machine) powerFailure() {
 	}
 	mc.out = mc.out[:sn.outLen]
 	mc.done = sn.done
+	if mc.obs != nil {
+		// Replay the restored call stack so observers can mirror it; the
+		// legacy Trace adapter skips these Resume entries (it never fired
+		// on snapshot restores).
+		for i := range mc.frames {
+			mc.emit(Event{Kind: EvBlockEnter, Fn: mc.frames[i].fn,
+				Block: mc.frames[i].block, Call: true, Resume: true})
+		}
+	}
 
 	if sn.lazy {
 		// Deferred restoration: registers now, variables on first access.
-		if !mc.charge(mc.cfg.Model.RestoreRegsCost(), chRestore) {
+		regCost := mc.cfg.Model.RestoreRegsCost()
+		if !mc.charge(regCost, chRestore) {
 			mc.powerFailure()
 			return
+		}
+		mc.res.Restores++
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvRestore, Site: sn.site, Energy: regCost,
+				Bytes: mc.checkpointBytes(-1, nil)})
 		}
 		for v, arr := range sn.vm {
 			if !mc.addVMResident(v, append([]int64(nil), arr...)) {
@@ -362,17 +463,25 @@ func (mc *machine) powerFailure() {
 			}
 			mc.pending[v] = true
 		}
+		mc.startReexec(sn.site)
 		return
 	}
-	if !mc.charge(mc.cfg.Model.RestoreCost(sn.restores), chRestore) {
+	restoreCost := mc.cfg.Model.RestoreCost(sn.restores)
+	if !mc.charge(restoreCost, chRestore) {
 		mc.powerFailure()
 		return
+	}
+	mc.res.Restores++
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvRestore, Site: sn.site, Energy: restoreCost,
+			Bytes: mc.checkpointBytes(-1, sn.restores)})
 	}
 	for v, arr := range sn.vm {
 		if !mc.addVMResident(v, append([]int64(nil), arr...)) {
 			return
 		}
 	}
+	mc.startReexec(sn.site)
 }
 
 // close finishes the run with the given verdict.

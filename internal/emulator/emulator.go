@@ -82,16 +82,22 @@ type Config struct {
 	MaxSteps    int64
 	MaxFailures int
 
-	// Trace, when non-nil, receives every basic block entered, with its
-	// function. Used by the profiler.
-	Trace func(fn *ir.Func, b *ir.Block)
-	// OnPoison, when non-nil, fires on every read of VM storage that was
-	// never restored (a transformation bug); useful for debugging passes.
-	OnPoison func(v *ir.Var, fn *ir.Func, b *ir.Block)
-	// TraceRet, when non-nil, fires on every function return (including
-	// main's). Together with Trace it lets a profiler mirror the call
-	// stack exactly.
+	// Observer, when non-nil, receives the full cycle-stamped event
+	// stream: block entries, returns, energy charges, checkpoint
+	// save/restore, sleeps, power failures, re-execution spans, poison
+	// reads. A nil observer costs nothing per instruction.
+	Observer Observer
+
+	// Trace, TraceRet and OnPoison are the legacy observation callbacks,
+	// kept as thin adapters over the Observer event stream (see
+	// legacyObserver). Trace receives every basic block entered, with its
+	// function; TraceRet fires on every function return (including
+	// main's), letting a profiler mirror the call stack; OnPoison fires
+	// on every read of VM storage that was never restored (a
+	// transformation bug). New code should implement Observer instead.
+	Trace    func(fn *ir.Func, b *ir.Block)
 	TraceRet func()
+	OnPoison func(v *ir.Var, fn *ir.Func, b *ir.Block)
 }
 
 // Verdict says how a run ended.
@@ -160,6 +166,7 @@ type Result struct {
 	Steps         int64 // instructions executed, including re-execution
 	PowerFailures int
 	Saves         int // checkpoint save operations performed
+	Restores      int // restore operations (wait-checkpoint wake-ups and post-failure recoveries)
 	Sleeps        int // wait-style replenishment periods
 	MaxVMBytes    int // high-water mark of resident VM bytes
 

@@ -33,6 +33,7 @@ type snapshot struct {
 	outLen   int
 	done     int64
 	lazy     bool
+	site     int       // checkpoint site that took the snapshot
 	restores []*ir.Var // variables whose restore is charged on rollback
 }
 
@@ -41,6 +42,19 @@ type machine struct {
 	cfg   Config
 	res   Result
 	capEn float64 // remaining capacitor energy
+
+	// obs is the resolved effective observer (explicit Observer plus the
+	// legacy-callback adapter); nil on the unobserved fast path. Every
+	// emission site guards on nil so an unobserved run constructs no
+	// events at all.
+	obs Observer
+	// curSite is the checkpoint site currently executing, -1 outside
+	// execCheckpoint; save/restore charges are attributed to it.
+	curSite int
+	// inReexec/reexecSite track the open re-execution span: work repeated
+	// between a recovery point and the previous high-water mark.
+	inReexec   bool
+	reexecSite int
 
 	nvm map[*ir.Var][]int64
 	vm  map[*ir.Var][]int64
@@ -80,6 +94,8 @@ func newMachine(m *ir.Module, cfg Config) *machine {
 	mc := &machine{
 		mod:      m,
 		cfg:      cfg,
+		obs:      observerFor(cfg),
+		curSite:  -1,
 		nvm:      map[*ir.Var][]int64{},
 		vm:       map[*ir.Var][]int64{},
 		pending:  map[*ir.Var]bool{},
@@ -146,12 +162,21 @@ func (mc *machine) bootFrames() {
 		block: mainFn.Entry(),
 		regs:  make([]int64, mainFn.NumRegs),
 	}}
-	if mc.cfg.Trace != nil {
-		mc.cfg.Trace(mainFn, mainFn.Entry())
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvBlockEnter, Fn: mainFn, Block: mainFn.Entry(), Call: true})
 	}
 }
 
 func (mc *machine) top() *frame { return &mc.frames[len(mc.frames)-1] }
+
+// emit stamps the event with the current cycle and step counters and
+// hands it to the observer. Callers guard on mc.obs != nil so the
+// unobserved fast path constructs no Event values.
+func (mc *machine) emit(e Event) {
+	e.Cycle = mc.res.TotalCycles
+	e.Step = mc.res.Steps
+	mc.obs.Event(e)
+}
 
 // run drives the machine until a verdict is reached.
 func (mc *machine) run() (*Result, error) {
@@ -173,11 +198,14 @@ func (mc *machine) run() (*Result, error) {
 	return &mc.res, nil
 }
 
-// chargeKind selects the ledger bucket of a charge.
+// chargeKind selects the ledger bucket of a charge. The access kinds are
+// computation charges that additionally feed the Fig. 7 sub-split.
 type chargeKind int
 
 const (
 	chComp chargeKind = iota
+	chVMAcc
+	chNVMAcc
 	chSave
 	chRestore
 )
@@ -192,37 +220,72 @@ func (mc *machine) charge(e float64, kind chargeKind) bool {
 		return false
 	}
 	mc.capEn -= e
+	var class ChargeClass
 	switch kind {
 	case chSave:
 		mc.res.Energy.Save += e
+		class = ChargeSave
 	case chRestore:
 		mc.res.Energy.Restore += e
+		class = ChargeRestore
 	default:
 		if mc.done < mc.furthest {
 			mc.res.Energy.Reexecution += e
+			class = ChargeReexec
 		} else {
 			mc.res.Energy.Computation += e
+			switch kind {
+			case chVMAcc:
+				mc.res.Energy.VMAccessEnergy += e
+				mc.res.Energy.VMAccesses++
+				class = ChargeVMAccess
+			case chNVMAcc:
+				mc.res.Energy.NVMAccessEnergy += e
+				mc.res.Energy.NVMAccesses++
+				class = ChargeNVMAccess
+			default:
+				class = ChargeCompute
+			}
 		}
+	}
+	if mc.obs != nil {
+		ev := Event{Kind: EvCharge, Class: class, Energy: e, Site: mc.chargeSite(class)}
+		if len(mc.frames) > 0 {
+			fr := mc.top()
+			ev.Fn, ev.Block = fr.fn, fr.block
+		}
+		mc.emit(ev)
 	}
 	return true
 }
 
-// chargeAccess is charge for a memory access, also feeding the Fig. 7
+// chargeSite resolves the checkpoint site a charge is attributed to:
+// re-execution belongs to the site execution resumed from, save/restore
+// work to the checkpoint currently executing (or, for post-failure
+// recovery, the snapshot's site); -1 means boot / no site.
+func (mc *machine) chargeSite(class ChargeClass) int {
+	if class == ChargeReexec {
+		if mc.snap != nil {
+			return mc.snap.site
+		}
+		return -1
+	}
+	if mc.curSite >= 0 {
+		return mc.curSite
+	}
+	if mc.snap != nil {
+		return mc.snap.site
+	}
+	return -1
+}
+
+// chargeAccess is charge for a memory access, feeding the Fig. 7
 // sub-split when the work is first-execution computation.
 func (mc *machine) chargeAccess(e float64, space ir.Space) bool {
-	if !mc.charge(e, chComp) {
-		return false
+	if space == ir.VM {
+		return mc.charge(e, chVMAcc)
 	}
-	if mc.done >= mc.furthest {
-		if space == ir.VM {
-			mc.res.Energy.VMAccessEnergy += e
-			mc.res.Energy.VMAccesses++
-		} else {
-			mc.res.Energy.NVMAccessEnergy += e
-			mc.res.Energy.NVMAccesses++
-		}
-	}
-	return true
+	return mc.charge(e, chNVMAcc)
 }
 
 // step executes one instruction. It returns true when main has returned.
@@ -282,10 +345,7 @@ func (mc *machine) step() (bool, error) {
 	if err != nil || halt {
 		return halt, err
 	}
-	mc.done++
-	if mc.done > mc.furthest {
-		mc.furthest = mc.done
-	}
+	mc.bumpProgress()
 	return false, nil
 }
 
@@ -331,8 +391,8 @@ func (mc *machine) exec(in ir.Instr) (bool, error) {
 			nf.regs[i] = fr.regs[a]
 		}
 		mc.frames = append(mc.frames, nf)
-		if mc.cfg.Trace != nil {
-			mc.cfg.Trace(nf.fn, nf.block)
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvBlockEnter, Fn: nf.fn, Block: nf.block, Call: true})
 		}
 	case *ir.Out:
 		mc.out = append(mc.out, fr.regs[x.Src])
@@ -350,8 +410,8 @@ func (mc *machine) exec(in ir.Instr) (bool, error) {
 		if x.HasSrc {
 			val = fr.regs[x.Src]
 		}
-		if mc.cfg.TraceRet != nil {
-			mc.cfg.TraceRet()
+		if mc.obs != nil {
+			mc.emit(Event{Kind: EvFuncReturn, Fn: fr.fn})
 		}
 		mc.frames = mc.frames[:len(mc.frames)-1]
 		if len(mc.frames) == 0 {
@@ -371,8 +431,8 @@ func (mc *machine) enterBlock(b *ir.Block) {
 	fr := mc.top()
 	fr.block = b
 	fr.pc = 0
-	if mc.cfg.Trace != nil {
-		mc.cfg.Trace(fr.fn, b)
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvBlockEnter, Fn: fr.fn, Block: b})
 	}
 }
 
@@ -450,9 +510,9 @@ func (mc *machine) vmStorage(v *ir.Var, read bool) []int64 {
 	}
 	if read {
 		mc.res.UnsyncedReads++
-		if mc.cfg.OnPoison != nil {
+		if mc.obs != nil {
 			fr := mc.top()
-			mc.cfg.OnPoison(v, fr.fn, fr.block)
+			mc.emit(Event{Kind: EvPoisonRead, Var: v, Fn: fr.fn, Block: fr.block})
 		}
 	}
 	arr := make([]int64, v.Elems)

@@ -186,10 +186,13 @@ func (m *Model) SaveRegsCost() float64 {
 	return m.CheckpointBase + float64(m.RegFileBytes)*m.SavePerByte
 }
 
-// regBytesFor is the machine state saved for a refined register count:
+// RegBytesFor is the machine state saved for a refined register count:
 // PC and SR always, plus the live general-purpose registers; never more
-// than the full file.
-func (m *Model) regBytesFor(liveRegs int) int {
+// than the full file. liveRegs < 0 selects the full register file.
+func (m *Model) RegBytesFor(liveRegs int) int {
+	if liveRegs < 0 {
+		return m.RegFileBytes
+	}
 	b := (liveRegs + 2) * ir.WordBytes
 	if b > m.RegFileBytes {
 		b = m.RegFileBytes
@@ -203,7 +206,7 @@ func (m *Model) SaveRegsCostFor(liveRegs int) float64 {
 	if liveRegs < 0 {
 		return m.SaveRegsCost()
 	}
-	return m.CheckpointBase + float64(m.regBytesFor(liveRegs))*m.SavePerByte
+	return m.CheckpointBase + float64(m.RegBytesFor(liveRegs))*m.SavePerByte
 }
 
 // RestoreRegsCostFor is the refined counterpart of RestoreRegsCost.
@@ -211,7 +214,7 @@ func (m *Model) RestoreRegsCostFor(liveRegs int) float64 {
 	if liveRegs < 0 {
 		return m.RestoreRegsCost()
 	}
-	return m.RestoreBase + float64(m.regBytesFor(liveRegs))*m.RestorePerByte
+	return m.RestoreBase + float64(m.RegBytesFor(liveRegs))*m.RestorePerByte
 }
 
 // RestoreRegsCost is the energy to restore the register file plus the fixed

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"schematic/internal/emulator"
+)
+
+// Flame is an emulator.Observer that accumulates energy per call stack
+// in the pprof "folded stack" text format, for flamegraph tools
+// (flamegraph.pl, speedscope, inferno). Stacks are function frames
+// mirrored exactly from the Call/Return/Resume events, with the
+// executing block as the leaf frame and synthetic [save] / [restore] /
+// [re-exec] leaves for intermittency work, so a flamegraph shows which
+// call paths — and which checkpoint sites under them — burn the energy.
+type Flame struct {
+	stack   []string
+	weights map[string]float64
+}
+
+// NewFlame returns an empty folded-stack accumulator.
+func NewFlame() *Flame {
+	return &Flame{weights: map[string]float64{}}
+}
+
+// Event implements emulator.Observer.
+func (f *Flame) Event(e emulator.Event) {
+	switch e.Kind {
+	case emulator.EvPowerFailure:
+		// Volatile state is lost; the restored stack is replayed via
+		// Resume block entries.
+		f.stack = f.stack[:0]
+	case emulator.EvBlockEnter:
+		if e.Call && e.Fn != nil {
+			f.stack = append(f.stack, e.Fn.Name)
+		}
+	case emulator.EvFuncReturn:
+		if len(f.stack) > 0 {
+			f.stack = f.stack[:len(f.stack)-1]
+		}
+	case emulator.EvCharge:
+		f.weights[f.key(e)] += e.Energy
+	}
+}
+
+func (f *Flame) key(e emulator.Event) string {
+	var sb strings.Builder
+	if len(f.stack) > 0 {
+		sb.WriteString(strings.Join(f.stack, ";"))
+	} else if e.Fn != nil {
+		sb.WriteString(e.Fn.Name)
+	}
+	if e.Fn != nil && e.Block != nil {
+		sb.WriteByte(';')
+		sb.WriteString(e.Fn.Name)
+		sb.WriteByte(':')
+		sb.WriteString(e.Block.Name)
+	}
+	switch e.Class {
+	case emulator.ChargeSave:
+		sb.WriteString(";[save]")
+	case emulator.ChargeRestore:
+		sb.WriteString(";[restore]")
+	case emulator.ChargeReexec:
+		sb.WriteString(";[re-exec]")
+	}
+	return sb.String()
+}
+
+// WriteFolded emits one "stack weight" line per distinct stack, sorted,
+// with weights in whole nanojoules (folded-stack consumers expect
+// integer sample counts; 1 sample = 1 nJ).
+func (f *Flame) WriteFolded(w io.Writer) error {
+	keys := make([]string, 0, len(f.weights))
+	for k := range f.weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, int64(math.Round(f.weights[k]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

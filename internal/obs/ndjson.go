@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"schematic/internal/emulator"
+)
+
+// eventRecord is the NDJSON wire form of one emulator event. Fields are
+// omitted when not meaningful for the kind, keeping the (potentially
+// per-instruction) stream compact.
+type eventRecord struct {
+	Kind   string  `json:"k"`
+	Cycle  int64   `json:"cycle"`
+	Step   int64   `json:"step,omitempty"`
+	Fn     string  `json:"fn,omitempty"`
+	Block  string  `json:"block,omitempty"`
+	Var    string  `json:"var,omitempty"`
+	Class  string  `json:"class,omitempty"`
+	NJ     float64 `json:"nj,omitempty"`
+	Site   *int    `json:"site,omitempty"` // pointer: site 0 is valid, -1 = boot
+	Bytes  int     `json:"bytes,omitempty"`
+	CapNJ  float64 `json:"cap_nj,omitempty"`
+	Call   bool    `json:"call,omitempty"`
+	Resume bool    `json:"resume,omitempty"`
+}
+
+// StreamWriter is an emulator.Observer that writes every event as one
+// JSON line. Writes are buffered; call Flush when the run ends. The
+// first write error is latched and subsequent events are dropped.
+type StreamWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewStreamWriter wraps w in a buffered NDJSON event sink.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	bw := bufio.NewWriter(w)
+	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// siteKinds lists the kinds whose Site field is meaningful.
+func siteOf(e emulator.Event) *int {
+	switch e.Kind {
+	case emulator.EvCheckpointHit, emulator.EvSave, emulator.EvRestore,
+		emulator.EvSleepStart, emulator.EvSleepEnd, emulator.EvPowerFailure,
+		emulator.EvReexecStart, emulator.EvReexecEnd:
+		s := e.Site
+		return &s
+	case emulator.EvCharge:
+		switch e.Class {
+		case emulator.ChargeSave, emulator.ChargeRestore, emulator.ChargeReexec:
+			s := e.Site
+			return &s
+		}
+	}
+	return nil
+}
+
+// Event implements emulator.Observer.
+func (s *StreamWriter) Event(e emulator.Event) {
+	if s.err != nil {
+		return
+	}
+	rec := eventRecord{
+		Kind:   e.Kind.String(),
+		Cycle:  e.Cycle,
+		Step:   e.Step,
+		Site:   siteOf(e),
+		Bytes:  e.Bytes,
+		Call:   e.Call,
+		Resume: e.Resume,
+	}
+	if e.Fn != nil {
+		rec.Fn = e.Fn.Name
+	}
+	if e.Block != nil {
+		rec.Block = e.Block.Name
+	}
+	if e.Var != nil {
+		rec.Var = e.Var.Name
+	}
+	switch e.Kind {
+	case emulator.EvCharge:
+		rec.Class = e.Class.String()
+		rec.NJ = e.Energy
+	case emulator.EvSave, emulator.EvRestore:
+		rec.NJ = e.Energy
+	case emulator.EvPowerFailure, emulator.EvSleepStart, emulator.EvSleepEnd:
+		rec.CapNJ = e.CapEnergy
+	}
+	s.err = s.enc.Encode(rec)
+}
+
+// Flush drains the buffer and returns the first error seen (encode or
+// write), if any.
+func (s *StreamWriter) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}

@@ -1,0 +1,211 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedProgram builds a deterministic two-function program: main calls
+// sum(), which boots through a wait-style checkpoint (site 0: save,
+// sleep, restore) and then loops n times accumulating into a
+// VM-allocated variable, with a rollback checkpoint (site 1) every
+// other iteration. Under a small capacitor the rollback runtime drains
+// the supply between saves, so the run exercises saves, sleeps,
+// restores, power failures and re-execution — every event kind except
+// poison reads.
+func fixedProgram(t testing.TB, n int) *ir.Module {
+	t.Helper()
+	m := &ir.Module{Name: "fixed"}
+	acc := m.NewGlobal("acc", 1)
+	idx := m.NewGlobal("i", 1)
+
+	sum := m.NewFunc("sum", nil, true)
+	entry := sum.NewBlock("entry")
+	head := sum.NewBlock("head")
+	body := sum.NewBlock("body")
+	done := sum.NewBlock("done")
+
+	b := ir.NewBuilder(sum).At(entry)
+	b.Emit(&ir.Checkpoint{ID: 0, Kind: ir.CkWait}) // boot checkpoint
+	zero := b.Const(0)
+	b.Store(acc, zero)
+	b.Store(idx, zero)
+	b.Jmp(head)
+
+	b.At(head)
+	i := b.Load(idx)
+	lim := b.Const(int64(n))
+	c := b.Bin(ir.OpLt, i, lim)
+	b.Br(c, body, done)
+
+	b.At(body)
+	a := b.Load(acc)
+	i2 := b.Load(idx)
+	a2 := b.Bin(ir.OpAdd, a, i2)
+	b.Store(acc, a2)
+	b.Emit(&ir.Checkpoint{ID: 1, Kind: ir.CkRollback, Every: 2,
+		Save: []*ir.Var{acc}, Restore: []*ir.Var{acc}})
+	one := b.Const(1)
+	i3 := b.Bin(ir.OpAdd, i2, one)
+	b.Store(idx, i3)
+	b.Jmp(head)
+
+	b.At(done)
+	out := b.Load(acc)
+	b.RetVal(out)
+
+	for _, blk := range sum.Blocks {
+		blk.Alloc = map[*ir.Var]bool{acc: true}
+	}
+
+	mainFn := m.NewFunc("main", nil, false)
+	mb := ir.NewBuilder(mainFn)
+	r := mb.Call(sum)
+	mb.Out(r)
+	mb.Ret()
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func runObserved(t testing.TB, obsv emulator.Observer) *emulator.Result {
+	t.Helper()
+	m := fixedProgram(t, 8)
+	res, err := emulator.Run(m, emulator.Config{
+		Model:        energy.MSP430FR5969(),
+		VMSize:       2048,
+		Intermittent: true,
+		EB:           400,
+		Observer:     obsv,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if want := int64(0 + 1 + 2 + 3 + 4 + 5 + 6 + 7); len(res.Output) != 1 || res.Output[0] != want {
+		t.Fatalf("output = %v, want [%d]", res.Output, want)
+	}
+	return res
+}
+
+func TestCollectorReconciles(t *testing.T) {
+	col := obs.NewCollector()
+	res := runObserved(t, col)
+	if res.PowerFailures == 0 || res.Sleeps == 0 {
+		t.Fatalf("program did not exercise intermittency: %+v", res)
+	}
+	if err := col.Reconcile(res); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.PowerFailures; got != int64(res.PowerFailures) {
+		t.Errorf("collector failures = %d, result %d", got, res.PowerFailures)
+	}
+	if got := col.Sleeps; got != int64(res.Sleeps) {
+		t.Errorf("collector sleeps = %d, result %d", got, res.Sleeps)
+	}
+	sites := col.Sites()
+	var saves, restores int64
+	for _, s := range sites {
+		saves += s.Saves
+		restores += s.Restores
+	}
+	if saves != int64(res.Saves) {
+		t.Errorf("site saves = %d, result %d", saves, res.Saves)
+	}
+	if restores != int64(res.Restores) {
+		t.Errorf("site restores = %d, result %d", restores, res.Restores)
+	}
+	// Site 1 fires every loop iteration but saves only every other one
+	// (conditional checkpointing); fires must strictly exceed saves.
+	for _, s := range sites {
+		if s.Site == 1 && s.Fires <= s.Saves {
+			t.Errorf("site 1: fires %d <= saves %d", s.Fires, s.Saves)
+		}
+	}
+	// Hottest-site ordering is by total energy, descending.
+	top := col.TopSites(10)
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Total() < top[i].Total() {
+			t.Errorf("TopSites not sorted: %f < %f", top[i-1].Total(), top[i].Total())
+		}
+	}
+}
+
+func TestFunctionsAggregateBlocks(t *testing.T) {
+	col := obs.NewCollector()
+	runObserved(t, col)
+	var blockCompute float64
+	for _, b := range col.Blocks() {
+		blockCompute += b.Compute
+	}
+	var fnCompute float64
+	for _, f := range col.Functions() {
+		fnCompute += f.Compute
+	}
+	if diff := blockCompute - fnCompute; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("function aggregate %f != block sum %f", fnCompute, blockCompute)
+	}
+}
+
+// golden compares got against testdata/name, rewriting it under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file (re-run with -update after intentional changes)\ngot:\n%s", name, got)
+	}
+}
+
+// TestGoldenExports pins the output shapes of all three exporters on the
+// fixed program: the Chrome trace timeline, the folded energy stacks,
+// and the raw NDJSON event stream.
+func TestGoldenExports(t *testing.T) {
+	tl := obs.NewTimeline(energy.MSP430FR5969().EnergyPerCycle)
+	fl := obs.NewFlame()
+	var ndjson bytes.Buffer
+	sw := obs.NewStreamWriter(&ndjson)
+	runObserved(t, emulator.MultiObserver(tl, fl, sw))
+	if err := sw.Flush(); err != nil {
+		t.Fatalf("ndjson: %v", err)
+	}
+
+	var timeline bytes.Buffer
+	if err := tl.WriteChromeTrace(&timeline); err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	var folded bytes.Buffer
+	if err := fl.WriteFolded(&folded); err != nil {
+		t.Fatalf("folded: %v", err)
+	}
+
+	golden(t, "timeline.json", timeline.Bytes())
+	golden(t, "folded.txt", folded.Bytes())
+	golden(t, "events.ndjson", ndjson.Bytes())
+}

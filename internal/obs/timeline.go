@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"schematic/internal/emulator"
+)
+
+// Chrome trace-event timestamps are nominally microseconds; the timeline
+// uses one tick per emulated cycle instead, so a Perfetto "µs" reads as
+// "cycle". The thread lanes of the single emulated process:
+const (
+	tidPower = 1 // on-periods, sleeps, power failures
+	tidCkpt  = 2 // checkpoint save/restore spans
+	tidExec  = 3 // re-execution spans
+)
+
+// chromeEvent is one record of the Chrome trace-event format (ph "X" =
+// complete span, "i" = instant, "M" = metadata). Field order is fixed so
+// the JSON output is byte-stable for golden tests.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Timeline is an emulator.Observer that builds a Perfetto-loadable
+// Chrome trace: on-periods, sleeps, power failures, checkpoint
+// save/restore spans and re-execution spans. Per-instruction events are
+// not recorded, so memory stays proportional to the number of power
+// events, not the run length.
+type Timeline struct {
+	energyPerCycle float64
+	events         []chromeEvent
+
+	onStart     int64
+	onOpen      bool
+	reexecStart int64
+	reexecSite  int
+	reexecOpen  bool
+	lastCycle   int64
+}
+
+// NewTimeline builds a timeline; energyPerCycle (the model's
+// EnergyPerCycle) sizes checkpoint spans, whose duration is
+// energy-proportional in the emulator's time accounting.
+func NewTimeline(energyPerCycle float64) *Timeline {
+	tl := &Timeline{energyPerCycle: energyPerCycle, onOpen: true}
+	for _, m := range []struct {
+		tid  int
+		name string
+	}{{tidPower, "power"}, {tidCkpt, "checkpoint"}, {tidExec, "exec"}} {
+		tl.events = append(tl.events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: m.tid,
+			Args: map[string]any{"name": m.name},
+		})
+	}
+	return tl
+}
+
+func (tl *Timeline) span(name string, tid int, ts, dur int64, args map[string]any) {
+	tl.events = append(tl.events, chromeEvent{
+		Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: tid, Args: args,
+	})
+}
+
+func (tl *Timeline) instant(name string, tid int, ts int64, args map[string]any) {
+	tl.events = append(tl.events, chromeEvent{
+		Name: name, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t", Args: args,
+	})
+}
+
+func (tl *Timeline) closeOn(cycle int64) {
+	if !tl.onOpen {
+		return
+	}
+	tl.onOpen = false
+	tl.span("on", tidPower, tl.onStart, cycle-tl.onStart, nil)
+}
+
+func (tl *Timeline) ckCycles(energy float64) int64 {
+	if tl.energyPerCycle <= 0 {
+		return 0
+	}
+	return int64(energy / tl.energyPerCycle)
+}
+
+// Event implements emulator.Observer.
+func (tl *Timeline) Event(e emulator.Event) {
+	if e.Cycle > tl.lastCycle {
+		tl.lastCycle = e.Cycle
+	}
+	switch e.Kind {
+	case emulator.EvPowerFailure:
+		tl.closeOn(e.Cycle)
+		tl.instant("power failure", tidPower, e.Cycle, map[string]any{
+			"capacitor_nj": round3(e.CapEnergy), "site": e.Site,
+		})
+		tl.onStart, tl.onOpen = e.Cycle, true
+	case emulator.EvSleepStart:
+		tl.closeOn(e.Cycle)
+		tl.instant("sleep", tidPower, e.Cycle, map[string]any{"site": e.Site})
+	case emulator.EvSleepEnd:
+		tl.onStart, tl.onOpen = e.Cycle, true
+	case emulator.EvSave:
+		tl.span("save "+SiteName(e.Site), tidCkpt, e.Cycle, tl.ckCycles(e.Energy), map[string]any{
+			"site": e.Site, "bytes": e.Bytes, "nj": round3(e.Energy),
+		})
+	case emulator.EvRestore:
+		tl.span("restore "+SiteName(e.Site), tidCkpt, e.Cycle, tl.ckCycles(e.Energy), map[string]any{
+			"site": e.Site, "bytes": e.Bytes, "nj": round3(e.Energy),
+		})
+	case emulator.EvReexecStart:
+		tl.reexecStart, tl.reexecSite, tl.reexecOpen = e.Cycle, e.Site, true
+	case emulator.EvReexecEnd:
+		if tl.reexecOpen {
+			tl.reexecOpen = false
+			tl.span("re-exec", tidExec, tl.reexecStart, e.Cycle-tl.reexecStart,
+				map[string]any{"site": tl.reexecSite})
+		}
+	}
+}
+
+// round3 keeps args readable and their textual form stable.
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// WriteChromeTrace emits the accumulated timeline as Chrome trace-event
+// JSON (load in Perfetto / chrome://tracing). Open spans are closed at
+// the last observed cycle; the timeline remains usable afterwards.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	events := append([]chromeEvent(nil), tl.events...)
+	if tl.onOpen {
+		events = append(events, chromeEvent{
+			Name: "on", Ph: "X", Ts: tl.onStart, Dur: tl.lastCycle - tl.onStart, Pid: 1, Tid: tidPower,
+		})
+	}
+	if tl.reexecOpen {
+		events = append(events, chromeEvent{
+			Name: "re-exec", Ph: "X", Ts: tl.reexecStart, Dur: tl.lastCycle - tl.reexecStart,
+			Pid: 1, Tid: tidExec, Args: map[string]any{"site": tl.reexecSite},
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -189,3 +189,63 @@ entry:
 		t.Errorf("Collect accepted a non-terminating program")
 	}
 }
+
+// TestProfileCountsStableAcrossAdapter pins the exact counts Collect
+// gathers for a fixed program and seed. The profiler rides on the
+// emulator's legacy Trace/TraceRet callbacks, which are now adapted onto
+// the Observer event stream — these numbers must not move when the
+// adapter (or the event layer underneath it) changes.
+func TestProfileCountsStableAcrossAdapter(t *testing.T) {
+	m := minic.MustCompile("prof", profSrc)
+	p, err := Collect(m, Options{Runs: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainF := m.FuncByName("main")
+	stepF := m.FuncByName("step")
+
+	if got := p.Invocations(mainF); got != 10 {
+		t.Errorf("main invocations = %d, want 10", got)
+	}
+	if got := p.Invocations(stepF); got != 160 {
+		t.Errorf("step invocations = %d, want 160", got)
+	}
+	// Exact per-block frequencies: the loop is input-independent (16
+	// iterations per run), so every block count is fully determined.
+	for _, want := range []struct {
+		block string
+		freq  int64
+	}{
+		{"entry", 10},
+		{"for.head", 170}, // 17 header executions per run
+		{"for.body", 160},
+		{"for.latch", 160},
+		{"for.end", 10},
+	} {
+		var blk *ir.Block
+		for _, b := range mainF.Blocks {
+			if b.Name == want.block {
+				blk = b
+			}
+		}
+		if blk == nil {
+			t.Fatalf("main has no block %q", want.block)
+		}
+		if got := p.BlockFreq(mainF, blk); got != want.freq {
+			t.Errorf("main.%s freq = %d, want %d", want.block, got, want.freq)
+		}
+	}
+	// The loop back-edge (latch → header) count is exact too.
+	var head, latch *ir.Block
+	for _, b := range mainF.Blocks {
+		switch b.Name {
+		case "for.head":
+			head = b
+		case "for.latch":
+			latch = b
+		}
+	}
+	if got := p.EdgeFreq(mainF, ir.Edge{From: latch, To: head}); got != 160 {
+		t.Errorf("back-edge freq = %d, want 160", got)
+	}
+}
