@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke
 
-ci: fmt vet build race
+ci: fmt vet build race crashhunt-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -27,3 +27,8 @@ short:
 # Per-package statement coverage.
 cover:
 	go test -cover ./...
+
+# Fast crash-consistency sweep: the quick benchmarks across every
+# technique, hard-capped at a minute. Nonzero exit on any violation.
+crashhunt-smoke:
+	go run ./cmd/crashhunt -benches crc,randmath -budget 60s

@@ -1,0 +1,217 @@
+// Command crashhunt hunts crash-consistency violations in checkpoint
+// placements by differential fault injection: every (program, technique)
+// case is validated against its continuous-power oracle under adversarial
+// power schedules — failures immediately before/mid/after checkpoint
+// saves, at instruction boundaries, and at seeded-random points.
+//
+//	crashhunt                              # all bundled benchmarks × all techniques
+//	crashhunt -benches crc,fft -techs Ratchet,Schematic
+//	crashhunt -fuzz 16 -fuzz-seed 42       # add 16 fuzz-generated programs
+//	crashhunt -sabotage 1 -techs Ratchet   # delete the 1st checkpoint (expect findings)
+//	crashhunt -budget 60s -jobs 4 -o repro.ndjson
+//	crashhunt -replay repro.ndjson         # re-execute serialized counterexamples
+//
+// Exit status: 0 = no violations, 1 = confirmed violations (or, with
+// -replay, a repro that no longer reproduces), 2 = infrastructure errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"schematic/internal/crashtest"
+)
+
+func main() {
+	var (
+		replay   = flag.String("replay", "", "replay a findings NDJSON file instead of hunting")
+		benches  = flag.String("benches", "all", "comma-separated benchmark names, or 'all', or 'none'")
+		techs    = flag.String("techs", "all", "comma-separated technique names, or 'all'")
+		fuzzN    = flag.Int("fuzz", 0, "also hunt this many fuzz-generated programs")
+		fuzzSeed = flag.Int64("fuzz-seed", 1, "base seed for the fuzz-generated corpus")
+		seed     = flag.Int64("seed", 1, "workload input seed")
+		tbpf     = flag.Int64("tbpf", 0, "target time between power failures in cycles (0 = 10000)")
+		sabotage = flag.Int("sabotage", 0, "delete the Nth checkpoint (1-based) from every placement before hunting")
+		jobs     = flag.Int("jobs", 0, "worker pool size (0 = NumCPU)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-case hunt timeout (0 = none)")
+		budget   = flag.Duration("budget", 0, "overall wall-clock budget; cases beyond it are skipped (0 = none)")
+		out      = flag.String("o", "", "write confirmed findings as NDJSON repros to this file")
+		verbose  = flag.Bool("v", false, "log one line per finished case")
+		anytime  = flag.Bool("anytime", false, "inject into wait-style placements too, ignoring their failures-only-at-checkpoints contract")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: crashhunt [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	techList, err := parseTechs(*techs)
+	fail(err)
+	cases, err := buildCases(*benches, techList, *fuzzN, *fuzzSeed, *seed)
+	fail(err)
+	for i := range cases {
+		cases[i].TBPF = *tbpf
+		cases[i].Sabotage = *sabotage
+	}
+	if len(cases) == 0 {
+		fmt.Fprintln(os.Stderr, "crashhunt: no cases selected")
+		os.Exit(2)
+	}
+
+	h := &crashtest.Hunter{
+		Opts:        crashtest.Options{AssumeAnytime: *anytime},
+		Jobs:        *jobs,
+		CaseTimeout: *timeout,
+		Budget:      *budget,
+	}
+	if *verbose {
+		h.Log = os.Stderr
+	}
+	start := time.Now()
+	results := h.Run(cases)
+	summary := crashtest.Summarize(results)
+
+	findings := crashtest.Findings(results)
+	// Fuzz-generated counterexamples also get their program shrunk.
+	for i := range findings {
+		if findings[i].Case.Fuzz != nil {
+			findings[i] = *crashtest.ShrinkProgram(&findings[i], h.Opts)
+		}
+	}
+
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "crashhunt: ERROR %s/%s: %v\n", r.Case.Name, r.Case.Technique, r.Err)
+		}
+	}
+	for i := range findings {
+		f := &findings[i]
+		fmt.Printf("VIOLATION %s/%s: %s via %s (found by %s)\n",
+			f.Case.Name, f.Case.Technique, f.Class, f.Schedule, f.FoundBy)
+		if f.Detail != "" {
+			fmt.Printf("  %s\n", f.Detail)
+		}
+	}
+	fmt.Printf("crashhunt: %s in %v\n", summary, time.Since(start).Round(time.Millisecond))
+
+	if *out != "" && len(findings) > 0 {
+		fail(writeFindingsFile(*out, findings))
+		fmt.Printf("crashhunt: wrote %d repro(s) to %s\n", len(findings), *out)
+	}
+
+	switch {
+	case summary.Errors > 0:
+		os.Exit(2)
+	case summary.Violations > 0:
+		os.Exit(1)
+	}
+}
+
+// runReplay re-executes every serialized counterexample and checks it
+// still reproduces its recorded violation class.
+func runReplay(path string) int {
+	f, err := os.Open(path)
+	fail(err)
+	findings, err := crashtest.ReadFindings(f)
+	f.Close()
+	fail(err)
+	if len(findings) == 0 {
+		fmt.Fprintln(os.Stderr, "crashhunt: no findings in", path)
+		return 2
+	}
+	mismatches, errors := 0, 0
+	for i := range findings {
+		fd := &findings[i]
+		out, err := crashtest.Replay(*fd, crashtest.Options{})
+		id := fmt.Sprintf("%s/%s", fd.Case.Name, fd.Case.Technique)
+		switch {
+		case err != nil:
+			errors++
+			fmt.Printf("ERROR      %s: %v\n", id, err)
+		case out.Class != fd.Class:
+			mismatches++
+			fmt.Printf("MISMATCH   %s: recorded %s, replayed %q\n", id, fd.Class, out.Class)
+		default:
+			fmt.Printf("reproduced %s: %s via %s\n", id, fd.Class, fd.Schedule)
+		}
+	}
+	switch {
+	case errors > 0:
+		return 2
+	case mismatches > 0:
+		return 1
+	}
+	return 0
+}
+
+// buildCases assembles the hunt list from the benchmark and fuzz selections.
+func buildCases(benchSpec string, techs []string, fuzzN int, fuzzSeed, inputSeed int64) ([]crashtest.Case, error) {
+	var names []string
+	switch benchSpec {
+	case "none", "":
+	case "all":
+		names = crashtest.BenchNames()
+	default:
+		names = splitList(benchSpec)
+	}
+	cases, err := crashtest.BenchCases(names, techs, inputSeed)
+	if err != nil {
+		return nil, err
+	}
+	if fuzzN > 0 {
+		cases = append(cases, crashtest.FuzzCases(fuzzSeed, fuzzN, techs, inputSeed)...)
+	}
+	return cases, nil
+}
+
+func parseTechs(spec string) ([]string, error) {
+	if spec == "all" || spec == "" {
+		return crashtest.TechniqueNames(), nil
+	}
+	names := splitList(spec)
+	for _, n := range names {
+		if _, err := crashtest.TechniqueByName(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeFindingsFile(path string, findings []crashtest.Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := crashtest.WriteFindings(io.Writer(f), findings); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashhunt: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -14,6 +14,11 @@
 //	iemu -eb 3000 -events e.ndjson prog.mc   # raw event stream
 //	iemu -eb 3000 -sites prog.mc             # per-checkpoint-site table
 //
+// Fault injection (see "Hunting crash-consistency bugs" in the README):
+//
+//	iemu -eb 3000 -inject step@120 prog.mc            # fail at the 120th instruction
+//	iemu -eb 3000 -inject mid-save@2,step@500 prog.mc # torn 2nd save, then a step failure
+//
 // The exit status is 0 only when the run completes; other verdicts
 // (stuck, poisoned, budget exceeded) exit 1 so scripts can rely on it.
 package main
@@ -46,6 +51,7 @@ func main() {
 		folded   = flag.String("folded", "", "write folded energy stacks (flamegraph input) to this file")
 		events   = flag.String("events", "", "write the raw NDJSON event stream to this file")
 		sites    = flag.Bool("sites", false, "print the per-checkpoint-site energy table")
+		inject   = flag.String("inject", "", "comma-separated failure points (kind@n, e.g. step@120,mid-save@2) injected on top of exhaustion")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,6 +90,15 @@ func main() {
 		if cfg.EB == 0 {
 			cfg.EB = 1e12 // energy unconstrained: failures come from the period
 		}
+	}
+	if *inject != "" {
+		points, err := parseInject(*inject)
+		fail(err)
+		cfg.Intermittent = true
+		if cfg.EB == 0 {
+			cfg.EB = 1e12 // energy unconstrained: failures come from the trace
+		}
+		cfg.Schedule = emulator.Schedules(emulator.Exhaustion(), emulator.TraceSchedule(points...))
 	}
 
 	var (
@@ -139,6 +154,10 @@ func main() {
 			l.Total()/1000, l.Computation/1000, l.Save/1000, l.Restore/1000, l.Reexecution/1000)
 		fmt.Fprintf(os.Stderr, "power failures: %d   saves: %d   restores: %d   sleeps: %d\n",
 			res.PowerFailures, res.Saves, res.Restores, res.Sleeps)
+		if res.InjectedFailures > 0 || res.SaveAttempts != int64(res.Saves) {
+			fmt.Fprintf(os.Stderr, "injected:       %d   save attempts: %d (torn/failed: %d)\n",
+				res.InjectedFailures, res.SaveAttempts, res.SaveAttempts-int64(res.Saves))
+		}
 		fmt.Fprintf(os.Stderr, "VM high water:  %d B\n", res.MaxVMBytes)
 	}
 	if col != nil {
@@ -150,6 +169,34 @@ func main() {
 	if res.Verdict != emulator.Completed {
 		os.Exit(1)
 	}
+}
+
+// parseInject parses a comma-separated failure-point list (kind@n).
+func parseInject(s string) ([]emulator.FailPoint, error) {
+	var out []emulator.FailPoint
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, nStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad failure point %q (want kind@n)", part)
+		}
+		kind, err := emulator.ParsePointKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		var n int64
+		if _, err := fmt.Sscanf(nStr, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad failure point %q: n must be a positive integer", part)
+		}
+		out = append(out, emulator.FailPoint{Kind: kind, N: n})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -inject spec")
+	}
+	return out, nil
 }
 
 // writeTo writes an exporter's output to path.

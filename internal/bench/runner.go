@@ -34,12 +34,21 @@ func (h *Harness) jobs() int {
 	return runtime.NumCPU()
 }
 
-// parallelFor runs fn(0..n-1) on up to h.jobs() workers and returns the
-// error of the lowest index that failed — the same error a sequential
-// in-order loop would have surfaced first. With one worker it degrades
-// to a plain loop (no goroutines), preserving today's sequential order.
+// parallelFor runs fn(0..n-1) on the harness worker pool.
 func (h *Harness) parallelFor(n int, fn func(i int) error) error {
-	workers := h.jobs()
+	return ParallelFor(h.jobs(), n, fn)
+}
+
+// ParallelFor runs fn(0..n-1) on up to the given number of workers and
+// returns the error of the lowest index that failed — the same error a
+// sequential in-order loop would have surfaced first. With one worker it
+// degrades to a plain loop (no goroutines), preserving sequential order.
+// Other subsystems with the same fan-out shape (e.g. the crash hunter)
+// reuse it rather than growing their own pool.
+func ParallelFor(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,198 @@
+package crashtest
+
+import (
+	"fmt"
+	"strings"
+
+	"schematic/internal/emulator"
+	"schematic/internal/obs"
+)
+
+// Class names the kind of crash-consistency violation a run exhibited.
+type Class string
+
+const (
+	// ClassNone: the run matched the oracle.
+	ClassNone Class = ""
+	// ClassDivergence: the run completed with output different from the
+	// continuous-power oracle — a WAR / idempotence violation.
+	ClassDivergence Class = "output-divergence"
+	// ClassPoisonRead: the run read VM storage that was never restored.
+	ClassPoisonRead Class = "poison-read"
+	// ClassForwardProgress: the run was declared Stuck or exhausted its
+	// failure budget — the endless re-execution the paper's guarantee
+	// rules out.
+	ClassForwardProgress Class = "forward-progress"
+	// ClassNonTermination: the run exceeded its step bound.
+	ClassNonTermination Class = "non-termination"
+	// ClassVMOverflow: the resident VM set exceeded SVM during recovery.
+	ClassVMOverflow Class = "vm-overflow"
+	// ClassLedger: the energy-attribution ledgers failed to reconcile.
+	ClassLedger Class = "ledger-mismatch"
+	// ClassEmulatorError: the emulator itself errored.
+	ClassEmulatorError Class = "emulator-error"
+)
+
+// PointSpec is the serialized form of one emulator.FailPoint.
+type PointSpec struct {
+	Kind string `json:"kind"`
+	N    int64  `json:"n"`
+}
+
+// ScheduleSpec is the serialized, deterministic power schedule of a
+// repro: capacitor exhaustion (physics) plus an explicit failure-point
+// trace. Random and stride hunts are normalized into this form using the
+// injection points they actually fired, so every repro replays without
+// any stateful schedule.
+type ScheduleSpec struct {
+	Exhaust bool        `json:"exhaust"`
+	Points  []PointSpec `json:"points,omitempty"`
+}
+
+// Build constructs the runnable schedule. A pure-exhaustion spec returns
+// the plain exhaustion schedule (the emulator default).
+func (s ScheduleSpec) Build() (emulator.PowerSchedule, error) {
+	var fps []emulator.FailPoint
+	for _, p := range s.Points {
+		k, err := emulator.ParsePointKind(p.Kind)
+		if err != nil {
+			return nil, err
+		}
+		fps = append(fps, emulator.FailPoint{Kind: k, N: p.N})
+	}
+	var parts []emulator.PowerSchedule
+	if s.Exhaust {
+		parts = append(parts, emulator.Exhaustion())
+	}
+	if len(fps) > 0 {
+		parts = append(parts, emulator.TraceSchedule(fps...))
+	}
+	return emulator.Schedules(parts...), nil
+}
+
+func (s ScheduleSpec) String() string {
+	parts := make([]string, 0, len(s.Points)+1)
+	if s.Exhaust {
+		parts = append(parts, "exhaustion")
+	}
+	for _, p := range s.Points {
+		parts = append(parts, fmt.Sprintf("%s@%d", p.Kind, p.N))
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Outcome is one injected run's classification.
+type Outcome struct {
+	Class  Class
+	Detail string
+	// Points are the injections that actually fired, as a replayable
+	// trace (the normalization of random/stride schedules).
+	Points []PointSpec
+	Res    *emulator.Result
+}
+
+// recorder captures the injection points a run fired, normalizing any
+// schedule into a replayable trace.
+type recorder struct{ points []PointSpec }
+
+func (r *recorder) Event(e emulator.Event) {
+	if e.Kind == emulator.EvInjection {
+		r.points = append(r.points, PointSpec{Kind: e.Point.String(), N: e.Seq})
+	}
+}
+
+// maxSteps caps an injected run relative to the baseline's length.
+func (o Options) maxSteps(baselineSteps int64) int64 {
+	return o.MaxStepsFactor*baselineSteps + 10_000
+}
+
+// runOnce executes the built case under the given schedule (constructed
+// fresh per run — schedules are stateful) and classifies the outcome
+// against the oracle.
+func (b *built) runOnce(sched emulator.PowerSchedule, maxSteps int64) Outcome {
+	rec := &recorder{}
+	col := obs.NewCollector()
+	res, err := emulator.Run(b.mod, emulator.Config{
+		Model:        b.model,
+		VMSize:       b.cs.VMSize,
+		Intermittent: true,
+		EB:           b.eb,
+		Inputs:       b.inputs,
+		MaxSteps:     maxSteps,
+		Schedule:     sched,
+		Observer:     emulator.MultiObserver(col, rec),
+	})
+	if err != nil {
+		return Outcome{Class: ClassEmulatorError, Detail: err.Error(), Points: rec.points}
+	}
+	out := Outcome{Points: rec.points, Res: res}
+	switch res.Verdict {
+	case emulator.Completed:
+		switch {
+		case res.UnsyncedReads > 0:
+			out.Class = ClassPoisonRead
+			out.Detail = fmt.Sprintf("%d reads of never-restored VM storage", res.UnsyncedReads)
+		case !equalOutput(res.Output, b.oracle.Output):
+			out.Class = ClassDivergence
+			out.Detail = diffOutput(res.Output, b.oracle.Output)
+		default:
+			if err := col.Reconcile(res); err != nil {
+				out.Class = ClassLedger
+				out.Detail = err.Error()
+			}
+		}
+	case emulator.Stuck:
+		out.Class = ClassForwardProgress
+		out.Detail = fmt.Sprintf("stuck after %d power failures", res.PowerFailures)
+	case emulator.OutOfFailures:
+		out.Class = ClassForwardProgress
+		out.Detail = fmt.Sprintf("failure budget exhausted (%d failures)", res.PowerFailures)
+	case emulator.OutOfSteps:
+		out.Class = ClassNonTermination
+		out.Detail = fmt.Sprintf("exceeded %d steps", maxSteps)
+	case emulator.VMOverflow:
+		out.Class = ClassVMOverflow
+		out.Detail = fmt.Sprintf("resident VM exceeded %d bytes", b.cs.VMSize)
+	default:
+		out.Class = ClassEmulatorError
+		out.Detail = fmt.Sprintf("unexpected verdict %v", res.Verdict)
+	}
+	return out
+}
+
+// runSpec is runOnce for a serialized schedule.
+func (b *built) runSpec(spec ScheduleSpec, maxSteps int64) (Outcome, error) {
+	sched, err := spec.Build()
+	if err != nil {
+		return Outcome{}, err
+	}
+	return b.runOnce(sched, maxSteps), nil
+}
+
+func equalOutput(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffOutput renders the first divergence compactly.
+func diffOutput(got, want []int64) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("output length %d, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("output[%d] = %d, oracle %d", i, got[i], want[i])
+		}
+	}
+	return "outputs differ"
+}

@@ -1,0 +1,47 @@
+// Command gencorpus (re)generates the committed crash-hunt seed corpus
+// under internal/crashtest/testdata/corpus/: one JSON-serialized
+// fuzzgen.Program per file. The corpus is deterministic — regenerating
+// with the same base seed reproduces the same files — and every program
+// carries its seed and generator options so the regression test can
+// verify integrity before trusting the source.
+//
+//	go run ./internal/crashtest/gencorpus -n 6 -seed 1 -out internal/crashtest/testdata/corpus
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"schematic/internal/fuzzgen"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 6, "number of corpus programs")
+		seed = flag.Int64("seed", 1, "base generator seed")
+		out  = flag.String("out", "internal/crashtest/testdata/corpus", "output directory")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, prog := range fuzzgen.Corpus(*seed, *n, fuzzgen.DefaultOptions()) {
+		data, err := json.MarshalIndent(prog, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("seed-%d.json", prog.Seed))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (program %d, %d bytes of source)\n", path, i, len(prog.Source))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencorpus:", err)
+	os.Exit(1)
+}

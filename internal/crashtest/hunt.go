@@ -1,0 +1,349 @@
+package crashtest
+
+import (
+	"fmt"
+	"time"
+
+	"schematic/internal/emulator"
+	"schematic/internal/fuzzgen"
+)
+
+// Finding is one confirmed, shrunk, replayable counterexample.
+type Finding struct {
+	Case     Case         `json:"case"`
+	Schedule ScheduleSpec `json:"schedule"`
+	Class    Class        `json:"class"`
+	Detail   string       `json:"detail"`
+	// FoundBy names the schedule family that first hit the violation,
+	// before normalization and shrinking.
+	FoundBy string `json:"found_by"`
+}
+
+// candidate is one adversarial schedule to try: a label for reporting
+// and a factory (schedules are stateful, so every run needs a fresh one).
+type candidate struct {
+	label string
+	make  func() emulator.PowerSchedule
+}
+
+// tracePoints builds an exhaustion+trace candidate.
+func tracePoints(label string, pts ...emulator.FailPoint) candidate {
+	return candidate{label: label, make: func() emulator.PowerSchedule {
+		return emulator.Schedules(emulator.Exhaustion(), emulator.TraceSchedule(pts...))
+	}}
+}
+
+// sampleInt64 returns up to n values spread evenly over [1, max].
+func sampleInt64(max int64, n int) []int64 {
+	if max <= 0 {
+		return nil
+	}
+	if int64(n) >= max {
+		out := make([]int64, 0, max)
+		for i := int64(1); i <= max; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	out := make([]int64, 0, n)
+	seen := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		// 1-based, spread across the range with both endpoints covered.
+		v := 1 + (max-1)*int64(i)/int64(n-1)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// enumerate builds the adversarial schedule set for one case, sized by
+// the baseline run: exhaustive (or sampled) instruction boundaries,
+// the three save-phase points on sampled save attempts, step pairs,
+// strides, and seeded-random schedules.
+func enumerate(baseline *emulator.Result, cs Case, opts Options) []candidate {
+	var cands []candidate
+	steps := baseline.Steps
+
+	// Instruction boundaries: exhaustive for small programs, sampled
+	// above the limit.
+	var stepList []int64
+	if steps <= opts.ExhaustiveStepLimit {
+		stepList = sampleInt64(steps, int(steps))
+	} else {
+		stepList = sampleInt64(steps, opts.SampledSteps)
+	}
+	for _, s := range stepList {
+		cands = append(cands, tracePoints(fmt.Sprintf("step@%d", s),
+			emulator.FailPoint{Kind: emulator.PointStep, N: s}))
+	}
+
+	// Save-phase points: before, mid (torn), after each sampled attempt.
+	for _, a := range sampleInt64(baseline.SaveAttempts, opts.SampledSaves) {
+		for _, k := range []emulator.PointKind{
+			emulator.PointBeforeSave, emulator.PointMidSave, emulator.PointAfterSave,
+		} {
+			cands = append(cands, tracePoints(fmt.Sprintf("%v@%d", k, a),
+				emulator.FailPoint{Kind: k, N: a}))
+		}
+	}
+
+	// Step pairs: a failure plus a second one mid-recovery, probing
+	// failure-during-re-execution windows.
+	if steps > 4 {
+		for _, s := range sampleInt64(steps, 4) {
+			second := s + steps/7 + 1
+			cands = append(cands, tracePoints(fmt.Sprintf("step@%d+step@%d", s, second),
+				emulator.FailPoint{Kind: emulator.PointStep, N: s},
+				emulator.FailPoint{Kind: emulator.PointStep, N: second}))
+		}
+	}
+
+	// Strides: every Nth boundary, failure count capped below the
+	// stagnation threshold.
+	for _, div := range []int64{5, 3} {
+		n := steps/div + 1
+		cands = append(cands, candidate{
+			label: fmt.Sprintf("stride(%d)", n),
+			make: func() emulator.PowerSchedule {
+				return emulator.Schedules(emulator.Exhaustion(),
+					emulator.StrideSchedule(n, opts.RandomFailures))
+			},
+		})
+	}
+
+	// Seeded-random schedules, derived deterministically from the case.
+	mean := steps/16 + 1
+	for i := 0; i < opts.RandomSchedules; i++ {
+		seed := cs.InputSeed*1_000_003 + int64(i)
+		cands = append(cands, candidate{
+			label: fmt.Sprintf("random(seed=%d,mean=%d)", seed, mean),
+			make: func() emulator.PowerSchedule {
+				return emulator.Schedules(emulator.Exhaustion(),
+					emulator.RandomSchedule(seed, mean, opts.RandomFailures))
+			},
+		})
+	}
+	return cands
+}
+
+// Hunt builds the case, validates it under plain exhaustion, then tries
+// every adversarial schedule. It returns nil when no violation exists, a
+// shrunk Finding when one does, and an error (SkipError for ineligible
+// cases) otherwise.
+func Hunt(cs Case, opts Options) (*Finding, error) {
+	opts = opts.withDefaults()
+	b, err := build(cs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	waitContract := WaitOnly(b.mod) && !opts.AssumeAnytime
+
+	// Baseline probe: the placement must complete correctly under its own
+	// physics before injection means anything. Incorrect-but-completed
+	// baselines are violations of the exhaustion schedule itself. For
+	// anytime-contract techniques, non-completing baselines mirror the
+	// paper's ✗ cells (the technique legitimately cannot run this EB) and
+	// are skipped; a wait-style placement, by contrast, guarantees
+	// completion with zero power failures at any EB it accepted, so any
+	// baseline failure is itself the counterexample.
+	baseline := b.runOnce(emulator.Exhaustion(), 0)
+	exhaustionFinding := func(class Class, detail string) *Finding {
+		return &Finding{
+			Case:     b.cs,
+			Schedule: ScheduleSpec{Exhaust: true},
+			Class:    class,
+			Detail:   detail,
+			FoundBy:  "exhaustion",
+		}
+	}
+	switch baseline.Class {
+	case ClassNone:
+	case ClassDivergence, ClassPoisonRead, ClassLedger:
+		return exhaustionFinding(baseline.Class, baseline.Detail), nil
+	default:
+		if waitContract {
+			return exhaustionFinding(baseline.Class, baseline.Detail), nil
+		}
+		return nil, &SkipError{Reason: fmt.Sprintf("baseline (exhaustion-only) run is %s: %s", baseline.Class, baseline.Detail)}
+	}
+
+	if waitContract {
+		// The wait-style guarantee: the run never even experienced a power
+		// failure — the placement kept every segment inside EB.
+		if baseline.Res.PowerFailures > 0 {
+			return exhaustionFinding(ClassForwardProgress,
+				fmt.Sprintf("wait-style placement hit %d unplanned power failures (segments exceed EB)", baseline.Res.PowerFailures)), nil
+		}
+		// Injected failures would break an assumption the hardware enforces
+		// for this runtime, not the placement; the contract is verified.
+		return nil, nil
+	}
+
+	maxSteps := opts.maxSteps(baseline.Res.Steps)
+	for _, cand := range enumerate(baseline.Res, b.cs, opts) {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return nil, &SkipError{Reason: "deadline expired mid-hunt"}
+		}
+		out := b.runOnce(cand.make(), maxSteps)
+		if out.Class == ClassNone {
+			continue
+		}
+		return confirm(b, cand.label, out, maxSteps, opts)
+	}
+	return nil, nil
+}
+
+// confirm normalizes a violation into a replayable trace spec, verifies
+// it reproduces deterministically, shrinks it, and packages the Finding.
+func confirm(b *built, foundBy string, out Outcome, maxSteps int64, opts Options) (*Finding, error) {
+	spec := ScheduleSpec{Exhaust: true, Points: out.Points}
+	replayed, err := b.runSpec(spec, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if replayed.Class != out.Class {
+		// The normalized trace does not reproduce the raw schedule's
+		// violation — report the discrepancy instead of a broken repro.
+		return nil, fmt.Errorf("crashtest: case %s: %s found %s but its trace %s replays as %q",
+			b.cs.Name, foundBy, out.Class, spec, replayed.Class)
+	}
+	if !opts.NoShrink {
+		budget := opts.ShrinkBudget
+		spec.Points = shrinkPoints(b, spec.Points, out.Class, maxSteps, &budget)
+		final, err := b.runSpec(ScheduleSpec{Exhaust: true, Points: spec.Points}, maxSteps)
+		if err != nil {
+			return nil, err
+		}
+		out = final
+	}
+	return &Finding{
+		Case:     b.cs,
+		Schedule: ScheduleSpec{Exhaust: true, Points: spec.Points},
+		Class:    out.Class,
+		Detail:   out.Detail,
+		FoundBy:  foundBy,
+	}, nil
+}
+
+// shrinkPoints minimizes a failure-point list while preserving the
+// violation class: binary-search halving first, then greedy single-point
+// removal, each trial costing one re-execution against the budget.
+func shrinkPoints(b *built, points []PointSpec, class Class, maxSteps int64, budget *int) []PointSpec {
+	same := func(trial []PointSpec) bool {
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		out, err := b.runSpec(ScheduleSpec{Exhaust: true, Points: trial}, maxSteps)
+		return err == nil && out.Class == class
+	}
+	for len(points) > 1 {
+		half := len(points) / 2
+		switch {
+		case same(points[:half]):
+			points = points[:half]
+		case same(points[half:]):
+			points = points[half:]
+		default:
+			goto greedy
+		}
+	}
+greedy:
+	for i := len(points) - 1; i >= 0 && len(points) > 1; i-- {
+		trial := make([]PointSpec, 0, len(points)-1)
+		trial = append(trial, points[:i]...)
+		trial = append(trial, points[i+1:]...)
+		if same(trial) {
+			points = trial
+		}
+	}
+	return points
+}
+
+// ShrinkProgram minimizes a fuzz-generated counterexample's program: it
+// regenerates the program from the same seed under progressively tighter
+// generator options and keeps any reduction that still exhibits the same
+// violation class (re-hunted with a reduced schedule set). Cases without
+// fuzz provenance are returned unchanged.
+func ShrinkProgram(f *Finding, opts Options) *Finding {
+	if f.Case.Fuzz == nil {
+		return f
+	}
+	opts = opts.withDefaults()
+	quick := opts
+	quick.SampledSteps = 12
+	quick.RandomSchedules = 2
+	quick.ExhaustiveStepLimit = 600
+	best := f
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for _, next := range reductions(best.Case.Fuzz.Options) {
+			prog := fuzzgen.FromSeed(best.Case.Fuzz.Seed, next)
+			if len(prog.Source) >= len(best.Case.Source) {
+				continue
+			}
+			cs := best.Case
+			cs.Fuzz = &prog
+			cs.Source = prog.Source
+			got, err := Hunt(cs, quick)
+			if err != nil || got == nil || got.Class != best.Class {
+				continue
+			}
+			best = got
+			improved = true
+			break
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// reductions yields the one-step tightenings of generator options.
+func reductions(o fuzzgen.Options) []fuzzgen.Options {
+	var out []fuzzgen.Options
+	if o.MaxFuncs > 0 {
+		r := o
+		r.MaxFuncs--
+		out = append(out, r)
+	}
+	if o.MaxStmts > 1 {
+		r := o
+		r.MaxStmts--
+		out = append(out, r)
+	}
+	if o.MaxDepth > 1 {
+		r := o
+		r.MaxDepth--
+		out = append(out, r)
+	}
+	if o.MaxLoopIter > 1 {
+		r := o
+		r.MaxLoopIter /= 2
+		out = append(out, r)
+	}
+	return out
+}
+
+// FuzzCases derives a reproducible stream of fuzz-generated cases, one
+// per (program, technique) pair.
+func FuzzCases(baseSeed int64, n int, techniques []string, inputSeed int64) []Case {
+	var out []Case
+	for i, prog := range fuzzgen.Corpus(baseSeed, n, fuzzgen.DefaultOptions()) {
+		prog := prog
+		for _, tech := range techniques {
+			out = append(out, Case{
+				Name:      fmt.Sprintf("fuzz-%d", i),
+				Source:    prog.Source,
+				Fuzz:      &prog,
+				Technique: tech,
+				InputSeed: inputSeed + int64(i),
+			})
+		}
+	}
+	return out
+}

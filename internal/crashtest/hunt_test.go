@@ -1,0 +1,304 @@
+package crashtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"schematic/internal/fuzzgen"
+)
+
+// fastOpts keeps hunts cheap in tests without changing their structure.
+func fastOpts() Options {
+	return Options{ExhaustiveStepLimit: 400, SampledSteps: 10, SampledSaves: 3, RandomSchedules: 2}
+}
+
+// TestBenchPlacementsClean: correct placements on fast benchmarks show
+// zero violations under the full adversarial schedule set.
+func TestBenchPlacementsClean(t *testing.T) {
+	cases, err := BenchCases([]string{"crc", "randmath"}, TechniqueNames(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Hunter{Opts: fastOpts()}
+	results := h.Run(cases)
+	s := Summarize(results)
+	if s.Violations != 0 || s.Errors != 0 {
+		for _, r := range results {
+			if r.Finding != nil || r.Err != nil {
+				t.Errorf("%s/%s: finding=%+v err=%v", r.Case.Name, r.Case.Technique, r.Finding, r.Err)
+			}
+		}
+		t.Fatalf("summary: %s", s)
+	}
+	if s.Passed == 0 {
+		t.Fatalf("nothing actually ran: %s", s)
+	}
+}
+
+// TestCorpusRegression replays the committed fuzzgen seed corpus across
+// all five techniques: sources must match their seeds and no placement
+// may show a violation.
+func TestCorpusRegression(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files (%v); regenerate with go run ./internal/crashtest/gencorpus", err)
+	}
+	var cases []Case
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prog fuzzgen.Program
+		if err := json.Unmarshal(data, &prog); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, ok := prog.Regenerate(); !ok {
+			t.Errorf("%s: stored source does not match its seed/options", path)
+			continue
+		}
+		for _, tech := range TechniqueNames() {
+			cases = append(cases, Case{
+				Name:      strings.TrimSuffix(filepath.Base(path), ".json"),
+				Fuzz:      &prog,
+				Technique: tech,
+				InputSeed: prog.Seed,
+			})
+		}
+	}
+	h := &Hunter{Opts: fastOpts()}
+	results := h.Run(cases)
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			t.Errorf("%s/%s: %v", r.Case.Name, r.Case.Technique, r.Err)
+		case r.Finding != nil:
+			t.Errorf("%s/%s: violation %s via %s: %s",
+				r.Case.Name, r.Case.Technique, r.Finding.Class, r.Finding.Schedule, r.Finding.Detail)
+		}
+	}
+	if s := Summarize(results); s.Passed == 0 {
+		t.Fatalf("every corpus case skipped: %s", s)
+	}
+}
+
+// TestSabotagedRatchetCounterexample is the acceptance scenario: deleting
+// a WAR-breaking checkpoint from a Ratchet placement must yield a shrunk,
+// replayable counterexample. The large TBPF makes exhaustion failures
+// impossible, so only the injected schedules can expose the WAR store.
+func TestSabotagedRatchetCounterexample(t *testing.T) {
+	cs := Case{Name: "randmath", Technique: "Ratchet", InputSeed: 1, TBPF: 100_000_000, Sabotage: 2}
+	bm, err := BenchCases([]string{"randmath"}, []string{"Ratchet"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Source = bm[0].Source
+
+	f, err := Hunt(cs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("sabotaged placement produced no finding")
+	}
+	if f.Class != ClassDivergence {
+		t.Fatalf("class = %s, want %s (%s)", f.Class, ClassDivergence, f.Detail)
+	}
+	if f.FoundBy == "exhaustion" {
+		t.Fatalf("finding attributed to exhaustion; the schedule set never injected")
+	}
+	if len(f.Schedule.Points) == 0 || len(f.Schedule.Points) > 2 {
+		t.Fatalf("shrunk trace has %d points: %s", len(f.Schedule.Points), f.Schedule)
+	}
+
+	// The serialized repro replays deterministically to the same class.
+	var buf bytes.Buffer
+	if err := WriteFindings(&buf, []Finding{*f}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFindings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("round trip produced %d findings", len(back))
+	}
+	for i := 0; i < 2; i++ {
+		out, err := Replay(back[0], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Class != f.Class {
+			t.Fatalf("replay %d: class = %q, want %q", i, out.Class, f.Class)
+		}
+	}
+}
+
+// TestSabotagedWaitPlacement: deleting a checkpoint from a wait-style
+// placement breaks its no-failure guarantee — the exhaustion baseline
+// itself becomes the counterexample (deterministically stuck re-executing
+// the oversized segment).
+func TestSabotagedWaitPlacement(t *testing.T) {
+	bm, err := BenchCases([]string{"crc"}, []string{"Schematic"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := bm[0]
+	cs.Sabotage = 2
+	f, err := Hunt(cs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("sabotaged wait placement produced no finding")
+	}
+	if f.Class != ClassForwardProgress {
+		t.Fatalf("class = %s, want %s (%s)", f.Class, ClassForwardProgress, f.Detail)
+	}
+	if f.FoundBy != "exhaustion" || len(f.Schedule.Points) != 0 {
+		t.Fatalf("wait-contract finding should come from plain exhaustion, got %s via %s", f.FoundBy, f.Schedule)
+	}
+	out, err := Replay(*f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != f.Class {
+		t.Fatalf("replay class = %q, want %q", out.Class, f.Class)
+	}
+}
+
+// TestWaitContractSkipsInjection: intact wait-style placements are judged
+// by their own contract (no injection), but AssumeAnytime overrides it
+// and exposes the NVM re-execution hazard.
+func TestWaitContractSkipsInjection(t *testing.T) {
+	bm, err := BenchCases([]string{"randmath"}, []string{"Rockclimb"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Hunt(bm[0], fastOpts())
+	if err != nil || f != nil {
+		t.Fatalf("intact wait placement: finding=%+v err=%v, want clean pass", f, err)
+	}
+	opts := fastOpts()
+	opts.AssumeAnytime = true
+	f, err = Hunt(bm[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("AssumeAnytime found nothing; NVM-only wait placements are not injection-safe")
+	}
+	if f.Class != ClassDivergence && f.Class != ClassForwardProgress && f.Class != ClassPoisonRead {
+		t.Fatalf("unexpected class %s", f.Class)
+	}
+}
+
+func TestHunterBudgetAndOrder(t *testing.T) {
+	cases, err := BenchCases([]string{"randmath"}, TechniqueNames(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Hunter{Opts: fastOpts(), Jobs: 4}
+	results := h.Run(cases)
+	if len(results) != len(cases) {
+		t.Fatalf("results = %d, want %d", len(results), len(cases))
+	}
+	for i := range results {
+		if results[i].Case.Technique != cases[i].Technique {
+			t.Fatalf("result %d out of order: %s", i, results[i].Case.Technique)
+		}
+	}
+
+	// An already-expired budget skips every case.
+	h2 := &Hunter{Opts: fastOpts(), Budget: time.Nanosecond}
+	time.Sleep(time.Millisecond)
+	s := Summarize(h2.Run(cases))
+	if s.Skipped != len(cases) {
+		t.Errorf("expired budget: %s, want all %d skipped", s, len(cases))
+	}
+}
+
+func TestScheduleSpecBuildAndString(t *testing.T) {
+	spec := ScheduleSpec{Exhaust: true, Points: []PointSpec{{Kind: "step", N: 5}, {Kind: "mid-save", N: 2}}}
+	if got := spec.String(); got != "exhaustion+step@5+mid-save@2" {
+		t.Errorf("String() = %q", got)
+	}
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("Build: %v", err)
+	}
+	bad := ScheduleSpec{Points: []PointSpec{{Kind: "charge", N: 1}}}
+	if _, err := bad.Build(); err == nil {
+		t.Errorf("Build accepted the physics-only kind")
+	}
+	if (ScheduleSpec{}).String() != "(none)" {
+		t.Errorf("empty spec String() = %q", ScheduleSpec{}.String())
+	}
+}
+
+func TestSampleInt64(t *testing.T) {
+	if got := sampleInt64(0, 5); got != nil {
+		t.Errorf("sampleInt64(0) = %v", got)
+	}
+	got := sampleInt64(3, 10)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("exhaustive sample = %v", got)
+	}
+	got = sampleInt64(1000, 5)
+	if len(got) != 5 || got[0] != 1 || got[len(got)-1] != 1000 {
+		t.Errorf("spread sample = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("sample not increasing: %v", got)
+		}
+	}
+}
+
+func TestSabotageOutOfRange(t *testing.T) {
+	bm, err := BenchCases([]string{"randmath"}, []string{"Ratchet"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := bm[0]
+	cs.Sabotage = 10_000
+	if _, err := Hunt(cs, fastOpts()); err == nil || IsSkip(err) {
+		t.Fatalf("out-of-range sabotage: err = %v, want hard error", err)
+	}
+}
+
+// TestFuzzProgramShrinks exercises the fuzz-program shrinking path.
+// Wait-style placements are not injection-safe, so hunting a fuzz
+// program under Rockclimb with AssumeAnytime deterministically yields a
+// divergence counterexample; ShrinkProgram must preserve its class
+// without growing the program, and the shrunk repro must still replay.
+func TestFuzzProgramShrinks(t *testing.T) {
+	opts := fastOpts()
+	opts.AssumeAnytime = true
+	cs := FuzzCases(4000013, 1, []string{"Rockclimb"}, 5)[0]
+	found, err := Hunt(cs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == nil {
+		t.Fatal("anytime-injected wait placement on the fuzz program produced no finding")
+	}
+	shrunk := ShrinkProgram(found, opts)
+	if shrunk.Class != found.Class {
+		t.Fatalf("shrinking changed the class: %s -> %s", found.Class, shrunk.Class)
+	}
+	if len(shrunk.Case.Source) > len(found.Case.Source) {
+		t.Fatalf("shrinking grew the program: %d -> %d bytes", len(found.Case.Source), len(shrunk.Case.Source))
+	}
+	out, err := Replay(*shrunk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != shrunk.Class {
+		t.Fatalf("shrunk finding replays as %q, want %q", out.Class, shrunk.Class)
+	}
+}

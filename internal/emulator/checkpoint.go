@@ -153,7 +153,19 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	for _, v := range saved {
 		saveCost += mc.cfg.Model.SaveVarCost(v)
 	}
+	mc.res.SaveAttempts++
+	if mc.probeSave(PointBeforeSave, ck.ID) {
+		mc.powerFailure()
+		return
+	}
 	if !mc.charge(saveCost, chSave) {
+		mc.powerFailure()
+		return
+	}
+	if mc.probeSave(PointMidSave, ck.ID) {
+		// Torn checkpoint: the save energy is spent but the partial NVM
+		// write never becomes a recovery point — nothing reaches NVM, no
+		// snapshot is taken, the previous recovery point stays in force.
 		mc.powerFailure()
 		return
 	}
@@ -175,6 +187,10 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	fr.pc++
 	mc.takeSnapshot(restores, false, ck.ID)
 	fr.pc--
+	if !mc.halted && mc.probeSave(PointAfterSave, ck.ID) {
+		mc.powerFailure()
+		return
+	}
 
 	// Deep sleep: replenish; VM content is lost (paper, IV-D: "conservatively
 	// assuming that the platform goes into deep sleep and thus VM is lost").
@@ -250,7 +266,17 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 	for _, v := range saved {
 		saveCost += mc.cfg.Model.SaveVarCost(v)
 	}
+	mc.res.SaveAttempts++
+	if mc.probeSave(PointBeforeSave, ck.ID) {
+		mc.powerFailure()
+		return
+	}
 	if !mc.charge(saveCost, chSave) {
+		mc.powerFailure()
+		return
+	}
+	if mc.probeSave(PointMidSave, ck.ID) {
+		// Torn checkpoint: energy spent, nothing committed (see ckWait).
 		mc.powerFailure()
 		return
 	}
@@ -268,6 +294,10 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 	mc.res.Saves++
 	fr.pc++
 	mc.takeSnapshot(mc.residentVars(), ck.Lazy, ck.ID)
+	if !mc.halted && mc.probeSave(PointAfterSave, ck.ID) {
+		mc.powerFailure()
+		return
+	}
 	mc.bumpProgress()
 }
 
@@ -286,7 +316,17 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 	if mc.cfg.Intermittent && mc.capEn < mc.cfg.TriggerThreshold*mc.cfg.EB {
 		saved := mc.residentVars()
 		saveCost := mc.cfg.Model.SaveCost(saved)
+		mc.res.SaveAttempts++
+		if mc.probeSave(PointBeforeSave, ck.ID) {
+			mc.powerFailure()
+			return
+		}
 		if !mc.charge(saveCost, chSave) {
+			mc.powerFailure()
+			return
+		}
+		if mc.probeSave(PointMidSave, ck.ID) {
+			// Torn checkpoint: energy spent, nothing committed (see ckWait).
 			mc.powerFailure()
 			return
 		}
@@ -302,6 +342,10 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 		mc.res.Saves++
 		fr.pc++
 		mc.takeSnapshot(saved, false, ck.ID)
+		if !mc.halted && mc.probeSave(PointAfterSave, ck.ID) {
+			mc.powerFailure()
+			return
+		}
 		mc.bumpProgress()
 		return
 	}
@@ -398,7 +442,7 @@ func (mc *machine) powerFailure() {
 		}
 	}
 	if mc.res.PowerFailures > mc.cfg.MaxFailures {
-		mc.close(Stuck)
+		mc.close(OutOfFailures)
 		return
 	}
 	// Forward-progress watchdog: with a deterministic power model, a

@@ -59,8 +59,19 @@ type Config struct {
 	// replenishment — the literal "periodic power failures of period TBPF"
 	// of the paper's emulator (IV-C). Wait-style checkpoints restart the
 	// period (the capacitor is full again). Usable with or without the
-	// energy model's exhaustion failures.
+	// energy model's exhaustion failures. Mutually exclusive with
+	// Schedule (express the same thing as Schedules(Exhaustion(),
+	// Periodic(n)) there).
 	FailEveryCycles int64
+
+	// Schedule, when non-nil, replaces the power model for intermittent
+	// runs: the machine consults it at every injection point (instruction
+	// boundaries, energy draws, and the before/mid/after phases of each
+	// checkpoint save) and fails the supply when it says so. Capacitor
+	// exhaustion is then no longer implied — compose with Exhaustion()
+	// via Schedules to keep physics alongside induced failures. Ignored
+	// when Intermittent is false.
+	Schedule PowerSchedule
 
 	// TriggerThreshold is the MEMENTOS trigger fraction: a CkTrigger
 	// checkpoint saves when remaining energy < TriggerThreshold × EB.
@@ -114,6 +125,11 @@ const (
 	VMOverflow
 	// OutOfSteps: MaxSteps exhausted (treated as non-termination).
 	OutOfSteps
+	// OutOfFailures: MaxFailures exhausted — the run survived every
+	// individual failure but the failure budget ran out before it
+	// finished. Distinct from Stuck: the stagnation watchdogs saw
+	// progress, there were just too many outages.
+	OutOfFailures
 )
 
 func (v Verdict) String() string {
@@ -126,6 +142,8 @@ func (v Verdict) String() string {
 		return "vm-overflow"
 	case OutOfSteps:
 		return "out-of-steps"
+	case OutOfFailures:
+		return "out-of-failures"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}
@@ -170,6 +188,15 @@ type Result struct {
 	Sleeps        int // wait-style replenishment periods
 	MaxVMBytes    int // high-water mark of resident VM bytes
 
+	// SaveAttempts counts checkpoint executions that decided to save,
+	// whether or not the save committed (torn and power-failed attempts
+	// count). It is the ordinal space PointBeforeSave/PointMidSave/
+	// PointAfterSave schedules address.
+	SaveAttempts int64
+	// InjectedFailures counts power failures induced by the schedule at
+	// non-exhaustion points (PowerFailures also includes exhaustion).
+	InjectedFailures int
+
 	// UnsyncedReads counts reads of VM storage that was never restored
 	// (poison). Non-zero indicates a broken transformation.
 	UnsyncedReads int
@@ -178,19 +205,71 @@ type Result struct {
 // ErrNoMain is returned when the module lacks a main function.
 var ErrNoMain = errors.New("emulator: module has no main function")
 
+// ErrInvalidConfig is the sentinel every ConfigError unwraps to, so
+// callers can test errors.Is(err, ErrInvalidConfig) without enumerating
+// fields.
+var ErrInvalidConfig = errors.New("emulator: invalid config")
+
+// ConfigError reports a Config field that fails validation. Run rejects
+// invalid configurations up front instead of silently applying defaults
+// or misbehaving mid-run.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("emulator: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }
+
+// Validate checks a Config for field-level mistakes. Zero values that
+// select documented defaults (TriggerThreshold 0 → 0.5, VMSize 0 →
+// unlimited, MaxSteps/MaxFailures 0 → defaults) remain valid.
+func (cfg Config) Validate() error {
+	if cfg.Model == nil {
+		return &ConfigError{Field: "Model", Reason: "must not be nil"}
+	}
+	if cfg.EB < 0 {
+		return &ConfigError{Field: "EB", Reason: fmt.Sprintf("must not be negative, got %g", cfg.EB)}
+	}
+	if cfg.Intermittent && cfg.EB <= 0 {
+		return &ConfigError{Field: "EB", Reason: "intermittent run needs EB > 0"}
+	}
+	if cfg.TriggerThreshold < 0 || cfg.TriggerThreshold > 1 {
+		return &ConfigError{Field: "TriggerThreshold",
+			Reason: fmt.Sprintf("must be in (0,1] (0 selects the default), got %g", cfg.TriggerThreshold)}
+	}
+	if cfg.VMSize < 0 {
+		return &ConfigError{Field: "VMSize", Reason: fmt.Sprintf("must not be negative (0 = unlimited), got %d", cfg.VMSize)}
+	}
+	if cfg.FailEveryCycles < 0 {
+		return &ConfigError{Field: "FailEveryCycles", Reason: fmt.Sprintf("must not be negative, got %d", cfg.FailEveryCycles)}
+	}
+	if cfg.FailEveryCycles > 0 && cfg.Schedule != nil {
+		return &ConfigError{Field: "Schedule",
+			Reason: "mutually exclusive with FailEveryCycles; compose Schedules(Exhaustion(), Periodic(n)) instead"}
+	}
+	if cfg.MaxSteps < 0 {
+		return &ConfigError{Field: "MaxSteps", Reason: fmt.Sprintf("must not be negative, got %d", cfg.MaxSteps)}
+	}
+	if cfg.MaxFailures < 0 {
+		return &ConfigError{Field: "MaxFailures", Reason: fmt.Sprintf("must not be negative, got %d", cfg.MaxFailures)}
+	}
+	return nil
+}
+
 // Run executes the module under the given configuration.
 func Run(m *ir.Module, cfg Config) (*Result, error) {
-	if cfg.Model == nil {
-		return nil, errors.New("emulator: Config.Model is nil")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
 	if m.FuncByName("main") == nil {
 		return nil, ErrNoMain
-	}
-	if cfg.Intermittent && cfg.EB <= 0 {
-		return nil, errors.New("emulator: intermittent run needs EB > 0")
 	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 500_000_000

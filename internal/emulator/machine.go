@@ -88,6 +88,13 @@ type machine struct {
 	// cyclesSincePower counts active cycles since the last replenishment,
 	// for the periodic-TBPF failure mode.
 	cyclesSincePower int64
+
+	// exhaust/sched are the split of the run's resolved PowerSchedule:
+	// exhaust keeps capacitor physics as an inline comparison on the hot
+	// charge path, sched holds whatever else is scheduled (nil on default
+	// runs, so per-instruction probing costs nothing).
+	exhaust bool
+	sched   PowerSchedule
 }
 
 func newMachine(m *ir.Module, cfg Config) *machine {
@@ -103,6 +110,7 @@ func newMachine(m *ir.Module, cfg Config) *machine {
 		counters: map[int]int64{},
 		capEn:    cfg.EB,
 	}
+	mc.exhaust, mc.sched = splitExhaustion(resolveSchedule(cfg))
 	mc.initNVM()
 	if cfg.PrewarmVM {
 		mc.prewarmVM()
@@ -212,11 +220,13 @@ const (
 
 // charge attempts to draw e nJ from the capacitor. It returns false when a
 // power failure occurs instead (intermittent mode only); the caller must
-// then abandon the current operation. A nano-scale epsilon absorbs
-// floating-point association differences between the compile-time analysis
-// (which sums per block) and this per-instruction accounting.
+// then abandon the current operation.
 func (mc *machine) charge(e float64, kind chargeKind) bool {
-	if mc.cfg.Intermittent && mc.capEn+1e-6 < e {
+	if mc.exhaust && mc.capEn+chargeEpsilon < e {
+		return false
+	}
+	if mc.sched != nil && mc.sched.Fail(mc.probe(PointCharge, mc.res.Steps, e)) {
+		mc.induce(PointCharge, mc.curSite, mc.res.Steps)
 		return false
 	}
 	mc.capEn -= e
@@ -279,6 +289,48 @@ func (mc *machine) chargeSite(class ChargeClass) int {
 	return -1
 }
 
+// probe assembles the machine state handed to the schedule at an
+// injection point. Site is the checkpoint currently executing (-1
+// elsewhere), which is exactly the save site for the save-phase points.
+func (mc *machine) probe(kind PointKind, occurrence int64, energy float64) Probe {
+	return Probe{
+		Kind:             kind,
+		Step:             mc.res.Steps,
+		Cycle:            mc.res.TotalCycles,
+		CyclesSincePower: mc.cyclesSincePower,
+		Occurrence:       occurrence,
+		Site:             mc.curSite,
+		Energy:           energy,
+		Remaining:        mc.capEn,
+		Failures:         mc.res.PowerFailures,
+	}
+}
+
+// induce records a schedule-induced power failure: the injection counter
+// and, for observers, an EvInjection immediately before the
+// EvPowerFailure the caller triggers. Exhaustion failures do not pass
+// through here — they are physics, not injections.
+func (mc *machine) induce(kind PointKind, site int, seq int64) {
+	mc.res.InjectedFailures++
+	if mc.obs != nil {
+		mc.emit(Event{Kind: EvInjection, Point: kind, Seq: seq, Site: site, CapEnergy: mc.capEn})
+	}
+}
+
+// probeSave consults the schedule at one of the save-phase injection
+// points, addressed by the save-attempt ordinal. True means the supply
+// dies there; the caller must trigger the power failure.
+func (mc *machine) probeSave(kind PointKind, site int) bool {
+	if mc.sched == nil {
+		return false
+	}
+	if !mc.sched.Fail(mc.probe(kind, mc.res.SaveAttempts, 0)) {
+		return false
+	}
+	mc.induce(kind, site, mc.res.SaveAttempts)
+	return true
+}
+
 // chargeAccess is charge for a memory access, feeding the Fig. 7
 // sub-split when the work is first-execution computation.
 func (mc *machine) chargeAccess(e float64, space ir.Space) bool {
@@ -297,10 +349,11 @@ func (mc *machine) step() (bool, error) {
 	in := fr.block.Instrs[fr.pc]
 	mc.res.Steps++
 
-	// Periodic-TBPF mode: the supply dies every FailEveryCycles of active
-	// time, regardless of the energy drawn.
-	if mc.cfg.Intermittent && mc.cfg.FailEveryCycles > 0 &&
-		mc.cyclesSincePower >= mc.cfg.FailEveryCycles {
+	// Instruction-boundary injection point: periodic TBPF failures,
+	// trace/random/stride schedules. The probe precedes the instruction's
+	// energy draw, so the instruction about to run is the one lost.
+	if mc.sched != nil && mc.sched.Fail(mc.probe(PointStep, mc.res.Steps, 0)) {
+		mc.induce(PointStep, -1, mc.res.Steps)
 		mc.powerFailure()
 		return false, nil
 	}

@@ -44,6 +44,12 @@ const (
 	// EvPoisonRead fires on every read of VM storage that was never
 	// restored — the signal of a broken transformation.
 	EvPoisonRead
+	// EvInjection fires when the configured PowerSchedule induces a power
+	// failure at a non-exhaustion point, immediately before the matching
+	// EvPowerFailure. Point carries the injection point kind and Seq its
+	// ordinal (the step index for step points, the save-attempt ordinal
+	// for save points); Site is the checkpoint site for save points.
+	EvInjection
 )
 
 func (k EventKind) String() string {
@@ -72,6 +78,8 @@ func (k EventKind) String() string {
 		return "reexec-end"
 	case EvPoisonRead:
 		return "poison"
+	case EvInjection:
+		return "injection"
 	default:
 		return "event"
 	}
@@ -131,6 +139,9 @@ type Event struct {
 	Bytes  int         // EvSave/EvRestore: bytes moved (registers + variables)
 
 	CapEnergy float64 // remaining capacitor nJ: EvPowerFailure, EvSleepStart/End
+
+	Point PointKind // EvInjection: which injection point fired
+	Seq   int64     // EvInjection: the point's occurrence ordinal
 
 	Call   bool // EvBlockEnter: entry pushed a new frame
 	Resume bool // EvBlockEnter: replay of a restored frame after a failure

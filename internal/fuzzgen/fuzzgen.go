@@ -21,19 +21,52 @@ import (
 // Options bounds the generated program.
 type Options struct {
 	// MaxFuncs is the number of helper functions (besides main), ≤ 4.
-	MaxFuncs int
+	MaxFuncs int `json:"max_funcs"`
 	// MaxStmts bounds the statements per block.
-	MaxStmts int
+	MaxStmts int `json:"max_stmts"`
 	// MaxDepth bounds statement nesting.
-	MaxDepth int
+	MaxDepth int `json:"max_depth"`
 	// MaxLoopIter bounds each loop's trip count.
-	MaxLoopIter int
+	MaxLoopIter int `json:"max_loop_iter"`
 }
 
 // DefaultOptions are sized so a program runs in well under a millisecond
 // on the emulator.
 func DefaultOptions() Options {
 	return Options{MaxFuncs: 3, MaxStmts: 5, MaxDepth: 3, MaxLoopIter: 9}
+}
+
+// Program is one reproducible generated program: (Seed, Options) fully
+// determine Source, so a serialized program can be regenerated and
+// verified instead of trusted.
+type Program struct {
+	Seed    int64   `json:"seed"`
+	Options Options `json:"options"`
+	Source  string  `json:"source"`
+}
+
+// FromSeed deterministically regenerates the program of (seed, opts).
+func FromSeed(seed int64, opts Options) Program {
+	src := Generate(rand.New(rand.NewSource(seed)), opts)
+	return Program{Seed: seed, Options: opts, Source: src}
+}
+
+// Regenerate re-derives the source from the program's seed and options
+// and reports whether it matches the stored Source — the integrity check
+// replay tools run before trusting a repro file.
+func (p Program) Regenerate() (Program, bool) {
+	q := FromSeed(p.Seed, p.Options)
+	return q, p.Source == "" || q.Source == p.Source
+}
+
+// Corpus derives n reproducible programs from a base seed. Seeds are
+// spaced so corpora with different bases do not trivially overlap.
+func Corpus(baseSeed int64, n int, opts Options) []Program {
+	out := make([]Program, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, FromSeed(baseSeed+int64(i)*1_000_003, opts))
+	}
+	return out
 }
 
 type gen struct {

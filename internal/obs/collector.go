@@ -77,9 +77,10 @@ type Collector struct {
 	blocks map[BlockKey]*BlockEnergy
 	sites  map[int]*SiteStats
 
-	PowerFailures int64
-	Sleeps        int64
-	PoisonReads   int64
+	PowerFailures    int64
+	Sleeps           int64
+	PoisonReads      int64
+	InjectedFailures int64 // schedule-induced failures (subset of PowerFailures)
 }
 
 // NewCollector returns an empty collector.
@@ -138,6 +139,8 @@ func (c *Collector) Event(e emulator.Event) {
 		c.site(e).Restores++
 	case emulator.EvPowerFailure:
 		c.PowerFailures++
+	case emulator.EvInjection:
+		c.InjectedFailures++
 	case emulator.EvSleepStart:
 		c.Sleeps++
 	case emulator.EvPoisonRead:

@@ -23,6 +23,8 @@ type eventRecord struct {
 	Site   *int    `json:"site,omitempty"` // pointer: site 0 is valid, -1 = boot
 	Bytes  int     `json:"bytes,omitempty"`
 	CapNJ  float64 `json:"cap_nj,omitempty"`
+	Point  string  `json:"point,omitempty"` // injection: which point kind fired
+	Seq    int64   `json:"seq,omitempty"`   // injection: the point's occurrence ordinal
 	Call   bool    `json:"call,omitempty"`
 	Resume bool    `json:"resume,omitempty"`
 }
@@ -47,7 +49,7 @@ func siteOf(e emulator.Event) *int {
 	switch e.Kind {
 	case emulator.EvCheckpointHit, emulator.EvSave, emulator.EvRestore,
 		emulator.EvSleepStart, emulator.EvSleepEnd, emulator.EvPowerFailure,
-		emulator.EvReexecStart, emulator.EvReexecEnd:
+		emulator.EvReexecStart, emulator.EvReexecEnd, emulator.EvInjection:
 		s := e.Site
 		return &s
 	case emulator.EvCharge:
@@ -91,6 +93,10 @@ func (s *StreamWriter) Event(e emulator.Event) {
 		rec.NJ = e.Energy
 	case emulator.EvPowerFailure, emulator.EvSleepStart, emulator.EvSleepEnd:
 		rec.CapNJ = e.CapEnergy
+	case emulator.EvInjection:
+		rec.CapNJ = e.CapEnergy
+		rec.Point = e.Point.String()
+		rec.Seq = e.Seq
 	}
 	s.err = s.enc.Encode(rec)
 }

@@ -105,6 +105,10 @@ func (tl *Timeline) Event(e emulator.Event) {
 			"capacitor_nj": round3(e.CapEnergy), "site": e.Site,
 		})
 		tl.onStart, tl.onOpen = e.Cycle, true
+	case emulator.EvInjection:
+		tl.instant("injection "+e.Point.String(), tidPower, e.Cycle, map[string]any{
+			"point": e.Point.String(), "seq": e.Seq, "site": e.Site,
+		})
 	case emulator.EvSleepStart:
 		tl.closeOn(e.Cycle)
 		tl.instant("sleep", tidPower, e.Cycle, map[string]any{"site": e.Site})
