@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover crashhunt-smoke
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke fuzz-smoke transval-smoke
 
-ci: fmt vet build race crashhunt-smoke
+ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -32,3 +32,17 @@ cover:
 # technique, hard-capped at a minute. Nonzero exit on any violation.
 crashhunt-smoke:
 	go run ./cmd/crashhunt -benches crc,randmath -budget 60s
+
+# Short native-fuzzing burst over every fuzz target (~10s each): the
+# front end, the IR text format, the optimizer, and the placement
+# guarantees. Corpora live under each package's testdata/fuzz.
+fuzz-smoke:
+	go test ./internal/minic -run '^$$' -fuzz '^FuzzMiniCCompile$$' -fuzztime 10s
+	go test ./internal/ir -run '^$$' -fuzz '^FuzzIRParseRoundtrip$$' -fuzztime 10s
+	go test ./internal/opt -run '^$$' -fuzz '^FuzzOptimizer$$' -fuzztime 10s
+	go test ./internal/core -run '^$$' -fuzz '^FuzzSchematicGuarantees$$' -fuzztime 10s
+
+# Quick translation validation: every benchmark plus a small fuzz
+# stream through every pipeline stage. Nonzero exit on any mismatch.
+transval-smoke:
+	go run ./cmd/transval -fuzz 25

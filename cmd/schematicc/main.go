@@ -23,12 +23,14 @@ import (
 	"schematic/internal/baselines/mementos"
 	"schematic/internal/baselines/ratchet"
 	"schematic/internal/baselines/rockclimb"
+	"schematic/internal/bench"
 	schematic "schematic/internal/core"
 	"schematic/internal/energy"
 	"schematic/internal/ir"
 	"schematic/internal/minic"
 	"schematic/internal/opt"
 	"schematic/internal/trace"
+	"schematic/internal/transval"
 )
 
 func main() {
@@ -43,7 +45,7 @@ func main() {
 		dot         = flag.String("dot", "", "also write a Graphviz CFG of this function (e.g. -dot main=main.dot)")
 		optimize    = flag.Bool("O", false, "run the optimizer before checkpoint placement")
 		stats       = flag.Bool("stats", false, "print pass statistics to stderr")
-		validate    = flag.Bool("validate", true, "statically validate the transformed program (schematic only)")
+		validate    = flag.Bool("validate", true, "validate the compilation: static checks (schematic only) plus translation validation of every pipeline stage")
 		report      = flag.Bool("report", false, "print the static WCEC report to stderr (schematic only)")
 	)
 	flag.Parse()
@@ -124,6 +126,10 @@ func main() {
 		}))
 	}
 
+	if *validate {
+		runTransval(name, string(src), *technique, *tbpf, *vmSize, *seed, *stats)
+	}
+
 	if *dot != "" {
 		name, path, ok := strings.Cut(*dot, "=")
 		if !ok {
@@ -145,6 +151,43 @@ func main() {
 		return
 	}
 	fail(os.WriteFile(*out, []byte(text), 0o644))
+}
+
+// runTransval differentially validates the whole pipeline for this
+// program: the AST reference interpreter against the emulator after
+// lowering, after each optimizer pass, and after the selected placement
+// technique. Independent of the compilation above — it recompiles from
+// source — so a divergence here indicts the pipeline, not this driver.
+func runTransval(name, src, technique string, tbpf int64, vmSize int, seed int64, stats bool) {
+	opts := transval.Options{
+		TBPF:     tbpf,
+		VMSize:   vmSize,
+		Coverage: transval.NewCoverage(),
+	}
+	opts.SkipPlacement = true
+	for _, t := range bench.Techniques() {
+		if strings.EqualFold(t.Name(), technique) {
+			opts.Techniques = []string{t.Name()}
+			opts.SkipPlacement = false
+		}
+	}
+	f, err := transval.Validate(transval.Case{Name: name, Source: src, InputSeed: seed}, opts)
+	if _, skip := err.(*transval.SkipError); skip {
+		fmt.Fprintf(os.Stderr, "schematicc: translation validation skipped: %v\n", err)
+		return
+	}
+	fail(err)
+	if f != nil {
+		fail(fmt.Errorf("translation validation failed at stage %s: want %s, got %s", f.Stage, f.Want, f.Got))
+	}
+	scope := "lowering + optimizer"
+	if !opts.SkipPlacement {
+		scope += " + " + opts.Techniques[0] + " placement"
+	}
+	fmt.Fprintf(os.Stderr, "schematicc: translation validation passed (%s vs the AST interpreter)\n", scope)
+	if stats {
+		opts.Coverage.WriteReport(os.Stderr)
+	}
 }
 
 func fail(err error) {

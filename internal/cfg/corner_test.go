@@ -1,0 +1,216 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"schematic/internal/ir"
+)
+
+func block(t *testing.T, f *ir.Func, name string) *ir.Block {
+	t.Helper()
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no block %q", name)
+	return nil
+}
+
+// irreducibleSrc: entry branches into the middle of a cycle (b <-> c), so
+// the cycle has two entries and no single header — the classic
+// irreducible shape a structured front end can never emit.
+const irreducibleSrc = `module t
+global x
+
+func void main() regs 2 {
+entry:
+  r0 = const 1
+  br r0, b, c
+b:
+  store x, r0
+  br r0, c, exit
+c:
+  r1 = const 2
+  br r1, b, exit
+exit:
+  ret
+}
+`
+
+func TestCheckReducibleRejectsIrreducible(t *testing.T) {
+	m := ir.MustParse(irreducibleSrc)
+	err := CheckReducible(m.Funcs[0])
+	if err == nil {
+		t.Fatal("irreducible CFG accepted")
+	}
+	if !strings.Contains(err.Error(), "irreducible") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+}
+
+func TestCheckReducibleAcceptsNaturalLoops(t *testing.T) {
+	// A garden-variety natural loop (back edge to a dominating header)
+	// must pass: CheckReducible removes back edges, not loops.
+	const src = `module t
+global x
+
+func void main() regs 2 {
+entry:
+  r0 = const 4
+  jmp head
+head:
+  r1 = sub r0, r0
+  br r1, body, exit
+body:
+  store x, r1
+  jmp head
+exit:
+  ret
+}
+`
+	m := ir.MustParse(src)
+	if err := CheckReducible(m.Funcs[0]); err != nil {
+		t.Fatalf("natural loop rejected: %v", err)
+	}
+}
+
+// tripleLoopSrc nests three natural loops: h1 > h2 > h3.
+const tripleLoopSrc = `module t
+global x
+
+func void main() regs 2 {
+entry:
+  r0 = const 1
+  jmp h1
+h1:
+  br r0, h2, exit
+h2:
+  br r0, h3, l1
+h3:
+  store x, r0
+  br r0, h3, l2
+l2:
+  jmp h2
+l1:
+  jmp h1
+exit:
+  ret
+}
+`
+
+func TestLoopsTripleNesting(t *testing.T) {
+	m := ir.MustParse(tripleLoopSrc)
+	f := m.Funcs[0]
+	dom := Dominators(f)
+	lf := Loops(f, dom)
+	if len(lf.All) != 3 {
+		t.Fatalf("found %d loops, want 3: %v", len(lf.All), lf.All)
+	}
+	want := map[string]int{"h1": 1, "h2": 2, "h3": 3}
+	for _, l := range lf.All {
+		d, ok := want[l.Header.Name]
+		if !ok {
+			t.Fatalf("unexpected loop header %s", l.Header.Name)
+		}
+		if l.Depth() != d {
+			t.Errorf("loop %s: depth %d, want %d", l.Header.Name, l.Depth(), d)
+		}
+	}
+	// Nesting must be reflected structurally, not just in depths.
+	h3 := lf.HeaderLoop(block(t, f, "h3"))
+	h2 := lf.HeaderLoop(block(t, f, "h2"))
+	h1 := lf.HeaderLoop(block(t, f, "h1"))
+	if h3.Parent != h2 || h2.Parent != h1 || h1.Parent != nil {
+		t.Fatalf("parent chain broken: h3.Parent=%v h2.Parent=%v h1.Parent=%v", h3.Parent, h2.Parent, h1.Parent)
+	}
+	// The outer loop body contains every inner block.
+	for _, name := range []string{"h1", "h2", "h3", "l1", "l2"} {
+		if !h1.Contains(block(t, f, name)) {
+			t.Errorf("outer loop misses block %s", name)
+		}
+	}
+	if err := CheckReducible(f); err != nil {
+		t.Fatalf("nested natural loops rejected: %v", err)
+	}
+}
+
+// diamondBackedgeSrc is a diamond (head -> {left, right} -> merge) whose
+// merge block jumps back to the head: one natural loop whose body is the
+// whole diamond and whose latch merges two paths.
+const diamondBackedgeSrc = `module t
+global x
+
+func void main() regs 2 {
+entry:
+  r0 = const 1
+  jmp head
+head:
+  br r0, left, right
+left:
+  store x, r0
+  jmp merge
+right:
+  r1 = add r0, r0
+  jmp merge
+merge:
+  br r0, head, exit
+exit:
+  ret
+}
+`
+
+func TestDiamondWithBackedge(t *testing.T) {
+	m := ir.MustParse(diamondBackedgeSrc)
+	f := m.Funcs[0]
+	dom := Dominators(f)
+
+	head := block(t, f, "head")
+	merge := block(t, f, "merge")
+	idoms := map[string]string{
+		"head": "entry", "left": "head", "right": "head",
+		"merge": "head", "exit": "merge",
+	}
+	for name, want := range idoms {
+		got := dom.Idom(block(t, f, name))
+		if got == nil || got.Name != want {
+			t.Errorf("idom(%s) = %v, want %s", name, got, want)
+		}
+	}
+	// merge joins two paths, so neither arm dominates it — only the
+	// diamond's head (and entry) do.
+	for _, name := range []string{"left", "right"} {
+		if dom.Dominates(block(t, f, name), merge) {
+			t.Errorf("%s must not dominate merge", name)
+		}
+	}
+	if !dom.Dominates(head, merge) {
+		t.Error("head must dominate merge")
+	}
+
+	back := BackEdges(f, dom)
+	if len(back) != 1 || back[0].From != merge || back[0].To != head {
+		t.Fatalf("back edges %v, want exactly merge->head", back)
+	}
+
+	lf := Loops(f, dom)
+	if len(lf.All) != 1 {
+		t.Fatalf("found %d loops, want 1", len(lf.All))
+	}
+	l := lf.All[0]
+	if l.Header != head || l.Latch() != merge || l.Depth() != 1 {
+		t.Fatalf("loop %v: header %s latch %v depth %d", l, l.Header.Name, l.Latch(), l.Depth())
+	}
+	for _, name := range []string{"head", "left", "right", "merge"} {
+		if !l.Contains(block(t, f, name)) {
+			t.Errorf("loop misses block %s", name)
+		}
+	}
+	if l.Contains(block(t, f, "entry")) || l.Contains(block(t, f, "exit")) {
+		t.Error("loop leaked outside the diamond")
+	}
+	if err := CheckReducible(f); err != nil {
+		t.Fatalf("diamond with backedge rejected: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package cfg
+
+import (
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// CheckReducible verifies that a function's CFG is reducible: every cycle
+// must be a natural loop, entered only through its header. The loop
+// forest, loop-bound propagation, and checkpoint placement all assume
+// this shape (MiniC lowering only produces it), but hand-written textual
+// IR can encode irreducible regions — multi-entry cycles whose retreating
+// edges target a block that does not dominate their source. Those would
+// be silently invisible to Loops, so the translation validator rejects
+// them up front.
+//
+// The test is the classic one: delete every back edge (target dominates
+// source); a reducible CFG must then be acyclic.
+func CheckReducible(f *ir.Func) error {
+	dom := Dominators(f)
+	succs := map[*ir.Block][]*ir.Block{}
+	for _, e := range ir.Edges(f) {
+		if dom.Dominates(e.To, e.From) {
+			continue // natural back edge
+		}
+		succs[e.From] = append(succs[e.From], e.To)
+	}
+	// Cycle detection over the forward graph by three-color DFS.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*ir.Block]int{}
+	var visit func(b *ir.Block) *ir.Block
+	visit = func(b *ir.Block) *ir.Block {
+		color[b] = gray
+		for _, s := range succs[b] {
+			switch color[s] {
+			case gray:
+				return s
+			case white:
+				if bad := visit(s); bad != nil {
+					return bad
+				}
+			}
+		}
+		color[b] = black
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if color[b] != white {
+			continue
+		}
+		if bad := visit(b); bad != nil {
+			return fmt.Errorf("cfg: %s: irreducible control flow: block %q is part of a cycle entered outside its header", f.Name, bad.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package ir_test
+
+import (
+	"testing"
+
+	"schematic/internal/ir"
+)
+
+// FuzzIRParseRoundtrip is the native fuzzing entry point for the textual
+// IR format: Parse must never panic on arbitrary text, and any module it
+// accepts must survive print→parse→print as a fixpoint — the printed form
+// carries every semantic bit and is itself canonical. Seed corpus:
+// testdata/fuzz/FuzzIRParseRoundtrip. Run with
+//
+//	go test ./internal/ir -run '^$' -fuzz FuzzIRParseRoundtrip -fuzztime 30s
+func FuzzIRParseRoundtrip(f *testing.F) {
+	f.Add("module m\n\nfunc void main() regs 1 {\nentry:\n  ret\n}\n")
+	f.Add("module m\nglobal g\n\nfunc void main() regs 2 {\nentry:\n  r0 = const 7\n  store g, r0\n  out r0\n  ret\n}\n")
+	f.Add("module m\ninput global a[4]\n\nfunc int f(x) regs 2 {\nentry:\n  r1 = add r0, r0\n  ret r1\n}\n\nfunc void main() regs 3 {\nentry:\n  r0 = const 1\n  r1 = call f(r0)\n  br r1, yes, no\nyes:\n  out r1\n  jmp no\nno:\n  ret\n}\n")
+	f.Add("module m\n\nfunc void main() regs 1 {\nentry:\n  checkpoint #1 wait\n  loopbound 8\n  ret\n}\n")
+	f.Add("module m\n\nfunc void main() regs 1 {\nentry:\n  r0 = const\n}\n")
+	f.Add("out\nr0 = \nbr")
+	f.Add("module \x00\xff")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.Parse(src)
+		if err != nil {
+			return // rejection is always fine
+		}
+		first := m.String()
+		m2, err := ir.Parse(first)
+		if err != nil {
+			t.Fatalf("printer emitted unparsable text: %v\ninput:\n%s\nprinted:\n%s", err, src, first)
+		}
+		second := m2.String()
+		if first != second {
+			t.Fatalf("print→parse→print is not a fixpoint\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package ir
+
+// Ops returns every defined operator in enum order. The translation
+// validator's coverage accountant uses this as the opcode universe when
+// measuring what a fuzz corpus actually exercises.
+func Ops() []Op {
+	out := make([]Op, len(opNames))
+	for i := range opNames {
+		out[i] = Op(i)
+	}
+	return out
+}

@@ -123,6 +123,22 @@ func (p *parser) module() (*Module, error) {
 	return m, nil
 }
 
+// validIdent reports whether a name is safe to print and reparse: the
+// textual format separates tokens with whitespace, commas, brackets, and
+// trailing colons, so names must be conventional identifiers (plus the
+// dots the lowering uses in block labels, e.g. "for.head.14").
+func validIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
 func parseVarDecl(line, kw string) (*Var, error) {
 	v := &Var{Elems: 1}
 	rest := line
@@ -163,6 +179,9 @@ func parseVarDecl(line, kw string) (*Var, error) {
 		v.Elems = n
 		name = name[:i]
 	}
+	if !validIdent(name) {
+		return nil, fmt.Errorf("bad variable name %q in %q", name, line)
+	}
 	v.Name = name
 	if initPart != "" {
 		initPart = strings.TrimPrefix(initPart, "{")
@@ -188,6 +207,9 @@ func parseVarDecl(line, kw string) (*Var, error) {
 func parseFuncHeader(line string) (*Func, error) {
 	// func <ret> <name>(<params>) regs <n> {
 	rest := strings.TrimPrefix(line, "func ")
+	if !strings.HasSuffix(rest, "{") {
+		return nil, fmt.Errorf("function header missing '{' in %q", line)
+	}
 	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
 	fields := strings.SplitN(rest, " ", 2)
 	if len(fields) != 2 {
@@ -208,10 +230,17 @@ func parseFuncHeader(line string) (*Func, error) {
 		return nil, fmt.Errorf("malformed parameter list in %q", line)
 	}
 	f.Name = strings.TrimSpace(rest[:open])
+	if !validIdent(f.Name) {
+		return nil, fmt.Errorf("bad function name %q in %q", f.Name, line)
+	}
 	params := strings.TrimSpace(rest[open+1 : closeP])
 	if params != "" {
 		for _, prm := range strings.Split(params, ",") {
-			f.Params = append(f.Params, strings.TrimSpace(prm))
+			prm = strings.TrimSpace(prm)
+			if !validIdent(prm) {
+				return nil, fmt.Errorf("bad parameter name %q in %q", prm, line)
+			}
+			f.Params = append(f.Params, prm)
 		}
 	}
 	tail := strings.Fields(rest[closeP+1:])
@@ -235,6 +264,9 @@ func (p *parser) funcBody(m *Module, f *Func, body []string, start int) error {
 		}
 		if strings.HasSuffix(line, ":") {
 			name := strings.TrimSuffix(line, ":")
+			if !validIdent(name) {
+				return fmt.Errorf("line %d: bad block label %q", start, name)
+			}
 			if f.BlockByName(name) != nil {
 				return fmt.Errorf("line %d: duplicate block %q", start, name)
 			}
@@ -369,6 +401,9 @@ func parseInstr(m *Module, f *Func, line string, ckID *int) (Instr, error) {
 		st.Var = v
 		return st, nil
 	case "out":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed out %q", line)
+		}
 		r, err := parseReg(fields[1])
 		if err != nil {
 			return nil, err
@@ -430,6 +465,9 @@ func parseRHS(m *Module, f *Func, dst Reg, rhs string) (Instr, error) {
 	}
 	switch fields[0] {
 	case "const":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed constant %q", rhs)
+		}
 		v, err := strconv.ParseInt(fields[1], 0, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad constant %q", fields[1])
@@ -462,6 +500,9 @@ func parseRHS(m *Module, f *Func, dst Reg, rhs string) (Instr, error) {
 		op, ok := OpByName(fields[0])
 		if !ok {
 			return nil, fmt.Errorf("unknown operation %q", fields[0])
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("operation %q missing operands", rhs)
 		}
 		a, err := parseReg(fields[1])
 		if err != nil {

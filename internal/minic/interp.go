@@ -1,0 +1,380 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+
+	"schematic/internal/ir"
+)
+
+// This file is the second executable semantics of MiniC: a reference
+// interpreter that walks the checked AST directly, sharing nothing with
+// the lowering pipeline except ir.EvalOp, the single source of arithmetic
+// truth. Lowering, the optimizer, and the emulator form one code path;
+// the interpreter forms another. When the two disagree on a program's
+// observable output, one of them miscompiles — that disagreement is what
+// internal/transval hunts for.
+//
+// The semantics mirror the platform model the emulator implements:
+//
+//   - Locals are static storage: one zero-initialized slot per function,
+//     persisting across calls (the emulator's initNVM loads them once at
+//     boot, next to the globals).
+//   - Parameters live in per-call registers; assigning to one never
+//     escapes the call.
+//   - Input-annotated variables take their initializer first, then the
+//     supplied input override.
+//   - && and || evaluate both operands, left then right (non-short-circuit).
+//   - Division or remainder by zero and out-of-range array indices are
+//     runtime traps that abort the whole run with an error.
+//   - print appends to the output stream, the program's sole observable.
+
+// ErrInterpSteps reports that the interpreter's step budget ran out before
+// the program finished; callers treating the interpreter as an oracle
+// should classify such runs as non-terminating rather than as divergence.
+var ErrInterpSteps = errors.New("minic: interpreter step budget exhausted")
+
+// InterpResult is the observable outcome of an interpreted run.
+type InterpResult struct {
+	Output []int64
+	Steps  int64 // AST nodes evaluated (not comparable to emulator steps)
+}
+
+// Interpret executes a parsed and checked File and returns its output.
+// inputs overrides input-annotated variables by name, exactly like
+// emulator.Config.Inputs. maxSteps bounds the number of AST node
+// evaluations (0 selects 50M); exceeding it returns ErrInterpSteps.
+func Interpret(file *File, inputs map[string][]int64, maxSteps int64) (*InterpResult, error) {
+	if maxSteps == 0 {
+		maxSteps = 50_000_000
+	}
+	it := &interp{
+		funcs:   map[string]*FuncDecl{},
+		statics: map[*FuncDecl]map[string][]int64{},
+		globals: map[string][]int64{},
+		max:     maxSteps,
+	}
+	for _, fd := range file.Funcs {
+		it.funcs[fd.Name] = fd
+	}
+	boot := func(d *VarDecl, store map[string][]int64) {
+		data := make([]int64, d.Elems)
+		copy(data, d.Init)
+		if in, ok := inputs[d.Name]; ok && d.Input {
+			copy(data, in)
+		}
+		store[d.Name] = data
+	}
+	for _, g := range file.Globals {
+		boot(g, it.globals)
+	}
+	for _, fd := range file.Funcs {
+		store := map[string][]int64{}
+		for _, l := range fd.Locals {
+			boot(l, store)
+		}
+		it.statics[fd] = store
+	}
+	mainFn, ok := it.funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("minic: interp: no main function")
+	}
+	if _, err := it.call(mainFn, nil, 0); err != nil {
+		return nil, err
+	}
+	return &InterpResult{Output: it.out, Steps: it.steps}, nil
+}
+
+// control is the non-sequential outcome of a statement.
+type control int
+
+const (
+	ctrlNext control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type interp struct {
+	funcs   map[string]*FuncDecl
+	globals map[string][]int64
+	// statics holds each function's local storage: allocated once, zeroed
+	// at boot, shared by every call (MiniC locals are static variables).
+	statics map[*FuncDecl]map[string][]int64
+	out     []int64
+	steps   int64
+	max     int64
+}
+
+// frame is one function activation: the register file of its parameters
+// plus the pending return value.
+type frame struct {
+	fd     *FuncDecl
+	params map[string]int64
+	ret    int64
+}
+
+// tick charges one step against the budget.
+func (it *interp) tick() error {
+	it.steps++
+	if it.steps > it.max {
+		return ErrInterpSteps
+	}
+	return nil
+}
+
+func (it *interp) call(fd *FuncDecl, args []int64, depth int) (int64, error) {
+	// ir.Verify rejects recursion, so on validated programs the call depth
+	// is bounded by the function count; the guard catches unchecked input.
+	if depth > len(it.funcs) {
+		return 0, fmt.Errorf("minic: interp: call depth %d exceeds function count (recursion?)", depth)
+	}
+	fr := &frame{fd: fd, params: map[string]int64{}}
+	for i, prm := range fd.Params {
+		fr.params[prm.Name] = args[i]
+	}
+	ctrl, err := it.stmts(fd.Body, fr, depth)
+	if err != nil {
+		return 0, err
+	}
+	_ = ctrl // ctrlReturn or fall-off-the-end (void); sema rules out the rest
+	return fr.ret, nil
+}
+
+func (it *interp) stmts(list []Stmt, fr *frame, depth int) (control, error) {
+	for _, s := range list {
+		ctrl, err := it.stmt(s, fr, depth)
+		if err != nil {
+			return ctrlNext, err
+		}
+		if ctrl != ctrlNext {
+			return ctrl, nil
+		}
+	}
+	return ctrlNext, nil
+}
+
+func (it *interp) stmt(s Stmt, fr *frame, depth int) (control, error) {
+	if err := it.tick(); err != nil {
+		return ctrlNext, err
+	}
+	switch st := s.(type) {
+	case *AssignStmt:
+		return ctrlNext, it.assign(st, fr, depth)
+	case *PrintStmt:
+		v, err := it.eval(st.Value, fr, depth)
+		if err != nil {
+			return ctrlNext, err
+		}
+		it.out = append(it.out, v)
+		return ctrlNext, nil
+	case *ExprStmt:
+		_, err := it.eval(st.X, fr, depth)
+		return ctrlNext, err
+	case *ReturnStmt:
+		if st.Value != nil {
+			v, err := it.eval(st.Value, fr, depth)
+			if err != nil {
+				return ctrlNext, err
+			}
+			fr.ret = v
+		}
+		return ctrlReturn, nil
+	case *BreakStmt:
+		return ctrlBreak, nil
+	case *ContinueStmt:
+		return ctrlContinue, nil
+	case *IfStmt:
+		c, err := it.eval(st.Cond, fr, depth)
+		if err != nil {
+			return ctrlNext, err
+		}
+		if c != 0 {
+			return it.stmts(st.Then, fr, depth)
+		}
+		return it.stmts(st.Else, fr, depth)
+	case *WhileStmt:
+		for {
+			c, err := it.eval(st.Cond, fr, depth)
+			if err != nil {
+				return ctrlNext, err
+			}
+			if c == 0 {
+				return ctrlNext, nil
+			}
+			ctrl, err := it.stmts(st.Body, fr, depth)
+			if err != nil {
+				return ctrlNext, err
+			}
+			switch ctrl {
+			case ctrlBreak:
+				return ctrlNext, nil
+			case ctrlReturn:
+				return ctrlReturn, nil
+			}
+			if err := it.tick(); err != nil {
+				return ctrlNext, err
+			}
+		}
+	case *ForStmt:
+		if st.Init != nil {
+			if err := it.assign(st.Init, fr, depth); err != nil {
+				return ctrlNext, err
+			}
+		}
+		for {
+			c, err := it.eval(st.Cond, fr, depth)
+			if err != nil {
+				return ctrlNext, err
+			}
+			if c == 0 {
+				return ctrlNext, nil
+			}
+			ctrl, err := it.stmts(st.Body, fr, depth)
+			if err != nil {
+				return ctrlNext, err
+			}
+			if ctrl == ctrlBreak {
+				return ctrlNext, nil
+			}
+			if ctrl == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			// continue lands on the latch: the post-assignment still runs.
+			if st.Post != nil {
+				if err := it.assign(st.Post, fr, depth); err != nil {
+					return ctrlNext, err
+				}
+			}
+			if err := it.tick(); err != nil {
+				return ctrlNext, err
+			}
+		}
+	case *AtomicStmt:
+		// Atomicity constrains checkpoint placement, not sequential
+		// semantics; break/continue/return pass through the boundary.
+		return it.stmts(st.Body, fr, depth)
+	default:
+		return ctrlNext, fmt.Errorf("minic: interp: unknown statement %T", s)
+	}
+}
+
+// assign mirrors lowering's evaluation order: the value first, then the
+// index — a trap in the value expression fires before an out-of-range
+// index is even computed.
+func (it *interp) assign(st *AssignStmt, fr *frame, depth int) error {
+	val, err := it.eval(st.Value, fr, depth)
+	if err != nil {
+		return err
+	}
+	if _, isParam := fr.params[st.Name]; isParam {
+		fr.params[st.Name] = val
+		return nil
+	}
+	store := it.storage(st.Name, fr)
+	if st.Index == nil {
+		store[0] = val
+		return nil
+	}
+	idx, err := it.eval(st.Index, fr, depth)
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= int64(len(store)) {
+		return fmt.Errorf("minic: interp: index %d out of range for %s[%d]", idx, st.Name, len(store))
+	}
+	store[idx] = val
+	return nil
+}
+
+// storage resolves a non-parameter variable: the function's static locals
+// shadow globals, matching sema's lookupVar.
+func (it *interp) storage(name string, fr *frame) []int64 {
+	if s, ok := it.statics[fr.fd][name]; ok {
+		return s
+	}
+	return it.globals[name]
+}
+
+func (it *interp) eval(e Expr, fr *frame, depth int) (int64, error) {
+	if err := it.tick(); err != nil {
+		return 0, err
+	}
+	switch x := e.(type) {
+	case *NumLit:
+		return x.Val, nil
+	case *VarRef:
+		if v, isParam := fr.params[x.Name]; isParam {
+			return v, nil
+		}
+		return it.storage(x.Name, fr)[0], nil
+	case *IndexExpr:
+		idx, err := it.eval(x.Index, fr, depth)
+		if err != nil {
+			return 0, err
+		}
+		store := it.storage(x.Name, fr)
+		if idx < 0 || idx >= int64(len(store)) {
+			return 0, fmt.Errorf("minic: interp: index %d out of range for %s[%d]", idx, x.Name, len(store))
+		}
+		return store[idx], nil
+	case *CallExpr:
+		args := make([]int64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := it.eval(a, fr, depth)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return it.call(it.funcs[x.Name], args, depth+1)
+	case *UnaryExpr:
+		v, err := it.eval(x.X, fr, depth)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "-":
+			return ir.EvalOp(ir.OpNeg, v, 0)
+		case "!":
+			return ir.EvalOp(ir.OpNot, v, 0)
+		case "~":
+			return ir.EvalOp(ir.OpXor, v, -1)
+		default:
+			return 0, fmt.Errorf("minic: interp: unknown unary %q", x.Op)
+		}
+	case *BinaryExpr:
+		l, err := it.eval(x.L, fr, depth)
+		if err != nil {
+			return 0, err
+		}
+		r, err := it.eval(x.R, fr, depth)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "&&":
+			return boolVal(l != 0 && r != 0), nil
+		case "||":
+			return boolVal(l != 0 || r != 0), nil
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return 0, fmt.Errorf("minic: interp: unknown operator %q", x.Op)
+		}
+		v, err := ir.EvalOp(op, l, r)
+		if err != nil {
+			return 0, fmt.Errorf("minic: interp: %w", err)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("minic: interp: unknown expression %T", e)
+	}
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

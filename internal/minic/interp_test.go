@@ -1,0 +1,209 @@
+package minic_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"schematic/internal/bench"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// diffInterp runs one source under both executable semantics — the AST
+// reference interpreter and the IR emulator on the freshly lowered module
+// — and requires identical observables: the same trap behaviour, or the
+// same output stream.
+func diffInterp(t *testing.T, name, src string, inputSeed int64) {
+	t.Helper()
+	file, err := minic.ParseFile(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	if err := minic.Check(file); err != nil {
+		t.Fatalf("%s: check: %v", name, err)
+	}
+	m, err := minic.Compile(name, src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	inputs := trace.RandomInputs(m, rand.New(rand.NewSource(inputSeed)))
+
+	const budget = 50_000_000
+	want, ierr := minic.Interpret(file, inputs, budget)
+	if errors.Is(ierr, minic.ErrInterpSteps) {
+		t.Fatalf("%s: interpreter budget exhausted", name)
+	}
+	res, rerr := emulator.Run(m, emulator.Config{
+		Model: energy.MSP430FR5969(), Inputs: inputs, MaxSteps: budget,
+	})
+	if ierr != nil {
+		if rerr == nil {
+			t.Fatalf("%s: interpreter trapped (%v) but emulator completed with %v", name, ierr, res.Output)
+		}
+		return // both trapped
+	}
+	if rerr != nil {
+		t.Fatalf("%s: emulator trapped (%v) but interpreter completed with %v", name, rerr, want.Output)
+	}
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("%s: emulator verdict %v", name, res.Verdict)
+	}
+	if len(res.Output) != len(want.Output) {
+		t.Fatalf("%s: output length: interpreter %d, emulator %d", name, len(want.Output), len(res.Output))
+	}
+	for i := range want.Output {
+		if want.Output[i] != res.Output[i] {
+			t.Fatalf("%s: output[%d]: interpreter %d, emulator %d", name, i, want.Output[i], res.Output[i])
+		}
+	}
+}
+
+func TestInterpMatchesEmulatorOnBenchmarks(t *testing.T) {
+	benches, err := bench.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			diffInterp(t, b.Name, b.Source, 1)
+		})
+	}
+}
+
+func TestInterpMatchesEmulatorOnFuzzCorpus(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for i, prog := range fuzzgen.Corpus(11, n, fuzzgen.DefaultOptions()) {
+		diffInterp(t, fmt.Sprintf("fuzz-%d", i), prog.Source, 100+int64(i))
+	}
+}
+
+func TestInterpStaticLocals(t *testing.T) {
+	// Locals are static storage: counter's c persists across calls and is
+	// zero-initialized exactly once, at boot.
+	const src = `
+func int counter() {
+	int c;
+	c = c + 1;
+	return c;
+}
+
+func void main() {
+	print(counter());
+	print(counter());
+	print(counter());
+}
+`
+	diffInterp(t, "statics", src, 1)
+
+	file, err := minic.ParseFile("statics", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(file); err != nil {
+		t.Fatal(err)
+	}
+	res, err := minic.Interpret(file, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3}
+	for i, v := range want {
+		if res.Output[i] != v {
+			t.Fatalf("output %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestInterpParamAssignmentStaysLocal(t *testing.T) {
+	// Parameters live in per-call registers; writing one never escapes.
+	const src = `
+func int clobber(int x) {
+	x = x + 100;
+	return x;
+}
+
+func void main() {
+	int a;
+	a = 5;
+	print(clobber(a));
+	print(a);
+}
+`
+	diffInterp(t, "params", src, 1)
+}
+
+func TestInterpTrapParity(t *testing.T) {
+	cases := map[string]string{
+		"divzero": `
+func void main() {
+	int a;
+	a = 0;
+	print(7 / a);
+}
+`,
+		"oob": `
+int arr[4];
+
+func void main() {
+	int i;
+	i = 9;
+	print(arr[i]);
+}
+`,
+	}
+	for name, src := range cases {
+		diffInterp(t, name, src, 1)
+		file, _ := minic.ParseFile(name, src)
+		if err := minic.Check(file); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := minic.Interpret(file, nil, 0); err == nil {
+			t.Fatalf("%s: interpreter did not trap", name)
+		}
+	}
+}
+
+func TestInterpNonShortCircuit(t *testing.T) {
+	// && evaluates both operands: the right-hand division traps even
+	// though the left side is already false.
+	const src = `
+func void main() {
+	int z;
+	z = 0;
+	if (0 && (1 / z)) {
+		print(1);
+	}
+	print(2);
+}
+`
+	diffInterp(t, "shortcircuit", src, 1)
+}
+
+func TestInterpStepBudget(t *testing.T) {
+	const src = `
+func void main() {
+	while (1) {
+	}
+}
+`
+	file, err := minic.ParseFile("spin", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(file); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := minic.Interpret(file, nil, 10_000); !errors.Is(err, minic.ErrInterpSteps) {
+		t.Fatalf("got %v, want ErrInterpSteps", err)
+	}
+}

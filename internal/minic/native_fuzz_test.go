@@ -1,0 +1,81 @@
+package minic_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// FuzzMiniCCompile is the native fuzzing entry point for the whole front
+// half of the pipeline: arbitrary source must never panic the compiler,
+// and anything it accepts must mean the same thing to both executable
+// semantics — the AST reference interpreter and the IR emulator on the
+// lowered module. Seed corpus: testdata/fuzz/FuzzMiniCCompile. Run with
+//
+//	go test ./internal/minic -run '^$' -fuzz FuzzMiniCCompile -fuzztime 30s
+func FuzzMiniCCompile(f *testing.F) {
+	f.Add("func void main() { print(1); }")
+	f.Add("int g;\nfunc void main() { g = g + 1; print(g); }")
+	f.Add("input int a[4];\nfunc void main() { int i; for (i = 0; i < 4; i = i + 1) @max(4) { print(a[i]); } }")
+	f.Add("func int inc(int x) { return x + 1; }\nfunc void main() { print(inc(41)); }")
+	f.Add("func void main() { int z; z = 0; print(1 / z); }")
+	f.Add("int t[3] = {5, 6, 7};\nfunc void main() { atomic { print(t[2]); } }")
+	f.Add("}{\x00 func")
+	model := energy.MSP430FR5969()
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := minic.ParseFile("fuzz", src)
+		if err != nil {
+			return // rejection is always fine
+		}
+		if err := minic.Check(file); err != nil {
+			return
+		}
+		m, err := minic.Lower(file)
+		if err != nil {
+			t.Fatalf("checked program failed to lower: %v\n%s", err, src)
+		}
+		if verr := ir.Verify(m); verr != nil {
+			t.Fatalf("front end produced an unverifiable module: %v\n%s", verr, src)
+		}
+
+		// Differential oracle: the interpreter and the emulator must agree
+		// on trap behaviour and output.
+		const budget = 2_000_000
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(1)))
+		want, ierr := minic.Interpret(file, inputs, budget)
+		if errors.Is(ierr, minic.ErrInterpSteps) {
+			t.Skip("program exceeds the fuzz step budget")
+		}
+		res, rerr := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: budget})
+		if rerr == nil && res.Verdict == emulator.OutOfSteps {
+			t.Skip("program exceeds the fuzz step budget")
+		}
+		if ierr != nil {
+			if rerr == nil {
+				t.Fatalf("interpreter trapped (%v) but emulator completed with %v\n%s", ierr, res.Output, src)
+			}
+			return // both trapped
+		}
+		if rerr != nil {
+			t.Fatalf("emulator trapped (%v) but interpreter completed with %v\n%s", rerr, want.Output, src)
+		}
+		if res.Verdict != emulator.Completed {
+			t.Fatalf("emulator verdict %v\n%s", res.Verdict, src)
+		}
+		if len(res.Output) != len(want.Output) {
+			t.Fatalf("output length: interpreter %d, emulator %d\n%s", len(want.Output), len(res.Output), src)
+		}
+		for i := range want.Output {
+			if want.Output[i] != res.Output[i] {
+				t.Fatalf("output[%d]: interpreter %d, emulator %d\n%s", i, want.Output[i], res.Output[i], src)
+			}
+		}
+	})
+}

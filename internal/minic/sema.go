@@ -54,7 +54,108 @@ func (c *checker) run() error {
 			return err
 		}
 	}
+	return c.checkNoRecursion()
+}
+
+// checkNoRecursion rejects call-graph cycles up front: frames are
+// statically allocated (paper III-B1), so recursion cannot be lowered
+// and would otherwise surface as an unpositioned ir.Verify failure.
+func (c *checker) checkNoRecursion() error {
+	const unvisited, visiting, done = 0, 1, 2
+	state := map[string]int{}
+	var visit func(fn *FuncDecl) error
+	visit = func(fn *FuncDecl) error {
+		switch state[fn.Name] {
+		case visiting:
+			return errf(fn.Pos, "recursion involving %q (unsupported: frames are statically allocated)", fn.Name)
+		case done:
+			return nil
+		}
+		state[fn.Name] = visiting
+		for _, callee := range c.callees(fn) {
+			if err := visit(callee); err != nil {
+				return err
+			}
+		}
+		state[fn.Name] = done
+		return nil
+	}
+	for _, fn := range c.file.Funcs {
+		if err := visit(fn); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// callees returns the functions fn calls directly, in source order.
+func (c *checker) callees(fn *FuncDecl) []*FuncDecl {
+	var out []*FuncDecl
+	seen := map[string]bool{}
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *CallExpr:
+			if callee, ok := c.funcs[x.Name]; ok && !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, callee)
+			}
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *IndexExpr:
+			walkExpr(x.Index)
+		case *UnaryExpr:
+			walkExpr(x.X)
+		case *BinaryExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		}
+	}
+	walkAssign := func(a *AssignStmt) {
+		if a == nil {
+			return
+		}
+		if a.Index != nil {
+			walkExpr(a.Index)
+		}
+		walkExpr(a.Value)
+	}
+	var walkStmts func(stmts []Stmt)
+	walkStmts = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *AssignStmt:
+				walkAssign(st)
+			case *IfStmt:
+				walkExpr(st.Cond)
+				walkStmts(st.Then)
+				walkStmts(st.Else)
+			case *WhileStmt:
+				walkExpr(st.Cond)
+				walkStmts(st.Body)
+			case *ForStmt:
+				walkAssign(st.Init)
+				if st.Cond != nil {
+					walkExpr(st.Cond)
+				}
+				walkAssign(st.Post)
+				walkStmts(st.Body)
+			case *ReturnStmt:
+				if st.Value != nil {
+					walkExpr(st.Value)
+				}
+			case *PrintStmt:
+				walkExpr(st.Value)
+			case *AtomicStmt:
+				walkStmts(st.Body)
+			case *ExprStmt:
+				walkExpr(st.X)
+			}
+		}
+	}
+	walkStmts(fn.Body)
+	return out
 }
 
 func (c *checker) checkFunc(fn *FuncDecl) error {

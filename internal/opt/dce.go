@@ -12,11 +12,20 @@ import (
 func eliminateDeadCode(f *ir.Func, st *Stats) bool {
 	rl := dataflow.LiveRegs(f)
 	changed := false
+	sabotaged := false
 	for _, b := range f.Blocks {
 		live := rl.OutSet(b)
 		kept := make([]ir.Instr, 0, len(b.Instrs))
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := b.Instrs[i]
+			if SabotageDropStore && !sabotaged {
+				if _, isStore := in.(*ir.Store); isStore {
+					sabotaged = true
+					st.DeadInstrs++
+					changed = true
+					continue
+				}
+			}
 			d, hasDef := ir.Def(in)
 			if hasDef && !live.Has(int(d)) && !hasSideEffect(in) {
 				st.DeadInstrs++

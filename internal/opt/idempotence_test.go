@@ -1,0 +1,64 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"schematic/internal/bench"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/opt"
+)
+
+// TestOptimizeIdempotentProperty generalizes TestOptimizeIdempotent into
+// a property over every benchmark and a fuzz corpus: a second Optimize
+// run over already-optimized IR must fire zero rewrites and leave the
+// module byte-identical. A pass pair that kept undoing each other's work
+// would loop forever under the per-pass validator, so idempotence is
+// load-bearing for transval, not just hygiene.
+func TestOptimizeIdempotentProperty(t *testing.T) {
+	checkIdempotent := func(t *testing.T, name string, m *ir.Module) {
+		t.Helper()
+		if _, err := opt.Optimize(m); err != nil {
+			t.Fatalf("%s: first Optimize: %v", name, err)
+		}
+		settled := m.String()
+		st, err := opt.Optimize(m)
+		if err != nil {
+			t.Fatalf("%s: second Optimize: %v", name, err)
+		}
+		if st.Total() != 0 {
+			t.Fatalf("%s: second Optimize fired %d rewrites: %s", name, st.Total(), st)
+		}
+		if got := m.String(); got != settled {
+			t.Fatalf("%s: second Optimize changed the module\nbefore:\n%s\nafter:\n%s", name, settled, got)
+		}
+	}
+
+	benches, err := bench.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		m, err := minic.Compile(b.Name, b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		checkIdempotent(t, b.Name, m)
+	}
+
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(300 + i)
+		src := fuzzgen.Generate(rand.New(rand.NewSource(seed)), fuzzgen.DefaultOptions())
+		m, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkIdempotent(t, src, m)
+	}
+}

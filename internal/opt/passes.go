@@ -1,0 +1,78 @@
+package opt
+
+import "schematic/internal/ir"
+
+// Pass is one optimizer rewrite stage, individually runnable so the
+// translation validator (internal/transval) can snapshot and check the
+// module after every single pass application instead of only after the
+// whole fixpoint. Run applies the pass once across the module and reports
+// whether anything changed.
+type Pass struct {
+	Name string
+	Run  func(m *ir.Module, st *Stats) bool
+}
+
+// perFunc lifts a per-function pass to a module sweep.
+func perFunc(fn func(*ir.Func, *Stats) bool) func(*ir.Module, *Stats) bool {
+	return func(m *ir.Module, st *Stats) bool {
+		changed := false
+		for _, f := range m.Funcs {
+			changed = fn(f, st) || changed
+		}
+		return changed
+	}
+}
+
+// Passes returns the optimizer's stages in the order Optimize applies
+// them. Running the list repeatedly until no pass reports a change
+// reaches the same kind of fixpoint Optimize does (Optimize nests the
+// iteration per function; the flat ordering here trades that for
+// per-pass observability).
+func Passes() []Pass {
+	return []Pass{
+		{Name: "constfold", Run: perFunc(foldConstants)},
+		{Name: "storefwd", Run: perFunc(forwardStores)},
+		{Name: "lvn", Run: perFunc(numberValues)},
+		{Name: "copyprop", Run: perFunc(propagateCopies)},
+		{Name: "licm", Run: perFunc(hoistInvariantLoads)},
+		{Name: "simplifycfg", Run: perFunc(simplifyCFG)},
+		{Name: "dce", Run: perFunc(eliminateDeadCode)},
+		{Name: "deadstores", Run: eliminateDeadStores},
+	}
+}
+
+// ruleNames lists every rewrite-rule counter of Stats, in report order.
+var ruleNames = []string{
+	"folded", "simplified", "copies", "cse", "hoisted", "loads-forwarded",
+	"dead-stores", "dead-instrs", "dead-blocks", "branches", "merged-blocks",
+}
+
+// RuleNames returns the names of every rewrite-rule counter in Stats —
+// the rule universe the coverage accountant reports against.
+func RuleNames() []string {
+	return append([]string(nil), ruleNames...)
+}
+
+// Counters returns the per-rule rewrite counts keyed by RuleNames entry.
+func (s *Stats) Counters() map[string]int {
+	return map[string]int{
+		"folded":          s.Folded,
+		"simplified":      s.Simplified,
+		"copies":          s.Copies,
+		"cse":             s.CSE,
+		"hoisted":         s.Hoisted,
+		"loads-forwarded": s.LoadsForwarded,
+		"dead-stores":     s.DeadStores,
+		"dead-instrs":     s.DeadInstrs,
+		"dead-blocks":     s.DeadBlocks,
+		"branches":        s.Branches,
+		"merged-blocks":   s.MergedBlocks,
+	}
+}
+
+// SabotageDropStore, when set, makes eliminateDeadCode wrongly delete the
+// first store it encounters in each function — a deliberately planted
+// miscompile the translation-validation tests use to prove the validator
+// detects, bisects, and shrinks real optimizer bugs. Never set outside
+// tests.
+var SabotageDropStore bool

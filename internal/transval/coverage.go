@@ -1,0 +1,231 @@
+package transval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"schematic/internal/cfg"
+	"schematic/internal/ir"
+	"schematic/internal/opt"
+)
+
+// Coverage accounts for what a validation corpus actually exercises, so
+// blind spots in the fuzz generator are visible instead of silent: IR
+// opcodes, instruction kinds, CFG shape (loop nesting, call depth, array
+// traffic), and which optimizer rewrite rules ever fired.
+type Coverage struct {
+	Programs int
+
+	// Opcodes counts BinOp operators by name; Instrs counts instruction
+	// kinds.
+	Opcodes map[string]int
+	Instrs  map[string]int
+
+	// MaxLoopDepth and MaxCallDepth are the deepest loop nesting and call
+	// chain seen; ArrayLoads/ArrayStores count indexed accesses.
+	MaxLoopDepth int
+	MaxCallDepth int
+	ArrayLoads   int
+	ArrayStores  int
+
+	// Rules aggregates the optimizer's rewrite-rule counters across every
+	// validated program.
+	Rules map[string]int
+}
+
+// NewCoverage returns an empty accountant.
+func NewCoverage() *Coverage {
+	return &Coverage{
+		Opcodes: map[string]int{},
+		Instrs:  map[string]int{},
+		Rules:   map[string]int{},
+	}
+}
+
+// AddModule records the opcodes, instruction kinds, and CFG shape of one
+// lowered module.
+func (c *Coverage) AddModule(m *ir.Module) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				c.Instrs[instrKind(in)]++
+				switch x := in.(type) {
+				case *ir.BinOp:
+					c.Opcodes[x.Op.String()]++
+				case *ir.Load:
+					if x.HasIndex {
+						c.ArrayLoads++
+					}
+				case *ir.Store:
+					if x.HasIndex {
+						c.ArrayStores++
+					}
+				}
+			}
+		}
+		dom := cfg.Dominators(f)
+		for _, l := range cfg.Loops(f, dom).All {
+			if d := l.Depth(); d > c.MaxLoopDepth {
+				c.MaxLoopDepth = d
+			}
+		}
+	}
+	if d := callDepth(m); d > c.MaxCallDepth {
+		c.MaxCallDepth = d
+	}
+}
+
+// AddStats folds one program's optimizer statistics into the rule
+// counters.
+func (c *Coverage) AddStats(st *opt.Stats) {
+	for name, n := range st.Counters() {
+		c.Rules[name] += n
+	}
+}
+
+func instrKind(in ir.Instr) string {
+	switch in.(type) {
+	case *ir.Const:
+		return "const"
+	case *ir.BinOp:
+		return "binop"
+	case *ir.Load:
+		return "load"
+	case *ir.Store:
+		return "store"
+	case *ir.Call:
+		return "call"
+	case *ir.Out:
+		return "out"
+	case *ir.Br:
+		return "br"
+	case *ir.Jmp:
+		return "jmp"
+	case *ir.Ret:
+		return "ret"
+	case *ir.Checkpoint:
+		return "checkpoint"
+	case *ir.LoopBound:
+		return "loopbound"
+	default:
+		return fmt.Sprintf("%T", in)
+	}
+}
+
+// callDepth returns the longest call chain in the module, in frames
+// (main alone = 1). ir.Verify rejects recursion, so the call graph is a
+// DAG; the visiting guard keeps unverified input from looping.
+func callDepth(m *ir.Module) int {
+	memo := map[*ir.Func]int{}
+	visiting := map[*ir.Func]bool{}
+	var depth func(f *ir.Func) int
+	depth = func(f *ir.Func) int {
+		if d, ok := memo[f]; ok {
+			return d
+		}
+		if visiting[f] {
+			return 0
+		}
+		visiting[f] = true
+		best := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if call, ok := in.(*ir.Call); ok {
+					if d := depth(call.Callee); d > best {
+						best = d
+					}
+				}
+			}
+		}
+		visiting[f] = false
+		memo[f] = 1 + best
+		return memo[f]
+	}
+	main := m.FuncByName("main")
+	if main == nil {
+		return 0
+	}
+	return depth(main)
+}
+
+// OpcodeCoverage returns how many of the IR's operators the corpus
+// exercised, out of the full opcode universe.
+func (c *Coverage) OpcodeCoverage() (seen, total int) {
+	for _, op := range ir.Ops() {
+		total++
+		if c.Opcodes[op.String()] > 0 {
+			seen++
+		}
+	}
+	return seen, total
+}
+
+// MissingOpcodes lists operators no validated program ever executed —
+// the generator's blind spots.
+func (c *Coverage) MissingOpcodes() []string {
+	var out []string
+	for _, op := range ir.Ops() {
+		if c.Opcodes[op.String()] == 0 {
+			out = append(out, op.String())
+		}
+	}
+	return out
+}
+
+// MissingRules lists optimizer rewrite rules that never fired across the
+// corpus.
+func (c *Coverage) MissingRules() []string {
+	var out []string
+	for _, name := range opt.RuleNames() {
+		if c.Rules[name] == 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// WriteReport renders the accountant's findings.
+func (c *Coverage) WriteReport(w io.Writer) {
+	seen, total := c.OpcodeCoverage()
+	fmt.Fprintf(w, "coverage: %d programs validated\n", c.Programs)
+	fmt.Fprintf(w, "  opcodes: %d/%d exercised", seen, total)
+	if miss := c.MissingOpcodes(); len(miss) > 0 {
+		fmt.Fprintf(w, " (missing: %v)", miss)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  instruction kinds: %s\n", sortedCounts(c.Instrs))
+	fmt.Fprintf(w, "  cfg shape: max loop depth %d, max call depth %d, array loads %d, array stores %d\n",
+		c.MaxLoopDepth, c.MaxCallDepth, c.ArrayLoads, c.ArrayStores)
+	fired := 0
+	for _, name := range opt.RuleNames() {
+		if c.Rules[name] > 0 {
+			fired++
+		}
+	}
+	fmt.Fprintf(w, "  rewrite rules: %d/%d fired", fired, len(opt.RuleNames()))
+	if miss := c.MissingRules(); len(miss) > 0 {
+		fmt.Fprintf(w, " (never fired: %v)", miss)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  rule firings: %s\n", sortedCounts(c.Rules))
+}
+
+func sortedCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %d", k, m[k])
+	}
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

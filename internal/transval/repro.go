@@ -1,0 +1,65 @@
+package transval
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteFindings serializes findings as NDJSON, one repro per line. The
+// encoding is deterministic: struct field order is fixed and no maps are
+// involved.
+func WriteFindings(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for i := range findings {
+		if err := enc.Encode(&findings[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFindings parses an NDJSON repro stream, skipping blank lines.
+func ReadFindings(r io.Reader) ([]Finding, error) {
+	var out []Finding
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // sources can be long lines
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var f Finding
+		if err := json.Unmarshal(b, &f); err != nil {
+			return nil, fmt.Errorf("transval: repro line %d: %w", line, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replay re-validates a finding's case from its serialized form
+// (verifying fuzz provenance) and returns the freshly found divergence.
+// A deterministic repro reproduces the same offending stage; Replay
+// errors when the pipeline validates cleanly or diverges elsewhere.
+func Replay(f Finding, opts Options) (*Finding, error) {
+	opts = opts.withDefaults()
+	opts.NoShrink = true
+	got, err := validate(f.Case, opts)
+	if err != nil {
+		return nil, err
+	}
+	if got == nil {
+		return nil, fmt.Errorf("transval: replay of %s: pipeline validates cleanly (stage %s expected)", f.Case.Name, f.Stage)
+	}
+	if got.Stage != f.Stage {
+		return got, fmt.Errorf("transval: replay of %s: diverged at %s, repro recorded %s", f.Case.Name, got.Stage, f.Stage)
+	}
+	return got, nil
+}
