@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover crashhunt-smoke fuzz-smoke transval-smoke
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke fuzz-smoke transval-smoke serve-smoke
 
-ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke
+ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke serve-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -46,3 +46,9 @@ fuzz-smoke:
 # stream through every pipeline stage. Nonzero exit on any mismatch.
 transval-smoke:
 	go run ./cmd/transval -fuzz 25
+
+# Daemon round trip: start schematicd on an ephemeral port, drive a
+# compile + emulate through schemactl, check cache dedup on /metrics,
+# and verify a clean SIGTERM drain. See scripts/serve-smoke.sh.
+serve-smoke:
+	sh scripts/serve-smoke.sh

@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func newHarness() *bench.Harness {
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		t1, err := h.Table1()
+		t1, err := h.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		rows, err := h.Table2()
+		rows, err := h.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		t3, err := h.Table3()
+		t3, err := h.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		fig, err := h.Figure6(bench.Fig6TBPF)
+		fig, err := h.Figure6(context.Background(), bench.Fig6TBPF)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		fig, err := h.Figure7(bench.Fig6TBPF)
+		fig, err := h.Figure7(context.Background(), bench.Fig6TBPF)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		abl, err := h.Ablations(bench.Fig6TBPF)
+		abl, err := h.Ablations(context.Background(), bench.Fig6TBPF)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		fig, err := h.Figure8("crc")
+		fig, err := h.Figure8(context.Background(), "crc")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"schematic/internal/cli"
 	"schematic/internal/crashtest"
 )
 
@@ -76,15 +79,20 @@ func main() {
 	if *verbose {
 		h.Log = os.Stderr
 	}
+	// ^C / SIGTERM cancels the sweep: in-flight cases wind down and the
+	// rest are reported as skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	results := h.Run(cases)
+	results := h.Run(ctx, cases)
 	summary := crashtest.Summarize(results)
 
 	findings := crashtest.Findings(results)
 	// Fuzz-generated counterexamples also get their program shrunk.
 	for i := range findings {
 		if findings[i].Case.Fuzz != nil {
-			findings[i] = *crashtest.ShrinkProgram(&findings[i], h.Opts)
+			findings[i] = *crashtest.ShrinkProgram(ctx, &findings[i], h.Opts)
 		}
 	}
 
@@ -105,7 +113,7 @@ func main() {
 	fmt.Printf("crashhunt: %s in %v\n", summary, time.Since(start).Round(time.Millisecond))
 
 	if *out != "" && len(findings) > 0 {
-		fail(writeFindingsFile(*out, findings))
+		fail(cli.WriteTo(*out, func(w io.Writer) error { return crashtest.WriteFindings(w, findings) }))
 		fmt.Printf("crashhunt: wrote %d repro(s) to %s\n", len(findings), *out)
 	}
 
@@ -156,13 +164,9 @@ func runReplay(path string) int {
 
 // buildCases assembles the hunt list from the benchmark and fuzz selections.
 func buildCases(benchSpec string, techs []string, fuzzN int, fuzzSeed, inputSeed int64) ([]crashtest.Case, error) {
-	var names []string
-	switch benchSpec {
-	case "none", "":
-	case "all":
-		names = crashtest.BenchNames()
-	default:
-		names = splitList(benchSpec)
+	names, err := cli.BenchNames(benchSpec)
+	if err != nil {
+		return nil, err
 	}
 	cases, err := crashtest.BenchCases(names, techs, inputSeed)
 	if err != nil {
@@ -178,7 +182,7 @@ func parseTechs(spec string) ([]string, error) {
 	if spec == "all" || spec == "" {
 		return crashtest.TechniqueNames(), nil
 	}
-	names := splitList(spec)
+	names := cli.SplitList(spec)
 	for _, n := range names {
 		if _, err := crashtest.TechniqueByName(n); err != nil {
 			return nil, err
@@ -187,31 +191,4 @@ func parseTechs(spec string) ([]string, error) {
 	return names, nil
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func writeFindingsFile(path string, findings []crashtest.Finding) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := crashtest.WriteFindings(io.Writer(f), findings); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "crashhunt: %v\n", err)
-		os.Exit(2)
-	}
-}
+var fail = cli.Fail("crashhunt", 2)

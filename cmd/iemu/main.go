@@ -26,16 +26,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"strings"
 
+	"schematic/internal/cli"
 	"schematic/internal/emulator"
 	"schematic/internal/energy"
-	"schematic/internal/ir"
-	"schematic/internal/minic"
 	"schematic/internal/obs"
 	"schematic/internal/trace"
 )
@@ -60,20 +57,8 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	srcBytes, err := os.ReadFile(path)
+	m, _, _, err := cli.LoadProgram(path)
 	fail(err)
-	src := string(srcBytes)
-
-	var m *ir.Module
-	if strings.HasSuffix(path, ".ir") || strings.HasPrefix(strings.TrimSpace(src), "module ") {
-		m, err = ir.Parse(src)
-		fail(err)
-		fail(ir.Verify(m))
-	} else {
-		name := strings.TrimSuffix(filepath.Base(path), ".mc")
-		m, err = minic.Compile(name, src)
-		fail(err)
-	}
 
 	cfg := emulator.Config{
 		Model:  energy.MSP430FR5969(),
@@ -133,10 +118,10 @@ func main() {
 	fail(err)
 
 	if tl != nil {
-		fail(writeTo(*timeline, tl.WriteChromeTrace))
+		fail(cli.WriteTo(*timeline, tl.WriteChromeTrace))
 	}
 	if fl != nil {
-		fail(writeTo(*folded, fl.WriteFolded))
+		fail(cli.WriteTo(*folded, fl.WriteFolded))
 	}
 	if sw != nil {
 		fail(sw.Flush())
@@ -199,22 +184,4 @@ func parseInject(s string) ([]emulator.FailPoint, error) {
 	return out, nil
 }
 
-// writeTo writes an exporter's output to path.
-func writeTo(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "iemu: %v\n", err)
-		os.Exit(1)
-	}
-}
+var fail = cli.Fail("iemu", 1)

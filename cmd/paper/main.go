@@ -24,10 +24,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"schematic/internal/bench"
@@ -48,6 +51,11 @@ func main() {
 		statsOut    = flag.String("stats", "", "dump per-cell NDJSON records to this file")
 	)
 	flag.Parse()
+
+	// ^C / SIGTERM cancels the in-flight experiment grid promptly instead
+	// of letting it run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	h := bench.NewHarness()
 	h.ProfileRuns = *profileRuns
@@ -75,7 +83,7 @@ func main() {
 
 	if *all || *table == 1 {
 		run("Table I", func() error {
-			t1, err := h.Table1()
+			t1, err := h.Table1(ctx)
 			if err != nil {
 				return err
 			}
@@ -86,7 +94,7 @@ func main() {
 	}
 	if *all || *table == 2 {
 		run("Table II", func() error {
-			rows, err := h.Table2()
+			rows, err := h.Table2(ctx)
 			if err != nil {
 				return err
 			}
@@ -97,7 +105,7 @@ func main() {
 	}
 	if *all || *table == 3 {
 		run("Table III", func() error {
-			t3, err := h.Table3()
+			t3, err := h.Table3(ctx)
 			if err != nil {
 				return err
 			}
@@ -110,7 +118,7 @@ func main() {
 	if *all || *figure == 6 || *headline {
 		run("Figure 6", func() error {
 			var err error
-			fig6, err = h.Figure6(bench.Fig6TBPF)
+			fig6, err = h.Figure6(ctx, bench.Fig6TBPF)
 			if err != nil {
 				return err
 			}
@@ -123,7 +131,7 @@ func main() {
 	}
 	if *all || *figure == 7 {
 		run("Figure 7", func() error {
-			fig7, err := h.Figure7(bench.Fig6TBPF)
+			fig7, err := h.Figure7(ctx, bench.Fig6TBPF)
 			if err != nil {
 				return err
 			}
@@ -134,7 +142,7 @@ func main() {
 	}
 	if *all || *figure == 8 {
 		run("Figure 8", func() error {
-			fig8, err := h.Figure8(*fig8Bench)
+			fig8, err := h.Figure8(ctx, *fig8Bench)
 			if err != nil {
 				return err
 			}
@@ -152,7 +160,7 @@ func main() {
 	}
 	if *all || *ablations {
 		run("Ablations", func() error {
-			abl, err := h.Ablations(bench.Fig6TBPF)
+			abl, err := h.Ablations(ctx, bench.Fig6TBPF)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,193 @@
+// Command schemactl is the CLI client for schematicd.
+//
+//	schemactl health
+//	schemactl metrics
+//	schemactl compile -f prog.mc -tech schematic -tbpf 500
+//	schemactl emulate -bench crc -tech schematic
+//	schemactl emulate -f prog.mc -stream          # NDJSON event stream
+//	schemactl validate -f prog.mc
+//	schemactl hunt -bench crc -tech mementos
+//
+// The daemon address comes from -addr or $SCHEMATICD_ADDR
+// (default 127.0.0.1:8472). Exit status: 0 on success, 1 when the
+// daemon reports an error, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"schematic/internal/cli"
+	"schematic/internal/server"
+)
+
+var fail = cli.Fail("schemactl", 1)
+
+func main() {
+	addr := flag.String("addr", envOr("SCHEMATICD_ADDR", "127.0.0.1:8472"), "schematicd address (host:port)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+	switch cmd := args[0]; cmd {
+	case "health":
+		get(base + "/healthz")
+	case "metrics":
+		get(base + "/metrics")
+	case "compile", "emulate", "validate", "hunt":
+		job(base, cmd, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "schemactl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: schemactl [-addr host:port] <command> [flags]
+
+commands:
+  compile | emulate | validate | hunt   submit a job (see -h of each)
+  health                                print the daemon health report
+  metrics                               print the Prometheus metrics page`)
+	flag.PrintDefaults()
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// job parses the per-command flags, posts the request, and prints the
+// response.
+func job(base, kind string, args []string) {
+	fs := flag.NewFlagSet("schemactl "+kind, flag.ExitOnError)
+	var (
+		file        = fs.String("f", "", "MiniC source file to submit")
+		benchName   = fs.String("bench", "", "submit a bundled benchmark by name instead of a file")
+		name        = fs.String("name", "", "program name for reports (default: file basename)")
+		tech        = fs.String("tech", "", "technique: schematic|ratchet|mementos|rockclimb|alfred|allnvm|none (default schematic)")
+		tbpf        = fs.Int64("tbpf", 0, "derive the capacitor budget from this TBPF (cycles)")
+		eb          = fs.Float64("eb", 0, "capacitor budget in nJ (overrides -tbpf)")
+		vmSize      = fs.Int("vmsize", 0, "SVM in bytes (default 2048)")
+		seed        = fs.Int64("seed", 0, "workload input seed (default 1)")
+		profileRuns = fs.Int("profile-runs", 0, "profiling executions (default 50)")
+		optimize    = fs.Bool("opt", false, "run the optimizer before placement")
+		stream      = fs.Bool("stream", false, "emulate only: stream NDJSON events")
+		timeoutMS   = fs.Int64("timeout-ms", 0, "per-job deadline in milliseconds")
+		out         = fs.String("o", "", "write the response to this file instead of stdout")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fail(fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " ")))
+	}
+	req := server.Request{
+		Name:  *name,
+		Bench: *benchName,
+		Options: server.Options{
+			Technique:   *tech,
+			TBPF:        *tbpf,
+			EB:          *eb,
+			VMSize:      *vmSize,
+			Seed:        *seed,
+			ProfileRuns: *profileRuns,
+			Optimize:    *optimize,
+			Stream:      *stream,
+			TimeoutMS:   *timeoutMS,
+		},
+	}
+	switch {
+	case *file != "" && *benchName != "":
+		fail(fmt.Errorf("-f and -bench are mutually exclusive"))
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		req.Source = string(src)
+		if req.Name == "" {
+			req.Name = cli.ProgramName(*file)
+		}
+	case *benchName == "":
+		fail(fmt.Errorf("one of -f or -bench is required"))
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := http.Post(base+"/v1/"+kind, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+
+	if *stream {
+		// Pass the NDJSON through untouched; it is already line-oriented.
+		if err := writeOut(*out, resp.Body); err != nil {
+			fail(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") != nil {
+		pretty.Write(raw) // not JSON? print as-is
+	}
+	pretty.WriteByte('\n')
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "schemactl: %s returned %s\n", kind, resp.Status)
+		os.Stderr.Write(pretty.Bytes())
+		os.Exit(1)
+	}
+	if err := writeOut(*out, &pretty); err != nil {
+		fail(err)
+	}
+}
+
+// get prints a GET endpoint's body and mirrors the HTTP status in the
+// exit code.
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+// writeOut copies r to path, or stdout when path is empty.
+func writeOut(path string, r io.Reader) error {
+	if path == "" {
+		_, err := io.Copy(os.Stdout, r)
+		return err
+	}
+	return cli.WriteTo(path, func(w io.Writer) error {
+		_, err := io.Copy(w, r)
+		return err
+	})
+}

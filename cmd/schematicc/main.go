@@ -24,6 +24,7 @@ import (
 	"schematic/internal/baselines/ratchet"
 	"schematic/internal/baselines/rockclimb"
 	"schematic/internal/bench"
+	"schematic/internal/cli"
 	schematic "schematic/internal/core"
 	"schematic/internal/energy"
 	"schematic/internal/ir"
@@ -57,7 +58,7 @@ func main() {
 	path := flag.Arg(0)
 	src, err := os.ReadFile(path)
 	fail(err)
-	name := strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".mc")
+	name := cli.ProgramName(path)
 	m, err := minic.Compile(name, string(src))
 	fail(err)
 	if *optimize {
@@ -190,9 +191,4 @@ func runTransval(name, src, technique string, tbpf int64, vmSize int, seed int64
 	}
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "schematicc: %v\n", err)
-		os.Exit(1)
-	}
-}
+var fail = cli.Fail("schematicc", 1)

@@ -1,0 +1,125 @@
+// Command schematicd is the long-running SCHEMATIC service: an HTTP
+// JSON API over the compiler, the intermittent emulator, the
+// translation validator, and the crash-consistency hunter, with
+// content-addressed single-flight caching, bounded-queue admission
+// control, Prometheus metrics, and graceful drain.
+//
+//	schematicd                          # listen on 127.0.0.1:8472
+//	schematicd -addr :0 -addr-file a    # ephemeral port, written to file a
+//	schematicd -workers 4 -queue 32     # sizing
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, finishes every
+// in-flight job, writes a final metrics snapshot to stderr, and exits 0.
+// See SERVICE.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"schematic/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8472", "listen address (host:port; port 0 picks an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+		workers  = flag.Int("workers", 0, "job-pool size (0 = NumCPU)")
+		queue    = flag.Int("queue", 0, "admission-queue capacity (0 = 64)")
+		cache    = flag.Int("cache", 0, "result-cache capacity in entries (0 = 1024)")
+		timeout  = flag.Duration("timeout", 0, "per-job deadline (0 = 60s)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		quiet    = flag.Bool("q", false, "log only startup and shutdown, not per-job lines")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "schematicd: ", log.LstdFlags)
+
+	cfg := server.Config{
+		Workers:    *workers,
+		QueueCap:   *queue,
+		CacheCap:   *cache,
+		JobTimeout: *timeout,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	s := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Fatalf("write -addr-file: %v", err)
+		}
+	}
+	logger.Printf("listening on %s", bound)
+
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("signal received, draining (up to %v)", *drainFor)
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	// Refuse new work first so requests arriving during shutdown get a
+	// clean 503 instead of a connection error, then stop the listener and
+	// wait for everything admitted.
+	s.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	code := 0
+	if err := s.Drain(dctx); err != nil {
+		logger.Printf("drain: %v", err)
+		s.Close() // hard-cancel whatever is left
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+
+	// Final metrics snapshot: scrape our own handler so the flushed
+	// ledger is byte-identical to what a monitoring system would see.
+	var sb strings.Builder
+	req, _ := http.NewRequest("GET", "/metrics", nil)
+	rec := newRecorder(&sb)
+	s.Handler().ServeHTTP(rec, req)
+	fmt.Fprintf(os.Stderr, "--- final metrics ---\n%s", sb.String())
+	logger.Printf("drained, exiting")
+	os.Exit(code)
+}
+
+// recorder is a minimal ResponseWriter capturing the body into a builder.
+type recorder struct {
+	h  http.Header
+	sb *strings.Builder
+}
+
+func newRecorder(sb *strings.Builder) *recorder {
+	return &recorder{h: make(http.Header), sb: sb}
+}
+
+func (r *recorder) Header() http.Header         { return r.h }
+func (r *recorder) WriteHeader(int)             {}
+func (r *recorder) Write(p []byte) (int, error) { return r.sb.Write(p) }

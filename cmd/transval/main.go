@@ -20,10 +20,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
 	"schematic/internal/bench"
+	"schematic/internal/cli"
 	"schematic/internal/transval"
 )
 
@@ -55,7 +56,7 @@ func main() {
 		Coverage:      transval.NewCoverage(),
 	}
 	if *techs != "all" && *techs != "" {
-		opts.Techniques = splitList(*techs)
+		opts.Techniques = cli.SplitList(*techs)
 	}
 
 	if *replay != "" {
@@ -104,7 +105,7 @@ func main() {
 	}
 
 	if *out != "" && len(findings) > 0 {
-		fail(writeFindingsFile(*out, findings))
+		fail(cli.WriteTo(*out, func(w io.Writer) error { return transval.WriteFindings(w, findings) }))
 		fmt.Printf("transval: wrote %d repro(s) to %s\n", len(findings), *out)
 	}
 	if len(findings) > 0 {
@@ -146,27 +147,16 @@ func runReplay(path string, opts transval.Options) int {
 // selections.
 func buildCases(benchSpec string, fuzzN int, fuzzSeed, inputSeed int64) ([]transval.Case, error) {
 	var cases []transval.Case
-	if benchSpec != "none" && benchSpec != "" {
-		all, err := bench.All()
+	names, err := cli.BenchNames(benchSpec)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		b, err := bench.ByName(n)
 		if err != nil {
 			return nil, err
 		}
-		want := map[string]bool{}
-		if benchSpec != "all" {
-			for _, n := range splitList(benchSpec) {
-				want[n] = true
-			}
-		}
-		for _, b := range all {
-			if len(want) > 0 && !want[b.Name] {
-				continue
-			}
-			delete(want, b.Name)
-			cases = append(cases, transval.Case{Name: b.Name, Source: b.Source, InputSeed: inputSeed})
-		}
-		for n := range want {
-			return nil, fmt.Errorf("unknown benchmark %q", n)
-		}
+		cases = append(cases, transval.Case{Name: b.Name, Source: b.Source, InputSeed: inputSeed})
 	}
 	if fuzzN > 0 {
 		cases = append(cases, transval.FuzzCases(fuzzSeed, fuzzN, inputSeed+1000)...)
@@ -174,31 +164,4 @@ func buildCases(benchSpec string, fuzzN int, fuzzSeed, inputSeed int64) ([]trans
 	return cases, nil
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func writeFindingsFile(path string, findings []transval.Finding) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := transval.WriteFindings(f, findings); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "transval: %v\n", err)
-		os.Exit(2)
-	}
-}
+var fail = cli.Fail("transval", 2)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -62,7 +63,7 @@ func Variants() []Variant {
 // [bench][variant]. This is the design-choice study DESIGN.md calls out:
 // each row quantifies what one mechanism of the paper contributes. Cells
 // run on the harness worker pool.
-func (h *Harness) Ablations(tbpf int64) (map[string]map[string]*TechRun, error) {
+func (h *Harness) Ablations(ctx context.Context, tbpf int64) (map[string]map[string]*TechRun, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
@@ -73,7 +74,7 @@ func (h *Harness) Ablations(tbpf int64) (map[string]map[string]*TechRun, error) 
 			cells = append(cells, Cell{Bench: b, Tech: v, TBPF: tbpf})
 		}
 	}
-	results, err := h.RunGrid("ablations", cells)
+	results, err := h.RunGrid(ctx, "ablations", cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestAblationVariants(t *testing.T) {
 		}
 		runs := map[string]*TechRun{}
 		for _, v := range Variants() {
-			tr, err := h.Run(b, v, 10000)
+			tr, err := h.Run(context.Background(), b, v, 10000)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, v.Label, err)
 			}
@@ -57,7 +58,7 @@ func TestRenderAblations(t *testing.T) {
 	}
 	abl := map[string]map[string]*TechRun{"randmath": {}}
 	for _, v := range Variants() {
-		tr, err := h.Run(b, v, 10000)
+		tr, err := h.Run(context.Background(), b, v, 10000)
 		if err != nil {
 			t.Fatal(err)
 		}

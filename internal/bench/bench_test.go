@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"schematic/internal/emulator"
@@ -118,7 +119,7 @@ func TestExtraBenchmarks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s missing from the suite: %v", name, err)
 		}
-		tr, err := h.Run(b, Schematic{}, 10_000)
+		tr, err := h.Run(context.Background(), b, Schematic{}, 10_000)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

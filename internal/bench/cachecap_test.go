@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCacheCapEviction bounds the harness caches to one entry and checks
+// LRU eviction is observable through the CacheStats eviction counters —
+// the property a long-lived daemon relies on to stay bounded.
+func TestCacheCapEviction(t *testing.T) {
+	ctx := context.Background()
+	h := NewHarness()
+	h.ProfileRuns = 2
+	h.CacheCap = 1
+
+	b1, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ByName("crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := h.Profile(ctx, b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Profile(ctx, b1); err != nil {
+		t.Fatal(err)
+	}
+	cs := h.CacheStats()
+	if cs.ProfileHits != 1 || cs.ProfileMisses != 1 || cs.ProfileEvictions != 0 {
+		t.Fatalf("warm cache within cap: %+v", cs)
+	}
+
+	// A second benchmark overflows the one-entry cache and evicts b1.
+	if _, err := h.Profile(ctx, b2); err != nil {
+		t.Fatal(err)
+	}
+	cs = h.CacheStats()
+	if cs.ProfileEvictions != 1 {
+		t.Fatalf("expected 1 profile eviction, got %+v", cs)
+	}
+
+	// b1 was evicted: asking again is a miss (recomputed), evicting b2.
+	if _, err := h.Profile(ctx, b1); err != nil {
+		t.Fatal(err)
+	}
+	cs = h.CacheStats()
+	if cs.ProfileMisses != 3 || cs.ProfileEvictions != 2 {
+		t.Fatalf("expected re-miss after eviction, got %+v", cs)
+	}
+	if got := cs.Evictions(); got != 2 {
+		t.Fatalf("Evictions(): got %d, want 2", got)
+	}
+
+	// The reference caches are bounded the same way.
+	if _, err := h.ReferenceAllVM(ctx, b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReferenceAllVM(ctx, b2); err != nil {
+		t.Fatal(err)
+	}
+	cs = h.CacheStats()
+	if cs.RefEvictions != 1 {
+		t.Fatalf("expected 1 reference eviction, got %+v", cs)
+	}
+}
+
+// TestCacheCapZeroUnbounded: the CLI default (CacheCap 0) never evicts.
+func TestCacheCapZeroUnbounded(t *testing.T) {
+	ctx := context.Background()
+	h := NewHarness()
+	h.ProfileRuns = 2
+	for _, name := range []string{"randmath", "crc"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Profile(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := h.CacheStats(); cs.Evictions() != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", cs)
+	}
+}

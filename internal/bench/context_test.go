@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"schematic/internal/emulator"
+)
+
+// TestRunGridCancellation: a cancelled context makes a grid run return
+// promptly with ctx.Err() instead of running every cell to completion.
+func TestRunGridCancellation(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	h.Jobs = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the grid even starts
+
+	start := time.Now()
+	_, err := h.RunGrid(ctx, "cancelled", cheapGrid(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunGrid: got %v, want context.Canceled", err)
+	}
+	// A full cheapGrid run takes seconds; a cancelled one must not.
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancelled RunGrid took %v, want prompt return", el)
+	}
+	cs := h.CacheStats()
+	if cs.ProfileMisses != 0 {
+		t.Fatalf("cancelled RunGrid still profiled: %+v", cs)
+	}
+}
+
+// TestRunGridCancelMidFlight cancels while the grid is running and
+// requires ctx.Err() back, with at most the in-flight cells finishing.
+func TestRunGridCancelMidFlight(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	h.Jobs = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel as soon as the first cell completes: the observer hook fires
+	// per cell, so cancelling here leaves most of the grid undispatched.
+	done := make(chan struct{})
+	var once bool
+	h.CellObserver = func(bench, technique string, tbpf int64) emulator.Observer {
+		if !once {
+			once = true
+			close(done)
+		}
+		return nil
+	}
+	go func() {
+		<-done
+		cancel()
+	}()
+
+	_, err := h.RunGrid(ctx, "mid-cancel", cheapGrid(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: got %v, want context.Canceled", err)
+	}
+}
+
+// TestProfileRespectsContext: a done context is rejected before the
+// profile computation is admitted.
+func TestProfileRespectsContext(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 2
+	b, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Profile(ctx, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Profile with done ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := h.ReferenceAllVM(ctx, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReferenceAllVM with done ctx: got %v, want context.Canceled", err)
+	}
+	if cs := h.CacheStats(); cs.ProfileMisses+cs.RefMisses != 0 {
+		t.Fatalf("done ctx still touched the caches: %+v", cs)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -14,7 +15,10 @@ const Fig6TBPF = 10_000
 // Table1 computes the "ability to support limited VM space" matrix: for
 // each technique, whether each benchmark can execute with the platform's
 // VM size at all.
-func (h *Harness) Table1() (map[string]map[string]bool, error) {
+func (h *Harness) Table1(ctx context.Context) (map[string]map[string]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	bms, err := All()
 	if err != nil {
 		return nil, err
@@ -47,14 +51,14 @@ type Table2Row struct {
 // data in VM) and the minimal number of power failures per TBPF. The
 // per-benchmark reference runs are independent, so they fan out across
 // the harness worker pool; rows come back in benchmark order regardless.
-func (h *Harness) Table2() ([]Table2Row, error) {
+func (h *Harness) Table2(ctx context.Context) ([]Table2Row, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]Table2Row, len(bms))
-	err = h.parallelFor(len(bms), func(i int) error {
-		ref, err := h.ReferenceAllVM(bms[i])
+	err = h.parallelFor(ctx, len(bms), func(i int) error {
+		ref, err := h.ReferenceAllVM(ctx, bms[i])
 		if err != nil {
 			return err
 		}
@@ -77,7 +81,7 @@ func (h *Harness) Table2() ([]Table2Row, error) {
 // (each transforms its own clone), so they fan out across the harness
 // worker pool; the shared profiles and references are single-flight
 // cached, so each is computed exactly once.
-func (h *Harness) Table3() (map[string]map[int64]map[string]*TechRun, error) {
+func (h *Harness) Table3(ctx context.Context) (map[string]map[int64]map[string]*TechRun, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
@@ -90,7 +94,7 @@ func (h *Harness) Table3() (map[string]map[int64]map[string]*TechRun, error) {
 			}
 		}
 	}
-	results, err := h.RunGrid("table3", cells)
+	results, err := h.RunGrid(ctx, "table3", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +114,7 @@ func (h *Harness) Table3() (map[string]map[int64]map[string]*TechRun, error) {
 // Figure6 returns the energy breakdown of every benchmark × technique at
 // the given TBPF, indexed [bench][technique]. Cells run on the harness
 // worker pool.
-func (h *Harness) Figure6(tbpf int64) (map[string]map[string]*TechRun, error) {
+func (h *Harness) Figure6(ctx context.Context, tbpf int64) (map[string]map[string]*TechRun, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
@@ -121,7 +125,7 @@ func (h *Harness) Figure6(tbpf int64) (map[string]map[string]*TechRun, error) {
 			cells = append(cells, Cell{Bench: b, Tech: tech, TBPF: tbpf})
 		}
 	}
-	results, err := h.RunGrid("figure6", cells)
+	results, err := h.RunGrid(ctx, "figure6", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +142,7 @@ func (h *Harness) Figure6(tbpf int64) (map[string]map[string]*TechRun, error) {
 // Figure7 compares SCHEMATIC against the All-NVM ablation, indexed
 // [bench][variant] with variants "Schematic" and "All-NVM". Cells run on
 // the harness worker pool.
-func (h *Harness) Figure7(tbpf int64) (map[string]map[string]*TechRun, error) {
+func (h *Harness) Figure7(ctx context.Context, tbpf int64) (map[string]map[string]*TechRun, error) {
 	bms, err := All()
 	if err != nil {
 		return nil, err
@@ -149,7 +153,7 @@ func (h *Harness) Figure7(tbpf int64) (map[string]map[string]*TechRun, error) {
 			Cell{Bench: b, Tech: Schematic{}, TBPF: tbpf},
 			Cell{Bench: b, Tech: AllNVMTechnique(), TBPF: tbpf})
 	}
-	results, err := h.RunGrid("figure7", cells)
+	results, err := h.RunGrid(ctx, "figure7", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +170,7 @@ func (h *Harness) Figure7(tbpf int64) (map[string]map[string]*TechRun, error) {
 // Figure8 sweeps the capacitor size (via TBPF, as the paper does for
 // implementation simplicity on the emulator) for one benchmark, indexed
 // [technique][tbpf]. Cells run on the harness worker pool.
-func (h *Harness) Figure8(benchName string) (map[string]map[int64]*TechRun, error) {
+func (h *Harness) Figure8(ctx context.Context, benchName string) (map[string]map[int64]*TechRun, error) {
 	b, err := ByName(benchName)
 	if err != nil {
 		return nil, err
@@ -177,7 +181,7 @@ func (h *Harness) Figure8(benchName string) (map[string]map[int64]*TechRun, erro
 			cells = append(cells, Cell{Bench: b, Tech: tech, TBPF: tbpf})
 		}
 	}
-	results, err := h.RunGrid("figure8", cells)
+	results, err := h.RunGrid(ctx, "figure8", cells)
 	if err != nil {
 		return nil, err
 	}

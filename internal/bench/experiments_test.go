@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestExperimentsEndToEnd(t *testing.T) {
 	h.ProfileRuns = 3
 
 	// Table I must reproduce the paper's matrix exactly.
-	t1, err := h.Table1()
+	t1, err := h.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestExperimentsEndToEnd(t *testing.T) {
 
 	// Table II: cycle counts positive and ordered plausibly; minimal
 	// failures consistent with ⌊cycles/TBPF⌋.
-	rows, err := h.Table2()
+	rows, err := h.Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestExperimentsEndToEnd(t *testing.T) {
 
 	// Figure 8 on the cheapest benchmark: SCHEMATIC's intermittency
 	// overhead must shrink with the budget and stay below RATCHET's.
-	fig8, err := h.Figure8("randmath")
+	fig8, err := h.Figure8(context.Background(), "randmath")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestExperimentsEndToEnd(t *testing.T) {
 	}
 
 	// Figure 7 on one benchmark pair: the ablation shows VM value.
-	fig7, err := h.Figure7(Fig6TBPF)
+	fig7, err := h.Figure7(context.Background(), Fig6TBPF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestExperimentsEndToEnd(t *testing.T) {
 	}
 
 	// Figure 6 + headline: SCHEMATIC wins on average.
-	fig6, err := h.Figure6(Fig6TBPF)
+	fig6, err := h.Figure6(context.Background(), Fig6TBPF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestExperimentsEndToEnd(t *testing.T) {
 	}
 
 	// Table III: the guarantees column — SCHEMATIC and ROCKCLIMB all ✓.
-	t3, err := h.Table3()
+	t3, err := h.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

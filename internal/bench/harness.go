@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -96,11 +97,22 @@ type refEntry struct {
 
 // CacheStats counts harness cache traffic; useful both for the run report
 // and for regression tests that assert work is not silently reused (or
-// silently duplicated).
+// silently duplicated). The eviction counters stay zero unless CacheCap
+// bounds the caches (the long-lived daemon does; the one-shot CLIs do
+// not).
 type CacheStats struct {
 	ProfileHits, ProfileMisses int64
 	RefHits, RefMisses         int64
 	CellRefHits, CellRefMisses int64
+
+	ProfileEvictions int64
+	RefEvictions     int64
+	CellRefEvictions int64
+}
+
+// Evictions is the total across all three caches.
+func (s CacheStats) Evictions() int64 {
+	return s.ProfileEvictions + s.RefEvictions + s.CellRefEvictions
 }
 
 // Harness runs the paper's experiments on the benchmark suite.
@@ -123,6 +135,14 @@ type Harness struct {
 	// Jobs == 1 reproduces the sequential execution order exactly.
 	Jobs int
 
+	// CacheCap bounds each of the three single-flight caches (profiles,
+	// all-VM references, cell references) to this many entries, evicting
+	// least-recently-used entries beyond it. Zero keeps the caches
+	// unbounded — the right default for the one-shot CLIs, which touch a
+	// fixed benchmark suite; a long-lived daemon that sees arbitrary
+	// programs must set a cap or grow without bound.
+	CacheCap int
+
 	// CollectSites attaches an obs.Collector to every cell's intermittent
 	// run: per-checkpoint-site attribution is reconciled against the
 	// cell's energy ledger (a mismatch fails the cell) and the hottest
@@ -136,12 +156,15 @@ type Harness struct {
 	// before the first Run.
 	CellObserver func(bench, technique string, tbpf int64) emulator.Observer
 
-	mu       sync.Mutex
-	profiles map[profileKey]*profileEntry
-	refs     map[refKey]*refEntry // all-data-in-VM references (Table II)
-	cellRefs map[refKey]*refEntry // untransformed correctness references
-	stats    CacheStats
-	report   *RunReport
+	mu         sync.Mutex
+	profiles   map[profileKey]*profileEntry
+	refs       map[refKey]*refEntry // all-data-in-VM references (Table II)
+	cellRefs   map[refKey]*refEntry // untransformed correctness references
+	profLRU    *lruIndex[profileKey]
+	refLRU     *lruIndex[refKey]
+	cellRefLRU *lruIndex[refKey]
+	stats      CacheStats
+	report     *RunReport
 }
 
 // NewHarness builds a harness with the paper's platform defaults.
@@ -165,8 +188,14 @@ func (h *Harness) CacheStats() CacheStats {
 }
 
 // Profile returns the benchmark's execution profile, computed at most
-// once per (benchmark, ProfileRuns, Seed, Model) configuration.
-func (h *Harness) Profile(b *Benchmark) (*trace.Profile, error) {
+// once per (benchmark, ProfileRuns, Seed, Model) configuration. The
+// context gates admission: a done context returns its error without
+// touching the cache (an in-flight computation joined earlier still runs
+// to completion, since its result is shared with other waiters).
+func (h *Harness) Profile(ctx context.Context, b *Benchmark) (*trace.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := profileKey{bench: b.Name, runs: h.ProfileRuns, seed: h.Seed, model: h.Model}
 	h.mu.Lock()
 	if h.profiles == nil {
@@ -179,6 +208,16 @@ func (h *Harness) Profile(b *Benchmark) (*trace.Profile, error) {
 		h.stats.ProfileMisses++
 	} else {
 		h.stats.ProfileHits++
+	}
+	if h.CacheCap > 0 {
+		if h.profLRU == nil {
+			h.profLRU = newLRUIndex[profileKey](h.CacheCap)
+		}
+		h.profLRU.Touch(key)
+		if old, ok := h.profLRU.Evict(); ok {
+			delete(h.profiles, old)
+			h.stats.ProfileEvictions++
+		}
 	}
 	h.mu.Unlock()
 	e.once.Do(func() {
@@ -201,7 +240,10 @@ func (h *Harness) Profile(b *Benchmark) (*trace.Profile, error) {
 // all data in VM — the execution-time reference of Table II ("in clock
 // cycles, with all data in VM"). Computed at most once per (benchmark,
 // Seed, Model) configuration.
-func (h *Harness) ReferenceAllVM(b *Benchmark) (*emulator.Result, error) {
+func (h *Harness) ReferenceAllVM(ctx context.Context, b *Benchmark) (*emulator.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := refKey{bench: b.Name, seed: h.Seed, model: h.Model}
 	h.mu.Lock()
 	if h.refs == nil {
@@ -214,6 +256,16 @@ func (h *Harness) ReferenceAllVM(b *Benchmark) (*emulator.Result, error) {
 		h.stats.RefMisses++
 	} else {
 		h.stats.RefHits++
+	}
+	if h.CacheCap > 0 {
+		if h.refLRU == nil {
+			h.refLRU = newLRUIndex[refKey](h.CacheCap)
+		}
+		h.refLRU.Touch(key)
+		if old, ok := h.refLRU.Evict(); ok {
+			delete(h.refs, old)
+			h.stats.RefEvictions++
+		}
 	}
 	h.mu.Unlock()
 	e.once.Do(func() {
@@ -256,7 +308,10 @@ func (h *Harness) ReferenceAllVM(b *Benchmark) (*emulator.Result, error) {
 // experiment cell compares against. It is computed once per (benchmark,
 // Seed, Model) and shared across all (technique, TBPF) cells; the
 // returned Result is immutable.
-func (h *Harness) referenceOutput(b *Benchmark) (*emulator.Result, error) {
+func (h *Harness) referenceOutput(ctx context.Context, b *Benchmark) (*emulator.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := refKey{bench: b.Name, seed: h.Seed, model: h.Model}
 	h.mu.Lock()
 	if h.cellRefs == nil {
@@ -269,6 +324,16 @@ func (h *Harness) referenceOutput(b *Benchmark) (*emulator.Result, error) {
 		h.stats.CellRefMisses++
 	} else {
 		h.stats.CellRefHits++
+	}
+	if h.CacheCap > 0 {
+		if h.cellRefLRU == nil {
+			h.cellRefLRU = newLRUIndex[refKey](h.CacheCap)
+		}
+		h.cellRefLRU.Touch(key)
+		if old, ok := h.cellRefLRU.Evict(); ok {
+			delete(h.cellRefs, old)
+			h.stats.CellRefEvictions++
+		}
 	}
 	h.mu.Unlock()
 	e.once.Do(func() {
@@ -349,15 +414,18 @@ func (tr *TechRun) Correct() bool {
 // Run executes one cell: transform with the technique for the EB derived
 // from the TBPF, then emulate under intermittent power. Run is safe for
 // concurrent use; the profile and the continuous-power reference are
-// computed once per configuration and shared across cells.
-func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*TechRun, error) {
+// computed once per configuration and shared across cells. The context
+// is checked at each phase boundary (profile, transform, emulate), so a
+// cancelled long job returns ctx.Err() promptly instead of running the
+// remaining phases.
+func (h *Harness) Run(ctx context.Context, b *Benchmark, tech baselines.Technique, tbpf int64) (*TechRun, error) {
 	start := time.Now()
 	m, err := b.Module()
 	if err != nil {
 		return nil, err
 	}
 	profStart := time.Now()
-	prof, err := h.Profile(b)
+	prof, err := h.Profile(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +445,7 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 	if err != nil {
 		return nil, err
 	}
-	ref, err := h.referenceOutput(b)
+	ref, err := h.referenceOutput(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -396,6 +464,9 @@ func (h *Harness) Run(b *Benchmark, tech baselines.Technique, tbpf int64) (*Tech
 		return tr, nil
 	}
 	tr.Stats.Apply = time.Since(applyStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var col *obs.Collector
 	var observers []emulator.Observer

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 )
 
@@ -16,7 +17,7 @@ func TestProfileCacheRespectsParameters(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	p1, err := h.Profile(b)
+	p1, err := h.Profile(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestProfileCacheRespectsParameters(t *testing.T) {
 
 	// Changing ProfileRuns must recompute, not return the stale profile.
 	h.ProfileRuns = 4
-	p2, err := h.Profile(b)
+	p2, err := h.Profile(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestProfileCacheRespectsParameters(t *testing.T) {
 
 	// Changing Seed must recompute too.
 	h.Seed = 99
-	p3, err := h.Profile(b)
+	p3, err := h.Profile(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestProfileCacheRespectsParameters(t *testing.T) {
 
 	// Restoring an earlier configuration hits the cache (same object).
 	h.ProfileRuns, h.Seed = 2, 1
-	p4, err := h.Profile(b)
+	p4, err := h.Profile(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +70,12 @@ func TestReferenceCacheRespectsSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := h.ReferenceAllVM(b)
+	r1, err := h.ReferenceAllVM(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Seed = 7
-	r2, err := h.ReferenceAllVM(b)
+	r2, err := h.ReferenceAllVM(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestReferenceCacheRespectsSeed(t *testing.T) {
 		t.Errorf("seed change returned the cached reference")
 	}
 	h.Seed = 1
-	r3, err := h.ReferenceAllVM(b)
+	r3, err := h.ReferenceAllVM(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestReferenceReadsRealData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := h.ReferenceAllVM(b)
+	r1, err := h.ReferenceAllVM(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestReferenceReadsRealData(t *testing.T) {
 	}
 	// The CRC of the seeded message must react to the seed.
 	h.Seed = 7
-	r7, err := h.ReferenceAllVM(b)
+	r7, err := h.ReferenceAllVM(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestCellReferenceComputedOnce(t *testing.T) {
 	var refOutput []int64
 	for _, tech := range Techniques() {
 		for _, tbpf := range TBPFs {
-			tr, err := h.Run(b, tech, tbpf)
+			tr, err := h.Run(context.Background(), b, tech, tbpf)
 			if err != nil {
 				t.Fatal(err)
 			}

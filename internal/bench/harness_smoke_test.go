@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 )
 
@@ -14,7 +15,7 @@ func TestHarnessSmoke(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, tech := range Techniques() {
-			tr, err := h.Run(b, tech, 10000)
+			tr, err := h.Run(context.Background(), b, tech, 10000)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, tech.Name(), err)
 			}
@@ -38,7 +39,7 @@ func TestFullMatrix10k(t *testing.T) {
 	}
 	for _, b := range bms {
 		for _, tech := range Techniques() {
-			tr, err := h.Run(b, tech, 10000)
+			tr, err := h.Run(context.Background(), b, tech, 10000)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", b.Name, tech.Name(), err)
 			}
@@ -76,7 +77,7 @@ func TestFullMatrix1k(t *testing.T) {
 	}
 	for _, b := range bms {
 		for _, tech := range Techniques() {
-			tr, err := h.Run(b, tech, 1000)
+			tr, err := h.Run(context.Background(), b, tech, 1000)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", b.Name, tech.Name(), err)
 			}

@@ -1,0 +1,43 @@
+package bench
+
+import "container/list"
+
+// lruIndex tracks access recency for a cache map whose entries live
+// elsewhere: Touch marks a key most-recently used (inserting it if new)
+// and Evict pops the least-recently used key once the index holds more
+// than cap keys. The caller owns the actual map and the eviction
+// counters; the index only decides which key goes.
+type lruIndex[K comparable] struct {
+	cap int
+	ll  *list.List // of K; front = most recent
+	pos map[K]*list.Element
+}
+
+func newLRUIndex[K comparable](cap int) *lruIndex[K] {
+	return &lruIndex[K]{cap: cap, ll: list.New(), pos: map[K]*list.Element{}}
+}
+
+// Touch marks k most-recently used, inserting it if new.
+func (l *lruIndex[K]) Touch(k K) {
+	if e, ok := l.pos[k]; ok {
+		l.ll.MoveToFront(e)
+		return
+	}
+	l.pos[k] = l.ll.PushFront(k)
+}
+
+// Evict removes and returns the least-recently used key while the index
+// exceeds its cap; ok is false when nothing needs to go.
+func (l *lruIndex[K]) Evict() (k K, ok bool) {
+	if l.cap <= 0 || l.ll.Len() <= l.cap {
+		return k, false
+	}
+	e := l.ll.Back()
+	k = e.Value.(K)
+	l.ll.Remove(e)
+	delete(l.pos, k)
+	return k, true
+}
+
+// Len reports how many keys the index tracks.
+func (l *lruIndex[K]) Len() int { return l.ll.Len() }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestAttributionReconcilesAllBenchmarks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, b := range bms {
-		tr, err := h.Run(b, Schematic{}, 10000)
+		tr, err := h.Run(context.Background(), b, Schematic{}, 10000)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err) // includes reconciliation failures
 		}
@@ -43,7 +44,7 @@ func TestAttributionReconcilesAllTechniques(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tech := range Techniques() {
-		if _, err := h.Run(b, tech, 10000); err != nil {
+		if _, err := h.Run(context.Background(), b, tech, 10000); err != nil {
 			t.Fatalf("crc/%s: %v", tech.Name(), err)
 		}
 	}
@@ -72,7 +73,7 @@ func TestCellObserverHook(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := h.Run(b, Schematic{}, 10000)
+	tr, err := h.Run(context.Background(), b, Schematic{}, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,17 +36,27 @@ func (h *Harness) jobs() int {
 }
 
 // parallelFor runs fn(0..n-1) on the harness worker pool.
-func (h *Harness) parallelFor(n int, fn func(i int) error) error {
-	return ParallelFor(h.jobs(), n, fn)
+func (h *Harness) parallelFor(ctx context.Context, n int, fn func(i int) error) error {
+	return ParallelForCtx(ctx, h.jobs(), n, fn)
 }
 
-// ParallelFor runs fn(0..n-1) on up to the given number of workers and
-// returns the error of the lowest index that failed — the same error a
-// sequential in-order loop would have surfaced first. With one worker it
-// degrades to a plain loop (no goroutines), preserving sequential order.
-// Other subsystems with the same fan-out shape (e.g. the crash hunter)
-// reuse it rather than growing their own pool.
+// ParallelFor runs fn(0..n-1) on up to the given number of workers; see
+// ParallelForCtx for the contract. It is the non-cancellable form kept
+// for call sites without a context.
 func ParallelFor(workers, n int, fn func(i int) error) error {
+	return ParallelForCtx(context.Background(), workers, n, fn)
+}
+
+// ParallelForCtx runs fn(0..n-1) on up to the given number of workers
+// and returns the error of the lowest index that failed — the same error
+// a sequential in-order loop would have surfaced first. With one worker
+// it degrades to a plain loop (no goroutines), preserving sequential
+// order. When the context is cancelled, no further indices are
+// dispatched, in-flight calls are awaited, and ctx.Err() is returned
+// unless an index failed with its own error first. Other subsystems with
+// the same fan-out shape (e.g. the crash hunter) reuse it rather than
+// growing their own pool.
+func ParallelForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -54,6 +65,9 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -72,6 +86,9 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
 				if err := fn(i); err != nil {
 					mu.Lock()
 					if errIdx < 0 || i < errIdx {
@@ -82,22 +99,31 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if errVal == nil {
+		errVal = ctx.Err()
+	}
 	return errVal
 }
 
 // RunGrid executes the cells on the harness worker pool and returns the
 // results in cell order — deterministic regardless of Jobs. The cells
 // are also appended, in cell order, to the harness run report under the
-// given experiment label.
-func (h *Harness) RunGrid(experiment string, cells []Cell) ([]*TechRun, error) {
+// given experiment label. Cancelling the context stops dispatching
+// further cells and returns ctx.Err() promptly.
+func (h *Harness) RunGrid(ctx context.Context, experiment string, cells []Cell) ([]*TechRun, error) {
 	results := make([]*TechRun, len(cells))
-	err := h.parallelFor(len(cells), func(i int) error {
-		tr, err := h.Run(cells[i].Bench, cells[i].Tech, cells[i].TBPF)
+	err := h.parallelFor(ctx, len(cells), func(i int) error {
+		tr, err := h.Run(ctx, cells[i].Bench, cells[i].Tech, cells[i].TBPF)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -65,11 +66,11 @@ func TestGridDeterminismAcrossJobs(t *testing.T) {
 	par.ProfileRuns = 2
 	par.Jobs = 8
 
-	sr, err := seq.RunGrid("test", cheapGrid(t))
+	sr, err := seq.RunGrid(context.Background(), "test", cheapGrid(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, err := par.RunGrid("test", cheapGrid(t))
+	pr, err := par.RunGrid(context.Background(), "test", cheapGrid(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,17 +102,17 @@ func TestTablesDeterminismAcrossJobs(t *testing.T) {
 		h.ProfileRuns = 2
 		h.Jobs = jobs
 		var buf bytes.Buffer
-		rows, err := h.Table2()
+		rows, err := h.Table2(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		RenderTable2(&buf, rows)
-		t3, err := h.Table3()
+		t3, err := h.Table3(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		RenderTable3(&buf, t3)
-		fig6, err := h.Figure6(Fig6TBPF)
+		fig6, err := h.Figure6(context.Background(), Fig6TBPF)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,19 +145,19 @@ func TestHarnessConcurrentUse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := h.Profile(b)
+			p, err := h.Profile(context.Background(), b)
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			profiles[i] = p
-			r, err := h.ReferenceAllVM(b)
+			r, err := h.ReferenceAllVM(context.Background(), b)
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			refs[i] = r
-			if _, err := h.Run(b, Schematic{}, 10_000); err != nil {
+			if _, err := h.Run(context.Background(), b, Schematic{}, 10_000); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -190,7 +191,7 @@ func TestRunReportNDJSON(t *testing.T) {
 	h.Jobs = 4
 	report := h.StartReport()
 	cells := cheapGrid(t)
-	if _, err := h.RunGrid("ndjson-test", cells); err != nil {
+	if _, err := h.RunGrid(context.Background(), "ndjson-test", cells); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -1,0 +1,120 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// program loading (MiniC source or textual IR), comma-list parsing,
+// benchmark selection, file-writing plumbing, and uniform error exits.
+// Every cmd/ binary used to grow its own copy of these; they live here
+// once so the daemon and the one-shot tools agree on the details (e.g.
+// how a .ir file is recognized, or what "all"/"none" mean in a
+// benchmark spec).
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"schematic/internal/bench"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+)
+
+// LoadProgram reads a program from path and returns the compiled module
+// plus the program name and raw source text. Files ending in .ir — or
+// whose content starts with "module " — are parsed as textual IR and
+// verified; everything else is compiled as MiniC.
+func LoadProgram(path string) (m *ir.Module, name, src string, err error) {
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", "", err
+	}
+	src = string(srcBytes)
+	name = ProgramName(path)
+	if IsIRSource(path, src) {
+		m, err = ir.Parse(src)
+		if err != nil {
+			return nil, "", "", err
+		}
+		if err = ir.Verify(m); err != nil {
+			return nil, "", "", err
+		}
+		return m, name, src, nil
+	}
+	m, err = minic.Compile(name, src)
+	if err != nil {
+		return nil, "", "", err
+	}
+	return m, name, src, nil
+}
+
+// IsIRSource reports whether a program is textual IR rather than MiniC,
+// by extension or by its leading "module " keyword.
+func IsIRSource(path, src string) bool {
+	return strings.HasSuffix(path, ".ir") || strings.HasPrefix(strings.TrimSpace(src), "module ")
+}
+
+// ProgramName derives a program name from its file path (basename with
+// the .mc/.ir extension stripped).
+func ProgramName(path string) string {
+	name := filepath.Base(path)
+	name = strings.TrimSuffix(name, ".mc")
+	name = strings.TrimSuffix(name, ".ir")
+	return name
+}
+
+// SplitList splits a comma-separated list, trimming blanks and dropping
+// empty elements.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BenchNames resolves a benchmark spec to benchmark names: "all" selects
+// the whole bundled suite in suite order, "none" or "" selects nothing,
+// and anything else is a comma-separated name list validated against the
+// suite.
+func BenchNames(spec string) ([]string, error) {
+	switch spec {
+	case "none", "":
+		return nil, nil
+	case "all":
+		return append([]string(nil), bench.Order...), nil
+	}
+	names := SplitList(spec)
+	for _, n := range names {
+		if _, err := bench.ByName(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// WriteTo creates path and streams write's output into it, closing the
+// file even on a write error.
+func WriteTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Fail returns the standard "tool: error, exit(code)" handler the
+// one-shot commands share. The returned function is a no-op on nil.
+func Fail(tool string, code int) func(error) {
+	return func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+			os.Exit(code)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"schematic/internal/bench"
+)
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SplitList: got %v, want %v", got, want)
+	}
+	if out := SplitList(""); out != nil {
+		t.Fatalf("SplitList(\"\"): got %v, want nil", out)
+	}
+}
+
+func TestBenchNames(t *testing.T) {
+	all, err := BenchNames("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, bench.Order) {
+		t.Fatalf("BenchNames(all): got %v, want %v", all, bench.Order)
+	}
+	none, err := BenchNames("none")
+	if err != nil || none != nil {
+		t.Fatalf("BenchNames(none): got %v, %v", none, err)
+	}
+	two, err := BenchNames("crc, fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(two, []string{"crc", "fft"}) {
+		t.Fatalf("BenchNames(crc,fft): got %v", two)
+	}
+	if _, err := BenchNames("nope"); err == nil {
+		t.Fatal("BenchNames: unknown benchmark accepted")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	dir := t.TempDir()
+	mc := filepath.Join(dir, "tiny.mc")
+	if err := os.WriteFile(mc, []byte("func void main() { print(7); }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, name, _, err := LoadProgram(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tiny" || m == nil {
+		t.Fatalf("LoadProgram(.mc): name=%q module=%v", name, m)
+	}
+
+	// Round-trip the module through the textual IR format.
+	irPath := filepath.Join(dir, "tiny.ir")
+	if err := os.WriteFile(irPath, []byte(m.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, name2, _, err := LoadProgram(irPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name2 != "tiny" || m2 == nil {
+		t.Fatalf("LoadProgram(.ir): name=%q module=%v", name2, m2)
+	}
+}

@@ -1,6 +1,7 @@
 package crashtest
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -131,9 +132,17 @@ func enumerate(baseline *emulator.Result, cs Case, opts Options) []candidate {
 // Hunt builds the case, validates it under plain exhaustion, then tries
 // every adversarial schedule. It returns nil when no violation exists, a
 // shrunk Finding when one does, and an error (SkipError for ineligible
-// cases) otherwise.
-func Hunt(cs Case, opts Options) (*Finding, error) {
+// cases) otherwise. A context deadline tightens Options.Deadline (the
+// hunt reports a skip when it expires mid-enumeration); cancellation
+// returns ctx.Err() directly.
+func Hunt(ctx context.Context, cs Case, opts Options) (*Finding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
+	if d, ok := ctx.Deadline(); ok && (opts.Deadline.IsZero() || d.Before(opts.Deadline)) {
+		opts.Deadline = d
+	}
 	b, err := build(cs, opts)
 	if err != nil {
 		return nil, err
@@ -184,6 +193,9 @@ func Hunt(cs Case, opts Options) (*Finding, error) {
 
 	maxSteps := opts.maxSteps(baseline.Res.Steps)
 	for _, cand := range enumerate(baseline.Res, b.cs, opts) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
 			return nil, &SkipError{Reason: "deadline expired mid-hunt"}
 		}
@@ -267,8 +279,9 @@ greedy:
 // regenerates the program from the same seed under progressively tighter
 // generator options and keeps any reduction that still exhibits the same
 // violation class (re-hunted with a reduced schedule set). Cases without
-// fuzz provenance are returned unchanged.
-func ShrinkProgram(f *Finding, opts Options) *Finding {
+// fuzz provenance are returned unchanged. Cancelling the context stops
+// further reduction attempts and returns the best finding so far.
+func ShrinkProgram(ctx context.Context, f *Finding, opts Options) *Finding {
 	if f.Case.Fuzz == nil {
 		return f
 	}
@@ -281,6 +294,9 @@ func ShrinkProgram(f *Finding, opts Options) *Finding {
 	for pass := 0; pass < 8; pass++ {
 		improved := false
 		for _, next := range reductions(best.Case.Fuzz.Options) {
+			if ctx.Err() != nil {
+				return best
+			}
 			prog := fuzzgen.FromSeed(best.Case.Fuzz.Seed, next)
 			if len(prog.Source) >= len(best.Case.Source) {
 				continue
@@ -288,7 +304,7 @@ func ShrinkProgram(f *Finding, opts Options) *Finding {
 			cs := best.Case
 			cs.Fuzz = &prog
 			cs.Source = prog.Source
-			got, err := Hunt(cs, quick)
+			got, err := Hunt(ctx, cs, quick)
 			if err != nil || got == nil || got.Class != best.Class {
 				continue
 			}

@@ -2,6 +2,7 @@ package crashtest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -25,7 +26,7 @@ func TestBenchPlacementsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &Hunter{Opts: fastOpts()}
-	results := h.Run(cases)
+	results := h.Run(context.Background(), cases)
 	s := Summarize(results)
 	if s.Violations != 0 || s.Errors != 0 {
 		for _, r := range results {
@@ -72,7 +73,7 @@ func TestCorpusRegression(t *testing.T) {
 		}
 	}
 	h := &Hunter{Opts: fastOpts()}
-	results := h.Run(cases)
+	results := h.Run(context.Background(), cases)
 	for _, r := range results {
 		switch {
 		case r.Err != nil:
@@ -99,7 +100,7 @@ func TestSabotagedRatchetCounterexample(t *testing.T) {
 	}
 	cs.Source = bm[0].Source
 
-	f, err := Hunt(cs, fastOpts())
+	f, err := Hunt(context.Background(), cs, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSabotagedWaitPlacement(t *testing.T) {
 	}
 	cs := bm[0]
 	cs.Sabotage = 2
-	f, err := Hunt(cs, fastOpts())
+	f, err := Hunt(context.Background(), cs, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,13 +181,13 @@ func TestWaitContractSkipsInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := Hunt(bm[0], fastOpts())
+	f, err := Hunt(context.Background(), bm[0], fastOpts())
 	if err != nil || f != nil {
 		t.Fatalf("intact wait placement: finding=%+v err=%v, want clean pass", f, err)
 	}
 	opts := fastOpts()
 	opts.AssumeAnytime = true
-	f, err = Hunt(bm[0], opts)
+	f, err = Hunt(context.Background(), bm[0], opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestHunterBudgetAndOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &Hunter{Opts: fastOpts(), Jobs: 4}
-	results := h.Run(cases)
+	results := h.Run(context.Background(), cases)
 	if len(results) != len(cases) {
 		t.Fatalf("results = %d, want %d", len(results), len(cases))
 	}
@@ -217,7 +218,7 @@ func TestHunterBudgetAndOrder(t *testing.T) {
 	// An already-expired budget skips every case.
 	h2 := &Hunter{Opts: fastOpts(), Budget: time.Nanosecond}
 	time.Sleep(time.Millisecond)
-	s := Summarize(h2.Run(cases))
+	s := Summarize(h2.Run(context.Background(), cases))
 	if s.Skipped != len(cases) {
 		t.Errorf("expired budget: %s, want all %d skipped", s, len(cases))
 	}
@@ -266,7 +267,7 @@ func TestSabotageOutOfRange(t *testing.T) {
 	}
 	cs := bm[0]
 	cs.Sabotage = 10_000
-	if _, err := Hunt(cs, fastOpts()); err == nil || IsSkip(err) {
+	if _, err := Hunt(context.Background(), cs, fastOpts()); err == nil || IsSkip(err) {
 		t.Fatalf("out-of-range sabotage: err = %v, want hard error", err)
 	}
 }
@@ -280,14 +281,14 @@ func TestFuzzProgramShrinks(t *testing.T) {
 	opts := fastOpts()
 	opts.AssumeAnytime = true
 	cs := FuzzCases(4000013, 1, []string{"Rockclimb"}, 5)[0]
-	found, err := Hunt(cs, opts)
+	found, err := Hunt(context.Background(), cs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if found == nil {
 		t.Fatal("anytime-injected wait placement on the fuzz program produced no finding")
 	}
-	shrunk := ShrinkProgram(found, opts)
+	shrunk := ShrinkProgram(context.Background(), found, opts)
 	if shrunk.Class != found.Class {
 		t.Fatalf("shrinking changed the class: %s -> %s", found.Class, shrunk.Class)
 	}
@@ -300,5 +301,26 @@ func TestFuzzProgramShrinks(t *testing.T) {
 	}
 	if out.Class != shrunk.Class {
 		t.Fatalf("shrunk finding replays as %q, want %q", out.Class, shrunk.Class)
+	}
+}
+
+// TestHunterCancellation: a cancelled context makes the sweep return
+// promptly with every case marked skipped instead of hunting on.
+func TestHunterCancellation(t *testing.T) {
+	cases, err := BenchCases(BenchNames(), TechniqueNames(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	h := &Hunter{Opts: fastOpts()}
+	results := h.Run(ctx, cases)
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancelled sweep took %v, want prompt return", el)
+	}
+	s := Summarize(results)
+	if s.Skipped != len(cases) {
+		t.Fatalf("cancelled sweep: %s, want all %d skipped", s, len(cases))
 	}
 }

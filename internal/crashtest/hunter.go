@@ -1,6 +1,8 @@
 package crashtest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -34,18 +36,27 @@ type Hunter struct {
 }
 
 // Run hunts every case and returns the results in case order,
-// deterministic regardless of the worker count.
-func (h *Hunter) Run(cases []Case) []HuntResult {
+// deterministic regardless of the worker count. A cancelled context
+// marks every not-yet-hunted case as skipped and returns promptly;
+// in-flight cases surface ctx.Err() through their result.
+func (h *Hunter) Run(ctx context.Context, cases []Case) []HuntResult {
 	results := make([]HuntResult, len(cases))
 	var deadline time.Time
 	if h.Budget > 0 {
 		deadline = time.Now().Add(h.Budget)
 	}
 	var logMu sync.Mutex
-	// ParallelFor only propagates errors; results land by index.
+	// ParallelFor only propagates errors; results land by index. The
+	// context is checked per case (not via ParallelForCtx) so skipped
+	// cases still produce well-formed HuntResults.
 	_ = bench.ParallelFor(h.Jobs, len(cases), func(i int) error {
 		res := HuntResult{Case: cases[i]}
 		start := time.Now()
+		if ctx.Err() != nil {
+			res.Skipped = "cancelled"
+			results[i] = res
+			return nil
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Skipped = "wall-clock budget exhausted"
 			results[i] = res
@@ -53,11 +64,13 @@ func (h *Hunter) Run(cases []Case) []HuntResult {
 		}
 		opts := h.Opts
 		opts.Deadline = caseDeadline(deadline, h.CaseTimeout)
-		f, err := Hunt(cases[i], opts)
+		f, err := Hunt(ctx, cases[i], opts)
 		res.Elapsed = time.Since(start)
 		switch {
 		case IsSkip(err):
 			res.Skipped = err.Error()
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			res.Skipped = "cancelled: " + err.Error()
 		case err != nil:
 			res.Err = err
 		default:

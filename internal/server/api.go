@@ -1,0 +1,231 @@
+// Package server is the long-running compile-and-emulate service around
+// the SCHEMATIC pipeline: an HTTP JSON API over the compiler
+// (internal/minic + placement techniques), the intermittent emulator,
+// the translation validator (internal/transval), and the
+// crash-consistency hunter (internal/crashtest).
+//
+// Where the cmd/ one-shot tools rebuild all state per invocation and
+// exit, the daemon keeps warm state between queries: requests are
+// content-addressed (SHA-256 over a canonical encoding of source +
+// options) into a single-flight LRU result cache, so N identical
+// concurrent submissions trigger exactly one pipeline run and repeats
+// are cache hits. Execution goes through a bounded worker pool with an
+// admission queue (429 + Retry-After when full), per-request deadlines
+// propagated as context.Context, Prometheus metrics, and graceful drain
+// (stop accepting, finish every in-flight job, flush metrics).
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"schematic/internal/bench"
+)
+
+// Options are the request knobs shared by all four job endpoints. Each
+// endpoint reads the fields that apply to it; normalize fills documented
+// defaults so the content address is stable across equivalent spellings.
+type Options struct {
+	// Technique selects the checkpoint-placement pass: schematic (the
+	// default), ratchet, mementos, rockclimb, alfred, allnvm, or none
+	// (front end only).
+	Technique string `json:"technique,omitempty"`
+
+	// TBPF derives the capacitor budget EB from the execution profile
+	// (EBForTBPF); EB sets it directly in nJ. When both are zero and a
+	// technique needs a budget, TBPF defaults to 10000 cycles — the
+	// middle of the paper's evaluation range.
+	TBPF int64   `json:"tbpf,omitempty"`
+	EB   float64 `json:"eb_nj,omitempty"`
+
+	VMSize      int   `json:"vm_size,omitempty"`      // SVM bytes; default 2048
+	ProfileRuns int   `json:"profile_runs,omitempty"` // default 50
+	Seed        int64 `json:"seed,omitempty"`         // workload input seed; default 1
+
+	// Optimize runs the optimizer before placement (compile/emulate).
+	Optimize bool `json:"optimize,omitempty"`
+
+	// Stream (emulate only) switches the response to an NDJSON event
+	// stream (internal/obs records) terminated by a result record.
+	// Streaming responses bypass the result cache.
+	Stream bool `json:"stream,omitempty"`
+
+	// TimeoutMS bounds this request's job; capped by the server's
+	// configured job timeout, which is also the default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Request is the JSON body of every POST /v1/* endpoint. Source is
+// MiniC; alternatively Bench names one of the bundled MiBench2 programs
+// (aes, basicmath, bitcount, crc, dijkstra, fft, randmath, rc4).
+type Request struct {
+	Name    string  `json:"name,omitempty"`
+	Source  string  `json:"source,omitempty"`
+	Bench   string  `json:"bench,omitempty"`
+	Options Options `json:"options"`
+}
+
+// normalize resolves a bundled benchmark, fills defaults, and
+// canonicalizes the technique spelling, so equivalent requests share one
+// content address.
+func (r *Request) normalize(kind string) error {
+	if r.Bench != "" {
+		if r.Source != "" {
+			return fmt.Errorf("source and bench are mutually exclusive")
+		}
+		b, err := bench.ByName(r.Bench)
+		if err != nil {
+			return err
+		}
+		r.Source = b.Source
+		if r.Name == "" {
+			r.Name = b.Name
+		}
+		r.Bench = ""
+	}
+	if strings.TrimSpace(r.Source) == "" {
+		return fmt.Errorf("empty source")
+	}
+	if r.Name == "" {
+		r.Name = "prog"
+	}
+	o := &r.Options
+	o.Technique = strings.ToLower(strings.TrimSpace(o.Technique))
+	if o.Technique == "" {
+		o.Technique = "schematic"
+	}
+	if !knownTechnique(o.Technique) {
+		return fmt.Errorf("unknown technique %q", o.Technique)
+	}
+	if o.VMSize == 0 {
+		o.VMSize = 2048
+	}
+	if o.VMSize < 0 {
+		return fmt.Errorf("vm_size must not be negative")
+	}
+	if o.ProfileRuns <= 0 {
+		o.ProfileRuns = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TBPF < 0 || o.EB < 0 || o.TimeoutMS < 0 {
+		return fmt.Errorf("tbpf, eb_nj and timeout_ms must not be negative")
+	}
+	// A placement technique needs a budget; emulation of a placed
+	// program needs one too. "none" runs on continuous power unless the
+	// request asks otherwise.
+	if o.Technique != "none" && o.TBPF == 0 && o.EB == 0 {
+		o.TBPF = 10_000
+	}
+	if kind != "emulate" {
+		o.Stream = false
+	}
+	return nil
+}
+
+func knownTechnique(name string) bool {
+	switch name {
+	case "schematic", "ratchet", "mementos", "rockclimb", "alfred", "allnvm", "none":
+		return true
+	}
+	return false
+}
+
+// digest is the request's content address: SHA-256 over the canonical
+// JSON encoding of (kind, name, source, normalized options). Two
+// requests with the same digest are interchangeable, which is what makes
+// single-flight caching sound.
+func (r *Request) digest(kind string) string {
+	canon := struct {
+		Kind    string  `json:"kind"`
+		Name    string  `json:"name"`
+		Source  string  `json:"source"`
+		Options Options `json:"options"`
+	}{kind, r.Name, r.Source, r.Options}
+	b, _ := json.Marshal(canon) // struct of plain fields: cannot fail
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// EnergyLedger is the nJ breakdown of an emulation (Fig. 6 categories).
+type EnergyLedger struct {
+	ComputeNJ float64 `json:"compute_nj"`
+	SaveNJ    float64 `json:"save_nj"`
+	RestoreNJ float64 `json:"restore_nj"`
+	ReexecNJ  float64 `json:"reexec_nj"`
+	TotalNJ   float64 `json:"total_nj"`
+}
+
+// CompileResponse is the body of POST /v1/compile.
+type CompileResponse struct {
+	Digest      string  `json:"digest"`
+	Name        string  `json:"name"`
+	Technique   string  `json:"technique"`
+	EBnJ        float64 `json:"eb_nj"`
+	Optimized   bool    `json:"optimized"`
+	Checkpoints int     `json:"checkpoints"`
+	IR          string  `json:"ir"`
+}
+
+// EmulateResponse is the body of POST /v1/emulate (and the terminal
+// "result" record of a streamed run).
+type EmulateResponse struct {
+	Digest    string `json:"digest"`
+	Name      string `json:"name"`
+	Technique string `json:"technique"`
+
+	EBnJ      float64 `json:"eb_nj"`
+	Verdict   string  `json:"verdict"`
+	Completed bool    `json:"completed"`
+	Output    []int64 `json:"output"`
+
+	Cycles        int64 `json:"cycles"`
+	TotalCycles   int64 `json:"total_cycles"`
+	Steps         int64 `json:"steps"`
+	PowerFailures int   `json:"power_failures"`
+	Saves         int   `json:"saves"`
+	Restores      int   `json:"restores"`
+	Sleeps        int   `json:"sleeps"`
+	MaxVMBytes    int   `json:"max_vm_bytes"`
+
+	Energy EnergyLedger `json:"energy"`
+}
+
+// ValidateResponse is the body of POST /v1/validate. OK means every
+// validated pipeline stage matched the AST reference interpreter.
+type ValidateResponse struct {
+	Digest  string `json:"digest"`
+	Name    string `json:"name"`
+	OK      bool   `json:"ok"`
+	Skipped string `json:"skipped,omitempty"`
+	// On a mismatch: the first offending stage and the two observables.
+	Stage  string `json:"stage,omitempty"`
+	Want   string `json:"want,omitempty"`
+	Got    string `json:"got,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// HuntResponse is the body of POST /v1/hunt. OK means no
+// crash-consistency violation was found within the bounds.
+type HuntResponse struct {
+	Digest    string `json:"digest"`
+	Name      string `json:"name"`
+	Technique string `json:"technique"`
+	OK        bool   `json:"ok"`
+	Skipped   string `json:"skipped,omitempty"`
+	// On a violation: its classification and the offending schedule.
+	Class     string  `json:"class,omitempty"`
+	Schedule  string  `json:"schedule,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	FoundBy   string  `json:"found_by,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a snapshot of the result-cache counters. Hits are
+// requests answered from a completed entry, Coalesced are followers that
+// attached to an in-flight leader, Misses are leaders that had to run
+// the pipeline, Evictions count LRU drops.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+}
+
+// cacheEntry is one content address's slot. The leader closes done once
+// val/err are set; followers block on done. Entries evicted while
+// in-flight stay valid for their attached waiters — they just stop being
+// findable for new requests.
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func (e *cacheEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// resultCache is the single-flight, content-addressed LRU result cache.
+// begin either attaches the caller to an existing entry or makes it the
+// leader responsible for computing and completing a fresh one.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int // max completed+in-flight entries; <=0 means 16
+	entries map[string]*cacheEntry
+	ll      *list.List // front = most recent; values are digest strings
+	pos     map[string]*list.Element
+	stats   CacheStats
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		ll:      list.New(),
+		pos:     make(map[string]*list.Element),
+	}
+}
+
+// begin looks up the digest. leader=true means the caller must run the
+// job and finish with complete or abandon; leader=false means the entry
+// is (or will be) populated by someone else — wait on e.done.
+func (c *resultCache) begin(digest string) (e *cacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[digest]; ok {
+		if e.completed() {
+			c.stats.Hits++
+		} else {
+			c.stats.Coalesced++
+		}
+		c.touch(digest)
+		return e, false
+	}
+	c.stats.Misses++
+	e = &cacheEntry{done: make(chan struct{})}
+	c.entries[digest] = e
+	c.touch(digest)
+	return e, true
+}
+
+// complete publishes the leader's result. Uncacheable results (cancelled
+// or drained jobs, whose failure says nothing about the request) are
+// delivered to the waiters already attached but removed from the index
+// so the next identical request recomputes.
+func (c *resultCache) complete(digest string, e *cacheEntry, val any, err error, cacheable bool) {
+	c.mu.Lock()
+	e.val, e.err = val, err
+	close(e.done)
+	if !cacheable {
+		c.removeLocked(digest, e)
+	}
+	c.mu.Unlock()
+}
+
+// touch marks the digest most-recently-used and evicts past capacity.
+// Caller holds c.mu.
+func (c *resultCache) touch(digest string) {
+	if el, ok := c.pos[digest]; ok {
+		c.ll.MoveToFront(el)
+	} else {
+		c.pos[digest] = c.ll.PushFront(digest)
+	}
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		old := back.Value.(string)
+		c.ll.Remove(back)
+		delete(c.pos, old)
+		delete(c.entries, old)
+		c.stats.Evictions++
+	}
+}
+
+// removeLocked drops the digest if it still maps to this entry (it may
+// have been evicted, or even replaced after an eviction, in the
+// meantime). Caller holds c.mu.
+func (c *resultCache) removeLocked(digest string, e *cacheEntry) {
+	if cur, ok := c.entries[digest]; !ok || cur != e {
+		return
+	}
+	delete(c.entries, digest)
+	if el, ok := c.pos[digest]; ok {
+		c.ll.Remove(el)
+		delete(c.pos, digest)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of indexed entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is a hand-rolled Prometheus registry (text exposition format
+// 0.0.4) — the stdlib-only stand-in for the client library. It tracks
+// per-endpoint request counts and latencies plus the queue/worker
+// gauges; cache counters are scraped live from the result cache.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[[2]string]int64 // {endpoint, code} -> count
+	durSumS  map[string]float64  // endpoint -> total seconds
+	durCount map[string]int64    // endpoint -> observations
+	rejected int64               // 429s issued by admission
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[[2]string]int64),
+		durSumS:  make(map[string]float64),
+		durCount: make(map[string]int64),
+	}
+}
+
+// observe records one finished request on a job endpoint.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[[2]string{endpoint, fmt.Sprint(code)}]++
+	m.durSumS[endpoint] += seconds
+	m.durCount[endpoint]++
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// snapshot returns copies of the counter maps plus the reject counter.
+func (m *metrics) snapshot() (req map[[2]string]int64, sum map[string]float64, cnt map[string]int64, rejected int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	req = make(map[[2]string]int64, len(m.requests))
+	for k, v := range m.requests {
+		req[k] = v
+	}
+	sum = make(map[string]float64, len(m.durSumS))
+	for k, v := range m.durSumS {
+		sum[k] = v
+	}
+	cnt = make(map[string]int64, len(m.durCount))
+	for k, v := range m.durCount {
+		cnt[k] = v
+	}
+	return req, sum, cnt, m.rejected
+}
+
+// write renders the exposition text. Series are sorted so scrapes are
+// deterministic and diffable.
+func (m *metrics) write(w io.Writer, cache CacheStats, queue, inflight int64, workers, queueCap int, draining bool) {
+	req, sum, cnt, rejected := m.snapshot()
+
+	fmt.Fprintln(w, "# HELP schematicd_requests_total Finished requests by job endpoint and HTTP status.")
+	fmt.Fprintln(w, "# TYPE schematicd_requests_total counter")
+	keys := make([][2]string, 0, len(req))
+	for k := range req {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "schematicd_requests_total{endpoint=%q,code=%q} %d\n", k[0], k[1], req[k])
+	}
+
+	fmt.Fprintln(w, "# HELP schematicd_request_duration_seconds Wall time per request by job endpoint.")
+	fmt.Fprintln(w, "# TYPE schematicd_request_duration_seconds summary")
+	eps := make([]string, 0, len(cnt))
+	for ep := range cnt {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "schematicd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, sum[ep])
+		fmt.Fprintf(w, "schematicd_request_duration_seconds_count{endpoint=%q} %d\n", ep, cnt[ep])
+	}
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("schematicd_queue_depth", "Requests waiting for a worker slot.", queue)
+	gauge("schematicd_inflight_jobs", "Jobs currently holding a worker slot.", inflight)
+	gauge("schematicd_workers", "Configured worker-pool size.", int64(workers))
+	gauge("schematicd_queue_capacity", "Configured admission-queue capacity.", int64(queueCap))
+	counter("schematicd_queue_rejected_total", "Requests rejected with 429 by admission control.", rejected)
+	counter("schematicd_cache_hits_total", "Requests answered from a completed cache entry.", cache.Hits)
+	counter("schematicd_cache_misses_total", "Requests that had to run the pipeline.", cache.Misses)
+	counter("schematicd_cache_coalesced_total", "Requests coalesced onto an in-flight identical run.", cache.Coalesced)
+	counter("schematicd_cache_evictions_total", "Cache entries dropped by the LRU bound.", cache.Evictions)
+	d := int64(0)
+	if draining {
+		d = 1
+	}
+	gauge("schematicd_draining", "1 while the server is draining and refusing new work.", d)
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"schematic/internal/baselines"
+	"schematic/internal/bench"
+	"schematic/internal/crashtest"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/opt"
+	"schematic/internal/trace"
+	"schematic/internal/transval"
+)
+
+// progError marks faults in the submitted program or options (as
+// opposed to server trouble); the handler maps it to 422.
+type progError struct{ err error }
+
+func (e *progError) Error() string { return e.err.Error() }
+func (e *progError) Unwrap() error { return e.err }
+
+func progErrorf(format string, args ...any) error {
+	return &progError{fmt.Errorf(format, args...)}
+}
+
+// techniqueFor resolves a normalized technique name to its placement
+// pass; "none" resolves to nil (front end only).
+func techniqueFor(name string) baselines.Technique {
+	if name == "none" {
+		return nil
+	}
+	if name == "allnvm" {
+		return bench.AllNVMTechnique()
+	}
+	for _, t := range bench.Techniques() {
+		if strings.EqualFold(t.Name(), name) {
+			return t
+		}
+	}
+	return nil // unreachable after normalize
+}
+
+// prepared is the shared front half of compile and emulate: the
+// (optionally optimized, technique-transformed) module plus the derived
+// capacitor budget.
+type prepared struct {
+	m  *ir.Module
+	eb float64
+}
+
+// prepare compiles, optimizes, profiles, and applies the placement
+// technique, checking ctx between the expensive phases.
+func prepare(ctx context.Context, req *Request) (*prepared, error) {
+	o := req.Options
+	m, err := minic.Compile(req.Name, req.Source)
+	if err != nil {
+		return nil, &progError{err}
+	}
+	if o.Optimize {
+		if _, err := opt.Optimize(m); err != nil {
+			return nil, &progError{err}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tech := techniqueFor(o.Technique)
+	if tech == nil {
+		return &prepared{m: m, eb: o.EB}, nil
+	}
+	model := energy.MSP430FR5969()
+	prof, err := trace.Collect(m, trace.Options{
+		Runs:  o.ProfileRuns,
+		Seed:  o.Seed,
+		Model: model,
+	})
+	if err != nil {
+		return nil, &progError{err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eb := o.EB
+	if eb == 0 {
+		eb = prof.EBForTBPF(o.TBPF)
+	}
+	if !tech.SupportsVM(m, o.VMSize) {
+		return nil, progErrorf("technique %s does not support vm_size %d for this program", tech.Name(), o.VMSize)
+	}
+	if err := tech.Apply(m, baselines.Params{
+		Model:   model,
+		Budget:  eb,
+		VMSize:  o.VMSize,
+		Profile: prof,
+	}); err != nil {
+		return nil, &progError{err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &prepared{m: m, eb: eb}, nil
+}
+
+func runCompile(ctx context.Context, req *Request, digest string) (*CompileResponse, error) {
+	p, err := prepare(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResponse{
+		Digest:      digest,
+		Name:        req.Name,
+		Technique:   req.Options.Technique,
+		EBnJ:        p.eb,
+		Optimized:   req.Options.Optimize,
+		Checkpoints: crashtest.CountCheckpoints(p.m),
+		IR:          p.m.String(),
+	}, nil
+}
+
+// runEmulate prepares and executes the program on the intermittent
+// emulator. A non-nil observer receives the event stream (streaming
+// responses); the emulator itself is not interruptible mid-run, so the
+// job deadline is enforced between phases and by the step bound.
+func runEmulate(ctx context.Context, req *Request, digest string, observer emulator.Observer) (*EmulateResponse, error) {
+	p, err := prepare(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	o := req.Options
+	inputs := trace.RandomInputs(p.m, rand.New(rand.NewSource(o.Seed)))
+	res, err := emulator.Run(p.m, emulator.Config{
+		Model:        energy.MSP430FR5969(),
+		VMSize:       o.VMSize,
+		Intermittent: p.eb > 0,
+		EB:           p.eb,
+		Inputs:       inputs,
+		Observer:     observer,
+	})
+	if err != nil {
+		return nil, &progError{err}
+	}
+	return &EmulateResponse{
+		Digest:        digest,
+		Name:          req.Name,
+		Technique:     o.Technique,
+		EBnJ:          p.eb,
+		Verdict:       res.Verdict.String(),
+		Completed:     res.Verdict == emulator.Completed,
+		Output:        res.Output,
+		Cycles:        res.Cycles,
+		TotalCycles:   res.TotalCycles,
+		Steps:         res.Steps,
+		PowerFailures: res.PowerFailures,
+		Saves:         res.Saves,
+		Restores:      res.Restores,
+		Sleeps:        res.Sleeps,
+		MaxVMBytes:    res.MaxVMBytes,
+		Energy: EnergyLedger{
+			ComputeNJ: res.Energy.Computation,
+			SaveNJ:    res.Energy.Save,
+			RestoreNJ: res.Energy.Restore,
+			ReexecNJ:  res.Energy.Reexecution,
+			TotalNJ:   res.Energy.Total(),
+		},
+	}, nil
+}
+
+// runValidate checks the request's program through the translation
+// validator. Technique "none" validates lowering and the optimizer only;
+// any other technique validates that placement stage as well.
+func runValidate(ctx context.Context, req *Request, digest string) (*ValidateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := req.Options
+	opts := transval.Options{
+		TBPF:        o.TBPF,
+		ProfileRuns: o.ProfileRuns,
+	}
+	if tech := techniqueFor(o.Technique); tech != nil {
+		opts.Techniques = []string{tech.Name()}
+	} else {
+		opts.SkipPlacement = true
+	}
+	f, err := transval.Validate(transval.Case{
+		Name:      req.Name,
+		Source:    req.Source,
+		InputSeed: o.Seed,
+	}, opts)
+	resp := &ValidateResponse{Digest: digest, Name: req.Name}
+	var skip *transval.SkipError
+	switch {
+	case errors.As(err, &skip):
+		resp.OK = true
+		resp.Skipped = skip.Reason
+	case err != nil:
+		return nil, &progError{err}
+	case f != nil:
+		resp.Stage = f.Stage
+		resp.Want = f.Want
+		resp.Got = f.Got
+		resp.Detail = f.Detail
+	default:
+		resp.OK = true
+	}
+	return resp, nil
+}
+
+// runHunt runs the crash-consistency hunter on the request's program
+// under its technique. The context carries the job deadline; Hunt folds
+// it into its wall-clock budget.
+func runHunt(ctx context.Context, req *Request, digest string) (*HuntResponse, error) {
+	o := req.Options
+	tech := techniqueFor(o.Technique)
+	if tech == nil {
+		return nil, progErrorf("hunt requires a placement technique, not %q", o.Technique)
+	}
+	start := time.Now()
+	f, err := crashtest.Hunt(ctx, crashtest.Case{
+		Name:        req.Name,
+		Source:      req.Source,
+		Technique:   tech.Name(),
+		InputSeed:   o.Seed,
+		TBPF:        o.TBPF,
+		EB:          o.EB,
+		ProfileRuns: o.ProfileRuns,
+	}, crashtest.Options{})
+	resp := &HuntResponse{
+		Digest:    digest,
+		Name:      req.Name,
+		Technique: o.Technique,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	switch {
+	case crashtest.IsSkip(err):
+		resp.OK = true
+		resp.Skipped = err.Error()
+	case err != nil:
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &progError{err}
+	case f != nil:
+		resp.Class = string(f.Class)
+		resp.Schedule = f.Schedule.String()
+		resp.Detail = f.Detail
+		resp.FoundBy = f.FoundBy
+	default:
+		resp.OK = true
+	}
+	return resp, nil
+}

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schematic/internal/obs"
+)
+
+// maxBody bounds request bodies; MiniC sources are small.
+const maxBody = 8 << 20
+
+// Config sizes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the job-pool size (0 = NumCPU). At most Workers jobs
+	// run concurrently; further leaders wait in the admission queue.
+	Workers int
+	// QueueCap bounds the admission queue (0 = 64). A leader arriving
+	// past the bound is rejected with 429 and a Retry-After header.
+	QueueCap int
+	// CacheCap bounds the content-addressed result cache (0 = 1024).
+	CacheCap int
+	// JobTimeout bounds every job (0 = 60s); a request's timeout_ms can
+	// only shorten it.
+	JobTimeout time.Duration
+	// Logf, when non-nil, receives one line per finished job.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 1024
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the schematicd HTTP service: four job endpoints behind
+// single-flight content-addressed caching and bounded-queue admission,
+// plus health and metrics. Create with New, mount Handler, and call
+// Drain on shutdown.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	met   *metrics
+
+	slots    chan struct{} // worker-pool semaphore
+	queued   atomic.Int64  // leaders waiting for a slot
+	inflight atomic.Int64  // jobs holding a slot
+
+	mu       sync.Mutex // guards draining and the wg Add/Wait race
+	draining bool
+	wg       sync.WaitGroup // requests admitted past the draining check
+
+	baseCtx    context.Context // parent of every job; outlives the HTTP request
+	baseCancel context.CancelFunc
+
+	// gate, when non-nil, is called by every job after it takes a worker
+	// slot and before it runs the pipeline — a package-internal test hook
+	// for saturating the pool and observing real (non-coalesced) runs.
+	gate func(kind string)
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheCap),
+		met:        newMetrics(),
+		slots:      make(chan struct{}, cfg.Workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+}
+
+// Handler mounts the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, kind := range []string{"compile", "emulate", "validate", "hunt"} {
+		kind := kind
+		mux.HandleFunc("POST /v1/"+kind, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			code := s.serveJob(kind, w, r)
+			s.met.observe(kind, code, time.Since(start).Seconds())
+		})
+	}
+	mux.HandleFunc("GET /healthz", s.serveHealth)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	return mux
+}
+
+// CacheStats snapshots the result-cache counters (also exported on
+// /metrics; used directly by tests and schemactl).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// BeginDrain flips the server into draining mode: job endpoints refuse
+// new work with 503 while everything already admitted runs to
+// completion.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain begins draining and waits until every admitted request has
+// finished, or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %d request(s) still in flight: %w",
+			s.inflight.Load()+s.queued.Load(), ctx.Err())
+	}
+}
+
+// Close hard-cancels every job's context. Call after Drain fails, never
+// instead of it.
+func (s *Server) Close() { s.baseCancel() }
+
+// enter admits one request past the draining gate.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Admission errors; completed into the cache entry so coalesced
+// followers report the same outcome (uncacheable, so the next identical
+// request retries).
+var (
+	errQueueFull = errors.New("job queue is full, retry later")
+	errDraining  = errors.New("server is draining")
+	errDeadline  = context.DeadlineExceeded
+)
+
+// admit takes a worker slot, waiting in the bounded queue if the pool is
+// busy. It returns a release func, or a non-zero HTTP status when the
+// request cannot be admitted.
+func (s *Server) admit(rctx context.Context) (release func(), code int) {
+	release = func() { <-s.slots }
+	select {
+	case s.slots <- struct{}{}:
+		return release, 0
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueCap) {
+		s.queued.Add(-1)
+		s.met.reject()
+		return nil, http.StatusTooManyRequests
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return release, 0
+	case <-rctx.Done():
+		return nil, http.StatusGatewayTimeout
+	}
+}
+
+// serveJob is the common path of the four POST endpoints; it returns the
+// HTTP status it wrote, for the metrics ledger.
+func (s *Server) serveJob(kind string, w http.ResponseWriter, r *http.Request) int {
+	if !s.enter() {
+		return writeError(w, http.StatusServiceUnavailable, errDraining.Error())
+	}
+	defer s.wg.Done()
+
+	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	}
+	if err := req.normalize(kind); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if req.Options.Stream {
+		return s.serveStream(kind, w, r, &req)
+	}
+
+	digest := req.digest(kind)
+	e, leader := s.cache.begin(digest)
+	if !leader {
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			// The client went away; nobody reads the response body, but
+			// the ledger still records the outcome.
+			return writeError(w, http.StatusGatewayTimeout, "request cancelled while coalesced")
+		}
+		return s.respond(w, digest, e.val, e.err)
+	}
+
+	release, code := s.admit(r.Context())
+	if code != 0 {
+		err := errQueueFull
+		if code == http.StatusGatewayTimeout {
+			err = errDeadline
+		}
+		// Wake any coalesced followers with the same outcome.
+		s.cache.complete(digest, e, nil, err, false)
+		return s.respond(w, digest, nil, err)
+	}
+	val, err := s.runJob(kind, &req, digest)
+	release()
+	// Cancellation says nothing about the request itself — do not cache.
+	cacheable := err == nil ||
+		(!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded))
+	s.cache.complete(digest, e, val, err, cacheable)
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("%s %s name=%s err=%v", kind, digest[:12], req.Name, err)
+	}
+	return s.respond(w, digest, val, err)
+}
+
+// runJob executes the pipeline for one leader under the job deadline.
+// The job context derives from the server (not the HTTP request): a
+// leader's disconnect must not kill the run its followers wait on.
+func (s *Server) runJob(kind string, req *Request, digest string) (any, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(req.Options.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if s.gate != nil {
+		s.gate(kind)
+	}
+	switch kind {
+	case "compile":
+		return valOrNil(runCompile(ctx, req, digest))
+	case "emulate":
+		return valOrNil(runEmulate(ctx, req, digest, nil))
+	case "validate":
+		return valOrNil(runValidate(ctx, req, digest))
+	case "hunt":
+		return valOrNil(runHunt(ctx, req, digest))
+	}
+	return nil, fmt.Errorf("unknown job kind %q", kind)
+}
+
+// valOrNil erases the concrete response pointer type so a typed nil
+// never lands in the cache as a non-nil any.
+func valOrNil[T any](v *T, err error) (any, error) {
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// serveStream handles emulate with options.stream: an NDJSON event
+// stream terminated by one result (or error) record. Streams go through
+// admission but bypass the cache — the byte stream is the product.
+func (s *Server) serveStream(kind string, w http.ResponseWriter, r *http.Request, req *Request) int {
+	digest := req.digest(kind)
+	release, code := s.admit(r.Context())
+	if code != 0 {
+		err := errQueueFull
+		if code == http.StatusGatewayTimeout {
+			err = errDeadline
+		}
+		return s.respond(w, digest, nil, err)
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Schematic-Digest", digest)
+	w.WriteHeader(http.StatusOK)
+
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(req.Options.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if s.gate != nil {
+		s.gate(kind)
+	}
+	sw := obs.NewStreamWriter(w)
+	resp, err := runEmulate(ctx, req, digest, sw)
+	if ferr := sw.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	enc := json.NewEncoder(w)
+	if err != nil {
+		_ = enc.Encode(struct {
+			Kind  string `json:"kind"`
+			Error string `json:"error"`
+		}{"error", err.Error()})
+	} else {
+		_ = enc.Encode(struct {
+			Kind   string           `json:"kind"`
+			Result *EmulateResponse `json:"result"`
+		}{"result", resp})
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return http.StatusOK
+}
+
+// statusOf maps a job error to its HTTP status.
+func statusOf(err error) int {
+	var pe *progError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &pe):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// respond writes the JSON result (or error) and returns the status.
+func (s *Server) respond(w http.ResponseWriter, digest string, val any, err error) int {
+	code := statusOf(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Schematic-Digest", digest)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	if err != nil {
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+	} else {
+		_ = json.NewEncoder(w).Encode(val)
+	}
+	return code
+}
+
+// writeError writes a bare JSON error and returns the status.
+func writeError(w http.ResponseWriter, code int, msg string) int {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	return code
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status       string `json:"status"` // "ok" or "draining"
+	Workers      int    `json:"workers"`
+	Inflight     int64  `json:"inflight"`
+	QueueDepth   int64  `json:"queue_depth"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:       "ok",
+		Workers:      s.cfg.Workers,
+		Inflight:     s.inflight.Load(),
+		QueueDepth:   s.queued.Load(),
+		CacheEntries: s.cache.Len(),
+	}
+	if s.isDraining() {
+		h.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.cache.Stats(), s.queued.Load(), s.inflight.Load(),
+		s.cfg.Workers, s.cfg.QueueCap, s.isDraining())
+}
