@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover crashhunt-smoke fuzz-smoke transval-smoke serve-smoke
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke fuzz-smoke transval-smoke serve-smoke bench bench-smoke
 
-ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke serve-smoke
+ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke serve-smoke bench-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -46,6 +46,17 @@ fuzz-smoke:
 # stream through every pipeline stage. Nonzero exit on any mismatch.
 transval-smoke:
 	go run ./cmd/transval -fuzz 25
+
+# Full performance report: grid throughput (compiled vs interpreted),
+# schematicd emulate latency, crashtest cases/sec. Rewrites the
+# committed BENCH_006.json; run on an idle machine.
+bench:
+	sh scripts/bench.sh
+
+# CI performance gate: a tiny grid, a well-formed report, and no >20%
+# compiled-throughput regression against the committed BENCH_006.json.
+bench-smoke:
+	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_006.json
 
 # Daemon round trip: start schematicd on an ephemeral port, drive a
 # compile + emulate through schemactl, check cache dedup on /metrics,

@@ -60,31 +60,9 @@ func main() {
 	m, _, _, err := cli.LoadProgram(path)
 	fail(err)
 
-	cfg := emulator.Config{
-		Model:  energy.MSP430FR5969(),
-		VMSize: *vmSize,
-		Inputs: trace.RandomInputs(m, rand.New(rand.NewSource(*seed))),
-	}
-	if *eb > 0 {
-		cfg.Intermittent = true
-		cfg.EB = *eb
-	}
-	if *period > 0 {
-		cfg.Intermittent = true
-		cfg.FailEveryCycles = *period
-		if cfg.EB == 0 {
-			cfg.EB = 1e12 // energy unconstrained: failures come from the period
-		}
-	}
-	if *inject != "" {
-		points, err := parseInject(*inject)
-		fail(err)
-		cfg.Intermittent = true
-		if cfg.EB == 0 {
-			cfg.EB = 1e12 // energy unconstrained: failures come from the trace
-		}
-		cfg.Schedule = emulator.Schedules(emulator.Exhaustion(), emulator.TraceSchedule(points...))
-	}
+	cfg, err := buildConfig(*eb, *period, *inject, *vmSize)
+	fail(err)
+	cfg.Inputs = trace.RandomInputs(m, rand.New(rand.NewSource(*seed)))
 
 	var (
 		observers []emulator.Observer
@@ -154,6 +132,49 @@ func main() {
 	if res.Verdict != emulator.Completed {
 		os.Exit(1)
 	}
+}
+
+// buildConfig assembles the emulator configuration from the power-model
+// flags. -tbpf and -inject each imply intermittent mode; given together
+// they compose into one schedule — exhaustion plus the periodic TBPF
+// failures plus the injected trace — because Config rejects
+// FailEveryCycles alongside an explicit Schedule. The config is
+// validated here so flag mistakes surface before the program loads and
+// runs, not as a mid-pipeline failure.
+func buildConfig(eb float64, period int64, inject string, vmSize int) (emulator.Config, error) {
+	cfg := emulator.Config{Model: energy.MSP430FR5969(), VMSize: vmSize}
+	if eb > 0 {
+		cfg.Intermittent = true
+		cfg.EB = eb
+	}
+	var points []emulator.FailPoint
+	if inject != "" {
+		var err error
+		if points, err = parseInject(inject); err != nil {
+			return emulator.Config{}, err
+		}
+	}
+	if period > 0 || len(points) > 0 {
+		cfg.Intermittent = true
+		if cfg.EB == 0 {
+			cfg.EB = 1e12 // energy unconstrained: failures come from the period/trace
+		}
+	}
+	switch {
+	case period > 0 && len(points) > 0:
+		// FailEveryCycles is sugar for Schedules(Exhaustion(), Periodic(n));
+		// spelling it out lets the trace ride along.
+		cfg.Schedule = emulator.Schedules(emulator.Exhaustion(),
+			emulator.Periodic(period), emulator.TraceSchedule(points...))
+	case period > 0:
+		cfg.FailEveryCycles = period
+	case len(points) > 0:
+		cfg.Schedule = emulator.Schedules(emulator.Exhaustion(), emulator.TraceSchedule(points...))
+	}
+	if err := cfg.Validate(); err != nil {
+		return emulator.Config{}, err
+	}
+	return cfg, nil
 }
 
 // parseInject parses a comma-separated failure-point list (kind@n).

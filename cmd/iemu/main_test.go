@@ -1,0 +1,60 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"schematic/internal/emulator"
+)
+
+// TestBuildConfigTBPFWithInject: -tbpf and -inject used together must
+// produce a valid composed schedule, not trip Config's
+// FailEveryCycles/Schedule exclusivity check at Run time.
+func TestBuildConfigTBPFWithInject(t *testing.T) {
+	cfg, err := buildConfig(0, 50_000, "step@120,mid-save@2", 2048)
+	if err != nil {
+		t.Fatalf("buildConfig(-tbpf -inject): %v", err)
+	}
+	if cfg.FailEveryCycles != 0 {
+		t.Errorf("FailEveryCycles = %d, want 0 (folded into the schedule)", cfg.FailEveryCycles)
+	}
+	if cfg.Schedule == nil {
+		t.Error("Schedule is nil, want composed exhaustion+periodic+trace")
+	}
+	if !cfg.Intermittent || cfg.EB <= 0 {
+		t.Errorf("Intermittent=%v EB=%g, want intermittent with positive EB", cfg.Intermittent, cfg.EB)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("composed config fails Validate: %v", err)
+	}
+}
+
+// TestBuildConfigValidates: flag mistakes surface as ConfigError from
+// buildConfig itself, before any program is loaded or run.
+func TestBuildConfigValidates(t *testing.T) {
+	if _, err := buildConfig(0, 0, "", -1); !errors.Is(err, emulator.ErrInvalidConfig) {
+		t.Errorf("negative vmsize: got %v, want ErrInvalidConfig", err)
+	}
+	if _, err := buildConfig(3000, 0, "step@zero", 2048); err == nil {
+		t.Error("malformed -inject spec: got nil error")
+	}
+	for _, tc := range []struct {
+		eb     float64
+		period int64
+		inject string
+	}{
+		{3000, 0, ""},
+		{0, 100, ""},
+		{0, 0, "step@7"},
+		{3000, 100, "step@7"},
+	} {
+		cfg, err := buildConfig(tc.eb, tc.period, tc.inject, 2048)
+		if err != nil {
+			t.Errorf("buildConfig(%g,%d,%q): %v", tc.eb, tc.period, tc.inject, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("buildConfig(%g,%d,%q) returned invalid config: %v", tc.eb, tc.period, tc.inject, err)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Command schemabench measures the toolchain's end-to-end performance
+// and writes a machine-readable BENCH_*.json report:
+//
+//   - grid: emulation throughput (Minstr/s) over the benchmark x
+//     technique evaluation grid under intermittent power, for both the
+//     compiled-dispatch engine and the per-instruction interpreter,
+//     with speedups against the interpreter and against the recorded
+//     pre-compiled-dispatch baseline.
+//
+//   - emulate: end-to-end service latency (p50/p99) of POST /v1/emulate
+//     against an in-process schematicd, with per-request seeds so the
+//     content-addressed cache cannot short-circuit the pipeline.
+//
+//   - crashtest: crash-consistency hunter throughput in cases/second.
+//
+//     schemabench                      # full run, report to stdout
+//     schemabench -o BENCH_006.json    # write the report to a file
+//     schemabench -smoke               # small grid, seconds not minutes
+//     schemabench -smoke -check BENCH_006.json  # regression gate for CI
+//
+// -check compares the measured grid throughput against the committed
+// report and exits nonzero on a >20% regression of the compiled engine.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"schematic/internal/baselines"
+	"schematic/internal/bench"
+	"schematic/internal/crashtest"
+	"schematic/internal/emulator"
+	"schematic/internal/ir"
+	"schematic/internal/server"
+)
+
+// prechangeGridMinstrPerSec is the full-grid throughput of the emulator
+// immediately before compiled block dispatch landed, measured with this
+// harness's exact grid methodology (the full embedded benchmark suite x
+// supported techniques at TBPF=100000 — 42 cells, 7343068 steps/iter —
+// 2 timed iterations after warmup) on the machine that produced the
+// committed BENCH_*.json; the best of three repeats is recorded so the
+// speedup claim is conservative. The pre-change engine no longer exists
+// in the tree; see EXPERIMENTS.md ("Compiled dispatch") for the
+// measurement protocol.
+const prechangeGridMinstrPerSec = 9.22
+
+type gridReport struct {
+	Cells        int     `json:"cells"`
+	TBPF         int64   `json:"tbpf"`
+	Iters        int     `json:"iters"`
+	StepsPerIter int64   `json:"steps_per_iter"`
+	CompiledMips float64 `json:"compiled_minstr_per_sec"`
+	InterpMips   float64 `json:"interpreted_minstr_per_sec"`
+	SpeedupVsInt float64 `json:"speedup_vs_interpreter"`
+
+	// Full grid only: comparison against the recorded pre-change engine.
+	PrechangeMips      float64 `json:"prechange_minstr_per_sec,omitempty"`
+	SpeedupVsPrechange float64 `json:"speedup_vs_prechange,omitempty"`
+}
+
+type emulateReport struct {
+	Requests int     `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+type crashReport struct {
+	Cases       int     `json:"cases"`
+	Seconds     float64 `json:"seconds"`
+	CasesPerSec float64 `json:"cases_per_sec"`
+}
+
+type report struct {
+	Version     int            `json:"version"`
+	GeneratedBy string         `json:"generated_by"`
+	Smoke       bool           `json:"smoke,omitempty"`
+	Grid        *gridReport    `json:"grid,omitempty"`
+	SmokeGrid   *gridReport    `json:"smoke_grid,omitempty"`
+	Emulate     *emulateReport `json:"emulate"`
+	Crashtest   *crashReport   `json:"crashtest"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		smoke = flag.Bool("smoke", false, "small grid and request counts: seconds, not minutes")
+		check = flag.String("check", "", "compare against this committed BENCH_*.json and fail on >20% grid regression")
+	)
+	flag.Parse()
+
+	rep := &report{Version: 6, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
+	grid, err := measureGrid(*smoke)
+	fail(err)
+	if *smoke {
+		rep.SmokeGrid = grid
+	} else {
+		rep.Grid = grid
+		grid.PrechangeMips = prechangeGridMinstrPerSec
+		grid.SpeedupVsPrechange = round2(grid.CompiledMips / prechangeGridMinstrPerSec)
+		// Also record the smoke-sized grid so `schemabench -smoke -check`
+		// has a like-for-like reference in the committed report.
+		rep.SmokeGrid, err = measureGrid(true)
+		fail(err)
+	}
+	rep.Emulate, err = measureEmulate(*smoke)
+	fail(err)
+	rep.Crashtest, err = measureCrashtest(*smoke)
+	fail(err)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(rep))
+	if *out != "" {
+		fail(os.WriteFile(*out, buf.Bytes(), 0o644))
+		fmt.Fprintf(os.Stderr, "schemabench: wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(buf.Bytes())
+	}
+
+	if *check != "" {
+		fail(checkRegression(*check, grid))
+	}
+}
+
+// gridCells builds the evaluation grid: every benchmark under every
+// technique that supports it at the given SVM, transformed for the EB
+// derived from the TBPF.
+type cell struct {
+	mod    *ir.Module
+	inputs map[string][]int64
+	eb     float64
+}
+
+func gridCells(benches []*bench.Benchmark, tbpf int64, profileRuns int) ([]cell, error) {
+	h := bench.NewHarness()
+	h.ProfileRuns = profileRuns
+	var cells []cell
+	for _, b := range benches {
+		m, err := b.Module()
+		if err != nil {
+			return nil, err
+		}
+		prof, err := h.Profile(context.Background(), b)
+		if err != nil {
+			return nil, err
+		}
+		eb := prof.EBForTBPF(tbpf)
+		inputs, err := b.Inputs(h.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, tech := range bench.Techniques() {
+			if !tech.SupportsVM(m, h.VMSize) {
+				continue
+			}
+			clone := ir.Clone(m)
+			if err := tech.Apply(clone, baselines.Params{
+				Model: h.Model, Budget: eb, VMSize: h.VMSize, Profile: prof,
+			}); err != nil {
+				continue // technique declines this program/budget
+			}
+			cells = append(cells, cell{mod: clone, inputs: inputs, eb: eb})
+		}
+	}
+	return cells, nil
+}
+
+// measureGrid times both engines over the grid. Iteration 0 is a warmup
+// (it populates the compiled-program cache and the allocator pools);
+// only later iterations are timed. Both engines must execute the same
+// step count — a divergence is a correctness bug, not a perf number.
+func measureGrid(smoke bool) (*gridReport, error) {
+	const tbpf = 100_000
+	benches, err := bench.All() // full embedded suite, paper order plus extras
+	if err != nil {
+		return nil, err
+	}
+	iters, profileRuns := 2, 50
+	if smoke {
+		benches = nil
+		for _, name := range []string{"crc", "randmath"} {
+			b, err := bench.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, b)
+		}
+		iters, profileRuns = 1, 3
+	}
+	cells, err := gridCells(benches, tbpf, profileRuns)
+	if err != nil {
+		return nil, err
+	}
+	h := bench.NewHarness()
+
+	run := func(interpret bool) (steps int64, emu time.Duration, err error) {
+		for iter := 0; iter <= iters; iter++ {
+			var iterSteps int64
+			for i := range cells {
+				c := &cells[i]
+				start := time.Now()
+				res, err := emulator.Run(c.mod, emulator.Config{
+					Model: h.Model, VMSize: h.VMSize, Intermittent: true,
+					EB: c.eb, Inputs: c.inputs, Interpret: interpret,
+				})
+				if err != nil {
+					return 0, 0, err
+				}
+				if iter > 0 {
+					iterSteps += res.Steps
+					emu += time.Since(start)
+				}
+			}
+			steps += iterSteps
+		}
+		return steps, emu, nil
+	}
+
+	compiledSteps, compiledDur, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	interpSteps, interpDur, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	if compiledSteps != interpSteps {
+		return nil, fmt.Errorf("schemabench: engines disagree on grid step count: compiled %d, interpreted %d",
+			compiledSteps, interpSteps)
+	}
+	g := &gridReport{
+		Cells:        len(cells),
+		TBPF:         tbpf,
+		Iters:        iters,
+		StepsPerIter: compiledSteps / int64(iters),
+		CompiledMips: round2(float64(compiledSteps) / compiledDur.Seconds() / 1e6),
+		InterpMips:   round2(float64(interpSteps) / interpDur.Seconds() / 1e6),
+	}
+	g.SpeedupVsInt = round2(g.CompiledMips / g.InterpMips)
+	return g, nil
+}
+
+// measureEmulate drives POST /v1/emulate on an in-process schematicd and
+// reports request-latency percentiles. Every request uses a distinct
+// input seed, so each one is a cache miss that runs the full
+// compile-profile-place-emulate pipeline.
+func measureEmulate(smoke bool) (*emulateReport, error) {
+	n := 40
+	if smoke {
+		n = 10
+	}
+	s := server.New(server.Config{Workers: 1, Logf: nil})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+
+	lat := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		body, err := json.Marshal(server.Request{
+			Bench: "crc",
+			Options: server.Options{
+				Technique:   "schematic",
+				ProfileRuns: 5,
+				Seed:        int64(1000 + i), // distinct digest per request
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		resp, err := ts.Client().Post(ts.URL+"/v1/emulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("schemabench: emulate request %d: status %d", i, resp.StatusCode)
+		}
+		lat = append(lat, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	sort.Float64s(lat)
+	return &emulateReport{
+		Requests: n,
+		P50MS:    round2(lat[len(lat)/2]),
+		P99MS:    round2(lat[min(len(lat)-1, len(lat)*99/100)]),
+	}, nil
+}
+
+// measureCrashtest times the crash-consistency hunter over the quick
+// benchmarks under every technique.
+func measureCrashtest(smoke bool) (*crashReport, error) {
+	benches := []string{"crc", "randmath"}
+	opts := crashtest.Options{}
+	if smoke {
+		benches = []string{"randmath"}
+		opts = crashtest.Options{ExhaustiveStepLimit: 400, SampledSteps: 10, SampledSaves: 3, RandomSchedules: 2}
+	}
+	var techs []string
+	for _, t := range bench.Techniques() {
+		techs = append(techs, t.Name())
+	}
+	cases, err := crashtest.BenchCases(benches, techs, 1)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, cs := range cases {
+		f, err := crashtest.Hunt(context.Background(), cs, opts)
+		if err != nil && !crashtest.IsSkip(err) {
+			return nil, fmt.Errorf("schemabench: hunt %s/%s: %w", cs.Name, cs.Technique, err)
+		}
+		if f != nil {
+			return nil, fmt.Errorf("schemabench: hunt %s/%s found a real violation: %s — fix it before benchmarking",
+				cs.Name, cs.Technique, f.Class)
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return &crashReport{
+		Cases:       len(cases),
+		Seconds:     round2(sec),
+		CasesPerSec: round2(float64(len(cases)) / sec),
+	}, nil
+}
+
+// checkRegression gates CI: the measured compiled grid throughput must
+// be at least 80% of the committed report's figure for the same grid
+// kind (smoke vs full).
+func checkRegression(path string, got *gridReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want report
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("schemabench: %s: %w", path, err)
+	}
+	ref := want.Grid
+	if want.SmokeGrid != nil && got.Iters == want.SmokeGrid.Iters && got.Cells == want.SmokeGrid.Cells {
+		ref = want.SmokeGrid
+	}
+	if ref == nil {
+		return fmt.Errorf("schemabench: %s has no comparable grid section", path)
+	}
+	if got.CompiledMips < 0.8*ref.CompiledMips {
+		return fmt.Errorf("schemabench: grid throughput regressed >20%%: %.2f Minstr/s now vs %.2f committed (%s)",
+			got.CompiledMips, ref.CompiledMips, path)
+	}
+	fmt.Fprintf(os.Stderr, "schemabench: check ok: %.2f Minstr/s vs %.2f committed\n", got.CompiledMips, ref.CompiledMips)
+	return nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schemabench:", err)
+		os.Exit(1)
+	}
+}

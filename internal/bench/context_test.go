@@ -42,21 +42,20 @@ func TestRunGridCancelMidFlight(t *testing.T) {
 	h.Jobs = 1
 
 	ctx, cancel := context.WithCancel(context.Background())
-	// Cancel as soon as the first cell completes: the observer hook fires
-	// per cell, so cancelling here leaves most of the grid undispatched.
-	done := make(chan struct{})
+	// Cancel synchronously from the first cell's observer hook: the hook
+	// fires before that cell's emulate phase, so the cancellation is
+	// already visible at the next phase-boundary check and the rest of
+	// the grid stays undispatched. (An asynchronous cancel races the
+	// remaining cells — the emulator is fast enough to finish a cheap
+	// grid before a goroutine gets scheduled.)
 	var once bool
 	h.CellObserver = func(bench, technique string, tbpf int64) emulator.Observer {
 		if !once {
 			once = true
-			close(done)
+			cancel()
 		}
 		return nil
 	}
-	go func() {
-		<-done
-		cancel()
-	}()
 
 	_, err := h.RunGrid(ctx, "mid-cancel", cheapGrid(t))
 	if !errors.Is(err, context.Canceled) {

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/emulator"
+	"schematic/internal/fuzzgen"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+// The dispatch-equivalence suite: the compiled engine must produce a
+// Result bit-identical to the interpreted engine — same verdict, same
+// output, same step/cycle/failure counters, and the same energy ledger
+// down to the last float bit — across every benchmark, technique, and
+// power schedule shape. Any divergence means the compiled fast path
+// changed observable semantics, which is never acceptable.
+
+// equivSchedule configures one power-schedule shape onto a base config.
+// The closure constructs any PowerSchedule fresh on every call:
+// schedules are stateful, so engines must never share an instance.
+type equivSchedule struct {
+	name  string
+	apply func(cfg *emulator.Config)
+}
+
+func equivSchedules() []equivSchedule {
+	return []equivSchedule{
+		{"continuous", func(cfg *emulator.Config) {
+			cfg.Intermittent = false
+			cfg.EB = 0
+		}},
+		{"exhaustion", func(cfg *emulator.Config) {}},
+		{"periodic", func(cfg *emulator.Config) {
+			cfg.FailEveryCycles = 40_000
+		}},
+		{"trace-torn-save", func(cfg *emulator.Config) {
+			cfg.Schedule = emulator.Schedules(emulator.Exhaustion(), emulator.TraceSchedule(
+				emulator.FailPoint{Kind: emulator.PointMidSave, N: 2},
+				emulator.FailPoint{Kind: emulator.PointStep, N: 50_000},
+			))
+		}},
+	}
+}
+
+// runEngines executes the module under both engines with identically
+// shaped configs and fails the test on any Result difference. base must
+// not carry a Schedule; sc installs one per engine run.
+func runEngines(t *testing.T, label string, m *ir.Module, base emulator.Config, sc equivSchedule) {
+	t.Helper()
+	compiled, interpreted := base, base
+	sc.apply(&compiled)
+	sc.apply(&interpreted)
+	interpreted.Interpret = true
+
+	resC, errC := emulator.Run(m, compiled)
+	resI, errI := emulator.Run(m, interpreted)
+	if (errC == nil) != (errI == nil) {
+		t.Fatalf("%s: engine error mismatch: compiled %v, interpreted %v", label, errC, errI)
+	}
+	if errC != nil {
+		if errC.Error() != errI.Error() {
+			t.Fatalf("%s: error text mismatch:\ncompiled:    %v\ninterpreted: %v", label, errC, errI)
+		}
+		return
+	}
+	if !reflect.DeepEqual(resC, resI) {
+		t.Fatalf("%s: results diverge:\ncompiled:    %+v\ninterpreted: %+v", label, resC, resI)
+	}
+}
+
+// TestDispatchEquivalenceGrid covers the full evaluation surface: every
+// benchmark x technique cell under all four schedule shapes. Short mode
+// keeps two benchmarks so the suite still exercises every technique and
+// schedule on each run.
+func TestDispatchEquivalenceGrid(t *testing.T) {
+	h := NewHarness()
+	h.ProfileRuns = 3
+	bms, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		short := bms[:0]
+		for _, bm := range bms {
+			if bm.Name == "crc" || bm.Name == "randmath" {
+				short = append(short, bm)
+			}
+		}
+		bms = short
+	}
+	scheds := equivSchedules()
+	for _, bm := range bms {
+		m, err := bm.Module()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := h.Profile(context.Background(), bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb := prof.EBForTBPF(10_000)
+		inputs, err := bm.Inputs(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tech := range Techniques() {
+			if !tech.SupportsVM(m, h.VMSize) {
+				continue
+			}
+			clone := ir.Clone(m)
+			if err := tech.Apply(clone, baselines.Params{
+				Model: h.Model, Budget: eb, VMSize: h.VMSize, Profile: prof,
+			}); err != nil {
+				continue
+			}
+			for _, sc := range scheds {
+				label := fmt.Sprintf("%s/%s/%s", bm.Name, tech.Name(), sc.name)
+				base := emulator.Config{
+					Model: h.Model, VMSize: h.VMSize,
+					Intermittent: true, EB: eb, Inputs: inputs,
+				}
+				runEngines(t, label, clone, base, sc)
+			}
+		}
+	}
+}
+
+// TestDispatchEquivalenceFuzz runs generated programs through both
+// engines. The corpus has no checkpoints, so intermittent runs restart
+// from boot on every failure and typically end Stuck — which is exactly
+// the point: the engines must agree on abnormal verdicts and their
+// ledgers too, not just on completions.
+func TestDispatchEquivalenceFuzz(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 6
+	}
+	scheds := equivSchedules()[:2] // continuous, exhaustion
+	for i, prog := range fuzzgen.Corpus(42, n, fuzzgen.DefaultOptions()) {
+		m, err := minic.Compile(fmt.Sprintf("fuzz%03d", i), prog.Source)
+		if err != nil {
+			continue // generator occasionally emits programs the frontend rejects
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(int64(i))))
+		for _, sc := range scheds {
+			base := emulator.Config{
+				Model: NewHarness().Model, VMSize: 2048,
+				Intermittent: true, EB: 2_000, Inputs: inputs,
+				MaxSteps: 2_000_000, MaxFailures: 50,
+			}
+			runEngines(t, fmt.Sprintf("fuzz%03d/%s", i, sc.name), m, base, sc)
+		}
+	}
+}

@@ -180,6 +180,14 @@ func NewHarness() *Harness {
 	}
 }
 
+// validate rejects a harness whose emulator configuration cannot run,
+// so a misconfigured Model or VMSize fails at the entry point with a
+// typed emulator.ConfigError instead of surfacing deep inside profiling
+// or a mid-grid cell.
+func (h *Harness) validate() error {
+	return emulator.Config{Model: h.Model, VMSize: h.VMSize}.Validate()
+}
+
 // CacheStats returns a snapshot of the cache hit/miss counters.
 func (h *Harness) CacheStats() CacheStats {
 	h.mu.Lock()
@@ -194,6 +202,9 @@ func (h *Harness) CacheStats() CacheStats {
 // to completion, since its result is shared with other waiters).
 func (h *Harness) Profile(ctx context.Context, b *Benchmark) (*trace.Profile, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := h.validate(); err != nil {
 		return nil, err
 	}
 	key := profileKey{bench: b.Name, runs: h.ProfileRuns, seed: h.Seed, model: h.Model}
@@ -419,6 +430,9 @@ func (tr *TechRun) Correct() bool {
 // cancelled long job returns ctx.Err() promptly instead of running the
 // remaining phases.
 func (h *Harness) Run(ctx context.Context, b *Benchmark, tech baselines.Technique, tbpf int64) (*TechRun, error) {
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	m, err := b.Module()
 	if err != nil {

@@ -2,7 +2,10 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"testing"
+
+	"schematic/internal/emulator"
 )
 
 // Smoke: run the small benchmarks through every technique at TBPF=10k.
@@ -100,6 +103,33 @@ func TestFullMatrix1k(t *testing.T) {
 			if (tech.Name() == "Schematic" || tech.Name() == "Rockclimb") && !tr.Completed() {
 				t.Errorf("%s/%s must guarantee forward progress", b.Name, tech.Name())
 			}
+		}
+	}
+}
+
+// TestHarnessValidatesConfig: a harness whose fields cannot form a valid
+// emulator config is rejected at the Run/Profile entry points with a
+// typed ConfigError, before any profiling or emulation happens.
+func TestHarnessValidatesConfig(t *testing.T) {
+	b, err := ByName("randmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, breakIt := range []func(h *Harness){
+		func(h *Harness) { h.VMSize = -1 },
+		func(h *Harness) { h.Model = nil },
+	} {
+		h := NewHarness()
+		h.ProfileRuns = 2
+		breakIt(h)
+		if _, err := h.Run(context.Background(), b, Schematic{}, 10_000); !errors.Is(err, emulator.ErrInvalidConfig) {
+			t.Errorf("Run on broken harness: got %v, want ErrInvalidConfig", err)
+		}
+		if _, err := h.Profile(context.Background(), b); !errors.Is(err, emulator.ErrInvalidConfig) {
+			t.Errorf("Profile on broken harness: got %v, want ErrInvalidConfig", err)
+		}
+		if cs := h.CacheStats(); cs.ProfileMisses != 0 {
+			t.Errorf("broken harness still admitted a profile computation: %+v", cs)
 		}
 	}
 }

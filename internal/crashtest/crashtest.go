@@ -277,6 +277,14 @@ func build(cs Case, opts Options) (*built, error) {
 	if eb == 0 {
 		eb = prof.EBForTBPF(cs.TBPF)
 	}
+	// The hunt replays this configuration hundreds of times under
+	// varying schedules; validate it once here so a bad case surfaces as
+	// a build error instead of a wall of emulator-error outcomes.
+	if err := (emulator.Config{
+		Model: opts.Model, VMSize: cs.VMSize, Intermittent: true, EB: eb,
+	}).Validate(); err != nil {
+		return nil, fmt.Errorf("crashtest: case %s: %w", cs.Name, err)
+	}
 	tech, err := TechniqueByName(cs.Technique)
 	if err != nil {
 		return nil, err

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"schematic/internal/emulator"
 	"schematic/internal/fuzzgen"
 )
 
@@ -322,5 +324,22 @@ func TestHunterCancellation(t *testing.T) {
 	s := Summarize(results)
 	if s.Skipped != len(cases) {
 		t.Fatalf("cancelled sweep: %s, want all %d skipped", s, len(cases))
+	}
+}
+
+// TestBuildRejectsInvalidConfig: a case whose emulator configuration
+// cannot validate must fail at build time with a ConfigError — before
+// the hunt replays it against hundreds of schedules, where the mistake
+// would surface as a wall of emulator-error outcomes.
+func TestBuildRejectsInvalidConfig(t *testing.T) {
+	cs := Case{
+		Name:      "bad-vmsize",
+		Source:    "func void main() { print(1); }",
+		Technique: "Ratchet",
+		VMSize:    -4,
+	}
+	_, err := Hunt(context.Background(), cs, fastOpts())
+	if !errors.Is(err, emulator.ErrInvalidConfig) {
+		t.Fatalf("Hunt with VMSize=-4: got %v, want ErrInvalidConfig", err)
 	}
 }

@@ -1,8 +1,6 @@
 package emulator
 
 import (
-	"sort"
-
 	"schematic/internal/ir"
 )
 
@@ -15,44 +13,60 @@ func regCount(ck *ir.Checkpoint) int {
 	return -1
 }
 
-// saveSet resolves the variables a checkpoint must write to NVM.
-func (mc *machine) saveSet(ck *ir.Checkpoint) []*ir.Var {
+// saveSet resolves the slots a checkpoint must write to NVM. SaveAll
+// enumerates VM residents in the program's name order — a total order
+// even across duplicate local names, so the float summation order of
+// the save cost (and everything downstream of it) is deterministic. The
+// returned slice is backed by slotScratch1 and valid until the next
+// saveSet call.
+func (mc *machine) saveSet(ck *ir.Checkpoint) []int32 {
 	if ck.RegsOnly {
 		return nil
 	}
-	var vars []*ir.Var
+	slots := mc.slotScratch1[:0]
 	if ck.SaveAll {
-		for v := range mc.vm {
-			vars = append(vars, v)
-		}
-		sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
-	} else {
-		vars = append(vars, ck.Save...)
-	}
-	if ck.Lazy {
-		// Anticipated saving: only variables written since the last save
-		// actually need to reach NVM.
-		var dirty []*ir.Var
-		for _, v := range vars {
-			if mc.dirty[v] {
-				dirty = append(dirty, v)
+		for _, slot := range mc.prog.NameOrder {
+			if mc.vm[slot] != nil {
+				slots = append(slots, slot)
 			}
 		}
-		return dirty
+	} else {
+		for _, v := range ck.Save {
+			slots = append(slots, mc.slot(v))
+		}
 	}
-	return vars
+	mc.slotScratch1 = slots
+	if ck.Lazy {
+		// Anticipated saving: only variables written since the last save
+		// actually need to reach NVM (order-preserving in-place filter).
+		k := 0
+		for _, slot := range slots {
+			if mc.dirty[slot] {
+				slots[k] = slot
+				k++
+			}
+		}
+		return slots[:k]
+	}
+	return slots
 }
 
-// restoreSet resolves the variables re-materialized in VM after the sleep
-// of a wait-style checkpoint.
-func (mc *machine) restoreSet(ck *ir.Checkpoint, saved []*ir.Var) []*ir.Var {
+// restoreSet resolves the slots re-materialized in VM after the sleep of
+// a wait-style checkpoint. The result aliases saved (SaveAll) or
+// slotScratch2.
+func (mc *machine) restoreSet(ck *ir.Checkpoint, saved []int32) []int32 {
 	if ck.RegsOnly {
 		return nil
 	}
 	if ck.SaveAll {
 		return saved
 	}
-	return ck.Restore
+	slots := mc.slotScratch2[:0]
+	for _, v := range ck.Restore {
+		slots = append(slots, mc.slot(v))
+	}
+	mc.slotScratch2 = slots
+	return slots
 }
 
 // execCheckpoint runs a checkpoint instruction. On return the program
@@ -125,13 +139,32 @@ func (mc *machine) startReexec(site int) {
 
 // checkpointBytes is the data volume of a save/restore operation:
 // machine state for the given refined live-register count (-1 = full
-// register file) plus the listed variables.
-func (mc *machine) checkpointBytes(liveRegs int, vars []*ir.Var) int {
+// register file) plus the variables in the listed slots.
+func (mc *machine) checkpointBytes(liveRegs int, slots []int32) int {
 	b := mc.cfg.Model.RegBytesFor(liveRegs)
-	for _, v := range vars {
-		b += v.SizeBytes()
+	for _, slot := range slots {
+		b += mc.prog.Vars[slot].SizeBytes()
 	}
 	return b
+}
+
+// saveVarsCost accumulates the save cost of the variables in slots onto
+// base, adding in slice order — the same sequential accumulation
+// Model.SaveCost performs on a var list, so the float result is
+// bit-identical to it.
+func (mc *machine) saveVarsCost(base float64, slots []int32) float64 {
+	for _, slot := range slots {
+		base += mc.cfg.Model.SaveVarCost(mc.prog.Vars[slot])
+	}
+	return base
+}
+
+// restoreVarsCost is the restore-side counterpart of saveVarsCost.
+func (mc *machine) restoreVarsCost(base float64, slots []int32) float64 {
+	for _, slot := range slots {
+		base += mc.cfg.Model.RestoreVarCost(mc.prog.Vars[slot])
+	}
+	return base
 }
 
 // addCkCycles accounts the time of checkpoint save/restore work: copying
@@ -149,10 +182,7 @@ func (mc *machine) addCkCycles(e float64) {
 func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	fr := mc.top()
 	saved := mc.saveSet(ck)
-	saveCost := mc.cfg.Model.SaveRegsCostFor(regCount(ck))
-	for _, v := range saved {
-		saveCost += mc.cfg.Model.SaveVarCost(v)
-	}
+	saveCost := mc.saveVarsCost(mc.cfg.Model.SaveRegsCostFor(regCount(ck)), saved)
 	mc.res.SaveAttempts++
 	if mc.probeSave(PointBeforeSave, ck.ID) {
 		mc.powerFailure()
@@ -174,9 +204,9 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 			Bytes: mc.checkpointBytes(regCount(ck), saved), Fn: fr.fn, Block: fr.block})
 	}
 	mc.addCkCycles(saveCost)
-	for _, v := range saved {
-		if arr, ok := mc.vm[v]; ok {
-			copy(mc.nvm[v], arr)
+	for _, slot := range saved {
+		if arr := mc.vm[slot]; arr != nil {
+			copy(mc.nvm[slot], arr)
 		}
 	}
 	mc.res.Saves++
@@ -207,10 +237,7 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	}
 	mc.clearVM()
 
-	restoreCost := mc.cfg.Model.RestoreRegsCostFor(regCount(ck))
-	for _, v := range restores {
-		restoreCost += mc.cfg.Model.RestoreVarCost(v)
-	}
+	restoreCost := mc.restoreVarsCost(mc.cfg.Model.RestoreRegsCostFor(regCount(ck)), restores)
 	if !mc.charge(restoreCost, chRestore) {
 		mc.powerFailure()
 		return
@@ -221,10 +248,8 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 			Bytes: mc.checkpointBytes(regCount(ck), restores), Fn: fr.fn, Block: fr.block})
 	}
 	mc.addCkCycles(restoreCost)
-	for _, v := range restores {
-		data := make([]int64, v.Elems)
-		copy(data, mc.nvm[v])
-		if !mc.addVMResident(v, data) {
+	for _, slot := range restores {
+		if !mc.addVMResident(slot, mc.vmCopy(slot, mc.nvm[slot])) {
 			return
 		}
 	}
@@ -237,18 +262,19 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 // Lazy checkpoints (ALFRED) defer the copy (and its cost) to first access.
 func (mc *machine) materializeRestore(ck *ir.Checkpoint) bool {
 	for _, v := range ck.Restore {
-		if _, ok := mc.vm[v]; ok || mc.pending[v] {
+		slot := mc.slot(v)
+		if mc.vm[slot] != nil || mc.pending[slot] {
 			continue
 		}
 		if ck.Lazy {
-			mc.pending[v] = true
+			mc.pending[slot] = true
 			continue
 		}
 		if !mc.charge(mc.cfg.Model.RestoreVarCost(v), chRestore) {
 			mc.powerFailure()
 			return false
 		}
-		if !mc.addVMResident(v, append([]int64(nil), mc.nvm[v]...)) {
+		if !mc.addVMResident(slot, mc.vmCopy(slot, mc.nvm[slot])) {
 			return false
 		}
 	}
@@ -262,10 +288,7 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 		return
 	}
 	saved := mc.saveSet(ck)
-	saveCost := mc.cfg.Model.SaveRegsCostFor(regCount(ck))
-	for _, v := range saved {
-		saveCost += mc.cfg.Model.SaveVarCost(v)
-	}
+	saveCost := mc.saveVarsCost(mc.cfg.Model.SaveRegsCostFor(regCount(ck)), saved)
 	mc.res.SaveAttempts++
 	if mc.probeSave(PointBeforeSave, ck.ID) {
 		mc.powerFailure()
@@ -285,15 +308,15 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 			Bytes: mc.checkpointBytes(regCount(ck), saved), Fn: fr.fn, Block: fr.block})
 	}
 	mc.addCkCycles(saveCost)
-	for _, v := range saved {
-		if arr, ok := mc.vm[v]; ok {
-			copy(mc.nvm[v], arr)
-			delete(mc.dirty, v)
+	for _, slot := range saved {
+		if arr := mc.vm[slot]; arr != nil {
+			copy(mc.nvm[slot], arr)
+			mc.dirty[slot] = false
 		}
 	}
 	mc.res.Saves++
 	fr.pc++
-	mc.takeSnapshot(mc.residentVars(), ck.Lazy, ck.ID)
+	mc.takeSnapshot(mc.residentSlots(), ck.Lazy, ck.ID)
 	if !mc.halted && mc.probeSave(PointAfterSave, ck.ID) {
 		mc.powerFailure()
 		return
@@ -314,8 +337,8 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 		return
 	}
 	if mc.cfg.Intermittent && mc.capEn < mc.cfg.TriggerThreshold*mc.cfg.EB {
-		saved := mc.residentVars()
-		saveCost := mc.cfg.Model.SaveCost(saved)
+		saved := mc.residentSlots()
+		saveCost := mc.saveVarsCost(mc.cfg.Model.SaveRegsCost(), saved)
 		mc.res.SaveAttempts++
 		if mc.probeSave(PointBeforeSave, ck.ID) {
 			mc.powerFailure()
@@ -335,9 +358,9 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 				Bytes: mc.checkpointBytes(-1, saved), Fn: fr.fn, Block: fr.block})
 		}
 		mc.addCkCycles(saveCost)
-		for _, v := range saved {
-			copy(mc.nvm[v], mc.vm[v])
-			delete(mc.dirty, v)
+		for _, slot := range saved {
+			copy(mc.nvm[slot], mc.vm[slot])
+			mc.dirty[slot] = false
 		}
 		mc.res.Saves++
 		fr.pc++
@@ -353,51 +376,101 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 	mc.bumpProgress()
 }
 
-func (mc *machine) residentVars() []*ir.Var {
-	vars := make([]*ir.Var, 0, len(mc.vm))
-	for v := range mc.vm {
-		vars = append(vars, v)
+// residentSlots lists the VM-resident slots in the program's name order
+// — the same total order saveSet uses, so save and restore costs sum in
+// one deterministic sequence. The returned slice is backed by
+// slotScratch2 and valid until the next residentSlots/restoreSet call.
+func (mc *machine) residentSlots() []int32 {
+	slots := mc.slotScratch2[:0]
+	for _, slot := range mc.prog.NameOrder {
+		if mc.vm[slot] != nil {
+			slots = append(slots, slot)
+		}
 	}
-	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
-	return vars
+	mc.slotScratch2 = slots
+	return slots
 }
 
 // takeSnapshot records the recovery point: the full volatile state as it
 // must look when execution resumes here. site is the checkpoint that
 // takes it; post-failure restore and re-execution energy is attributed
-// to it.
-func (mc *machine) takeSnapshot(restores []*ir.Var, lazy bool, site int) {
-	sn := &snapshot{
-		frames:   make([]frame, len(mc.frames)),
-		vm:       make(map[*ir.Var][]int64, len(restores)),
+// to it. The VM image is stored slot-by-slot in first-appearance order
+// of the restore list — rollback replays it in exactly this order, so
+// restore charging and VM residency growth are deterministic.
+func (mc *machine) takeSnapshot(restores []int32, lazy bool, site int) {
+	// Recycle the retired recovery point's buffers (ping-pong with
+	// mc.snap). Its storage is dead: restores deep-copy out of a
+	// snapshot, so nothing alive aliases it once a newer one replaces it.
+	sn := mc.spareSnap
+	mc.spareSnap = nil
+	if sn == nil {
+		sn = &snapshot{}
+	}
+	oldFrames := sn.frames
+	oldData := sn.vmData
+	*sn = snapshot{
+		frames:   oldFrames[:0],
+		vmSlots:  sn.vmSlots[:0],
+		vmData:   oldData[:0],
 		outLen:   len(mc.out),
 		done:     mc.done + 1, // resume after the checkpoint instruction
 		lazy:     lazy,
 		site:     site,
-		restores: append([]*ir.Var(nil), restores...),
+		restores: append(sn.restores[:0], restores...),
 	}
 	for i := range mc.frames {
 		f := mc.frames[i]
-		f.regs = append([]int64(nil), f.regs...)
-		sn.frames[i] = f
-	}
-	for _, v := range restores {
-		if arr, ok := mc.vm[v]; ok {
-			sn.vm[v] = append([]int64(nil), arr...)
+		var regs []int64
+		if i < len(oldFrames) && cap(oldFrames[i].regs) >= len(f.regs) {
+			regs = oldFrames[i].regs[:len(f.regs)]
 		} else {
+			regs = make([]int64, len(f.regs))
+		}
+		copy(regs, f.regs)
+		f.regs = regs
+		sn.frames = append(sn.frames, f)
+	}
+	record := func(slot int32) {
+		if mc.seen[slot] {
+			return
+		}
+		mc.seen[slot] = true
+		src := mc.vm[slot]
+		if src == nil {
 			// Wait-style snapshots record the post-restore view: the NVM
 			// copy just written. Pending (lazily deferred) variables also
 			// take their NVM value — it is still their source of truth.
-			sn.vm[v] = append([]int64(nil), mc.nvm[v]...)
+			src = mc.nvm[slot]
+		}
+		// Reuse the retired snapshot's buffer at the same position; the
+		// slot sequence is usually identical save to save, so sizes match.
+		j := len(sn.vmSlots)
+		var buf []int64
+		if j < len(oldData) && cap(oldData[j]) >= len(src) {
+			buf = oldData[j][:len(src)]
+		} else {
+			buf = make([]int64, len(src))
+		}
+		copy(buf, src)
+		sn.vmSlots = append(sn.vmSlots, slot)
+		sn.vmData = append(sn.vmData, buf)
+	}
+	for _, slot := range restores {
+		record(slot)
+	}
+	// Variables whose boot copy is still deferred must survive rollbacks;
+	// visited in name order so the extra restore charges sum identically
+	// run to run.
+	for _, slot := range mc.prog.NameOrder {
+		if mc.pending[slot] && !mc.seen[slot] {
+			record(slot)
+			sn.restores = append(sn.restores, slot)
 		}
 	}
-	// Variables whose boot copy is still deferred must survive rollbacks.
-	for v := range mc.pending {
-		if _, ok := sn.vm[v]; !ok {
-			sn.vm[v] = append([]int64(nil), mc.nvm[v]...)
-			sn.restores = append(sn.restores, v)
-		}
+	for _, slot := range sn.vmSlots {
+		mc.seen[slot] = false
 	}
+	mc.spareSnap = mc.snap
 	mc.snap = sn
 	if mc.res.PowerFailures > 0 {
 		if sn.done > mc.maxSnapDone {
@@ -471,11 +544,19 @@ func (mc *machine) powerFailure() {
 		return
 	}
 	sn := mc.snap
-	mc.frames = make([]frame, len(sn.frames))
+	// The dying frames' register arrays go back to the pool (snapshots
+	// hold their own deep copies, so nothing aliases them), and the
+	// restored stack rebuilds in place.
+	for i := range mc.frames {
+		mc.regPool = append(mc.regPool, mc.frames[i].regs)
+	}
+	mc.frames = mc.frames[:0]
 	for i := range sn.frames {
 		f := sn.frames[i]
-		f.regs = append([]int64(nil), f.regs...)
-		mc.frames[i] = f
+		regs := mc.newRegs(len(f.regs))
+		copy(regs, f.regs)
+		f.regs = regs
+		mc.frames = append(mc.frames, f)
 	}
 	mc.out = mc.out[:sn.outLen]
 	mc.done = sn.done
@@ -501,16 +582,16 @@ func (mc *machine) powerFailure() {
 			mc.emit(Event{Kind: EvRestore, Site: sn.site, Energy: regCost,
 				Bytes: mc.checkpointBytes(-1, nil)})
 		}
-		for v, arr := range sn.vm {
-			if !mc.addVMResident(v, append([]int64(nil), arr...)) {
+		for i, slot := range sn.vmSlots {
+			if !mc.addVMResident(slot, mc.vmCopy(slot, sn.vmData[i])) {
 				return
 			}
-			mc.pending[v] = true
+			mc.pending[slot] = true
 		}
 		mc.startReexec(sn.site)
 		return
 	}
-	restoreCost := mc.cfg.Model.RestoreCost(sn.restores)
+	restoreCost := mc.restoreVarsCost(mc.cfg.Model.RestoreRegsCost(), sn.restores)
 	if !mc.charge(restoreCost, chRestore) {
 		mc.powerFailure()
 		return
@@ -520,8 +601,8 @@ func (mc *machine) powerFailure() {
 		mc.emit(Event{Kind: EvRestore, Site: sn.site, Energy: restoreCost,
 			Bytes: mc.checkpointBytes(-1, sn.restores)})
 	}
-	for v, arr := range sn.vm {
-		if !mc.addVMResident(v, append([]int64(nil), arr...)) {
+	for i, slot := range sn.vmSlots {
+		if !mc.addVMResident(slot, mc.vmCopy(slot, sn.vmData[i])) {
 			return
 		}
 	}

@@ -1,0 +1,57 @@
+package dispatch
+
+import (
+	"sync"
+
+	"schematic/internal/energy"
+	"schematic/internal/ir"
+)
+
+// cacheCap bounds the compiled-program cache. Entries are keyed by
+// pointer identity, so the bound also limits how many dead modules the
+// cache can pin; FIFO eviction keeps steady-state workloads (a harness
+// cloning modules per cell, a daemon compiling per request) from growing
+// it without bound while the handful of long-lived modules that benefit
+// most — the profiler's and the hunter's, re-run hundreds of times —
+// stay resident.
+const cacheCap = 256
+
+type cacheKey struct {
+	mod   *ir.Module
+	model *energy.Model
+}
+
+var cache = struct {
+	sync.Mutex
+	progs map[cacheKey]*Program
+	order []cacheKey // insertion order, for FIFO eviction
+}{progs: map[cacheKey]*Program{}}
+
+// For returns the compiled program for (mod, model), compiling on a
+// miss and recompiling when the cached entry's fingerprint shows the
+// module was mutated in place since compilation (the translation
+// validator does exactly that between pipeline stages). The model is
+// keyed by pointer and assumed immutable, matching the convention of
+// every other model-keyed cache in the tree.
+func For(mod *ir.Module, model *energy.Model) *Program {
+	k := cacheKey{mod: mod, model: model}
+	cache.Lock()
+	defer cache.Unlock()
+	if p, ok := cache.progs[k]; ok {
+		if !p.Stale() {
+			return p
+		}
+		p = Compile(mod, model)
+		cache.progs[k] = p
+		return p
+	}
+	p := Compile(mod, model)
+	cache.progs[k] = p
+	cache.order = append(cache.order, k)
+	if len(cache.order) > cacheCap {
+		old := cache.order[0]
+		cache.order = cache.order[1:]
+		delete(cache.progs, old)
+	}
+	return p
+}

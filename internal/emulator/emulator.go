@@ -93,6 +93,13 @@ type Config struct {
 	MaxSteps    int64
 	MaxFailures int
 
+	// Interpret selects the per-instruction reference interpreter instead
+	// of the compiled dispatch engine. The two are observably identical —
+	// same verdicts, outputs, energy ledgers, counters, and error text —
+	// and the differential suite holds them to that; the interpreter
+	// exists as the oracle and for debugging the compiled path.
+	Interpret bool
+
 	// Observer, when non-nil, receives the full cycle-stamped event
 	// stream: block entries, returns, energy charges, checkpoint
 	// save/restore, sleeps, power failures, re-execution spans, poison

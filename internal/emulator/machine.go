@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"schematic/internal/emulator/dispatch"
 	"schematic/internal/ir"
 )
 
@@ -21,6 +22,7 @@ const maxStagnation = 8
 type frame struct {
 	fn      *ir.Func
 	block   *ir.Block
+	cb      *dispatch.Block // compiled counterpart of block
 	pc      int
 	regs    []int64
 	retReg  ir.Reg
@@ -28,17 +30,22 @@ type frame struct {
 }
 
 type snapshot struct {
-	frames   []frame // deep copies
-	vm       map[*ir.Var][]int64
+	frames []frame // deep copies
+	// vmSlots/vmData are the VM image to rebuild on rollback, deduplicated,
+	// in first-appearance order of the restore list — a deterministic
+	// order, so restore charging and VM residency replay identically.
+	vmSlots  []int32
+	vmData   [][]int64
 	outLen   int
 	done     int64
 	lazy     bool
-	site     int       // checkpoint site that took the snapshot
-	restores []*ir.Var // variables whose restore is charged on rollback
+	site     int     // checkpoint site that took the snapshot
+	restores []int32 // slots whose restore is charged on rollback
 }
 
 type machine struct {
 	mod   *ir.Module
+	prog  *dispatch.Program
 	cfg   Config
 	res   Result
 	capEn float64 // remaining capacitor energy
@@ -56,23 +63,50 @@ type machine struct {
 	inReexec   bool
 	reexecSite int
 
-	nvm map[*ir.Var][]int64
-	vm  map[*ir.Var][]int64
-	// pending marks VM variables whose post-rollback restore cost has not
-	// been charged yet (ALFRED's deferred restoration).
-	pending map[*ir.Var]bool
-	// dirty marks VM variables written since their last save.
-	dirty map[*ir.Var]bool
+	// Variable storage is indexed by the program's slot table: nvm holds
+	// every variable's persistent home; vm[slot] is non-nil while the
+	// variable is VM-resident. pending marks VM variables whose
+	// post-rollback restore cost has not been charged yet (ALFRED's
+	// deferred restoration); dirty marks VM variables written since their
+	// last save.
+	nvm     [][]int64
+	vm      [][]int64
+	pending []bool
+	dirty   []bool
+	// vmSpare recycles evicted VM arrays slot-by-slot: clearVM parks each
+	// resident array here instead of dropping it, and the next
+	// materialization of the same slot reuses it (same variable, same
+	// size). Recovery-heavy intermittent runs would otherwise reallocate
+	// the whole working set on every power failure.
+	vmSpare [][]int64
+	// seen is a per-machine scratch bitmap over slots (snapshot dedup).
+	seen []bool
+	// slotScratch1/slotScratch2 back the checkpoint runtimes' save and
+	// restore sets: saveSet fills the first, residentSlots/restoreSet the
+	// second. The sets live only for the duration of one checkpoint
+	// execution (takeSnapshot copies what it keeps), so two buffers cover
+	// every runtime without aliasing.
+	slotScratch1 []int32
+	slotScratch2 []int32
 	// counters holds conditional-checkpoint iteration counters; they live
 	// in NVM and survive power failures (Algorithm 1).
 	counters map[int]int64
 
 	frames []frame
 	out    []int64
+	// regPool recycles register arrays across call/return pairs on the
+	// fast path; entries are zeroed on reuse, so a pooled frame is
+	// indistinguishable from a freshly allocated one.
+	regPool [][]int64
 
-	done             int64 // logical progress index along the execution
-	furthest         int64 // high-water mark of done
-	snap             *snapshot
+	done     int64 // logical progress index along the execution
+	furthest int64 // high-water mark of done
+	snap     *snapshot
+	// spareSnap is the previous recovery point, kept as a shell whose
+	// buffers the next takeSnapshot cannibalizes (ping-pong). Safe because
+	// nothing aliases a snapshot's storage: restores deep-copy out of it,
+	// and it is only recycled once a newer snapshot has replaced it.
+	spareSnap        *snapshot
 	stagnation       int
 	lastFailFurthest int64
 	// Snapshot-progress watchdog (paper §VI: detect restarting "from the
@@ -98,15 +132,20 @@ type machine struct {
 }
 
 func newMachine(m *ir.Module, cfg Config) *machine {
+	prog := dispatch.For(m, cfg.Model)
+	n := len(prog.Vars)
 	mc := &machine{
 		mod:      m,
+		prog:     prog,
 		cfg:      cfg,
 		obs:      observerFor(cfg),
 		curSite:  -1,
-		nvm:      map[*ir.Var][]int64{},
-		vm:       map[*ir.Var][]int64{},
-		pending:  map[*ir.Var]bool{},
-		dirty:    map[*ir.Var]bool{},
+		nvm:      make([][]int64, n),
+		vm:       make([][]int64, n),
+		pending:  make([]bool, n),
+		dirty:    make([]bool, n),
+		vmSpare:  make([][]int64, n),
+		seen:     make([]bool, n),
 		counters: map[int]int64{},
 		capEn:    cfg.EB,
 	}
@@ -119,22 +158,36 @@ func newMachine(m *ir.Module, cfg Config) *machine {
 	return mc
 }
 
+// slot resolves a variable's storage slot. The program's fingerprint
+// validation guarantees every variable the module references is in the
+// slot table, so a miss is an invariant violation, not a user error.
+func (mc *machine) slot(v *ir.Var) int32 {
+	s, ok := mc.prog.SlotOf(v)
+	if !ok {
+		panic(fmt.Sprintf("emulator: variable %s missing from compiled slot table (module mutated mid-run?)", v.Name))
+	}
+	return s
+}
+
 // prewarmVM materializes every block-allocated VM variable from its NVM
 // home before execution starts, free of charge — the "all data already
 // in VM" precondition of reference measurements. Without it a module
 // that allocates variables to VM but has no checkpoints (nothing to
-// restore them) would read poison.
+// restore them) would read poison. Variables are visited per block in
+// the deterministic name order, so an overflowing prewarm always
+// overflows on the same variable.
 func (mc *machine) prewarmVM() {
 	for _, f := range mc.mod.Funcs {
 		for _, b := range f.Blocks {
-			for v, in := range b.Alloc {
-				if !in {
+			if len(b.Alloc) == 0 {
+				continue
+			}
+			for _, slot := range mc.prog.NameOrder {
+				v := mc.prog.Vars[slot]
+				if !b.InVM(v) || mc.vm[slot] != nil {
 					continue
 				}
-				if _, ok := mc.vm[v]; ok {
-					continue
-				}
-				if !mc.addVMResident(v, append([]int64(nil), mc.nvm[v]...)) {
+				if !mc.addVMResident(slot, append([]int64(nil), mc.nvm[slot]...)) {
 					return
 				}
 			}
@@ -145,29 +198,23 @@ func (mc *machine) prewarmVM() {
 // initNVM loads every variable's NVM home with its initial data, applying
 // input overrides. Runs once per emulation: NVM persists across failures.
 func (mc *machine) initNVM() {
-	load := func(v *ir.Var) {
+	for slot, v := range mc.prog.Vars {
 		data := make([]int64, v.Elems)
 		copy(data, v.Init)
 		if in, ok := mc.cfg.Inputs[v.Name]; ok && v.Input {
 			copy(data, in)
 		}
-		mc.nvm[v] = data
-	}
-	for _, v := range mc.mod.Globals {
-		load(v)
-	}
-	for _, f := range mc.mod.Funcs {
-		for _, v := range f.Locals {
-			load(v)
-		}
+		mc.nvm[slot] = data
 	}
 }
 
 func (mc *machine) bootFrames() {
 	mainFn := mc.mod.FuncByName("main")
+	cf := mc.prog.FuncOf(mainFn)
 	mc.frames = []frame{{
 		fn:    mainFn,
 		block: mainFn.Entry(),
+		cb:    cf.Entry,
 		regs:  make([]int64, mainFn.NumRegs),
 	}}
 	if mc.obs != nil {
@@ -176,6 +223,23 @@ func (mc *machine) bootFrames() {
 }
 
 func (mc *machine) top() *frame { return &mc.frames[len(mc.frames)-1] }
+
+// newRegs returns a zeroed register array of the given size, reusing a
+// pooled one when it fits.
+func (mc *machine) newRegs(n int) []int64 {
+	if l := len(mc.regPool); l > 0 {
+		r := mc.regPool[l-1]
+		if cap(r) >= n {
+			mc.regPool = mc.regPool[:l-1]
+			r = r[:n]
+			for i := range r {
+				r[i] = 0
+			}
+			return r
+		}
+	}
+	return make([]int64, n)
+}
 
 // emit stamps the event with the current cycle and step counters and
 // hands it to the observer. Callers guard on mc.obs != nil so the
@@ -186,8 +250,17 @@ func (mc *machine) emit(e Event) {
 	mc.obs.Event(e)
 }
 
-// run drives the machine until a verdict is reached.
+// run drives the machine until a verdict is reached. The compiled
+// dispatch engine is the default; Config.Interpret selects the
+// per-instruction reference interpreter (the differential oracle).
 func (mc *machine) run() (*Result, error) {
+	if mc.cfg.Interpret {
+		return mc.runInterpreted()
+	}
+	return mc.runCompiled()
+}
+
+func (mc *machine) runInterpreted() (*Result, error) {
 	for !mc.halted {
 		if mc.res.Steps >= mc.cfg.MaxSteps {
 			mc.close(OutOfSteps)
@@ -340,7 +413,10 @@ func (mc *machine) chargeAccess(e float64, space ir.Space) bool {
 	return mc.charge(e, chNVMAcc)
 }
 
-// step executes one instruction. It returns true when main has returned.
+// step executes one instruction the reference way: a type switch over
+// the live IR with costs computed on the fly. It returns true when main
+// has returned. The compiled engine (stepCompiled/execBatch) must stay
+// bit-identical to this function.
 func (mc *machine) step() (bool, error) {
 	fr := mc.top()
 	if fr.pc >= len(fr.block.Instrs) {
@@ -367,8 +443,7 @@ func (mc *machine) step() (bool, error) {
 	if v, _, ok := ir.AccessedVar(in); ok && fr.block.InVM(v) {
 		space = ir.VM
 	}
-	cost := mc.cfg.Model.InstrEnergy(in, space)
-	cycles := int64(mc.cfg.Model.InstrCycles(in, space))
+	cost, cycles := mc.cfg.Model.InstrCost(in, space)
 
 	reexec := mc.done < mc.furthest
 	var ok bool
@@ -433,9 +508,11 @@ func (mc *machine) exec(in ir.Instr) (bool, error) {
 		fr.pc++
 	case *ir.Call:
 		fr.pc++ // return continues after the call
+		cf := mc.prog.FuncOf(x.Callee)
 		nf := frame{
 			fn:      x.Callee,
 			block:   x.Callee.Entry(),
+			cb:      cf.Entry,
 			regs:    make([]int64, x.Callee.NumRegs),
 			retReg:  x.Dst,
 			wantRet: x.HasDst,
@@ -483,6 +560,7 @@ func (mc *machine) exec(in ir.Instr) (bool, error) {
 func (mc *machine) enterBlock(b *ir.Block) {
 	fr := mc.top()
 	fr.block = b
+	fr.cb = mc.prog.BlockOf(b)
 	fr.pc = 0
 	if mc.obs != nil {
 		mc.emit(Event{Kind: EvBlockEnter, Fn: fr.fn, Block: b})
@@ -498,14 +576,15 @@ func (mc *machine) loadVar(x *ir.Load, fr *frame) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	slot := mc.slot(x.Var)
 	if fr.block.InVM(x.Var) {
-		arr := mc.vmStorage(x.Var, true)
+		arr := mc.vmStorage(slot, x.Var, true)
 		if arr == nil {
 			return 0, errInterrupt
 		}
 		return arr[idx], nil
 	}
-	return mc.nvm[x.Var][idx], nil
+	return mc.nvm[slot][idx], nil
 }
 
 func (mc *machine) storeVar(x *ir.Store, fr *frame) error {
@@ -514,16 +593,17 @@ func (mc *machine) storeVar(x *ir.Store, fr *frame) error {
 		return err
 	}
 	val := fr.regs[x.Src]
+	slot := mc.slot(x.Var)
 	if fr.block.InVM(x.Var) {
-		arr := mc.vmStorage(x.Var, false)
+		arr := mc.vmStorage(slot, x.Var, false)
 		if arr == nil {
 			return errInterrupt
 		}
 		arr[idx] = val
-		mc.dirty[x.Var] = true
+		mc.dirty[slot] = true
 		return nil
 	}
-	mc.nvm[x.Var][idx] = val
+	mc.nvm[slot][idx] = val
 	return nil
 }
 
@@ -539,26 +619,27 @@ func elemIndex(v *ir.Var, idxReg ir.Reg, hasIdx bool, fr *frame) (int, error) {
 	return int(idx), nil
 }
 
-// vmStorage returns the VM-resident storage of v, materializing it on
-// demand. A variable that was never restored materializes poisoned (and,
-// for reads, bumps UnsyncedReads — the signal of a broken pass). ALFRED's
-// deferred restoration is implemented here: the first access to a
-// pending-restore variable pays its restore cost.
-func (mc *machine) vmStorage(v *ir.Var, read bool) []int64 {
-	if mc.pending[v] {
-		delete(mc.pending, v)
+// vmStorage returns the VM-resident storage of the variable in slot,
+// materializing it on demand. A variable that was never restored
+// materializes poisoned (and, for reads, bumps UnsyncedReads — the
+// signal of a broken pass). ALFRED's deferred restoration is implemented
+// here: the first access to a pending-restore variable pays its restore
+// cost.
+func (mc *machine) vmStorage(slot int32, v *ir.Var, read bool) []int64 {
+	if mc.pending[slot] {
+		mc.pending[slot] = false
 		if !mc.charge(mc.cfg.Model.RestoreVarCost(v), chRestore) {
 			mc.powerFailure()
 			return nil
 		}
-		if _, ok := mc.vm[v]; !ok {
+		if mc.vm[slot] == nil {
 			// Deferred boot copy: the NVM home is the source of truth.
-			if !mc.addVMResident(v, append([]int64(nil), mc.nvm[v]...)) {
+			if !mc.addVMResident(slot, mc.vmCopy(slot, mc.nvm[slot])) {
 				return nil
 			}
 		}
 	}
-	if arr, ok := mc.vm[v]; ok {
+	if arr := mc.vm[slot]; arr != nil {
 		return arr
 	}
 	if read {
@@ -572,17 +653,18 @@ func (mc *machine) vmStorage(v *ir.Var, read bool) []int64 {
 	for i := range arr {
 		arr[i] = Poison
 	}
-	if !mc.addVMResident(v, arr) {
+	if !mc.addVMResident(slot, arr) {
 		return nil
 	}
 	return arr
 }
 
-// addVMResident registers VM storage for v, enforcing SVM. It returns
-// false (and closes the run with a VMOverflow verdict) on overflow.
-func (mc *machine) addVMResident(v *ir.Var, data []int64) bool {
-	mc.vm[v] = data
-	mc.vmBytes += v.SizeBytes()
+// addVMResident registers VM storage for the variable in slot, enforcing
+// SVM. It returns false (and closes the run with a VMOverflow verdict)
+// on overflow.
+func (mc *machine) addVMResident(slot int32, data []int64) bool {
+	mc.vm[slot] = data
+	mc.vmBytes += mc.prog.Vars[slot].SizeBytes()
 	if mc.vmBytes > mc.res.MaxVMBytes {
 		mc.res.MaxVMBytes = mc.vmBytes
 	}
@@ -593,17 +675,35 @@ func (mc *machine) addVMResident(v *ir.Var, data []int64) bool {
 	return true
 }
 
-// dropVMResident evicts v from VM.
-func (mc *machine) dropVMResident(v *ir.Var) {
-	if _, ok := mc.vm[v]; ok {
-		delete(mc.vm, v)
-		mc.vmBytes -= v.SizeBytes()
+// dropVMResident evicts the variable in slot from VM.
+func (mc *machine) dropVMResident(slot int32) {
+	if mc.vm[slot] != nil {
+		mc.vm[slot] = nil
+		mc.vmBytes -= mc.prog.Vars[slot].SizeBytes()
 	}
 }
 
 func (mc *machine) clearVM() {
-	mc.vm = map[*ir.Var][]int64{}
+	for i := range mc.vm {
+		if mc.vm[i] != nil {
+			mc.vmSpare[i] = mc.vm[i]
+			mc.vm[i] = nil
+		}
+		mc.pending[i] = false
+		mc.dirty[i] = false
+	}
 	mc.vmBytes = 0
-	mc.pending = map[*ir.Var]bool{}
-	mc.dirty = map[*ir.Var]bool{}
+}
+
+// vmCopy returns a copy of src destined for the slot's VM storage,
+// reusing the slot's parked spare array when one is available (it always
+// fits — same variable, same size).
+func (mc *machine) vmCopy(slot int32, src []int64) []int64 {
+	if buf := mc.vmSpare[slot]; cap(buf) >= len(src) {
+		mc.vmSpare[slot] = nil
+		buf = buf[:len(src)]
+		copy(buf, src)
+		return buf
+	}
+	return append([]int64(nil), src...)
 }

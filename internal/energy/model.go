@@ -116,55 +116,66 @@ func (m *Model) WriteGain() float64 {
 	return m.DeltaEW() + float64(m.NVMAccessCycles-m.VMAccessCycles)*m.EnergyPerCycle
 }
 
+// InstrCost returns the energy (nJ) and cycle count of an instruction in
+// a single classification pass: core energy for its cycles plus the
+// memory access energy when applicable. For memory instructions, space
+// selects the accessed memory. It is the single source of per-instruction
+// cost; InstrEnergy and InstrCycles are views of it.
+func (m *Model) InstrCost(in ir.Instr, space ir.Space) (nJ float64, cycles int64) {
+	var c int
+	var mem float64
+	switch x := in.(type) {
+	case *ir.Const:
+		c = m.CyclesConst
+	case *ir.BinOp:
+		if x.Op == ir.OpMul || x.Op == ir.OpDiv || x.Op == ir.OpRem {
+			c = m.CyclesMulDiv
+		} else {
+			c = m.CyclesALU
+		}
+	case *ir.Load:
+		if space == ir.VM {
+			c, mem = m.VMAccessCycles, m.VMReadEnergy
+		} else {
+			c, mem = m.NVMAccessCycles, m.NVMReadEnergy
+		}
+	case *ir.Store:
+		if space == ir.VM {
+			c, mem = m.VMAccessCycles, m.VMWriteEnergy
+		} else {
+			c, mem = m.NVMAccessCycles, m.NVMWriteEnergy
+		}
+	case *ir.Call:
+		c = m.CyclesCall
+	case *ir.Ret:
+		c = m.CyclesRet
+	case *ir.Br, *ir.Jmp:
+		c = m.CyclesBranch
+	case *ir.Out:
+		c = m.CyclesOut
+	case *ir.Checkpoint, *ir.LoopBound:
+		c = 0 // checkpoints are accounted dynamically; bounds are metadata
+	default:
+		c = m.CyclesALU
+	}
+	// Two statements, not a*b+c: keeps the rounding identical to the
+	// historical InstrEnergy (no fused multiply-add).
+	e := float64(c) * m.EnergyPerCycle
+	e += mem
+	return e, int64(c)
+}
+
 // InstrCycles returns the cycle count of an instruction. For memory
 // instructions, space selects the accessed memory.
 func (m *Model) InstrCycles(in ir.Instr, space ir.Space) int {
-	switch x := in.(type) {
-	case *ir.Const:
-		return m.CyclesConst
-	case *ir.BinOp:
-		if x.Op == ir.OpMul || x.Op == ir.OpDiv || x.Op == ir.OpRem {
-			return m.CyclesMulDiv
-		}
-		return m.CyclesALU
-	case *ir.Load, *ir.Store:
-		if space == ir.VM {
-			return m.VMAccessCycles
-		}
-		return m.NVMAccessCycles
-	case *ir.Call:
-		return m.CyclesCall
-	case *ir.Ret:
-		return m.CyclesRet
-	case *ir.Br, *ir.Jmp:
-		return m.CyclesBranch
-	case *ir.Out:
-		return m.CyclesOut
-	case *ir.Checkpoint, *ir.LoopBound:
-		return 0 // checkpoints are accounted dynamically; bounds are metadata
-	default:
-		return m.CyclesALU
-	}
+	_, c := m.InstrCost(in, space)
+	return int(c)
 }
 
 // InstrEnergy returns the energy of an instruction in nJ: core energy for
 // its cycles plus the memory access energy when applicable.
 func (m *Model) InstrEnergy(in ir.Instr, space ir.Space) float64 {
-	e := float64(m.InstrCycles(in, space)) * m.EnergyPerCycle
-	switch in.(type) {
-	case *ir.Load:
-		if space == ir.VM {
-			e += m.VMReadEnergy
-		} else {
-			e += m.NVMReadEnergy
-		}
-	case *ir.Store:
-		if space == ir.VM {
-			e += m.VMWriteEnergy
-		} else {
-			e += m.NVMWriteEnergy
-		}
-	}
+	e, _ := m.InstrCost(in, space)
 	return e
 }
 
@@ -253,7 +264,8 @@ func (m *Model) BlockExecEnergy(b *ir.Block, vm map[*ir.Var]bool) float64 {
 		if v, _, ok := ir.AccessedVar(in); ok && vm != nil && vm[v] {
 			space = ir.VM
 		}
-		e += m.InstrEnergy(in, space)
+		cost, _ := m.InstrCost(in, space)
+		e += cost
 	}
 	return e
 }

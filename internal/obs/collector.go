@@ -185,23 +185,20 @@ func (c *Collector) Blocks() []BlockEnergy {
 }
 
 // Functions aggregates the block ledgers per function, sorted by name.
+// Aggregation walks the blocks in their sorted order — never the map —
+// so the float sums accumulate in one fixed sequence and two calls (or
+// two runs) render byte-identical values.
 func (c *Collector) Functions() []FuncEnergy {
-	agg := map[string]*FuncEnergy{}
-	for _, b := range c.blocks {
-		f, ok := agg[b.Func]
-		if !ok {
-			f = &FuncEnergy{Func: b.Func}
-			agg[b.Func] = f
+	var out []FuncEnergy
+	for _, b := range c.Blocks() {
+		if len(out) == 0 || out[len(out)-1].Func != b.Func {
+			out = append(out, FuncEnergy{Func: b.Func})
 		}
+		f := &out[len(out)-1]
 		f.Compute += b.Compute
 		f.VMAccess += b.VMAccess
 		f.NVMAccess += b.NVMAccess
 	}
-	out := make([]FuncEnergy, 0, len(agg))
-	for _, f := range agg {
-		out = append(out, *f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
 	return out
 }
 
@@ -228,12 +225,14 @@ func (c *Collector) TopSites(n int) []SiteStats {
 
 // AttributedTotal is the energy the collector accounted for: block
 // computation plus site save/restore/re-execution.
+// The sum runs over the sorted ledgers so the accumulation order — and
+// therefore the rounded float — is the same on every call.
 func (c *Collector) AttributedTotal() float64 {
 	var t float64
-	for _, b := range c.blocks {
+	for _, b := range c.Blocks() {
 		t += b.Compute
 	}
-	for _, s := range c.sites {
+	for _, s := range c.Sites() {
 		t += s.Total()
 	}
 	return t
@@ -250,10 +249,10 @@ func (c *Collector) AttributedTotal() float64 {
 // smallest possible real attribution error.
 func (c *Collector) Reconcile(res *emulator.Result) error {
 	var compute, save, restore, reexec float64
-	for _, b := range c.blocks {
+	for _, b := range c.Blocks() {
 		compute += b.Compute
 	}
-	for _, s := range c.sites {
+	for _, s := range c.Sites() {
 		save += s.SaveEnergy
 		restore += s.RestoreEnergy
 		reexec += s.ReexecEnergy

@@ -3,6 +3,7 @@ package obs_test
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -158,6 +159,41 @@ func TestFunctionsAggregateBlocks(t *testing.T) {
 	}
 	if diff := blockCompute - fnCompute; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("function aggregate %f != block sum %f", fnCompute, blockCompute)
+	}
+}
+
+// TestRenderDeterministic: everything user-visible the collector and
+// flame derive from their internal maps must be identical when computed
+// twice — Go randomizes map iteration per range statement, so any
+// map-order float accumulation or unsorted render shows up as a
+// byte-level diff between two back-to-back calls.
+func TestRenderDeterministic(t *testing.T) {
+	col := obs.NewCollector()
+	fl := obs.NewFlame()
+	res := runObserved(t, emulator.MultiObserver(col, fl))
+
+	render := func() string {
+		var sb bytes.Buffer
+		col.RenderSites(&sb)
+		if err := fl.WriteFolded(&sb); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range col.Functions() {
+			fmt.Fprintf(&sb, "%s %v %v %v\n", f.Func, f.Compute, f.VMAccess, f.NVMAccess)
+		}
+		fmt.Fprintf(&sb, "attributed %v\n", col.AttributedTotal())
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 8; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs from first:\n%s\n---\n%s", i+2, got, first)
+		}
+		// Reconcile sums the same floats; a changed accumulation order
+		// could flip it across the tolerance on a borderline run.
+		if err := col.Reconcile(res); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

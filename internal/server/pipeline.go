@@ -130,11 +130,20 @@ func runCompile(ctx context.Context, req *Request, digest string) (*CompileRespo
 // responses); the emulator itself is not interruptible mid-run, so the
 // job deadline is enforced between phases and by the step bound.
 func runEmulate(ctx context.Context, req *Request, digest string, observer emulator.Observer) (*EmulateResponse, error) {
+	o := req.Options
+	// Reject an unrunnable emulator configuration before the expensive
+	// compile/profile/placement phases — and before a streaming observer
+	// sees any events. EB may still be derived from the profile, so the
+	// final config is validated again (cheaply) by Run itself.
+	if err := (emulator.Config{
+		Model: energy.MSP430FR5969(), VMSize: o.VMSize, EB: o.EB,
+	}).Validate(); err != nil {
+		return nil, &progError{err}
+	}
 	p, err := prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	o := req.Options
 	inputs := trace.RandomInputs(p.m, rand.New(rand.NewSource(o.Seed)))
 	res, err := emulator.Run(p.m, emulator.Config{
 		Model:        energy.MSP430FR5969(),

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"schematic/internal/emulator"
 )
 
 // sumProg is a tiny MiniC workload: fast under every endpoint yet large
@@ -573,5 +576,23 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if cs := s.CacheStats(); cs.Misses != 4 || cs.Hits != 0 {
 		t.Fatalf("evicted entry still served: %+v", cs)
+	}
+}
+
+// TestRunEmulateValidatesEarly: a config the emulator would reject must
+// bounce out of runEmulate as a 422-class progError before the
+// compile/profile/placement pipeline runs — the HTTP normalize layer
+// guards the same fields, but the pipeline must not rely on it.
+func TestRunEmulateValidatesEarly(t *testing.T) {
+	req := &Request{Name: "sum", Source: sumProg}
+	req.Options.Technique = "none"
+	req.Options.VMSize = -8
+	_, err := runEmulate(context.Background(), req, "digest", nil)
+	if !errors.Is(err, emulator.ErrInvalidConfig) {
+		t.Fatalf("runEmulate with vm_size=-8: got %v, want ErrInvalidConfig", err)
+	}
+	var pe *progError
+	if !errors.As(err, &pe) {
+		t.Fatalf("config rejection is not a progError (would not map to 422): %v", err)
 	}
 }

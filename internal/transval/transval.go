@@ -27,6 +27,7 @@
 package transval
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -377,6 +378,12 @@ func runStage(m *ir.Module, inputs map[string][]int64, opts Options, vmSize int,
 		MaxSteps: maxSteps,
 	})
 	if err != nil {
+		// A config rejection is a harness bug, not a program trap —
+		// folding it into the trap observable would let a misconfigured
+		// validation run masquerade as (or mask) a miscompile.
+		if errors.Is(err, emulator.ErrInvalidConfig) {
+			return observable{}, 0, fmt.Errorf("transval: stage emulator config: %w", err)
+		}
 		return observable{trapped: true, detail: err.Error()}, 0, nil
 	}
 	switch res.Verdict {

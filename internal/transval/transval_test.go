@@ -2,10 +2,12 @@ package transval_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"schematic/internal/bench"
+	"schematic/internal/emulator"
 	"schematic/internal/transval"
 )
 
@@ -134,5 +136,18 @@ func TestFindingsRoundtrip(t *testing.T) {
 	}
 	if again.String() != first {
 		t.Fatalf("NDJSON encoding not deterministic:\n%s\nvs\n%s", first, again.String())
+	}
+}
+
+// TestValidateSurfacesConfigError: a harness misconfiguration (here a
+// negative VM size) must come back as an error unwrapping to
+// emulator.ErrInvalidConfig — not be folded into the trap observable,
+// where it would masquerade as a program divergence or silently agree
+// with a trapping reference.
+func TestValidateSurfacesConfigError(t *testing.T) {
+	cs := transval.ProbeCases(1)[0]
+	_, err := transval.Validate(cs, transval.Options{VMSize: -5})
+	if !errors.Is(err, emulator.ErrInvalidConfig) {
+		t.Fatalf("Validate with VMSize=-5: got %v, want ErrInvalidConfig", err)
 	}
 }
