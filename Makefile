@@ -49,14 +49,14 @@ transval-smoke:
 
 # Full performance report: grid throughput (compiled vs interpreted),
 # schematicd emulate latency, crashtest cases/sec. Rewrites the
-# committed BENCH_006.json; run on an idle machine.
+# committed BENCH_007.json; run on an idle machine.
 bench:
 	sh scripts/bench.sh
 
 # CI performance gate: a tiny grid, a well-formed report, and no >20%
-# compiled-throughput regression against the committed BENCH_006.json.
+# compiled-throughput regression against the committed BENCH_007.json.
 bench-smoke:
-	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_006.json
+	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_007.json
 
 # Daemon round trip: start schematicd on an ephemeral port, drive a
 # compile + emulate through schemactl, check cache dedup on /metrics,

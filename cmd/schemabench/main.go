@@ -13,25 +13,43 @@
 //
 //   - crashtest: crash-consistency hunter throughput in cases/second.
 //
+//   - sse: live-console overhead. Two views, because they answer
+//     different questions. The publish_ns_* figures are the emulator
+//     hot path's per-event cost of hub fan-out with 0/1/16 actively
+//     draining subscribers — the "can a slow reader stall the
+//     emulator" metric, and the basis of one_sub_hotpath_overhead_pct
+//     (publisher-side overhead relative to the per-event emulate
+//     budget). The observed_p50_ms_* figures are end-to-end POST
+//     latencies with live SSE subscribers attached; on few-CPU hosts
+//     (see cpus) these also charge the subscribers' own JSON-render
+//     time against the run, which is core sharing, not fan-out stall.
+//     Replay throughput of a retained stream rounds out the cell. The
+//     unobserved no-subscriber baseline is the emulate section above.
+//
 //     schemabench                      # full run, report to stdout
-//     schemabench -o BENCH_006.json    # write the report to a file
+//     schemabench -o BENCH_007.json    # write the report to a file
 //     schemabench -smoke               # small grid, seconds not minutes
-//     schemabench -smoke -check BENCH_006.json  # regression gate for CI
+//     schemabench -smoke -check BENCH_007.json  # regression gate for CI
 //
 // -check compares the measured grid throughput against the committed
 // report and exits nonzero on a >20% regression of the compiled engine.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"schematic/internal/baselines"
@@ -39,6 +57,7 @@ import (
 	"schematic/internal/crashtest"
 	"schematic/internal/emulator"
 	"schematic/internal/ir"
+	"schematic/internal/obs"
 	"schematic/internal/server"
 )
 
@@ -79,6 +98,70 @@ type crashReport struct {
 	CasesPerSec float64 `json:"cases_per_sec"`
 }
 
+type sseReport struct {
+	RequestsPerCell int `json:"requests_per_cell"`
+	CPUs            int `json:"cpus"`
+
+	// Publisher-side hub cost per event with K actively draining
+	// subscribers — what fan-out adds to the emulator hot path. The
+	// overhead percentage scales the 1-sub increment by the run's
+	// per-event emulate budget (p50_0sub / events-per-run): the
+	// emulate-throughput regression a subscriber can inflict by
+	// existing, as opposed to by burning CPU rendering.
+	PublishNS0Sub        float64 `json:"publish_ns_0sub"`
+	PublishNS1Sub        float64 `json:"publish_ns_1sub"`
+	PublishNS16Sub       float64 `json:"publish_ns_16sub"`
+	OneSubHotpathPct     float64 `json:"one_sub_hotpath_overhead_pct"`
+	SixteenSubHotpathPct float64 `json:"sixteen_sub_hotpath_overhead_pct"`
+
+	// End-to-end p50 POST /v1/emulate latency of observed runs with K
+	// live SSE readers. On few-CPU hosts this includes the readers'
+	// own render time (core sharing), so it bounds the user-visible
+	// cost, not the hot-path stall.
+	P50MS0Sub          float64 `json:"observed_p50_ms_0sub"`
+	P50MS1Sub          float64 `json:"observed_p50_ms_1sub"`
+	P50MS16Sub         float64 `json:"observed_p50_ms_16sub"`
+	OneSubDeltaPct     float64 `json:"one_sub_delta_pct"`
+	SixteenSubDeltaPct float64 `json:"sixteen_sub_delta_pct"`
+
+	// SSE replay of a retained run's ring, counted in event frames.
+	ReplayEvents       int64   `json:"replay_events"`
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec"`
+}
+
+// hubPublishNS measures the emulator-side cost of one hub.Event with
+// subs actively draining subscribers attached, in ns/event.
+func hubPublishNS(subs, events int) float64 {
+	h := obs.NewHub(0, nil)
+	var wg sync.WaitGroup
+	for k := 0; k < subs; k++ {
+		sub := h.Subscribe(-1, 1024)
+		wg.Add(1)
+		go func(sub *obs.Sub) {
+			defer wg.Done()
+			buf := make([]obs.SeqEvent, 512)
+			for {
+				n, open := sub.Next(buf)
+				if n == 0 {
+					if !open {
+						return
+					}
+					<-sub.Ready()
+				}
+			}
+		}(sub)
+	}
+	ev := emulator.Event{Kind: emulator.EvCharge, Class: emulator.ChargeCompute, Energy: 1}
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		h.Event(ev)
+	}
+	elapsed := time.Since(start)
+	h.Close()
+	wg.Wait()
+	return float64(elapsed.Nanoseconds()) / float64(events)
+}
+
 type report struct {
 	Version     int            `json:"version"`
 	GeneratedBy string         `json:"generated_by"`
@@ -87,6 +170,7 @@ type report struct {
 	SmokeGrid   *gridReport    `json:"smoke_grid,omitempty"`
 	Emulate     *emulateReport `json:"emulate"`
 	Crashtest   *crashReport   `json:"crashtest"`
+	SSE         *sseReport     `json:"sse"`
 }
 
 func main() {
@@ -97,7 +181,7 @@ func main() {
 	)
 	flag.Parse()
 
-	rep := &report{Version: 6, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
+	rep := &report{Version: 7, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
 	grid, err := measureGrid(*smoke)
 	fail(err)
 	if *smoke {
@@ -114,6 +198,8 @@ func main() {
 	rep.Emulate, err = measureEmulate(*smoke)
 	fail(err)
 	rep.Crashtest, err = measureCrashtest(*smoke)
+	fail(err)
+	rep.SSE, err = measureSSE(*smoke)
 	fail(err)
 
 	var buf bytes.Buffer
@@ -298,6 +384,157 @@ func measureEmulate(smoke bool) (*emulateReport, error) {
 		Requests: n,
 		P50MS:    round2(lat[len(lat)/2]),
 		P99MS:    round2(lat[min(len(lat)-1, len(lat)*99/100)]),
+	}, nil
+}
+
+// measureSSE drives observed emulations (options.observe: hub, ring and
+// attribution collector attached) against an in-process schematicd with
+// 0, 1, and 16 concurrent SSE subscribers per run, and times a full SSE
+// replay of a retained stream. Subscribers poll until the run registers,
+// then read their stream to the terminal record; request latency is the
+// POST wall time, so the subscriber deltas measure exactly what fan-out
+// adds to the emulator's critical path.
+func measureSSE(smoke bool) (*sseReport, error) {
+	n := 30
+	if smoke {
+		n = 6
+	}
+	s := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+
+	seed := int64(5000)
+	var lastDigest string
+	p50 := map[int]float64{}
+	for _, subs := range []int{0, 1, 16} {
+		lat := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			seed++ // distinct digest per request: no cache hits
+			req := server.Request{
+				Bench: "crc",
+				Options: server.Options{
+					Technique: "schematic", ProfileRuns: 5, Seed: seed, Observe: true,
+				},
+			}
+			digest, err := server.DigestOf("emulate", req)
+			if err != nil {
+				return nil, err
+			}
+			lastDigest = digest
+			body, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			var wg sync.WaitGroup
+			for k := 0; k < subs; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					deadline := time.Now().Add(30 * time.Second)
+					for time.Now().Before(deadline) {
+						resp, err := ts.Client().Get(ts.URL + "/v1/runs/" + digest + "/events")
+						if err != nil {
+							return
+						}
+						if resp.StatusCode == http.StatusOK {
+							_, _ = io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							return
+						}
+						resp.Body.Close()
+						time.Sleep(time.Millisecond) // run not registered yet
+					}
+				}()
+			}
+			start := time.Now()
+			resp, err := ts.Client().Post(ts.URL+"/v1/emulate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("schemabench: observed emulate (%d subs) request %d: status %d", subs, i, resp.StatusCode)
+			}
+			lat = append(lat, float64(time.Since(start))/float64(time.Millisecond))
+			wg.Wait()
+		}
+		sort.Float64s(lat)
+		p50[subs] = round2(lat[len(lat)/2])
+	}
+
+	// Replay throughput: stream the last retained run's ring end to end.
+	start := time.Now()
+	resp, err := ts.Client().Get(ts.URL + "/v1/runs/" + lastDigest + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("schemabench: replay: status %d", resp.StatusCode)
+	}
+	var events int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	replaySec := time.Since(start).Seconds()
+
+	// The run's true emitted-event count (the ring may have evicted a
+	// prefix), for scaling publish overhead to a per-run budget.
+	var sum struct {
+		Events int64 `json:"events"`
+	}
+	dresp, err := ts.Client().Get(ts.URL + "/v1/runs/" + lastDigest)
+	if err != nil {
+		return nil, err
+	}
+	err = json.NewDecoder(dresp.Body).Decode(&sum)
+	dresp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if sum.Events == 0 {
+		return nil, fmt.Errorf("schemabench: run %s reports zero events", lastDigest)
+	}
+
+	// Publisher-side hub fan-out cost, isolated from HTTP and JSON.
+	pubEvents := 500000
+	if smoke {
+		pubEvents = 100000
+	}
+	pub := map[int]float64{}
+	for _, subs := range []int{0, 1, 16} {
+		pub[subs] = hubPublishNS(subs, pubEvents)
+	}
+	budgetNS := p50[0] * 1e6 / float64(sum.Events) // emulate time per event, 0-sub
+
+	return &sseReport{
+		RequestsPerCell:      n,
+		CPUs:                 runtime.NumCPU(),
+		PublishNS0Sub:        round2(pub[0]),
+		PublishNS1Sub:        round2(pub[1]),
+		PublishNS16Sub:       round2(pub[16]),
+		OneSubHotpathPct:     round2(100 * (pub[1] - pub[0]) / budgetNS),
+		SixteenSubHotpathPct: round2(100 * (pub[16] - pub[0]) / budgetNS),
+		P50MS0Sub:            p50[0],
+		P50MS1Sub:            p50[1],
+		P50MS16Sub:           p50[16],
+		OneSubDeltaPct:       round2(100 * (p50[1] - p50[0]) / p50[0]),
+		SixteenSubDeltaPct:   round2(100 * (p50[16] - p50[0]) / p50[0]),
+		ReplayEvents:         events,
+		ReplayEventsPerSec:   round2(float64(events) / replaySec),
 	}, nil
 }
 

@@ -5,8 +5,11 @@
 //	schemactl compile -f prog.mc -tech schematic -tbpf 500
 //	schemactl emulate -bench crc -tech schematic
 //	schemactl emulate -f prog.mc -stream          # NDJSON event stream
+//	schemactl emulate -bench crc -observe         # retained + tailable
 //	schemactl validate -f prog.mc
 //	schemactl hunt -bench crc -tech mementos
+//	schemactl runs                                # retained-run registry
+//	schemactl tail <digest>                       # follow a run's SSE feed
 //
 // The daemon address comes from -addr or $SCHEMATICD_ADDR
 // (default 127.0.0.1:8472). Exit status: 0 on success, 1 when the
@@ -14,14 +17,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"schematic/internal/cli"
 	"schematic/internal/server"
@@ -46,6 +53,10 @@ func main() {
 		get(base + "/metrics")
 	case "compile", "emulate", "validate", "hunt":
 		job(base, cmd, args[1:])
+	case "runs":
+		get(base + "/v1/runs")
+	case "tail":
+		tail(base, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "schemactl: unknown command %q\n", cmd)
 		usage()
@@ -58,6 +69,8 @@ func usage() {
 
 commands:
   compile | emulate | validate | hunt   submit a job (see -h of each)
+  runs                                  list the retained runs (JSON)
+  tail <digest>                         follow a run's event stream as NDJSON
   health                                print the daemon health report
   metrics                               print the Prometheus metrics page`)
 	flag.PrintDefaults()
@@ -86,6 +99,7 @@ func job(base, kind string, args []string) {
 		profileRuns = fs.Int("profile-runs", 0, "profiling executions (default 50)")
 		optimize    = fs.Bool("opt", false, "run the optimizer before placement")
 		stream      = fs.Bool("stream", false, "emulate only: stream NDJSON events")
+		observe     = fs.Bool("observe", false, "emulate only: retain the run for schemactl runs/tail and the dashboard")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-job deadline in milliseconds")
 		out         = fs.String("o", "", "write the response to this file instead of stdout")
 	)
@@ -105,6 +119,7 @@ func job(base, kind string, args []string) {
 			ProfileRuns: *profileRuns,
 			Optimize:    *optimize,
 			Stream:      *stream,
+			Observe:     *observe,
 			TimeoutMS:   *timeoutMS,
 		},
 	}
@@ -162,6 +177,114 @@ func job(base, kind string, args []string) {
 	if err := writeOut(*out, &pretty); err != nil {
 		fail(err)
 	}
+}
+
+// errRunFailed marks a run whose terminal record was an error: the
+// stream itself worked, so the record is printed and the exit code is 1
+// without an extra client-side message.
+var errRunFailed = errors.New("run finished with an error")
+
+// tail follows GET /v1/runs/{digest}/events and prints each event's
+// data payload as one NDJSON line (ending with the terminal result or
+// error record). A dropped connection resumes from the last delivered
+// event id via the SSE Last-Event-ID contract, so the output never
+// duplicates or silently skips events.
+func tail(base string, args []string) {
+	fs := flag.NewFlagSet("schemactl tail", flag.ExitOnError)
+	var (
+		from    = fs.Int64("from", -1, "resume after this event id (-1 = from the start)")
+		retries = fs.Int("retries", 5, "reconnect attempts after an unexpected disconnect")
+		out     = fs.String("o", "", "write the NDJSON to this file instead of stdout")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: schemactl tail [flags] <digest>")
+		os.Exit(2)
+	}
+	digest := fs.Arg(0)
+	run := func(w io.Writer) error { return tailRun(base, digest, *from, *retries, w) }
+	var err error
+	if *out == "" {
+		err = run(os.Stdout)
+	} else {
+		err = cli.WriteTo(*out, run)
+	}
+	switch {
+	case errors.Is(err, errRunFailed):
+		os.Exit(1)
+	case err != nil:
+		fail(err)
+	}
+}
+
+func tailRun(base, digest string, from int64, retries int, w io.Writer) error {
+	last := from
+	for attempt := 0; ; attempt++ {
+		done, err := tailOnce(base, digest, &last, w)
+		if done || err != nil {
+			return err
+		}
+		if attempt >= retries {
+			return fmt.Errorf("stream ended %d times without a terminal record", attempt+1)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// tailOnce streams one SSE connection, advancing *last as event ids
+// arrive. It reports done once the terminal record has been printed.
+func tailOnce(base, digest string, last *int64, w io.Writer) (done bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/runs/"+digest+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *last >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*last, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	var id, event string
+	var data []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // frame boundary: dispatch
+			for _, d := range data {
+				fmt.Fprintln(w, d)
+			}
+			if n, perr := strconv.ParseInt(id, 10, 64); perr == nil {
+				*last = n
+			}
+			switch event {
+			case "result":
+				return true, nil
+			case "error":
+				return true, errRunFailed
+			}
+			id, event, data = "", "", nil
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id:"):
+			id = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(line[len("data:"):]))
+		}
+	}
+	// Stream ended without a terminal record (disconnect or server
+	// drain): the caller reconnects from *last.
+	return false, nil
 }
 
 // get prints a GET endpoint's body and mirrors the HTTP status in the

@@ -2,7 +2,9 @@
 // JSON API over the compiler, the intermittent emulator, the
 // translation validator, and the crash-consistency hunter, with
 // content-addressed single-flight caching, bounded-queue admission
-// control, Prometheus metrics, and graceful drain.
+// control, Prometheus metrics, graceful drain, and a live console —
+// a retained run registry, per-run SSE event streams with
+// Last-Event-ID resume, and an embedded dashboard at GET /.
 //
 //	schematicd                          # listen on 127.0.0.1:8472
 //	schematicd -addr :0 -addr-file a    # ephemeral port, written to file a
@@ -38,6 +40,10 @@ func main() {
 		queue    = flag.Int("queue", 0, "admission-queue capacity (0 = 64)")
 		cache    = flag.Int("cache", 0, "result-cache capacity in entries (0 = 1024)")
 		timeout  = flag.Duration("timeout", 0, "per-job deadline (0 = 60s)")
+		runsCap  = flag.Int("runs", 0, "retained-run registry capacity (0 = 128)")
+		runEv    = flag.Int("run-events", 0, "per-run event ring for observed runs (0 = 8192)")
+		subQueue = flag.Int("sub-queue", 0, "per-SSE-subscriber event queue (0 = 1024)")
+		hb       = flag.Duration("heartbeat", 0, "SSE idle keep-alive interval (0 = 15s)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		quiet    = flag.Bool("q", false, "log only startup and shutdown, not per-job lines")
 	)
@@ -45,10 +51,14 @@ func main() {
 	logger := log.New(os.Stderr, "schematicd: ", log.LstdFlags)
 
 	cfg := server.Config{
-		Workers:    *workers,
-		QueueCap:   *queue,
-		CacheCap:   *cache,
-		JobTimeout: *timeout,
+		Workers:      *workers,
+		QueueCap:     *queue,
+		CacheCap:     *cache,
+		JobTimeout:   *timeout,
+		RunsCap:      *runsCap,
+		RunEvents:    *runEv,
+		SubQueue:     *subQueue,
+		SSEHeartbeat: *hb,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

@@ -8,10 +8,11 @@ import (
 	"schematic/internal/emulator"
 )
 
-// eventRecord is the NDJSON wire form of one emulator event. Fields are
+// Record is the JSON wire form of one emulator event, shared by the
+// NDJSON stream exporter and the schematicd SSE feed. Fields are
 // omitted when not meaningful for the kind, keeping the (potentially
 // per-instruction) stream compact.
-type eventRecord struct {
+type Record struct {
 	Kind   string  `json:"k"`
 	Cycle  int64   `json:"cycle"`
 	Step   int64   `json:"step,omitempty"`
@@ -29,45 +30,9 @@ type eventRecord struct {
 	Resume bool    `json:"resume,omitempty"`
 }
 
-// StreamWriter is an emulator.Observer that writes every event as one
-// JSON line. Writes are buffered; call Flush when the run ends. The
-// first write error is latched and subsequent events are dropped.
-type StreamWriter struct {
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
-}
-
-// NewStreamWriter wraps w in a buffered NDJSON event sink.
-func NewStreamWriter(w io.Writer) *StreamWriter {
-	bw := bufio.NewWriter(w)
-	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
-}
-
-// siteKinds lists the kinds whose Site field is meaningful.
-func siteOf(e emulator.Event) *int {
-	switch e.Kind {
-	case emulator.EvCheckpointHit, emulator.EvSave, emulator.EvRestore,
-		emulator.EvSleepStart, emulator.EvSleepEnd, emulator.EvPowerFailure,
-		emulator.EvReexecStart, emulator.EvReexecEnd, emulator.EvInjection:
-		s := e.Site
-		return &s
-	case emulator.EvCharge:
-		switch e.Class {
-		case emulator.ChargeSave, emulator.ChargeRestore, emulator.ChargeReexec:
-			s := e.Site
-			return &s
-		}
-	}
-	return nil
-}
-
-// Event implements emulator.Observer.
-func (s *StreamWriter) Event(e emulator.Event) {
-	if s.err != nil {
-		return
-	}
-	rec := eventRecord{
+// NewRecord converts an emulator event to its wire form.
+func NewRecord(e emulator.Event) Record {
+	rec := Record{
 		Kind:   e.Kind.String(),
 		Cycle:  e.Cycle,
 		Step:   e.Step,
@@ -98,7 +63,48 @@ func (s *StreamWriter) Event(e emulator.Event) {
 		rec.Point = e.Point.String()
 		rec.Seq = e.Seq
 	}
-	s.err = s.enc.Encode(rec)
+	return rec
+}
+
+// StreamWriter is an emulator.Observer that writes every event as one
+// JSON line. Writes are buffered; call Flush when the run ends. The
+// first write error is latched and subsequent events are dropped.
+type StreamWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewStreamWriter wraps w in a buffered NDJSON event sink.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	bw := bufio.NewWriter(w)
+	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// siteOf reports the Site field for the kinds where it is meaningful.
+func siteOf(e emulator.Event) *int {
+	switch e.Kind {
+	case emulator.EvCheckpointHit, emulator.EvSave, emulator.EvRestore,
+		emulator.EvSleepStart, emulator.EvSleepEnd, emulator.EvPowerFailure,
+		emulator.EvReexecStart, emulator.EvReexecEnd, emulator.EvInjection:
+		s := e.Site
+		return &s
+	case emulator.EvCharge:
+		switch e.Class {
+		case emulator.ChargeSave, emulator.ChargeRestore, emulator.ChargeReexec:
+			s := e.Site
+			return &s
+		}
+	}
+	return nil
+}
+
+// Event implements emulator.Observer.
+func (s *StreamWriter) Event(e emulator.Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(NewRecord(e))
 }
 
 // Flush drains the buffer and returns the first error seen (encode or

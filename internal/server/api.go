@@ -53,6 +53,14 @@ type Options struct {
 	// Streaming responses bypass the result cache.
 	Stream bool `json:"stream,omitempty"`
 
+	// Observe (emulate only) attaches the live-console instrumentation:
+	// the run's events are retained in a ring buffer and fanned out to
+	// GET /v1/runs/{digest}/events subscribers, and an attribution
+	// collector feeds the per-checkpoint-site energy table on
+	// GET /v1/runs/{digest}. Observation runs the emulator with a
+	// non-nil observer, so it costs throughput; it is off by default.
+	Observe bool `json:"observe,omitempty"`
+
 	// TimeoutMS bounds this request's job; capped by the server's
 	// configured job timeout, which is also the default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -123,8 +131,20 @@ func (r *Request) normalize(kind string) error {
 	}
 	if kind != "emulate" {
 		o.Stream = false
+		o.Observe = false
 	}
 	return nil
+}
+
+// DigestOf reports the content address a request will be assigned on
+// the given endpoint, without submitting it — the digest that keys the
+// result cache, the X-Schematic-Digest header, and the run registry
+// (GET /v1/runs/{digest}). The request itself is not modified.
+func DigestOf(kind string, req Request) (string, error) {
+	if err := req.normalize(kind); err != nil {
+		return "", err
+	}
+	return req.digest(kind), nil
 }
 
 func knownTechnique(name string) bool {
@@ -223,6 +243,66 @@ type HuntResponse struct {
 	Detail    string  `json:"detail,omitempty"`
 	FoundBy   string  `json:"found_by,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RunSummary is one retained emulation in GET /v1/runs. Events,
+// EventsRetained, Subscribers and DroppedEvents are zero for
+// unobserved runs (options.observe was false).
+type RunSummary struct {
+	Digest    string `json:"digest"`
+	Name      string `json:"name"`
+	Technique string `json:"technique"`
+	Status    string `json:"status"` // "running", "done", "error"
+	Observed  bool   `json:"observed"`
+	Stream    bool   `json:"stream,omitempty"`
+
+	StartedAt string  `json:"started_at"` // RFC 3339, UTC
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	Events         int64 `json:"events"`          // emitted by the emulator
+	EventsRetained int64 `json:"events_retained"` // still replayable from the ring
+	Subscribers    int   `json:"subscribers"`     // live SSE readers
+	DroppedEvents  int64 `json:"dropped_events"`  // lost to full subscriber queues
+
+	Verdict string `json:"verdict,omitempty"` // when done
+	Error   string `json:"error,omitempty"`   // when failed
+}
+
+// RunsResponse is the body of GET /v1/runs (newest run first).
+type RunsResponse struct {
+	Runs []RunSummary `json:"runs"`
+}
+
+// SiteEnergy is one checkpoint site's attribution ledger inside a
+// RunDetail: what the site spent on saves, restores, and the
+// re-execution charged to resumes from it. Site -1 is the synthetic
+// boot site (cold restarts, boot-time restores).
+type SiteEnergy struct {
+	Site       int    `json:"site"`
+	Where      string `json:"where"` // "func.block" of first observation
+	Fires      int64  `json:"fires"`
+	Saves      int64  `json:"saves"`
+	Restores   int64  `json:"restores"`
+	BytesSaved int64  `json:"bytes_saved"`
+
+	SaveNJ    float64 `json:"save_nj"`
+	RestoreNJ float64 `json:"restore_nj"`
+	ReexecNJ  float64 `json:"reexec_nj"`
+	TotalNJ   float64 `json:"total_nj"`
+}
+
+// RunDetail is the body of GET /v1/runs/{digest}. For a running
+// observed run, the counters and site table are a live mid-run
+// snapshot; Result appears once the run finishes.
+type RunDetail struct {
+	RunSummary
+
+	PowerFailures int64 `json:"power_failures"`
+	Sleeps        int64 `json:"sleeps"`
+	PoisonReads   int64 `json:"poison_reads"`
+
+	Sites  []SiteEnergy     `json:"sites,omitempty"`
+	Result *EmulateResponse `json:"result,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -1,0 +1,21 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the embedded live console: a single self-contained
+// page (no external assets, stdlib-only server side) that lists
+// retained runs, follows an in-flight emulation over SSE, renders the
+// per-checkpoint-site energy table, and polls /metrics for fleet
+// gauges.
+//
+//go:embed dashboard/index.html
+var dashboardHTML []byte
+
+func (s *Server) serveDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	_, _ = w.Write(dashboardHTML)
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	reqSeries    = regexp.MustCompile(`^schematicd_requests_total\{endpoint="([^"]+)",code="(\d+)"\} (\d+)$`)
+	bucketSeries = regexp.MustCompile(`^schematicd_request_duration_seconds_bucket\{endpoint="([^"]+)",le="([^"]+)"\} (\d+)$`)
+	countSeries  = regexp.MustCompile(`^schematicd_request_duration_seconds_count\{endpoint="([^"]+)"\} (\d+)$`)
+	plainSeries  = regexp.MustCompile(`^(schematicd_[a-z_]+) (\d+)$`)
+)
+
+// TestMetricsHistogramReconciles drives every instrumented endpoint,
+// scrapes /metrics, and reconciles the exposition with itself: per
+// endpoint, the +Inf histogram bucket, the duration count, and the sum
+// of requests_total over status codes must agree; buckets must be
+// cumulative; and the new runtime gauges must be present and sane.
+func TestMetricsHistogramReconciles(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	code, body, hdr := post(t, ts, "emulate", Request{Name: "sum", Source: sumProg, Options: observedOpts("schematic")})
+	if code != http.StatusOK {
+		t.Fatalf("emulate: status %d, body %s", code, body)
+	}
+	digest := hdr.Get("X-Schematic-Digest")
+	if code, body, _ := post(t, ts, "compile", Request{Name: "sum", Source: sumProg, Options: fastOpts("ratchet")}); code != http.StatusOK {
+		t.Fatalf("compile: status %d, body %s", code, body)
+	}
+	for _, path := range []string{
+		"/v1/runs",
+		"/v1/runs/" + digest,
+		"/v1/runs/" + digest + "/events",
+		"/v1/runs/" + strings.Repeat("0", 64), // a 404 lands in a second code series
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type %q", ct)
+	}
+
+	reqTotal := map[string]int64{}  // endpoint -> sum over codes
+	durCount := map[string]int64{}  // endpoint -> _count
+	infBucket := map[string]int64{} // endpoint -> le="+Inf"
+	lastBucket := map[string]int64{}
+	gauges := map[string]int64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := reqSeries.FindStringSubmatch(line); m != nil {
+			n, _ := strconv.ParseInt(m[3], 10, 64)
+			reqTotal[m[1]] += n
+			continue
+		}
+		if m := bucketSeries.FindStringSubmatch(line); m != nil {
+			n, _ := strconv.ParseInt(m[3], 10, 64)
+			if n < lastBucket[m[1]] {
+				t.Errorf("endpoint %s: bucket le=%s value %d below previous %d — not cumulative",
+					m[1], m[2], n, lastBucket[m[1]])
+			}
+			lastBucket[m[1]] = n
+			if m[2] == "+Inf" {
+				infBucket[m[1]] = n
+			}
+			continue
+		}
+		if m := countSeries.FindStringSubmatch(line); m != nil {
+			durCount[m[1]], _ = strconv.ParseInt(m[2], 10, 64)
+			continue
+		}
+		if m := plainSeries.FindStringSubmatch(line); m != nil {
+			gauges[m[1]], _ = strconv.ParseInt(m[2], 10, 64)
+		}
+	}
+
+	for _, ep := range []string{"emulate", "compile", "runs", "run", "events"} {
+		if reqTotal[ep] == 0 {
+			t.Errorf("endpoint %s: no requests_total series", ep)
+		}
+	}
+	if reqTotal["run"] != 2 { // one 200, one 404
+		t.Errorf("run endpoint requests %d, want 2", reqTotal["run"])
+	}
+	for ep, cnt := range durCount {
+		if inf, ok := infBucket[ep]; !ok || inf != cnt {
+			t.Errorf("endpoint %s: +Inf bucket %d, duration count %d", ep, infBucket[ep], cnt)
+		}
+		if reqTotal[ep] != cnt {
+			t.Errorf("endpoint %s: requests_total %d, duration count %d", ep, reqTotal[ep], cnt)
+		}
+	}
+	for ep := range reqTotal {
+		if _, ok := durCount[ep]; !ok {
+			t.Errorf("endpoint %s: requests_total without a histogram", ep)
+		}
+	}
+
+	if gauges["schematicd_goroutines"] <= 0 {
+		t.Error("goroutine gauge missing or zero")
+	}
+	if gauges["schematicd_runs_retained"] != int64(s.runs.len()) || s.runs.len() < 1 {
+		t.Errorf("runs_retained %d, registry %d", gauges["schematicd_runs_retained"], s.runs.len())
+	}
+	if gauges["schematicd_sse_subscribers"] != 0 {
+		t.Errorf("sse_subscribers %d with no open stream", gauges["schematicd_sse_subscribers"])
+	}
+	if _, ok := gauges["schematicd_sse_dropped_events_total"]; !ok {
+		t.Error("sse_dropped_events_total series missing")
+	}
+}

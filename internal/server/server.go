@@ -30,6 +30,21 @@ type Config struct {
 	// JobTimeout bounds every job (0 = 60s); a request's timeout_ms can
 	// only shorten it.
 	JobTimeout time.Duration
+	// RunsCap bounds the retained-run registry behind GET /v1/runs
+	// (0 = 128). Finished runs are evicted oldest-first; running runs
+	// are never evicted.
+	RunsCap int
+	// RunEvents is the per-run event ring capacity for observed runs
+	// (0 = obs.DefaultRing). An SSE client resuming from before the
+	// oldest retained event gets a gap marker.
+	RunEvents int
+	// SubQueue bounds each SSE subscriber's event queue (0 = 1024). A
+	// subscriber that falls further behind loses events (counted, never
+	// blocking the emulator).
+	SubQueue int
+	// SSEHeartbeat is the idle keep-alive interval on event streams
+	// (0 = 15s).
+	SSEHeartbeat time.Duration
 	// Logf, when non-nil, receives one line per finished job.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +62,18 @@ func (c Config) withDefaults() Config {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 60 * time.Second
 	}
+	if c.RunsCap <= 0 {
+		c.RunsCap = 128
+	}
+	if c.RunEvents <= 0 {
+		c.RunEvents = obs.DefaultRing
+	}
+	if c.SubQueue <= 0 {
+		c.SubQueue = 1024
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -63,8 +90,12 @@ type Server struct {
 	queued   atomic.Int64  // leaders waiting for a slot
 	inflight atomic.Int64  // jobs holding a slot
 
+	runs    *runRegistry // retained emulations behind GET /v1/runs
+	sseSubs atomic.Int64 // live SSE connections (metrics gauge)
+
 	mu       sync.Mutex // guards draining and the wg Add/Wait race
 	draining bool
+	drainCh  chan struct{}  // closed by BeginDrain; tears down SSE streams
 	wg       sync.WaitGroup // requests admitted past the draining check
 
 	baseCtx    context.Context // parent of every job; outlives the HTTP request
@@ -84,7 +115,9 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheCap),
 		met:        newMetrics(),
+		runs:       newRunRegistry(cfg.RunsCap),
 		slots:      make(chan struct{}, cfg.Workers),
+		drainCh:    make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
@@ -101,6 +134,17 @@ func (s *Server) Handler() http.Handler {
 			s.met.observe(kind, code, time.Since(start).Seconds())
 		})
 	}
+	timed := func(name string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			code := h(w, r)
+			s.met.observe(name, code, time.Since(start).Seconds())
+		}
+	}
+	mux.HandleFunc("GET /v1/runs", timed("runs", s.serveRuns))
+	mux.HandleFunc("GET /v1/runs/{digest}", timed("run", s.serveRunDetail))
+	mux.HandleFunc("GET /v1/runs/{digest}/events", timed("events", s.serveEvents))
+	mux.HandleFunc("GET /{$}", s.serveDashboard)
 	mux.HandleFunc("GET /healthz", s.serveHealth)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
 	return mux
@@ -115,7 +159,10 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // completion.
 func (s *Server) BeginDrain() {
 	s.mu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh) // wakes every SSE stream for clean teardown
+	}
 	s.mu.Unlock()
 }
 
@@ -265,7 +312,7 @@ func (s *Server) runJob(kind string, req *Request, digest string) (any, error) {
 	case "compile":
 		return valOrNil(runCompile(ctx, req, digest))
 	case "emulate":
-		return valOrNil(runEmulate(ctx, req, digest, nil))
+		return valOrNil(s.runEmulateJob(ctx, req, digest, nil))
 	case "validate":
 		return valOrNil(runValidate(ctx, req, digest))
 	case "hunt":
@@ -314,7 +361,7 @@ func (s *Server) serveStream(kind string, w http.ResponseWriter, r *http.Request
 		s.gate(kind)
 	}
 	sw := obs.NewStreamWriter(w)
-	resp, err := runEmulate(ctx, req, digest, sw)
+	resp, err := s.runEmulateJob(ctx, req, digest, sw)
 	if ferr := sw.Flush(); ferr != nil && err == nil {
 		err = ferr
 	}
@@ -411,6 +458,15 @@ func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), s.queued.Load(), s.inflight.Load(),
-		s.cfg.Workers, s.cfg.QueueCap, s.isDraining())
+	s.met.write(w, s.cache.Stats(), gauges{
+		queue:      s.queued.Load(),
+		inflight:   s.inflight.Load(),
+		workers:    s.cfg.Workers,
+		queueCap:   s.cfg.QueueCap,
+		draining:   s.isDraining(),
+		goroutines: runtime.NumGoroutine(),
+		sseSubs:    s.sseSubs.Load(),
+		sseDropped: s.runs.droppedTotal(),
+		runs:       s.runs.len(),
+	})
 }

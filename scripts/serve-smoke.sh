@@ -3,8 +3,10 @@
 #
 # Builds schematicd + schemactl, starts the daemon on an ephemeral port,
 # round-trips a compile and an emulate through schemactl, proves the
-# content-addressed cache dedups a repeat, scrapes /metrics, and checks
-# the daemon drains cleanly on SIGTERM (exit 0). Wired into `make ci`.
+# content-addressed cache dedups a repeat, scrapes /metrics, exercises
+# the live console (dashboard page, observed emulation, run registry,
+# SSE stream followed to its terminal result), and checks the daemon
+# drains cleanly on SIGTERM (exit 0). Wired into `make ci`.
 set -eu
 
 tmp=$(mktemp -d)
@@ -50,6 +52,36 @@ grep -q 'schematicd_requests_total{endpoint="compile",code="200"} 1' "$tmp/metri
 grep -q 'schematicd_requests_total{endpoint="emulate",code="200"} 2' "$tmp/metrics.txt"
 grep -q 'schematicd_cache_hits_total 1' "$tmp/metrics.txt"
 grep -q 'schematicd_cache_misses_total 2' "$tmp/metrics.txt"
+
+# --- live console ---
+
+# The embedded dashboard serves at /.
+curl -fsS "http://$addr/" >"$tmp/dash.html"
+grep -qi 'schematic' "$tmp/dash.html"
+
+# An observed emulation lands in the run registry...
+ctl emulate -bench crc -tech schematic -tbpf 2000 -profile-runs 2 -observe -o "$tmp/observe.json"
+grep -q '"verdict": "completed"' "$tmp/observe.json"
+digest=$(ctl runs | grep -o '"digest":"[0-9a-f]*"' | head -1 | cut -d'"' -f4)
+if [ -z "$digest" ]; then
+    echo "serve-smoke: observed run missing from /v1/runs" >&2
+    exit 1
+fi
+ctl runs | grep -q "\"digest\":\"$digest\",\"name\":\"crc\""
+
+# ...and its SSE stream replays to a terminal result record.
+ctl tail "$digest" >"$tmp/events.ndjson"
+[ "$(wc -l <"$tmp/events.ndjson")" -gt 1 ]
+tail -1 "$tmp/events.ndjson" | grep -q '"k":"result"'
+
+# The stream shows up in the metrics page, now histogram-shaped.
+ctl metrics >"$tmp/metrics2.txt"
+grep -q 'schematicd_requests_total{endpoint="events",code="200"} 1' "$tmp/metrics2.txt"
+grep -q 'schematicd_request_duration_seconds_bucket{endpoint="events",le="+Inf"} 1' "$tmp/metrics2.txt"
+grep -q 'schematicd_sse_subscribers 0' "$tmp/metrics2.txt"
+# Two registered runs: the unobserved emulate and the observed one (the
+# cache-served repeat never reaches the registry).
+grep -q 'schematicd_runs_retained 2' "$tmp/metrics2.txt"
 
 kill -TERM "$pid"
 if ! wait "$pid"; then
