@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover crashhunt-smoke fuzz-smoke transval-smoke serve-smoke bench bench-smoke
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke verify-smoke fuzz-smoke transval-smoke serve-smoke bench bench-smoke
 
-ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke serve-smoke bench-smoke
+ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke verify-smoke serve-smoke bench-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -33,6 +33,12 @@ cover:
 crashhunt-smoke:
 	go run ./cmd/crashhunt -benches crc,randmath -budget 60s
 
+# Exhaustive crash verification: model-check the small benchmarks to a
+# Verified verdict, then require a sabotaged placement to produce a
+# replayable counterexample. See scripts/verify-smoke.sh.
+verify-smoke:
+	sh scripts/verify-smoke.sh
+
 # Short native-fuzzing burst over every fuzz target (~10s each): the
 # front end, the IR text format, the optimizer, and the placement
 # guarantees. Corpora live under each package's testdata/fuzz.
@@ -48,15 +54,15 @@ transval-smoke:
 	go run ./cmd/transval -fuzz 25
 
 # Full performance report: grid throughput (compiled vs interpreted),
-# schematicd emulate latency, crashtest cases/sec. Rewrites the
-# committed BENCH_007.json; run on an idle machine.
+# schematicd emulate latency, crashtest cases/sec, verifier states/sec.
+# Rewrites the committed BENCH_008.json; run on an idle machine.
 bench:
 	sh scripts/bench.sh
 
 # CI performance gate: a tiny grid, a well-formed report, and no >20%
-# compiled-throughput regression against the committed BENCH_007.json.
+# compiled-throughput regression against the committed BENCH_008.json.
 bench-smoke:
-	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_007.json
+	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_008.json
 
 # Daemon round trip: start schematicd on an ephemeral port, drive a
 # compile + emulate through schemactl, check cache dedup on /metrics,

@@ -11,6 +11,14 @@
 //	crashhunt -budget 60s -jobs 4 -o repro.ndjson
 //	crashhunt -replay repro.ndjson         # re-execute serialized counterexamples
 //
+// -exhaustive upgrades the sweep from sampling to bounded model
+// checking (internal/verify): every reachable persistent state is
+// explored, so a clean case comes back VERIFIED with full state/edge
+// counts instead of merely unfalsified:
+//
+//	crashhunt -exhaustive -benches crc,randmath
+//	crashhunt -exhaustive -benches crc -max-states 50000 -max-depth 32
+//
 // Exit status: 0 = no violations, 1 = confirmed violations (or, with
 // -replay, a repro that no longer reproduces), 2 = infrastructure errors.
 package main
@@ -27,6 +35,7 @@ import (
 
 	"schematic/internal/cli"
 	"schematic/internal/crashtest"
+	"schematic/internal/verify"
 )
 
 func main() {
@@ -45,6 +54,10 @@ func main() {
 		out      = flag.String("o", "", "write confirmed findings as NDJSON repros to this file")
 		verbose  = flag.Bool("v", false, "log one line per finished case")
 		anytime  = flag.Bool("anytime", false, "inject into wait-style placements too, ignoring their failures-only-at-checkpoints contract")
+
+		exhaustive = flag.Bool("exhaustive", false, "bounded model checking instead of sampling: explore every reachable persistent state")
+		maxStates  = flag.Int("max-states", 0, "with -exhaustive: bound on distinct persistent states (0 = 200000)")
+		maxDepth   = flag.Int("max-depth", 0, "with -exhaustive: bound on chained injections (0 = 64)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -70,6 +83,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C / SIGTERM cancels the sweep: in-flight cases wind down and the
+	// rest are reported as skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *exhaustive {
+		os.Exit(runExhaustive(ctx, cases, verify.Options{
+			MaxStates:     *maxStates,
+			MaxDepth:      *maxDepth,
+			AssumeAnytime: *anytime,
+		}, *jobs, *timeout, *budget, *out, *verbose))
+	}
+
 	h := &crashtest.Hunter{
 		Opts:        crashtest.Options{AssumeAnytime: *anytime},
 		Jobs:        *jobs,
@@ -79,10 +105,6 @@ func main() {
 	if *verbose {
 		h.Log = os.Stderr
 	}
-	// ^C / SIGTERM cancels the sweep: in-flight cases wind down and the
-	// rest are reported as skipped.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	start := time.Now()
 	results := h.Run(ctx, cases)
@@ -123,6 +145,71 @@ func main() {
 	case summary.Violations > 0:
 		os.Exit(1)
 	}
+}
+
+// runExhaustive sweeps the cases through the bounded model checker and
+// reports VERIFIED / BOUNDED / VIOLATION per case with full state-space
+// statistics.
+func runExhaustive(ctx context.Context, cases []crashtest.Case, opts verify.Options, jobs int, timeout, budget time.Duration, outPath string, verbose bool) int {
+	s := &verify.Sweeper{Opts: opts, Jobs: jobs, CaseTimeout: timeout, Budget: budget}
+	if verbose {
+		s.Log = os.Stderr
+	}
+	start := time.Now()
+	results := s.Run(ctx, cases)
+	summary := verify.Summarize(results)
+
+	for i := range results {
+		r := &results[i]
+		id := fmt.Sprintf("%s/%s", r.Case.Name, r.Case.Technique)
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(os.Stderr, "crashhunt: ERROR %s: %v\n", id, r.Err)
+		case r.Skipped != "":
+			if verbose {
+				fmt.Printf("SKIPPED   %s: %s\n", id, r.Skipped)
+			}
+		case r.Report.Verdict == verify.Counterexample:
+			f := r.Report.Finding
+			fmt.Printf("VIOLATION %s: %s via %s (found by %s, %d states / %d edges explored)\n",
+				id, f.Class, f.Schedule, f.FoundBy, r.Report.States, r.Report.Edges)
+			if f.Detail != "" {
+				fmt.Printf("  %s\n", f.Detail)
+			}
+		case r.Report.Verdict == verify.Bounded:
+			fmt.Printf("BOUNDED   %s: no violation within %s bound (%d states, %d edges, depth %d)\n",
+				id, r.Report.Bound, r.Report.States, r.Report.Edges, r.Report.MaxDepth)
+		case r.Report.WaitContract:
+			fmt.Printf("VERIFIED  %s: wait contract holds (completes correctly, zero failures)\n", id)
+		default:
+			fmt.Printf("VERIFIED  %s: %d states, %d edges, %.1f%% dedup, depth %d in %v\n",
+				id, r.Report.States, r.Report.Edges,
+				100*float64(r.Report.DedupHits)/float64(max64(r.Report.Edges, 1)),
+				r.Report.MaxDepth, r.Elapsed.Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("crashhunt: %s in %v\n", summary, time.Since(start).Round(time.Millisecond))
+
+	findings := verify.Findings(results)
+	if outPath != "" && len(findings) > 0 {
+		fail(cli.WriteTo(outPath, func(w io.Writer) error { return crashtest.WriteFindings(w, findings) }))
+		fmt.Printf("crashhunt: wrote %d repro(s) to %s\n", len(findings), outPath)
+	}
+
+	switch {
+	case summary.Errors > 0:
+		return 2
+	case summary.Counterexamples > 0:
+		return 1
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // runReplay re-executes every serialized counterexample and checks it

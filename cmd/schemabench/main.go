@@ -13,6 +13,12 @@
 //
 //   - crashtest: crash-consistency hunter throughput in cases/second.
 //
+//   - verify: bounded model checker (internal/verify) throughput over
+//     the exhaustively-checkable subset (crc, randmath): persistent
+//     states and edges per second, the hash-dedup hit rate, and the
+//     exhaustive-vs-sampling wall-clock ratio against the hunter on the
+//     same cases — the price of a proof relative to a probe.
+//
 //   - sse: live-console overhead. Two views, because they answer
 //     different questions. The publish_ns_* figures are the emulator
 //     hot path's per-event cost of hub fan-out with 0/1/16 actively
@@ -59,6 +65,7 @@ import (
 	"schematic/internal/ir"
 	"schematic/internal/obs"
 	"schematic/internal/server"
+	"schematic/internal/verify"
 )
 
 // prechangeGridMinstrPerSec is the full-grid throughput of the emulator
@@ -96,6 +103,28 @@ type crashReport struct {
 	Cases       int     `json:"cases"`
 	Seconds     float64 `json:"seconds"`
 	CasesPerSec float64 `json:"cases_per_sec"`
+}
+
+type verifyReport struct {
+	Cases    int `json:"cases"`
+	Explored int `json:"explored"` // anytime cells actually model-checked
+	// Totals across the explored cells.
+	States int64 `json:"states"`
+	Edges  int64 `json:"edges"`
+
+	StatesPerSec float64 `json:"states_per_sec"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	// DedupHitRate is dedup hits / edges across the explored cells —
+	// the fraction of injection points whose target state was already
+	// visited (the acceptance bar is > 0.5).
+	DedupHitRate float64 `json:"dedup_hit_rate"`
+
+	// Wall-clock comparison on the identical case list: exhaustive
+	// verification vs the sampling hunter. VsSampling > 1 is the price
+	// of exhausting the state space instead of probing it.
+	VerifySeconds   float64 `json:"verify_seconds"`
+	SamplingSeconds float64 `json:"sampling_seconds"`
+	VsSampling      float64 `json:"wallclock_vs_sampling"`
 }
 
 type sseReport struct {
@@ -170,6 +199,7 @@ type report struct {
 	SmokeGrid   *gridReport    `json:"smoke_grid,omitempty"`
 	Emulate     *emulateReport `json:"emulate"`
 	Crashtest   *crashReport   `json:"crashtest"`
+	Verify      *verifyReport  `json:"verify"`
 	SSE         *sseReport     `json:"sse"`
 }
 
@@ -181,7 +211,7 @@ func main() {
 	)
 	flag.Parse()
 
-	rep := &report{Version: 7, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
+	rep := &report{Version: 8, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
 	grid, err := measureGrid(*smoke)
 	fail(err)
 	if *smoke {
@@ -198,6 +228,8 @@ func main() {
 	rep.Emulate, err = measureEmulate(*smoke)
 	fail(err)
 	rep.Crashtest, err = measureCrashtest(*smoke)
+	fail(err)
+	rep.Verify, err = measureVerify(*smoke)
 	fail(err)
 	rep.SSE, err = measureSSE(*smoke)
 	fail(err)
@@ -574,6 +606,77 @@ func measureCrashtest(smoke bool) (*crashReport, error) {
 	}, nil
 }
 
+// measureVerify times the bounded model checker over the exhaustively
+// checkable subset and races the sampling hunter over the identical case
+// list for the wall-clock comparison. Wait-style cells (contract checks,
+// no exploration) count toward both wall clocks but not the state/edge
+// totals.
+func measureVerify(smoke bool) (*verifyReport, error) {
+	benches := []string{"crc", "randmath"}
+	huntOpts := crashtest.Options{}
+	if smoke {
+		benches = []string{"randmath"}
+		huntOpts = crashtest.Options{ExhaustiveStepLimit: 400, SampledSteps: 10, SampledSaves: 3, RandomSchedules: 2}
+	}
+	var techs []string
+	for _, t := range bench.Techniques() {
+		techs = append(techs, t.Name())
+	}
+	cases, err := crashtest.BenchCases(benches, techs, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &verifyReport{Cases: len(cases)}
+	var dedup int64
+	start := time.Now()
+	for _, cs := range cases {
+		r, err := verify.Run(context.Background(), cs, verify.Options{})
+		if err != nil && !crashtest.IsSkip(err) {
+			return nil, fmt.Errorf("schemabench: verify %s/%s: %w", cs.Name, cs.Technique, err)
+		}
+		if err != nil {
+			continue
+		}
+		if r.Verdict != verify.Verified {
+			return nil, fmt.Errorf("schemabench: verify %s/%s: verdict %s — fix it before benchmarking",
+				cs.Name, cs.Technique, r.Verdict)
+		}
+		if !r.WaitContract {
+			rep.Explored++
+			rep.States += int64(r.States)
+			rep.Edges += r.Edges
+			dedup += r.DedupHits
+		}
+	}
+	verifySec := time.Since(start).Seconds()
+
+	start = time.Now()
+	for _, cs := range cases {
+		f, err := crashtest.Hunt(context.Background(), cs, huntOpts)
+		if err != nil && !crashtest.IsSkip(err) {
+			return nil, fmt.Errorf("schemabench: hunt %s/%s: %w", cs.Name, cs.Technique, err)
+		}
+		if f != nil {
+			return nil, fmt.Errorf("schemabench: hunt %s/%s found a real violation: %s — fix it before benchmarking",
+				cs.Name, cs.Technique, f.Class)
+		}
+	}
+	samplingSec := time.Since(start).Seconds()
+
+	if rep.Edges > 0 {
+		rep.DedupHitRate = round4(float64(dedup) / float64(rep.Edges))
+	}
+	rep.StatesPerSec = round2(float64(rep.States) / verifySec)
+	rep.EdgesPerSec = round2(float64(rep.Edges) / verifySec)
+	rep.VerifySeconds = round2(verifySec)
+	rep.SamplingSeconds = round2(samplingSec)
+	if samplingSec > 0 {
+		rep.VsSampling = round2(verifySec / samplingSec)
+	}
+	return rep, nil
+}
+
 // checkRegression gates CI: the measured compiled grid throughput must
 // be at least 80% of the committed report's figure for the same grid
 // kind (smoke vs full).
@@ -603,6 +706,10 @@ func checkRegression(path string, got *gridReport) error {
 
 func round2(v float64) float64 {
 	return float64(int64(v*100+0.5)) / 100
+}
+
+func round4(v float64) float64 {
+	return float64(int64(v*10000+0.5)) / 10000
 }
 
 func min(a, b int) int {

@@ -109,10 +109,54 @@ func (o Options) maxSteps(baselineSteps int64) int64 {
 	return o.MaxStepsFactor*baselineSteps + 10_000
 }
 
+// MaxStepsFor is the exported form of the injected-run step cap, applying
+// the documented default factor when unset — internal/verify uses it so
+// resumed explorations and counterexample replays share one bound.
+func (o Options) MaxStepsFor(baselineSteps int64) int64 {
+	return o.withDefaults().maxSteps(baselineSteps)
+}
+
+// Classify judges a finished emulator run (or its error) against the
+// oracle — runOnce's classification without the ledger reconciliation,
+// for callers that executed the run themselves (the model checker's
+// resumed explorations).
+func (b *Built) Classify(res *emulator.Result, err error, maxSteps int64) Outcome {
+	if err != nil {
+		return Outcome{Class: ClassEmulatorError, Detail: err.Error()}
+	}
+	out := Outcome{Res: res}
+	out.Class, out.Detail = b.classifyResult(res, maxSteps)
+	return out
+}
+
+// classifyResult maps a run's verdict and output to a violation class.
+func (b *Built) classifyResult(res *emulator.Result, maxSteps int64) (Class, string) {
+	switch res.Verdict {
+	case emulator.Completed:
+		switch {
+		case res.UnsyncedReads > 0:
+			return ClassPoisonRead, fmt.Sprintf("%d reads of never-restored VM storage", res.UnsyncedReads)
+		case !equalOutput(res.Output, b.oracle.Output):
+			return ClassDivergence, diffOutput(res.Output, b.oracle.Output)
+		}
+		return ClassNone, ""
+	case emulator.Stuck:
+		return ClassForwardProgress, fmt.Sprintf("stuck after %d power failures", res.PowerFailures)
+	case emulator.OutOfFailures:
+		return ClassForwardProgress, fmt.Sprintf("failure budget exhausted (%d failures)", res.PowerFailures)
+	case emulator.OutOfSteps:
+		return ClassNonTermination, fmt.Sprintf("exceeded %d steps", maxSteps)
+	case emulator.VMOverflow:
+		return ClassVMOverflow, fmt.Sprintf("resident VM exceeded %d bytes", b.cs.VMSize)
+	default:
+		return ClassEmulatorError, fmt.Sprintf("unexpected verdict %v", res.Verdict)
+	}
+}
+
 // runOnce executes the built case under the given schedule (constructed
 // fresh per run — schedules are stateful) and classifies the outcome
 // against the oracle.
-func (b *built) runOnce(sched emulator.PowerSchedule, maxSteps int64) Outcome {
+func (b *Built) runOnce(sched emulator.PowerSchedule, maxSteps int64) Outcome {
 	rec := &recorder{}
 	col := obs.NewCollector()
 	res, err := emulator.Run(b.mod, emulator.Config{
@@ -129,42 +173,18 @@ func (b *built) runOnce(sched emulator.PowerSchedule, maxSteps int64) Outcome {
 		return Outcome{Class: ClassEmulatorError, Detail: err.Error(), Points: rec.points}
 	}
 	out := Outcome{Points: rec.points, Res: res}
-	switch res.Verdict {
-	case emulator.Completed:
-		switch {
-		case res.UnsyncedReads > 0:
-			out.Class = ClassPoisonRead
-			out.Detail = fmt.Sprintf("%d reads of never-restored VM storage", res.UnsyncedReads)
-		case !equalOutput(res.Output, b.oracle.Output):
-			out.Class = ClassDivergence
-			out.Detail = diffOutput(res.Output, b.oracle.Output)
-		default:
-			if err := col.Reconcile(res); err != nil {
-				out.Class = ClassLedger
-				out.Detail = err.Error()
-			}
+	out.Class, out.Detail = b.classifyResult(res, maxSteps)
+	if out.Class == ClassNone {
+		if err := col.Reconcile(res); err != nil {
+			out.Class = ClassLedger
+			out.Detail = err.Error()
 		}
-	case emulator.Stuck:
-		out.Class = ClassForwardProgress
-		out.Detail = fmt.Sprintf("stuck after %d power failures", res.PowerFailures)
-	case emulator.OutOfFailures:
-		out.Class = ClassForwardProgress
-		out.Detail = fmt.Sprintf("failure budget exhausted (%d failures)", res.PowerFailures)
-	case emulator.OutOfSteps:
-		out.Class = ClassNonTermination
-		out.Detail = fmt.Sprintf("exceeded %d steps", maxSteps)
-	case emulator.VMOverflow:
-		out.Class = ClassVMOverflow
-		out.Detail = fmt.Sprintf("resident VM exceeded %d bytes", b.cs.VMSize)
-	default:
-		out.Class = ClassEmulatorError
-		out.Detail = fmt.Sprintf("unexpected verdict %v", res.Verdict)
 	}
 	return out
 }
 
 // runSpec is runOnce for a serialized schedule.
-func (b *built) runSpec(spec ScheduleSpec, maxSteps int64) (Outcome, error) {
+func (b *Built) runSpec(spec ScheduleSpec, maxSteps int64) (Outcome, error) {
 	sched, err := spec.Build()
 	if err != nil {
 		return Outcome{}, err

@@ -229,10 +229,11 @@ func removeNthCheckpoint(m *ir.Module, n int) error {
 	return fmt.Errorf("crashtest: sabotage ordinal %d out of range (module has %d checkpoints)", n, seen)
 }
 
-// built is a fully prepared case: the transformed (and possibly
+// Built is a fully prepared case: the transformed (and possibly
 // sabotaged) module, its workload, the continuous-power oracle, and the
-// derived capacitor budget.
-type built struct {
+// derived capacitor budget. Prepare constructs one; the hunt and the
+// model checker in internal/verify both run against it.
+type Built struct {
 	cs     Case // normalized
 	model  *energy.Model
 	mod    *ir.Module
@@ -241,9 +242,32 @@ type built struct {
 	eb     float64
 }
 
-// build runs the case pipeline: regenerate/verify the source, compile,
+// Module is the transformed (and possibly sabotaged) module under test.
+func (b *Built) Module() *ir.Module { return b.mod }
+
+// Model is the resolved energy model.
+func (b *Built) Model() *energy.Model { return b.model }
+
+// Inputs is the case's deterministic workload (do not mutate).
+func (b *Built) Inputs() map[string][]int64 { return b.inputs }
+
+// Oracle is the continuous-power reference run.
+func (b *Built) Oracle() *emulator.Result { return b.oracle }
+
+// EB is the derived capacitor budget in nJ.
+func (b *Built) EB() float64 { return b.eb }
+
+// Case returns the normalized case.
+func (b *Built) Case() Case { return b.cs }
+
+// Prepare runs the case pipeline: regenerate/verify the source, compile,
 // oracle run, profile, transform, sabotage.
-func build(cs Case, opts Options) (*built, error) {
+func Prepare(cs Case, opts Options) (*Built, error) {
+	opts = opts.withDefaults()
+	return build(cs, opts)
+}
+
+func build(cs Case, opts Options) (*Built, error) {
 	cs = cs.normalized()
 	if cs.Fuzz != nil {
 		prog, ok := cs.Fuzz.Regenerate()
@@ -306,7 +330,7 @@ func build(cs Case, opts Options) (*built, error) {
 			return nil, err
 		}
 	}
-	return &built{cs: cs, model: opts.Model, mod: clone, inputs: inputs, oracle: oracle, eb: eb}, nil
+	return &Built{cs: cs, model: opts.Model, mod: clone, inputs: inputs, oracle: oracle, eb: eb}, nil
 }
 
 // IsSkip reports whether err marks a skipped (rather than failed) case.

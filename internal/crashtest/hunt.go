@@ -3,6 +3,7 @@ package crashtest
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"schematic/internal/emulator"
@@ -34,9 +35,12 @@ func tracePoints(label string, pts ...emulator.FailPoint) candidate {
 	}}
 }
 
-// sampleInt64 returns up to n values spread evenly over [1, max].
+// sampleInt64 returns exactly min(n, max) distinct values over [1, max],
+// in ascending order: the even spread first, then — when the spread
+// collides on a small range — the unused points closest to 1, so a
+// sampling budget of n always buys n distinct injection points.
 func sampleInt64(max int64, n int) []int64 {
-	if max <= 0 {
+	if max <= 0 || n <= 0 {
 		return nil
 	}
 	if int64(n) >= max {
@@ -47,15 +51,24 @@ func sampleInt64(max int64, n int) []int64 {
 		return out
 	}
 	out := make([]int64, 0, n)
-	seen := map[int64]bool{}
-	for i := 0; i < n; i++ {
-		// 1-based, spread across the range with both endpoints covered.
-		v := 1 + (max-1)*int64(i)/int64(n-1)
+	seen := make(map[int64]bool, n)
+	add := func(v int64) {
 		if !seen[v] {
 			seen[v] = true
 			out = append(out, v)
 		}
 	}
+	if n == 1 {
+		add(1 + (max-1)/2)
+	}
+	for i := 0; i < n && n > 1; i++ {
+		// 1-based, spread across the range with both endpoints covered.
+		add(1 + (max-1)*int64(i)/int64(n-1))
+	}
+	for v := int64(1); v <= max && len(out) < n; v++ {
+		add(v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -208,9 +221,46 @@ func Hunt(ctx context.Context, cs Case, opts Options) (*Finding, error) {
 	return nil, nil
 }
 
+// ConfirmSpec replays an externally discovered failure-point trace (a
+// model-checker counterexample), shrinks it, and packages the Finding.
+// Unlike confirm, the replayed class is authoritative: the verifier's
+// resumed explorations start each leg with fresh stagnation watchdogs,
+// so a continuous replay of the same points may legitimately classify
+// differently (e.g. surface as forward-progress earlier) — any non-None
+// replayed class confirms the counterexample. A clean replay is an
+// error: the trace does not reproduce.
+func (b *Built) ConfirmSpec(foundBy string, points []PointSpec, maxSteps int64, opts Options) (*Finding, error) {
+	opts = opts.withDefaults()
+	spec := ScheduleSpec{Exhaust: true, Points: points}
+	replayed, err := b.runSpec(spec, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if replayed.Class == ClassNone {
+		return nil, fmt.Errorf("crashtest: case %s: %s counterexample %s does not reproduce (replays clean)",
+			b.cs.Name, foundBy, spec)
+	}
+	if !opts.NoShrink {
+		budget := opts.ShrinkBudget
+		spec.Points = shrinkPoints(b, spec.Points, replayed.Class, maxSteps, &budget)
+		final, err := b.runSpec(ScheduleSpec{Exhaust: true, Points: spec.Points}, maxSteps)
+		if err != nil {
+			return nil, err
+		}
+		replayed = final
+	}
+	return &Finding{
+		Case:     b.cs,
+		Schedule: ScheduleSpec{Exhaust: true, Points: spec.Points},
+		Class:    replayed.Class,
+		Detail:   replayed.Detail,
+		FoundBy:  foundBy,
+	}, nil
+}
+
 // confirm normalizes a violation into a replayable trace spec, verifies
 // it reproduces deterministically, shrinks it, and packages the Finding.
-func confirm(b *built, foundBy string, out Outcome, maxSteps int64, opts Options) (*Finding, error) {
+func confirm(b *Built, foundBy string, out Outcome, maxSteps int64, opts Options) (*Finding, error) {
 	spec := ScheduleSpec{Exhaust: true, Points: out.Points}
 	replayed, err := b.runSpec(spec, maxSteps)
 	if err != nil {
@@ -243,7 +293,7 @@ func confirm(b *built, foundBy string, out Outcome, maxSteps int64, opts Options
 // shrinkPoints minimizes a failure-point list while preserving the
 // violation class: binary-search halving first, then greedy single-point
 // removal, each trial costing one re-execution against the budget.
-func shrinkPoints(b *built, points []PointSpec, class Class, maxSteps int64, budget *int) []PointSpec {
+func shrinkPoints(b *Built, points []PointSpec, class Class, maxSteps int64, budget *int) []PointSpec {
 	same := func(trial []PointSpec) bool {
 		if *budget <= 0 {
 			return false

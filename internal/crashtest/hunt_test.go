@@ -262,6 +262,36 @@ func TestSampleInt64(t *testing.T) {
 	}
 }
 
+// TestSampleInt64Distinct is the regression for the duplicate-sample
+// bug: for every (max, n), a budget of n must buy exactly min(n, max)
+// DISTINCT points in [1, max], ascending — duplicates silently shrank
+// the injected schedule set, so `-samples N` bought fewer than N points.
+func TestSampleInt64Distinct(t *testing.T) {
+	for max := int64(1); max <= 40; max++ {
+		for n := 1; n <= 48; n++ {
+			got := sampleInt64(max, n)
+			want := int(max)
+			if n < want {
+				want = n
+			}
+			if len(got) != want {
+				t.Fatalf("sampleInt64(%d, %d): %d points %v, want %d", max, n, len(got), got, want)
+			}
+			for i, v := range got {
+				if v < 1 || v > max {
+					t.Fatalf("sampleInt64(%d, %d): point %d out of range in %v", max, n, v, got)
+				}
+				if i > 0 && v <= got[i-1] {
+					t.Fatalf("sampleInt64(%d, %d): not strictly ascending (so not distinct): %v", max, n, got)
+				}
+			}
+		}
+	}
+	if got := sampleInt64(1000, 1); len(got) != 1 || got[0] != 500 {
+		t.Errorf("single-sample midpoint = %v, want [500]", got)
+	}
+}
+
 func TestSabotageOutOfRange(t *testing.T) {
 	bm, err := BenchCases([]string{"randmath"}, []string{"Ratchet"}, 1)
 	if err != nil {

@@ -88,8 +88,7 @@ func (mc *machine) execCheckpoint(ck *ir.Checkpoint) error {
 			mc.powerFailure()
 			return nil
 		}
-		mc.counters[ck.ID]++
-		if mc.counters[ck.ID]%int64(ck.Every) != 0 {
+		if mc.bumpCounter(ck.ID)%int64(ck.Every) != 0 {
 			fr.pc++
 			mc.bumpProgress()
 			return nil
@@ -206,7 +205,7 @@ func (mc *machine) ckWait(ck *ir.Checkpoint) {
 	mc.addCkCycles(saveCost)
 	for _, slot := range saved {
 		if arr := mc.vm[slot]; arr != nil {
-			copy(mc.nvm[slot], arr)
+			mc.commitSlot(slot, arr)
 		}
 	}
 	mc.res.Saves++
@@ -310,7 +309,7 @@ func (mc *machine) ckRollback(ck *ir.Checkpoint) {
 	mc.addCkCycles(saveCost)
 	for _, slot := range saved {
 		if arr := mc.vm[slot]; arr != nil {
-			copy(mc.nvm[slot], arr)
+			mc.commitSlot(slot, arr)
 			mc.dirty[slot] = false
 		}
 	}
@@ -359,7 +358,7 @@ func (mc *machine) ckTrigger(ck *ir.Checkpoint) {
 		}
 		mc.addCkCycles(saveCost)
 		for _, slot := range saved {
-			copy(mc.nvm[slot], mc.vm[slot])
+			mc.commitSlot(slot, mc.vm[slot])
 			mc.dirty[slot] = false
 		}
 		mc.res.Saves++
@@ -472,6 +471,9 @@ func (mc *machine) takeSnapshot(restores []int32, lazy bool, site int) {
 	}
 	mc.spareSnap = mc.snap
 	mc.snap = sn
+	if mc.track {
+		mc.refreshSnapLane()
+	}
 	if mc.res.PowerFailures > 0 {
 		if sn.done > mc.maxSnapDone {
 			mc.snapStagnation = 0
@@ -543,6 +545,15 @@ func (mc *machine) powerFailure() {
 		mc.startReexec(-1)
 		return
 	}
+	mc.restoreSnap()
+}
+
+// restoreSnap performs the recovery boot from the committed snapshot:
+// rebuild the call stack and committed output, charge the restore, and
+// re-materialize the restore set. It is the shared tail of powerFailure
+// and of booting a run from Config.Resume — both paths must stay
+// bit-identical (same float summation order, same VM residency growth).
+func (mc *machine) restoreSnap() {
 	sn := mc.snap
 	// The dying frames' register arrays go back to the pool (snapshots
 	// hold their own deep copies, so nothing aliases them), and the

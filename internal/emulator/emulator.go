@@ -100,6 +100,20 @@ type Config struct {
 	// exists as the oracle and for debugging the compiled path.
 	Interpret bool
 
+	// Resume, when non-nil, boots the run from a previously captured
+	// persistent state instead of initial NVM: the run behaves exactly
+	// like the continuation of an emulation that power-failed leaving
+	// that state behind. The state must have been captured from the same
+	// module. Mutually exclusive with Inputs and PrewarmVM (a resumed
+	// state already fixes NVM contents). Forces Interpret.
+	Resume *PersistentState
+
+	// Hook, when non-nil, observes every schedulable injection point of
+	// the run together with a canonical hash of the persistent state at
+	// that point (see PointVisit). The model checker in internal/verify
+	// is built on Hook + Resume. Forces Interpret.
+	Hook Hook
+
 	// Observer, when non-nil, receives the full cycle-stamped event
 	// stream: block entries, returns, energy charges, checkpoint
 	// save/restore, sleeps, power failures, re-execution spans, poison
@@ -264,6 +278,15 @@ func (cfg Config) Validate() error {
 	if cfg.MaxFailures < 0 {
 		return &ConfigError{Field: "MaxFailures", Reason: fmt.Sprintf("must not be negative, got %d", cfg.MaxFailures)}
 	}
+	if cfg.Resume != nil {
+		if len(cfg.Inputs) > 0 {
+			return &ConfigError{Field: "Resume",
+				Reason: "mutually exclusive with Inputs (the resumed state already fixes NVM contents)"}
+		}
+		if cfg.PrewarmVM {
+			return &ConfigError{Field: "Resume", Reason: "mutually exclusive with PrewarmVM"}
+		}
+	}
 	return nil
 }
 
@@ -287,6 +310,16 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	if cfg.TriggerThreshold == 0 {
 		cfg.TriggerThreshold = 0.5
 	}
+	if cfg.Hook != nil || cfg.Resume != nil {
+		// State tracking and resume live in the reference interpreter
+		// only; the compiled engine stays uninstrumented.
+		cfg.Interpret = true
+	}
 	mach := newMachine(m, cfg)
+	if cfg.Resume != nil {
+		if err := mach.installResume(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
 	return mach.run()
 }

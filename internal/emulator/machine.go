@@ -129,6 +129,20 @@ type machine struct {
 	// runs, so per-instruction probing costs nothing).
 	exhaust bool
 	sched   PowerSchedule
+
+	// track enables incremental persistent-state hashing (Config.Hook):
+	// every NVM write, counter bump, and snapshot commit updates the
+	// lanes below so each injection point's state hash costs O(1).
+	track     bool
+	hook      Hook
+	captureFn func() *PersistentState
+	// nvmLane/ctrLane are commutative 128-bit sums over per-cell hashes
+	// (order-independent, incrementally updated); snapLane is the
+	// sequential hash of the committed snapshot + output prefix,
+	// recomputed only when a snapshot commits.
+	nvmLane1, nvmLane2   uint64
+	ctrLane1, ctrLane2   uint64
+	snapLane1, snapLane2 uint64
 }
 
 func newMachine(m *ir.Module, cfg Config) *machine {
@@ -155,6 +169,12 @@ func newMachine(m *ir.Module, cfg Config) *machine {
 		mc.prewarmVM()
 	}
 	mc.bootFrames()
+	if cfg.Hook != nil {
+		mc.track = true
+		mc.hook = cfg.Hook
+		mc.captureFn = mc.captureState
+		mc.recomputeLanes()
+	}
 	return mc
 }
 
@@ -394,6 +414,9 @@ func (mc *machine) induce(kind PointKind, site int, seq int64) {
 // points, addressed by the save-attempt ordinal. True means the supply
 // dies there; the caller must trigger the power failure.
 func (mc *machine) probeSave(kind PointKind, site int) bool {
+	if mc.hook != nil {
+		mc.visitPoint(kind, mc.res.SaveAttempts)
+	}
 	if mc.sched == nil {
 		return false
 	}
@@ -428,6 +451,9 @@ func (mc *machine) step() (bool, error) {
 	// Instruction-boundary injection point: periodic TBPF failures,
 	// trace/random/stride schedules. The probe precedes the instruction's
 	// energy draw, so the instruction about to run is the one lost.
+	if mc.hook != nil {
+		mc.visitPoint(PointStep, mc.res.Steps)
+	}
 	if mc.sched != nil && mc.sched.Fail(mc.probe(PointStep, mc.res.Steps, 0)) {
 		mc.induce(PointStep, -1, mc.res.Steps)
 		mc.powerFailure()
@@ -603,7 +629,7 @@ func (mc *machine) storeVar(x *ir.Store, fr *frame) error {
 		mc.dirty[slot] = true
 		return nil
 	}
-	mc.nvm[slot][idx] = val
+	mc.setNVM(slot, idx, val)
 	return nil
 }
 

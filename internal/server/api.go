@@ -61,6 +61,13 @@ type Options struct {
 	// non-nil observer, so it costs throughput; it is off by default.
 	Observe bool `json:"observe,omitempty"`
 
+	// MaxStates / MaxDepth (verify only) bound the model checker's
+	// search: distinct persistent states enqueued (default 200000) and
+	// chained injections from the cold root (default 64). A truncated
+	// search reports verdict "bounded" instead of "verified".
+	MaxStates int `json:"max_states,omitempty"`
+	MaxDepth  int `json:"max_depth,omitempty"`
+
 	// TimeoutMS bounds this request's job; capped by the server's
 	// configured job timeout, which is also the default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -123,6 +130,9 @@ func (r *Request) normalize(kind string) error {
 	if o.TBPF < 0 || o.EB < 0 || o.TimeoutMS < 0 {
 		return fmt.Errorf("tbpf, eb_nj and timeout_ms must not be negative")
 	}
+	if o.MaxStates < 0 || o.MaxDepth < 0 {
+		return fmt.Errorf("max_states and max_depth must not be negative")
+	}
 	// A placement technique needs a budget; emulation of a placed
 	// program needs one too. "none" runs on continuous power unless the
 	// request asks otherwise.
@@ -132,6 +142,11 @@ func (r *Request) normalize(kind string) error {
 	if kind != "emulate" {
 		o.Stream = false
 		o.Observe = false
+	}
+	// Verify-only knobs must not perturb other endpoints' digests.
+	if kind != "verify" {
+		o.MaxStates = 0
+		o.MaxDepth = 0
 	}
 	return nil
 }
@@ -245,6 +260,35 @@ type HuntResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// VerifyResponse is the body of POST /v1/verify. Verdict "verified"
+// means the reachable crash-recovery state space was exhausted with no
+// violation; "bounded" means the named bound truncated the search first
+// (nothing found, nothing proven); "counterexample" carries the shrunk
+// offending schedule. OK is true for verified, bounded, and skipped
+// cases — it means "no violation found", mirroring POST /v1/hunt.
+type VerifyResponse struct {
+	Digest    string `json:"digest"`
+	Name      string `json:"name"`
+	Technique string `json:"technique"`
+	OK        bool   `json:"ok"`
+	Skipped   string `json:"skipped,omitempty"`
+
+	Verdict      string `json:"verdict,omitempty"`
+	States       int    `json:"states,omitempty"`
+	Edges        int64  `json:"edges,omitempty"`
+	DedupHits    int64  `json:"dedup_hits,omitempty"`
+	MaxDepth     int    `json:"max_depth,omitempty"`
+	WaitContract bool   `json:"wait_contract,omitempty"`
+	Bound        string `json:"bound,omitempty"`
+
+	// On a counterexample: its classification and the offending schedule.
+	Class     string  `json:"class,omitempty"`
+	Schedule  string  `json:"schedule,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	FoundBy   string  `json:"found_by,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // RunSummary is one retained emulation in GET /v1/runs. Events,
 // EventsRetained, Subscribers and DroppedEvents are zero for
 // unobserved runs (options.observe was false).
@@ -252,7 +296,8 @@ type RunSummary struct {
 	Digest    string `json:"digest"`
 	Name      string `json:"name"`
 	Technique string `json:"technique"`
-	Status    string `json:"status"` // "running", "done", "error"
+	Kind      string `json:"kind,omitempty"` // "emulate" (default) or "verify"
+	Status    string `json:"status"`         // "running", "done", "error"
 	Observed  bool   `json:"observed"`
 	Stream    bool   `json:"stream,omitempty"`
 

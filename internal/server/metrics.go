@@ -99,6 +99,8 @@ type gauges struct {
 	sseSubs         int64
 	sseDropped      int64
 	runs            int
+	verifyStates    int64
+	verifyDedup     int64
 }
 
 // write renders the exposition text. Series are sorted so scrapes are
@@ -162,6 +164,8 @@ func (m *metrics) write(w io.Writer, cache CacheStats, g gauges) {
 	counter("schematicd_cache_misses_total", "Requests that had to run the pipeline.", cache.Misses)
 	counter("schematicd_cache_coalesced_total", "Requests coalesced onto an in-flight identical run.", cache.Coalesced)
 	counter("schematicd_cache_evictions_total", "Cache entries dropped by the LRU bound.", cache.Evictions)
+	counter("schematicd_verify_states_total", "Persistent states explored across POST /v1/verify jobs.", g.verifyStates)
+	counter("schematicd_verify_dedup_hits_total", "Hash-dedup hits across POST /v1/verify jobs.", g.verifyDedup)
 	d := int64(0)
 	if g.draining {
 		d = 1

@@ -18,6 +18,7 @@ import (
 	"schematic/internal/opt"
 	"schematic/internal/trace"
 	"schematic/internal/transval"
+	"schematic/internal/verify"
 )
 
 // progError marks faults in the submitted program or options (as
@@ -264,6 +265,67 @@ func runHunt(ctx context.Context, req *Request, digest string) (*HuntResponse, e
 		resp.FoundBy = f.FoundBy
 	default:
 		resp.OK = true
+	}
+	return resp, nil
+}
+
+// runVerify runs the bounded model checker (internal/verify) on the
+// request's program under its technique: every reachable persistent
+// state is explored instead of sampled, so an OK response with verdict
+// "verified" is a proof over the bounded state space, not an
+// unfalsified hunt. The context carries the job deadline; verify folds
+// it into its search bound (a mid-search deadline truncates the verdict
+// to "bounded" rather than failing the request).
+func runVerify(ctx context.Context, req *Request, digest string) (*VerifyResponse, error) {
+	o := req.Options
+	tech := techniqueFor(o.Technique)
+	if tech == nil {
+		return nil, progErrorf("verify requires a placement technique, not %q", o.Technique)
+	}
+	start := time.Now()
+	rep, err := verify.Run(ctx, crashtest.Case{
+		Name:        req.Name,
+		Source:      req.Source,
+		Technique:   tech.Name(),
+		InputSeed:   o.Seed,
+		TBPF:        o.TBPF,
+		EB:          o.EB,
+		ProfileRuns: o.ProfileRuns,
+	}, verify.Options{
+		MaxStates: o.MaxStates,
+		MaxDepth:  o.MaxDepth,
+	})
+	resp := &VerifyResponse{
+		Digest:    digest,
+		Name:      req.Name,
+		Technique: o.Technique,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	switch {
+	case crashtest.IsSkip(err):
+		resp.OK = true
+		resp.Skipped = err.Error()
+	case err != nil:
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &progError{err}
+	default:
+		resp.Verdict = string(rep.Verdict)
+		resp.States = rep.States
+		resp.Edges = rep.Edges
+		resp.DedupHits = rep.DedupHits
+		resp.MaxDepth = rep.MaxDepth
+		resp.WaitContract = rep.WaitContract
+		resp.Bound = rep.Bound
+		if f := rep.Finding; f != nil {
+			resp.Class = string(f.Class)
+			resp.Schedule = f.Schedule.String()
+			resp.Detail = f.Detail
+			resp.FoundBy = f.FoundBy
+		} else {
+			resp.OK = true
+		}
 	}
 	return resp, nil
 }

@@ -22,6 +22,7 @@ type runState struct {
 	digest    string
 	name      string
 	technique string
+	kind      string // "emulate" or "verify"
 	stream    bool
 	observed  bool
 	started   time.Time
@@ -33,6 +34,7 @@ type runState struct {
 	status   string // "running", "done", "error"
 	finished time.Time
 	result   *EmulateResponse
+	verdict  string // terminal verdict; also covers verify runs (no result)
 	errMsg   string
 	done     chan struct{} // closed by finish
 }
@@ -46,6 +48,23 @@ func (rs *runState) finish(resp *EmulateResponse, err error) {
 	} else {
 		rs.status = "done"
 		rs.result = resp
+		rs.verdict = resp.Verdict
+	}
+	close(rs.done)
+	rs.mu.Unlock()
+}
+
+// finishVerdict publishes a terminal state with no emulate result — the
+// verify path, whose product is a verdict, not an event stream.
+func (rs *runState) finishVerdict(verdict string, err error) {
+	rs.mu.Lock()
+	rs.finished = time.Now()
+	if err != nil {
+		rs.status = "error"
+		rs.errMsg = err.Error()
+	} else {
+		rs.status = "done"
+		rs.verdict = verdict
 	}
 	close(rs.done)
 	rs.mu.Unlock()
@@ -70,6 +89,7 @@ func (rs *runState) summary() RunSummary {
 		Digest:    rs.digest,
 		Name:      rs.name,
 		Technique: rs.technique,
+		Kind:      rs.kind,
 		Status:    rs.status,
 		Observed:  rs.observed,
 		Stream:    rs.stream,
@@ -80,9 +100,7 @@ func (rs *runState) summary() RunSummary {
 		end = time.Now()
 	}
 	s.ElapsedMS = float64(end.Sub(rs.started)) / float64(time.Millisecond)
-	if rs.result != nil {
-		s.Verdict = rs.result.Verdict
-	}
+	s.Verdict = rs.verdict
 	s.Error = rs.errMsg
 	rs.mu.Unlock()
 	if rs.hub != nil {
@@ -148,11 +166,12 @@ func newRunRegistry(capacity int) *runRegistry {
 // replaced (a re-run supersedes it); if one is still running — possible
 // when a streamed request bypasses the cache — the new run proceeds
 // unregistered and start returns nil.
-func (g *runRegistry) start(digest string, req *Request, hub *obs.Hub, coll *obs.Collector, stream bool) *runState {
+func (g *runRegistry) start(kind, digest string, req *Request, hub *obs.Hub, coll *obs.Collector, stream bool) *runState {
 	rs := &runState{
 		digest:    digest,
 		name:      req.Name,
 		technique: req.Options.Technique,
+		kind:      kind,
 		stream:    stream,
 		observed:  hub != nil,
 		started:   time.Now(),
@@ -277,13 +296,36 @@ func (s *Server) runEmulateJob(ctx context.Context, req *Request, digest string,
 		hub = obs.NewHub(s.cfg.RunEvents, coll)
 		observer = emulator.MultiObserver(hub, stream)
 	}
-	rs := s.runs.start(digest, req, hub, coll, stream != nil)
+	rs := s.runs.start("emulate", digest, req, hub, coll, stream != nil)
 	resp, err := runEmulate(ctx, req, digest, observer)
 	if rs != nil {
 		rs.finish(resp, err)
 	}
 	if hub != nil {
 		hub.Close()
+	}
+	return resp, err
+}
+
+// runVerifyJob wraps runVerify with registry bookkeeping (so long
+// model-checking runs are visible in GET /v1/runs while in flight) and
+// accumulates the explored-state counters for /metrics.
+func (s *Server) runVerifyJob(ctx context.Context, req *Request, digest string) (*VerifyResponse, error) {
+	rs := s.runs.start("verify", digest, req, nil, nil, false)
+	resp, err := runVerify(ctx, req, digest)
+	if rs != nil {
+		verdict := ""
+		if resp != nil {
+			verdict = resp.Verdict
+			if verdict == "" && resp.Skipped != "" {
+				verdict = "skipped"
+			}
+		}
+		rs.finishVerdict(verdict, err)
+	}
+	if resp != nil {
+		s.verifyStates.Add(int64(resp.States))
+		s.verifyDedup.Add(resp.DedupHits)
 	}
 	return resp, err
 }

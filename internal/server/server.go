@@ -93,6 +93,9 @@ type Server struct {
 	runs    *runRegistry // retained emulations behind GET /v1/runs
 	sseSubs atomic.Int64 // live SSE connections (metrics gauge)
 
+	verifyStates atomic.Int64 // persistent states explored across verify jobs
+	verifyDedup  atomic.Int64 // dedup hits across verify jobs
+
 	mu       sync.Mutex // guards draining and the wg Add/Wait race
 	draining bool
 	drainCh  chan struct{}  // closed by BeginDrain; tears down SSE streams
@@ -126,7 +129,7 @@ func New(cfg Config) *Server {
 // Handler mounts the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, kind := range []string{"compile", "emulate", "validate", "hunt"} {
+	for _, kind := range []string{"compile", "emulate", "validate", "hunt", "verify"} {
 		kind := kind
 		mux.HandleFunc("POST /v1/"+kind, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
@@ -317,6 +320,8 @@ func (s *Server) runJob(kind string, req *Request, digest string) (any, error) {
 		return valOrNil(runValidate(ctx, req, digest))
 	case "hunt":
 		return valOrNil(runHunt(ctx, req, digest))
+	case "verify":
+		return valOrNil(s.runVerifyJob(ctx, req, digest))
 	}
 	return nil, fmt.Errorf("unknown job kind %q", kind)
 }
@@ -459,14 +464,16 @@ func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, s.cache.Stats(), gauges{
-		queue:      s.queued.Load(),
-		inflight:   s.inflight.Load(),
-		workers:    s.cfg.Workers,
-		queueCap:   s.cfg.QueueCap,
-		draining:   s.isDraining(),
-		goroutines: runtime.NumGoroutine(),
-		sseSubs:    s.sseSubs.Load(),
-		sseDropped: s.runs.droppedTotal(),
-		runs:       s.runs.len(),
+		queue:        s.queued.Load(),
+		inflight:     s.inflight.Load(),
+		workers:      s.cfg.Workers,
+		queueCap:     s.cfg.QueueCap,
+		draining:     s.isDraining(),
+		goroutines:   runtime.NumGoroutine(),
+		sseSubs:      s.sseSubs.Load(),
+		sseDropped:   s.runs.droppedTotal(),
+		runs:         s.runs.len(),
+		verifyStates: s.verifyStates.Load(),
+		verifyDedup:  s.verifyDedup.Load(),
 	})
 }

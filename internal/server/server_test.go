@@ -204,6 +204,92 @@ func TestHuntEndpoint(t *testing.T) {
 	}
 }
 
+func TestVerifyEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// A ratchet placement of the tiny program verifies exhaustively.
+	req := Request{Name: "sum", Source: sumProg, Options: fastOpts("ratchet")}
+	code, body, hdr := post(t, ts, "verify", req)
+	if code != http.StatusOK {
+		t.Fatalf("verify: status %d, body %s", code, body)
+	}
+	r := decode[VerifyResponse](t, body)
+	if !r.OK || r.Verdict != "verified" {
+		t.Fatalf("verify: %+v", r)
+	}
+	if r.States < 2 || r.Edges == 0 {
+		t.Fatalf("degenerate exploration: %+v", r)
+	}
+	digest := hdr.Get("X-Schematic-Digest")
+
+	// Resubmission is a cache hit with the identical body.
+	misses := s.CacheStats().Misses
+	code2, body2, hdr2 := post(t, ts, "verify", req)
+	if code2 != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatalf("resubmit: status %d, body %s (want %s)", code2, body2, body)
+	}
+	if hdr2.Get("X-Schematic-Digest") != digest {
+		t.Fatalf("resubmit digest %s != %s", hdr2.Get("X-Schematic-Digest"), digest)
+	}
+	if st := s.CacheStats(); st.Misses != misses || st.Hits == 0 {
+		t.Fatalf("resubmit did not hit the cache: %+v", st)
+	}
+
+	// The search bounds participate in the digest (different options must
+	// not collide with the unbounded run) and truncate the verdict.
+	bounded := req
+	bounded.Options.MaxStates = 2
+	code, body, hdr = post(t, ts, "verify", bounded)
+	if code != http.StatusOK {
+		t.Fatalf("bounded verify: status %d, body %s", code, body)
+	}
+	if hdr.Get("X-Schematic-Digest") == digest {
+		t.Fatal("bounded request shares the unbounded digest")
+	}
+	if r := decode[VerifyResponse](t, body); !r.OK || r.Verdict != "bounded" || r.Bound != "max-states" {
+		t.Fatalf("bounded verify: %+v", r)
+	}
+
+	// A wait-style technique verifies via its contract.
+	code, body, _ = post(t, ts, "verify", Request{Name: "sum", Source: sumProg, Options: fastOpts("schematic")})
+	if code != http.StatusOK {
+		t.Fatalf("verify schematic: status %d, body %s", code, body)
+	}
+	if r := decode[VerifyResponse](t, body); !r.OK || !r.WaitContract || r.Verdict != "verified" {
+		t.Fatalf("wait-contract verify: %+v", r)
+	}
+
+	// Verifying without a placement technique is a request error.
+	code, body, _ = post(t, ts, "verify", Request{Name: "sum", Source: sumProg, Options: Options{Technique: "none"}})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("verify none: status %d, body %s", code, body)
+	}
+
+	// The verify jobs were registered and the metrics counters moved.
+	if s.verifyStates.Load() == 0 {
+		t.Fatal("verify state counter never moved")
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("runs: status %d, err %v", resp.StatusCode, err)
+	}
+	runs := decode[RunsResponse](t, listing)
+	var sawVerify bool
+	for _, rs := range runs.Runs {
+		if rs.Kind == "verify" && rs.Status == "done" && rs.Verdict != "" {
+			sawVerify = true
+		}
+	}
+	if !sawVerify {
+		t.Fatalf("no finished verify run in registry: %+v", runs.Runs)
+	}
+}
+
 func TestBenchByName(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	code, body, _ := post(t, ts, "compile", Request{Bench: "crc", Options: Options{Technique: "none"}})

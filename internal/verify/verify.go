@@ -1,0 +1,393 @@
+// Package verify upgrades crash hunting from sampling to bounded model
+// checking: it explores the crash-recovery state graph of a placed
+// program exhaustively instead of probing it at sampled points.
+//
+// A node of the graph is the persistent state that survives a power
+// failure — NVM contents, conditional-checkpoint counters, the
+// committed output prefix, and the committed snapshot (or cold-start) —
+// canonically hashed into a visited set (DiVM-style hash compaction) so
+// each distinct resume state is explored once. An edge is "resume from
+// the node, run under exhaustion physics, and kill the supply at one
+// schedulable injection point" — instruction boundaries and the
+// before/mid (torn)/after phases of every checkpoint save. Because an
+// adversarial power schedule is exactly a sequence of such injections,
+// and everything between injections is deterministic physics, a BFS
+// over this graph covers every power-failure interleaving: if every
+// reachable node's injection-free run completes with oracle-equal
+// output, no schedule can produce a violation, and the verdict is
+// Verified. Otherwise the path of injection points leading to the
+// offending node replays as one continuous schedule and feeds the
+// existing crashtest shrinking + NDJSON repro machinery.
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"schematic/internal/crashtest"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+)
+
+// Verdict is the outcome of a verification run.
+type Verdict string
+
+const (
+	// Verified: the reachable state space was exhausted with no
+	// violation — every power-failure interleaving of this program,
+	// input, and capacitor budget is safe (up to hash-compaction
+	// collision odds; see TESTING.md).
+	Verified Verdict = "verified"
+	// Counterexample: a reachable persistent state misbehaves; the
+	// Finding carries the shrunk, replayable injection trace.
+	Counterexample Verdict = "counterexample"
+	// Bounded: a depth, state, or deadline bound truncated the search
+	// before the state space was exhausted; no violation was found in
+	// the explored portion, but nothing is verified.
+	Bounded Verdict = "bounded"
+)
+
+// Options tunes a verification. Zero values select the documented
+// defaults.
+type Options struct {
+	Model *energy.Model // nil = MSP430FR5969
+
+	// MaxDepth bounds the number of chained injections (graph depth
+	// from the cold root). 0 = 64.
+	MaxDepth int
+	// MaxStates bounds the distinct persistent states enqueued. 0 =
+	// 200_000.
+	MaxStates int
+	// MaxStepsFactor caps every resumed exploration run at
+	// factor×root-baseline steps plus slack (crashtest's cap). 0 = 24.
+	MaxStepsFactor int64
+
+	// NoShrink / ShrinkBudget control counterexample minimization,
+	// exactly as in crashtest.Options.
+	NoShrink     bool
+	ShrinkBudget int
+
+	// AssumeAnytime explores wait-style placements too instead of
+	// verifying their no-failure contract (see crashtest.Options).
+	AssumeAnytime bool
+
+	// Deadline, when non-zero, truncates the search when passed (the
+	// report comes back Bounded).
+	Deadline time.Time
+
+	// Progress, when non-nil, receives periodic search statistics.
+	Progress func(Progress)
+	// ProgressEvery is the number of explored states between Progress
+	// calls. 0 = 100.
+	ProgressEvery int
+}
+
+// Progress is a periodic snapshot of the search.
+type Progress struct {
+	States   int   // distinct persistent states discovered
+	Explored int   // states whose outgoing run has been executed
+	Frontier int   // states discovered but not yet explored
+	Edges    int64 // injection points examined (failure transitions)
+	Dedup    int64 // transitions that landed in an already-visited state
+	Depth    int   // depth of the state currently being explored
+}
+
+// Report is the result of a verification run.
+type Report struct {
+	Verdict Verdict `json:"verdict"`
+	// States is the number of distinct persistent states discovered
+	// (including the cold root); Edges the number of injection points
+	// examined, each a possible failure transition; DedupHits the
+	// transitions whose target state had already been visited.
+	States    int   `json:"states"`
+	Edges     int64 `json:"edges"`
+	DedupHits int64 `json:"dedup_hits"`
+	// MaxDepth is the deepest injection chain explored.
+	MaxDepth int `json:"max_depth"`
+	// WaitContract is set when the placement is wait-style and the
+	// verifier checked its no-failure contract instead of exploring
+	// (see crashtest.Options.AssumeAnytime).
+	WaitContract bool `json:"wait_contract,omitempty"`
+	// Bound names the bound that truncated a Bounded search.
+	Bound   string        `json:"bound,omitempty"`
+	Elapsed time.Duration `json:"elapsed"`
+	// Finding is the shrunk, replayable counterexample (nil unless
+	// Verdict is Counterexample).
+	Finding *crashtest.Finding `json:"finding,omitempty"`
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 64
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 200_000
+	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = 100
+	}
+	return o
+}
+
+// crashtestOptions projects the verifier's knobs onto the crashtest
+// options used for case preparation and counterexample confirmation.
+func (o Options) crashtestOptions() crashtest.Options {
+	return crashtest.Options{
+		Model:          o.Model,
+		MaxStepsFactor: o.MaxStepsFactor,
+		NoShrink:       o.NoShrink,
+		ShrinkBudget:   o.ShrinkBudget,
+		AssumeAnytime:  o.AssumeAnytime,
+	}
+}
+
+// node is one frontier entry: a persistent state plus the injection
+// path that reached it. The cold root has a nil state.
+type node struct {
+	state *emulator.PersistentState
+	hash  emulator.StateHash
+	path  []crashtest.PointSpec
+	depth int
+	// cumSteps/cumSaves are the run ordinals accumulated along the path
+	// in a continuous replay: a child discovered at leg-local visit
+	// (kind, step s, saves a) is reached by failing at absolute
+	// occurrence cumSteps+s (step points) or cumSaves+a (save points).
+	// Steps and SaveAttempts are cumulative across power failures, so
+	// the absolute ordinals address exactly the intended points when the
+	// whole path replays as one TraceSchedule.
+	cumSteps int64
+	cumSaves int64
+}
+
+// Run verifies one case. It returns a SkipError (via crashtest) for
+// cases the verifier cannot judge — the same ineligibility rules as
+// Hunt — and ctx.Err() on cancellation.
+func Run(ctx context.Context, cs crashtest.Case, opts Options) (*Report, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if d, ok := ctx.Deadline(); ok && (opts.Deadline.IsZero() || d.Before(opts.Deadline)) {
+		opts.Deadline = d
+	}
+	ctOpts := opts.crashtestOptions()
+	b, err := crashtest.Prepare(cs, ctOpts)
+	if err != nil {
+		return nil, err
+	}
+	ncs := b.Case()
+
+	baseCfg := emulator.Config{
+		Model:        b.Model(),
+		VMSize:       ncs.VMSize,
+		Intermittent: true,
+		EB:           b.EB(),
+	}
+
+	// Root baseline: the placement under its own physics, no injections.
+	// Its step count sizes every later run's bound, and its class mirrors
+	// Hunt's baseline gate.
+	rootCfg := baseCfg
+	rootCfg.Inputs = b.Inputs()
+	rootRes, rootErr := emulator.Run(b.Module(), rootCfg)
+	baseline := b.Classify(rootRes, rootErr, 0)
+	exhaustionFinding := func(class crashtest.Class, detail string) *Report {
+		return &Report{
+			Verdict: Counterexample,
+			States:  1,
+			Elapsed: time.Since(start),
+			Finding: &crashtest.Finding{
+				Case:     ncs,
+				Schedule: crashtest.ScheduleSpec{Exhaust: true},
+				Class:    class,
+				Detail:   detail,
+				FoundBy:  "verify-root",
+			},
+		}
+	}
+
+	waitContract := crashtest.WaitOnly(b.Module()) && !opts.AssumeAnytime
+	switch baseline.Class {
+	case crashtest.ClassNone:
+	case crashtest.ClassDivergence, crashtest.ClassPoisonRead:
+		return exhaustionFinding(baseline.Class, baseline.Detail), nil
+	default:
+		if waitContract {
+			return exhaustionFinding(baseline.Class, baseline.Detail), nil
+		}
+		return nil, &crashtest.SkipError{Reason: fmt.Sprintf(
+			"baseline (exhaustion-only) run is %s: %s", baseline.Class, baseline.Detail)}
+	}
+
+	if waitContract {
+		// Wait-style contract: the runtime sleeps at each checkpoint until
+		// the capacitor is full and segments fit EB, so the hardware rules
+		// out failures between checkpoints. There is nothing to explore —
+		// the guarantee itself is the verification condition: the physics
+		// run must complete correctly with zero power failures.
+		if baseline.Res.PowerFailures > 0 {
+			return exhaustionFinding(crashtest.ClassForwardProgress, fmt.Sprintf(
+				"wait-style placement hit %d unplanned power failures (segments exceed EB)",
+				baseline.Res.PowerFailures)), nil
+		}
+		return &Report{Verdict: Verified, States: 1, WaitContract: true, Elapsed: time.Since(start)}, nil
+	}
+
+	legSteps := ctOpts.MaxStepsFor(baseline.Res.Steps)
+	root, err := emulator.InitialState(b.Module(), rootCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	visited := map[emulator.StateHash]struct{}{root.Hash(): {}}
+	frontier := []node{{state: nil, hash: root.Hash(), depth: 0}}
+	var (
+		edges, dedup int64
+		explored     int
+		maxDepth     int
+		bound        string
+	)
+
+	report := func(depth int) {
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				States:   len(visited),
+				Explored: explored,
+				Frontier: len(frontier),
+				Edges:    edges,
+				Dedup:    dedup,
+				Depth:    depth,
+			})
+		}
+	}
+
+	for len(frontier) > 0 {
+		// A mid-search deadline truncates to a Bounded verdict — the
+		// explored portion is still a meaningful answer; only outright
+		// cancellation aborts with an error.
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			bound = "deadline"
+			break
+		}
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			bound = "deadline"
+			break
+		}
+		n := frontier[0]
+		frontier = frontier[1:]
+		if n.depth > maxDepth {
+			maxDepth = n.depth
+		}
+
+		// One resumed run covers ALL outgoing edges of this node: the
+		// persistent state only changes at NVM stores, counter bumps, and
+		// checkpoint commits, so the run's injection points fall into
+		// windows of equal state hash, and each distinct hash along the
+		// run is one successor. The same run's final result classifies the
+		// node itself: it is exactly "resume here and never inject again".
+		var discovered []node
+		prev := n.hash
+		cfg := baseCfg
+		cfg.MaxSteps = legSteps
+		if n.state == nil {
+			cfg.Inputs = b.Inputs()
+		} else {
+			cfg.Resume = n.state
+		}
+		cfg.Hook = func(v emulator.PointVisit, capture func() *emulator.PersistentState) {
+			edges++
+			if v.Hash == prev {
+				// Same window: a failure here lands in the state the
+				// previous point already led to.
+				dedup++
+				return
+			}
+			prev = v.Hash
+			if _, ok := visited[v.Hash]; ok {
+				dedup++
+				return
+			}
+			if n.depth+1 > opts.MaxDepth {
+				bound = "max-depth"
+				return
+			}
+			if len(visited) >= opts.MaxStates {
+				bound = "max-states"
+				return
+			}
+			visited[v.Hash] = struct{}{}
+			child := node{
+				state:    capture(),
+				hash:     v.Hash,
+				path:     appendSpec(n, v),
+				depth:    n.depth + 1,
+				cumSteps: n.cumSteps + v.Step,
+				cumSaves: n.cumSaves + v.Saves,
+			}
+			discovered = append(discovered, child)
+		}
+		res, runErr := emulator.Run(b.Module(), cfg)
+		out := b.Classify(res, runErr, legSteps)
+		explored++
+		if out.Class != crashtest.ClassNone {
+			// This reachable state misbehaves with no further injections:
+			// the path that reached it is the counterexample. Replay it as
+			// one continuous schedule through the standard confirm+shrink
+			// pipeline; the continuous replay's class is authoritative
+			// (watchdog state accumulates across legs there).
+			confirmSteps := legSteps * int64(len(n.path)+1)
+			f, err := b.ConfirmSpec("verify-exhaustive", n.path, confirmSteps, ctOpts)
+			if err != nil {
+				return nil, fmt.Errorf("verify: case %s: state at depth %d is %s but %w",
+					ncs.Name, n.depth, out.Class, err)
+			}
+			report(n.depth)
+			return &Report{
+				Verdict:   Counterexample,
+				States:    len(visited),
+				Edges:     edges,
+				DedupHits: dedup,
+				MaxDepth:  maxDepth,
+				Elapsed:   time.Since(start),
+				Finding:   f,
+			}, nil
+		}
+		frontier = append(frontier, discovered...)
+		if explored%opts.ProgressEvery == 0 {
+			report(n.depth)
+		}
+	}
+
+	rep := &Report{
+		Verdict:   Verified,
+		States:    len(visited),
+		Edges:     edges,
+		DedupHits: dedup,
+		MaxDepth:  maxDepth,
+		Bound:     bound,
+		Elapsed:   time.Since(start),
+	}
+	if bound != "" {
+		rep.Verdict = Bounded
+	}
+	report(maxDepth)
+	return rep, nil
+}
+
+// appendSpec extends the node's injection path with the absolute
+// occurrence of the visited point (see node.cumSteps/cumSaves).
+func appendSpec(n node, v emulator.PointVisit) []crashtest.PointSpec {
+	abs := n.cumSaves + v.Saves
+	if v.Kind == emulator.PointStep {
+		abs = n.cumSteps + v.Step
+	}
+	path := make([]crashtest.PointSpec, 0, len(n.path)+1)
+	path = append(path, n.path...)
+	return append(path, crashtest.PointSpec{Kind: v.Kind.String(), N: abs})
+}

@@ -5,8 +5,10 @@
 # round-trips a compile and an emulate through schemactl, proves the
 # content-addressed cache dedups a repeat, scrapes /metrics, exercises
 # the live console (dashboard page, observed emulation, run registry,
-# SSE stream followed to its terminal result), and checks the daemon
-# drains cleanly on SIGTERM (exit 0). Wired into `make ci`.
+# SSE stream followed to its terminal result), round-trips an exhaustive
+# verification through POST /v1/verify (cached on resubmission), and
+# checks the daemon drains cleanly on SIGTERM (exit 0). Wired into
+# `make ci`.
 set -eu
 
 tmp=$(mktemp -d)
@@ -82,6 +84,28 @@ grep -q 'schematicd_sse_subscribers 0' "$tmp/metrics2.txt"
 # Two registered runs: the unobserved emulate and the observed one (the
 # cache-served repeat never reaches the registry).
 grep -q 'schematicd_runs_retained 2' "$tmp/metrics2.txt"
+
+# --- exhaustive verification ---
+
+# POST /v1/verify model-checks a placement to a verdict...
+verify_req='{"bench":"randmath","options":{"technique":"ratchet"}}'
+curl -fsS -D "$tmp/verify.hdr" -d "$verify_req" "http://$addr/v1/verify" >"$tmp/verify.json"
+grep -q '"verdict":"verified"' "$tmp/verify.json"
+grep -q '"ok":true' "$tmp/verify.json"
+
+# ...and the identical request is answered from the result cache: same
+# digest, byte-identical body, one more cache hit and no new miss.
+curl -fsS -D "$tmp/verify2.hdr" -d "$verify_req" "http://$addr/v1/verify" >"$tmp/verify2.json"
+cmp -s "$tmp/verify.json" "$tmp/verify2.json"
+d1=$(grep -i '^x-schematic-digest:' "$tmp/verify.hdr" | tr -d '\r' | cut -d' ' -f2)
+d2=$(grep -i '^x-schematic-digest:' "$tmp/verify2.hdr" | tr -d '\r' | cut -d' ' -f2)
+[ -n "$d1" ] && [ "$d1" = "$d2" ]
+
+ctl metrics >"$tmp/metrics3.txt"
+grep -q 'schematicd_requests_total{endpoint="verify",code="200"} 2' "$tmp/metrics3.txt"
+grep -q 'schematicd_cache_hits_total 2' "$tmp/metrics3.txt"
+grep -q 'schematicd_cache_misses_total 4' "$tmp/metrics3.txt"
+grep 'schematicd_verify_states_total' "$tmp/metrics3.txt" | grep -qv ' 0$'
 
 kill -TERM "$pid"
 if ! wait "$pid"; then
