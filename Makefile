@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover crashhunt-smoke verify-smoke fuzz-smoke transval-smoke serve-smoke bench bench-smoke
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke verify-smoke fuzz-smoke transval-smoke serve-smoke store-smoke loadtest-smoke bench bench-smoke
 
-ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke verify-smoke serve-smoke bench-smoke
+ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke verify-smoke serve-smoke store-smoke loadtest-smoke bench-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -54,18 +54,30 @@ transval-smoke:
 	go run ./cmd/transval -fuzz 25
 
 # Full performance report: grid throughput (compiled vs interpreted),
-# schematicd emulate latency, crashtest cases/sec, verifier states/sec.
-# Rewrites the committed BENCH_008.json; run on an idle machine.
+# schematicd emulate latency, grid-service cold/warm/store-warm,
+# loadtest mixed workload, crashtest cases/sec, verifier states/sec.
+# Rewrites the committed BENCH_009.json; run on an idle machine.
 bench:
 	sh scripts/bench.sh
 
 # CI performance gate: a tiny grid, a well-formed report, and no >20%
-# compiled-throughput regression against the committed BENCH_008.json.
+# compiled-throughput regression against the committed BENCH_009.json.
 bench-smoke:
-	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_008.json
+	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_009.json
 
 # Daemon round trip: start schematicd on an ephemeral port, drive a
 # compile + emulate through schemactl, check cache dedup on /metrics,
 # and verify a clean SIGTERM drain. See scripts/serve-smoke.sh.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Disk-store restart survival across real processes: two schematicd
+# runs on one -store directory; the second must answer everything —
+# including a whole grid — from disk. See scripts/store-smoke.sh.
+store-smoke:
+	sh scripts/store-smoke.sh
+
+# Load generator against a real daemon: a closed-loop mixed workload
+# with zero tolerated failures. See scripts/loadtest.sh.
+loadtest-smoke:
+	sh scripts/loadtest.sh

@@ -1,0 +1,131 @@
+// Command loadtest fires a configurable mix of concurrent requests at
+// a running schematicd and reports latency percentiles, throughput,
+// and cache/store hit-rate deltas as JSON.
+//
+//	loadtest -n 2000 -c 32                        # closed loop
+//	loadtest -rate 500 -duration 30s              # open loop
+//	loadtest -n 500 -mix emulate=1 -seeds 1       # cache-saturating
+//	loadtest -n 200 -max-p99 500                  # gate: fail if p99 > 500ms
+//
+// The daemon address comes from -addr or $SCHEMATICD_ADDR. Exit
+// status: 0 on success, 1 when the run errored or a gate tripped, 2 on
+// usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"schematic/internal/cli"
+	"schematic/internal/loadtest"
+)
+
+var fail = cli.Fail("loadtest", 2)
+
+func main() {
+	var (
+		addr     = flag.String("addr", envOr("SCHEMATICD_ADDR", "127.0.0.1:8472"), "schematicd address (host:port)")
+		n        = flag.Int("n", 0, "total requests (closed loop unless -rate is set; 0 = run for -duration)")
+		c        = flag.Int("c", 8, "concurrent client workers")
+		rate     = flag.Float64("rate", 0, "open-loop aggregate request rate per second (0 = closed loop)")
+		duration = flag.Duration("duration", 0, "time bound (required when -n is 0)")
+		seeds    = flag.Int("seeds", 3, "distinct workload seeds per kind (small = cache-heavy)")
+		mixFlag  = flag.String("mix", "", "request mix weights, e.g. compile=2,emulate=12,validate=1,grid=1")
+		maxP99   = flag.Float64("max-p99", 0, "gate: exit 1 if overall p99 exceeds this many milliseconds")
+		maxErr   = flag.Int("max-errors", 0, "gate: exit 1 if more than this many requests fail")
+		out      = flag.String("o", "", "write the JSON report to this file instead of stdout")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fail(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		BaseURL:     "http://" + *addr,
+		Requests:    *n,
+		Concurrency: *c,
+		RatePerSec:  *rate,
+		Duration:    *duration,
+		Seeds:       *seeds,
+		Mix:         mix,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fail(err)
+	}
+
+	code := 0
+	if rep.Errors > *maxErr {
+		fmt.Fprintf(os.Stderr, "loadtest: %d errors exceed -max-errors %d\n", rep.Errors, *maxErr)
+		code = 1
+	}
+	if *maxP99 > 0 && rep.P99MS > *maxP99 {
+		fmt.Fprintf(os.Stderr, "loadtest: p99 %.1fms exceeds -max-p99 %.1fms\n", rep.P99MS, *maxP99)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// parseMix reads "kind=weight,..." into a Mix; empty means defaults.
+func parseMix(s string) (loadtest.Mix, error) {
+	var m loadtest.Mix
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad -mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		switch strings.TrimSpace(kv[0]) {
+		case "compile":
+			m.Compile = w
+		case "emulate":
+			m.Emulate = w
+		case "validate":
+			m.Validate = w
+		case "grid":
+			m.Grid = w
+		default:
+			return m, fmt.Errorf("unknown -mix kind %q", kv[0])
+		}
+	}
+	if m.Compile+m.Emulate+m.Validate+m.Grid == 0 {
+		return m, fmt.Errorf("-mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}

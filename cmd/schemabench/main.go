@@ -11,6 +11,15 @@
 //     against an in-process schematicd, with per-request seeds so the
 //     content-addressed cache cannot short-circuit the pipeline.
 //
+//   - grid_service: POST /v1/grid wall-clock for a small matrix, cold
+//     vs warm (in-memory cache) vs store-warm (fresh daemon on the same
+//     -store directory) — the restart-survival dividend. The harness
+//     fails outright if a warm or store-warm grid recomputes any cell.
+//
+//   - loadtest: the internal/loadtest generator's closed-loop mixed
+//     workload against an in-process daemon with a disk store:
+//     p50/p99/throughput and the run's cache hit rate.
+//
 //   - crashtest: crash-consistency hunter throughput in cases/second.
 //
 //   - verify: bounded model checker (internal/verify) throughput over
@@ -33,9 +42,9 @@
 //     unobserved no-subscriber baseline is the emulate section above.
 //
 //     schemabench                      # full run, report to stdout
-//     schemabench -o BENCH_007.json    # write the report to a file
+//     schemabench -o BENCH_009.json    # write the report to a file
 //     schemabench -smoke               # small grid, seconds not minutes
-//     schemabench -smoke -check BENCH_007.json  # regression gate for CI
+//     schemabench -smoke -check BENCH_009.json  # regression gate for CI
 //
 // -check compares the measured grid throughput against the committed
 // report and exits nonzero on a >20% regression of the compiled engine.
@@ -63,8 +72,10 @@ import (
 	"schematic/internal/crashtest"
 	"schematic/internal/emulator"
 	"schematic/internal/ir"
+	"schematic/internal/loadtest"
 	"schematic/internal/obs"
 	"schematic/internal/server"
+	"schematic/internal/store"
 	"schematic/internal/verify"
 )
 
@@ -97,6 +108,32 @@ type emulateReport struct {
 	Requests int     `json:"requests"`
 	P50MS    float64 `json:"p50_ms"`
 	P99MS    float64 `json:"p99_ms"`
+}
+
+// gridServiceReport measures POST /v1/grid end to end: one cold
+// submission that computes every cell, a warm repeat answered from the
+// in-memory cache, and a store-warm repeat on a fresh server sharing
+// the cold run's store directory — a daemon restart in miniature.
+type gridServiceReport struct {
+	Cells            int     `json:"cells"`
+	ColdMS           float64 `json:"cold_ms"`
+	WarmMS           float64 `json:"warm_ms"`
+	StoreWarmMS      float64 `json:"store_warm_ms"`
+	WarmSpeedup      float64 `json:"warm_speedup"`
+	StoreWarmSpeedup float64 `json:"store_warm_speedup"`
+}
+
+// loadtestReport is the generator's closed-loop mixed workload against
+// an in-process daemon backed by a disk store.
+type loadtestReport struct {
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	StorePuts     int64   `json:"store_puts"`
 }
 
 type crashReport struct {
@@ -192,15 +229,17 @@ func hubPublishNS(subs, events int) float64 {
 }
 
 type report struct {
-	Version     int            `json:"version"`
-	GeneratedBy string         `json:"generated_by"`
-	Smoke       bool           `json:"smoke,omitempty"`
-	Grid        *gridReport    `json:"grid,omitempty"`
-	SmokeGrid   *gridReport    `json:"smoke_grid,omitempty"`
-	Emulate     *emulateReport `json:"emulate"`
-	Crashtest   *crashReport   `json:"crashtest"`
-	Verify      *verifyReport  `json:"verify"`
-	SSE         *sseReport     `json:"sse"`
+	Version     int                `json:"version"`
+	GeneratedBy string             `json:"generated_by"`
+	Smoke       bool               `json:"smoke,omitempty"`
+	Grid        *gridReport        `json:"grid,omitempty"`
+	SmokeGrid   *gridReport        `json:"smoke_grid,omitempty"`
+	Emulate     *emulateReport     `json:"emulate"`
+	GridService *gridServiceReport `json:"grid_service"`
+	Loadtest    *loadtestReport    `json:"loadtest"`
+	Crashtest   *crashReport       `json:"crashtest"`
+	Verify      *verifyReport      `json:"verify"`
+	SSE         *sseReport         `json:"sse"`
 }
 
 func main() {
@@ -211,7 +250,7 @@ func main() {
 	)
 	flag.Parse()
 
-	rep := &report{Version: 8, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
+	rep := &report{Version: 9, GeneratedBy: "cmd/schemabench", Smoke: *smoke}
 	grid, err := measureGrid(*smoke)
 	fail(err)
 	if *smoke {
@@ -226,6 +265,10 @@ func main() {
 		fail(err)
 	}
 	rep.Emulate, err = measureEmulate(*smoke)
+	fail(err)
+	rep.GridService, err = measureGridService(*smoke)
+	fail(err)
+	rep.Loadtest, err = measureLoadtest(*smoke)
 	fail(err)
 	rep.Crashtest, err = measureCrashtest(*smoke)
 	fail(err)
@@ -416,6 +459,173 @@ func measureEmulate(smoke bool) (*emulateReport, error) {
 		Requests: n,
 		P50MS:    round2(lat[len(lat)/2]),
 		P99MS:    round2(lat[min(len(lat)-1, len(lat)*99/100)]),
+	}, nil
+}
+
+// postGrid submits one grid and returns the assembled table plus the
+// request's wall time.
+func postGrid(ts *httptest.Server, greq server.GridRequest) (*server.GridResponse, float64, error) {
+	body, err := json.Marshal(greq)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	resp, err := ts.Client().Post(ts.URL+"/v1/grid", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("schemabench: grid: status %d: %s", resp.StatusCode, raw)
+	}
+	var gresp server.GridResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gresp); err != nil {
+		return nil, 0, err
+	}
+	return &gresp, ms, nil
+}
+
+// measureGridService times POST /v1/grid cold, warm, and store-warm.
+// The store-warm leg stands up a brand-new Server on the cold run's
+// store directory — the restart-survival contract — and the harness
+// refuses to report if either repeat recomputes a single cell.
+func measureGridService(smoke bool) (*gridServiceReport, error) {
+	dir, err := os.MkdirTemp("", "schemabench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	greq := server.GridRequest{
+		Benches:    []string{"crc", "randmath", "bitcount"},
+		Techniques: []string{"schematic", "ratchet", "mementos"},
+		TBPFs:      []int64{2_000, 10_000},
+		Options:    server.Options{ProfileRuns: 10},
+	}
+	if smoke {
+		greq.Benches = []string{"crc"}
+		greq.Techniques = []string{"schematic", "ratchet"}
+		greq.TBPFs = []int64{500}
+		greq.Options.ProfileRuns = 2
+	}
+
+	newDaemon := func() (*server.Server, *httptest.Server, error) {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		s := server.New(server.Config{Store: st})
+		return s, httptest.NewServer(s.Handler()), nil
+	}
+	shutdown := func(s *server.Server, ts *httptest.Server) {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}
+
+	s1, ts1, err := newDaemon()
+	if err != nil {
+		return nil, err
+	}
+	cold, coldMS, err := postGrid(ts1, greq)
+	if err != nil {
+		shutdown(s1, ts1)
+		return nil, err
+	}
+	if cold.CellErrors > 0 || cold.CellsComputed != cold.CellsTotal {
+		shutdown(s1, ts1)
+		return nil, fmt.Errorf("schemabench: cold grid computed %d/%d cells with %d errors — fix it before benchmarking",
+			cold.CellsComputed, cold.CellsTotal, cold.CellErrors)
+	}
+	warm, warmMS, err := postGrid(ts1, greq)
+	shutdown(s1, ts1)
+	if err != nil {
+		return nil, err
+	}
+	if warm.CellsComputed != 0 || warm.CellErrors > 0 {
+		return nil, fmt.Errorf("schemabench: warm grid recomputed %d cells — the cache tier is broken", warm.CellsComputed)
+	}
+
+	// The restart: a fresh Server and store handle over the same files.
+	s2, ts2, err := newDaemon()
+	if err != nil {
+		return nil, err
+	}
+	stored, storeMS, err := postGrid(ts2, greq)
+	shutdown(s2, ts2)
+	if err != nil {
+		return nil, err
+	}
+	if stored.CellsComputed != 0 || stored.CellsFromStore != stored.CellsTotal {
+		return nil, fmt.Errorf("schemabench: store-warm grid resolved %d/%d cells from disk (computed %d) — the store tier is broken",
+			stored.CellsFromStore, stored.CellsTotal, stored.CellsComputed)
+	}
+
+	return &gridServiceReport{
+		Cells:            cold.CellsTotal,
+		ColdMS:           round2(coldMS),
+		WarmMS:           round2(warmMS),
+		StoreWarmMS:      round2(storeMS),
+		WarmSpeedup:      round2(coldMS / warmMS),
+		StoreWarmSpeedup: round2(coldMS / storeMS),
+	}, nil
+}
+
+// measureLoadtest runs the generator's default closed-loop mix against
+// an in-process daemon with a disk store. Any failed request fails the
+// benchmark: this cell doubles as a smoke test of the service under
+// concurrency.
+func measureLoadtest(smoke bool) (*loadtestReport, error) {
+	dir, err := os.MkdirTemp("", "schemabench-load-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s := server.New(server.Config{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		s.Close()
+	}()
+
+	n, c := 2000, 32
+	if smoke {
+		n, c = 120, 8
+	}
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		BaseURL:     ts.URL,
+		Requests:    n,
+		Concurrency: c,
+		Seeds:       3,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("schemabench: loadtest saw %d errors in %d requests — fix them before benchmarking",
+			rep.Errors, rep.Requests)
+	}
+	return &loadtestReport{
+		Requests:      rep.Requests,
+		Concurrency:   c,
+		Errors:        rep.Errors,
+		ThroughputRPS: round2(rep.ThroughputRPS),
+		P50MS:         round2(rep.P50MS),
+		P99MS:         round2(rep.P99MS),
+		CacheHitRate:  round4(rep.CacheHitRate),
+		StorePuts:     rep.StorePutsDelta,
 	}, nil
 }
 

@@ -8,6 +8,7 @@
 //	schemactl emulate -bench crc -observe         # retained + tailable
 //	schemactl validate -f prog.mc
 //	schemactl hunt -bench crc -tech mementos
+//	schemactl grid -benches crc,fft -techniques schematic,ratchet
 //	schemactl runs                                # retained-run registry
 //	schemactl tail <digest>                       # follow a run's SSE feed
 //
@@ -53,6 +54,8 @@ func main() {
 		get(base + "/metrics")
 	case "compile", "emulate", "validate", "hunt":
 		job(base, cmd, args[1:])
+	case "grid":
+		grid(base, args[1:])
 	case "runs":
 		get(base + "/v1/runs")
 	case "tail":
@@ -69,6 +72,7 @@ func usage() {
 
 commands:
   compile | emulate | validate | hunt   submit a job (see -h of each)
+  grid                                  run a bench x technique x TBPF matrix server-side
   runs                                  list the retained runs (JSON)
   tail <digest>                         follow a run's event stream as NDJSON
   health                                print the daemon health report
@@ -177,6 +181,84 @@ func job(base, kind string, args []string) {
 	if err := writeOut(*out, &pretty); err != nil {
 		fail(err)
 	}
+}
+
+// grid submits a benchmark x technique x TBPF matrix to POST /v1/grid.
+// Empty axis flags fall back to the server's defaults (every bundled
+// benchmark, every technique, TBPF 10000 — the paper grid).
+func grid(base string, args []string) {
+	fs := flag.NewFlagSet("schemactl grid", flag.ExitOnError)
+	var (
+		benches     = fs.String("benches", "", "comma-separated benchmark axis (default: all bundled benchmarks)")
+		techs       = fs.String("techniques", "", "comma-separated technique axis (default: all placement techniques)")
+		tbpfs       = fs.String("tbpfs", "", "comma-separated TBPF axis in cycles (default: 10000)")
+		vmSize      = fs.Int("vmsize", 0, "SVM in bytes for every cell (default 2048)")
+		seed        = fs.Int64("seed", 0, "workload input seed for every cell (default 1)")
+		profileRuns = fs.Int("profile-runs", 0, "profiling executions per cell (default 50)")
+		optimize    = fs.Bool("opt", false, "run the optimizer before placement in every cell")
+		timeoutMS   = fs.Int64("timeout-ms", 0, "per-cell deadline in milliseconds")
+		out         = fs.String("o", "", "write the grid table to this file instead of stdout")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fail(fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " ")))
+	}
+	req := server.GridRequest{
+		Benches:    splitList(*benches),
+		Techniques: splitList(*techs),
+		Options: server.Options{
+			VMSize:      *vmSize,
+			Seed:        *seed,
+			ProfileRuns: *profileRuns,
+			Optimize:    *optimize,
+			TimeoutMS:   *timeoutMS,
+		},
+	}
+	for _, f := range splitList(*tbpfs) {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad -tbpfs entry %q: %v", f, err))
+		}
+		req.TBPFs = append(req.TBPFs, n)
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := http.Post(base+"/v1/grid", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") != nil {
+		pretty.Write(raw)
+	}
+	pretty.WriteByte('\n')
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "schemactl: grid returned %s\n", resp.Status)
+		os.Stderr.Write(pretty.Bytes())
+		os.Exit(1)
+	}
+	if err := writeOut(*out, &pretty); err != nil {
+		fail(err)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // errRunFailed marks a run whose terminal record was an error: the

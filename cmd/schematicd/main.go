@@ -9,6 +9,7 @@
 //	schematicd                          # listen on 127.0.0.1:8472
 //	schematicd -addr :0 -addr-file a    # ephemeral port, written to file a
 //	schematicd -workers 4 -queue 32     # sizing
+//	schematicd -store /var/lib/schematic  # disk-backed result store
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, finishes every
 // in-flight job, writes a final metrics snapshot to stderr, and exits 0.
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"schematic/internal/server"
+	"schematic/internal/store"
 )
 
 func main() {
@@ -46,6 +48,9 @@ func main() {
 		hb       = flag.Duration("heartbeat", 0, "SSE idle keep-alive interval (0 = 15s)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		quiet    = flag.Bool("q", false, "log only startup and shutdown, not per-job lines")
+		storeDir = flag.String("store", "", "directory for the disk-backed result store; results survive restarts, and replicas sharing the directory share results")
+		storeCap = flag.Int("store-cap", 0, "disk-store capacity in entries before oldest-first GC (0 = unbounded)")
+		storeFS  = flag.Bool("store-fsync", false, "fsync each disk-store write (durability across power loss, at a throughput cost)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "schematicd: ", log.LstdFlags)
@@ -62,6 +67,14 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Cap: *storeCap, Fsync: *storeFS})
+		if err != nil {
+			logger.Fatalf("store: %v", err)
+		}
+		cfg.Store = st
+		logger.Printf("store: %s (cap %d, fsync %v)", st.Dir(), *storeCap, *storeFS)
 	}
 	s := server.New(cfg)
 

@@ -1,0 +1,418 @@
+// Package loadtest is a deterministic load generator for schematicd.
+// It fires a configurable mix of compile/emulate/validate/grid requests
+// at a running daemon — closed-loop (a fixed worker count issuing
+// back-to-back requests) or open-loop (a fixed aggregate arrival rate)
+// — and reports latency percentiles, throughput, per-kind breakdowns,
+// and the cache/store hit-rate deltas scraped from /metrics.
+//
+// The request sequence is a pure function of the request index, so two
+// runs with the same options hit the same digest population: a small
+// Seeds value concentrates traffic on few digests (cache-heavy), a
+// large one spreads it out (compute-heavy).
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schematic/internal/server"
+)
+
+// Mix weights the request kinds. A zero Mix defaults to DefaultMix.
+type Mix struct {
+	Compile  int `json:"compile"`
+	Emulate  int `json:"emulate"`
+	Validate int `json:"validate"`
+	Grid     int `json:"grid"`
+}
+
+// DefaultMix is mostly emulation with a sprinkle of the other
+// endpoints — the shape of a paper-reproduction workload.
+var DefaultMix = Mix{Compile: 2, Emulate: 12, Validate: 1, Grid: 1}
+
+func (m Mix) total() int { return m.Compile + m.Emulate + m.Validate + m.Grid }
+
+// Options configure one load run.
+type Options struct {
+	BaseURL     string        // daemon base URL, e.g. http://127.0.0.1:8472
+	Requests    int           // total requests; 0 = run until Duration elapses
+	Concurrency int           // concurrent client workers (default 8)
+	RatePerSec  float64       // >0: open loop at this aggregate arrival rate
+	Duration    time.Duration // time bound; required when Requests == 0
+	Seeds       int           // distinct workload seeds per kind (default 3)
+	Mix         Mix           // request-kind weights (zero = DefaultMix)
+	Client      *http.Client  // HTTP client (default http.DefaultClient)
+}
+
+// KindStats is the per-endpoint slice of the report.
+type KindStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// Report is the outcome of one load run. Counter fields named *Delta
+// are differences between the daemon's /metrics before and after the
+// run, so they isolate this run's traffic even on a warm daemon.
+type Report struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`   // transport failures and 5xx
+	Rejected      int     `json:"rejected"` // 429 admission rejections
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	ByKind map[string]*KindStats `json:"by_kind"`
+
+	CacheHitsDelta      int64   `json:"cache_hits_delta"`
+	CacheMissesDelta    int64   `json:"cache_misses_delta"`
+	CacheCoalescedDelta int64   `json:"cache_coalesced_delta"`
+	StoreHitsDelta      int64   `json:"store_hits_delta"`
+	StorePutsDelta      int64   `json:"store_puts_delta"`
+	GridCellsDelta      int64   `json:"grid_cells_delta"`
+	CacheHitRate        float64 `json:"cache_hit_rate"` // (hits+coalesced) / lookups this run
+}
+
+// sample is one finished request.
+type sample struct {
+	kind string
+	ms   float64
+	code int
+	err  bool
+}
+
+// Run executes the load described by opts and assembles the report.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL is required")
+	}
+	if opts.Requests <= 0 && opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadtest: one of Requests or Duration is required")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Seeds <= 0 {
+		opts.Seeds = 3
+	}
+	if opts.Mix.total() == 0 {
+		opts.Mix = DefaultMix
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	deck := buildDeck(opts.Mix)
+
+	before, err := scrape(ctx, opts.Client, opts.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: pre-run metrics scrape: %w", err)
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		next    atomic.Int64
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	fire := func(i int) {
+		kind, path, body := requestFor(i, deck, opts.Seeds)
+		t0 := time.Now()
+		code, err := post(ctx, opts.Client, opts.BaseURL+path, body)
+		record(sample{
+			kind: kind,
+			ms:   float64(time.Since(t0)) / float64(time.Millisecond),
+			code: code,
+			err:  err != nil || code >= 500,
+		})
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if opts.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if opts.RatePerSec > 0 {
+		// Open loop: a ticker releases work at the target aggregate rate;
+		// workers drain the queue so a slow server surfaces as queueing
+		// delay in the latencies rather than as a lower offered rate.
+		jobs := make(chan int, opts.Concurrency*2)
+		for w := 0; w < opts.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					fire(i)
+				}
+			}()
+		}
+		interval := time.Duration(float64(time.Second) / opts.RatePerSec)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		tick := time.NewTicker(interval)
+	pump:
+		for {
+			select {
+			case <-runCtx.Done():
+				break pump
+			case <-tick.C:
+				i := int(next.Add(1) - 1)
+				if opts.Requests > 0 && i >= opts.Requests {
+					break pump
+				}
+				select {
+				case jobs <- i:
+				case <-runCtx.Done():
+					break pump
+				}
+			}
+		}
+		tick.Stop()
+		close(jobs)
+	} else {
+		// Closed loop: each worker issues back-to-back requests.
+		for w := 0; w < opts.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					i := int(next.Add(1) - 1)
+					if opts.Requests > 0 && i >= opts.Requests {
+						return
+					}
+					fire(i)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrape(ctx, opts.Client, opts.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: post-run metrics scrape: %w", err)
+	}
+	return assemble(samples, elapsed, before, after), nil
+}
+
+// buildDeck expands the mix weights into a repeating kind sequence;
+// request i draws deck[i % len(deck)].
+func buildDeck(m Mix) []string {
+	var deck []string
+	for i := 0; i < m.Compile; i++ {
+		deck = append(deck, "compile")
+	}
+	for i := 0; i < m.Emulate; i++ {
+		deck = append(deck, "emulate")
+	}
+	for i := 0; i < m.Validate; i++ {
+		deck = append(deck, "validate")
+	}
+	for i := 0; i < m.Grid; i++ {
+		deck = append(deck, "grid")
+	}
+	return deck
+}
+
+// Cheap, bundled workloads: the generator's job is to exercise the
+// service plumbing, not to burn CPU in the emulator.
+var (
+	ltBenches    = []string{"crc", "randmath"}
+	ltTechniques = []string{"schematic", "ratchet", "mementos"}
+)
+
+// requestFor derives request i's kind, path, and JSON body. Pure in i,
+// so identical runs offer identical digest populations.
+func requestFor(i int, deck []string, seeds int) (kind, path string, body []byte) {
+	kind = deck[i%len(deck)]
+	n := i / len(deck) // per-kind sequence number
+	if kind == "grid" {
+		greq := server.GridRequest{
+			Benches:    []string{ltBenches[n%len(ltBenches)]},
+			Techniques: []string{"schematic", "ratchet"},
+			TBPFs:      []int64{500},
+			Options:    server.Options{ProfileRuns: 2, Seed: int64(1 + n%seeds)},
+		}
+		body, _ = json.Marshal(greq)
+		return kind, "/v1/grid", body
+	}
+	req := server.Request{
+		Bench: ltBenches[n%len(ltBenches)],
+		Options: server.Options{
+			Technique:   ltTechniques[n%len(ltTechniques)],
+			TBPF:        500,
+			ProfileRuns: 2,
+			Seed:        int64(1 + n%seeds),
+		},
+	}
+	body, _ = json.Marshal(req)
+	return kind, "/v1/" + kind, body
+}
+
+// post issues one JSON request, draining and discarding the body so
+// connections are reused.
+func post(ctx context.Context, c *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// counters are the plain (unlabeled) series the hit-rate deltas need.
+type counters struct {
+	cacheHits, cacheMisses, cacheCoalesced int64
+	storeHits, storePuts                   int64
+	gridCells                              int64
+}
+
+// scrape pulls /metrics and extracts the counters.
+func scrape(ctx context.Context, c *http.Client, base string) (counters, error) {
+	var out counters
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		v, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[0] {
+		case "schematicd_cache_hits_total":
+			out.cacheHits = v
+		case "schematicd_cache_misses_total":
+			out.cacheMisses = v
+		case "schematicd_cache_coalesced_total":
+			out.cacheCoalesced = v
+		case "schematicd_store_hits_total":
+			out.storeHits = v
+		case "schematicd_store_puts_total":
+			out.storePuts = v
+		default:
+			if strings.HasPrefix(f[0], "schematicd_grid_cells_total{") {
+				out.gridCells += v
+			}
+		}
+	}
+	return out, nil
+}
+
+// assemble folds the samples and the metric deltas into the report.
+func assemble(samples []sample, elapsed time.Duration, before, after counters) *Report {
+	r := &Report{
+		Requests:  len(samples),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		ByKind:    make(map[string]*KindStats),
+
+		CacheHitsDelta:      after.cacheHits - before.cacheHits,
+		CacheMissesDelta:    after.cacheMisses - before.cacheMisses,
+		CacheCoalescedDelta: after.cacheCoalesced - before.cacheCoalesced,
+		StoreHitsDelta:      after.storeHits - before.storeHits,
+		StorePutsDelta:      after.storePuts - before.storePuts,
+		GridCellsDelta:      after.gridCells - before.gridCells,
+	}
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	if looks := r.CacheHitsDelta + r.CacheCoalescedDelta + r.CacheMissesDelta; looks > 0 {
+		r.CacheHitRate = float64(r.CacheHitsDelta+r.CacheCoalescedDelta) / float64(looks)
+	}
+
+	all := make([]float64, 0, len(samples))
+	perKind := make(map[string][]float64)
+	var sum float64
+	for _, s := range samples {
+		switch {
+		case s.err:
+			r.Errors++
+		case s.code == http.StatusTooManyRequests:
+			r.Rejected++
+		}
+		all = append(all, s.ms)
+		sum += s.ms
+		perKind[s.kind] = append(perKind[s.kind], s.ms)
+		ks := r.ByKind[s.kind]
+		if ks == nil {
+			ks = &KindStats{}
+			r.ByKind[s.kind] = ks
+		}
+		ks.Requests++
+		if s.err {
+			ks.Errors++
+		}
+	}
+	sort.Float64s(all)
+	r.P50MS = percentile(all, 0.50)
+	r.P90MS = percentile(all, 0.90)
+	r.P99MS = percentile(all, 0.99)
+	if n := len(all); n > 0 {
+		r.MaxMS = all[n-1]
+		r.MeanMS = sum / float64(n)
+	}
+	for kind, ds := range perKind {
+		sort.Float64s(ds)
+		r.ByKind[kind].P50MS = percentile(ds, 0.50)
+		r.ByKind[kind].P99MS = percentile(ds, 0.99)
+	}
+	return r
+}
+
+// percentile reads the q-quantile from sorted data (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

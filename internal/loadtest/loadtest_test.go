@@ -1,0 +1,153 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"schematic/internal/server"
+	"schematic/internal/store"
+)
+
+// newDaemon stands up an in-process schematicd (handler + disk store)
+// and returns its base URL.
+func newDaemon(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 4, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts.URL
+}
+
+// TestClosedLoop drives a fixed request count through the full mix and
+// checks the report's internal consistency: every request accounted
+// for, zero failures, ordered percentiles, and a warm cache by the end
+// (the deterministic sequence repeats digests, so hits must show up in
+// the scraped deltas).
+func TestClosedLoop(t *testing.T) {
+	_, url := newDaemon(t)
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     url,
+		Requests:    48,
+		Concurrency: 4,
+		Seeds:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 48 {
+		t.Fatalf("report counts %d requests, want 48", rep.Requests)
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d, want 0/0", rep.Errors, rep.Rejected)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatalf("throughput %v, want > 0", rep.ThroughputRPS)
+	}
+	if !(rep.P50MS <= rep.P90MS && rep.P90MS <= rep.P99MS && rep.P99MS <= rep.MaxMS) {
+		t.Fatalf("percentiles out of order: p50=%v p90=%v p99=%v max=%v",
+			rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
+	}
+	total := 0
+	for kind, ks := range rep.ByKind {
+		if ks.Requests == 0 {
+			t.Errorf("kind %s reported with zero requests", kind)
+		}
+		if ks.P50MS > ks.P99MS {
+			t.Errorf("kind %s: p50 %v > p99 %v", kind, ks.P50MS, ks.P99MS)
+		}
+		total += ks.Requests
+	}
+	if total != rep.Requests {
+		t.Fatalf("per-kind counts sum to %d, want %d", total, rep.Requests)
+	}
+	for _, kind := range []string{"compile", "emulate", "validate", "grid"} {
+		if rep.ByKind[kind] == nil {
+			t.Errorf("default mix issued no %s requests", kind)
+		}
+	}
+	// 48 requests over ~6 distinct emulate digests: the cache must have
+	// answered some of them, and the write-through tier must have filled.
+	if rep.CacheHitsDelta+rep.CacheCoalescedDelta == 0 {
+		t.Error("no cache hits despite a repeating request sequence")
+	}
+	if rep.CacheHitRate <= 0 || rep.CacheHitRate > 1 {
+		t.Errorf("cache hit rate %v out of range", rep.CacheHitRate)
+	}
+	if rep.StorePutsDelta == 0 {
+		t.Error("store saw no write-through puts")
+	}
+	if rep.GridCellsDelta == 0 {
+		t.Error("grid requests resolved no cells")
+	}
+}
+
+// TestOpenLoop bounds a rate-paced run by duration: it must stop on
+// time and still produce a consistent report.
+func TestOpenLoop(t *testing.T) {
+	_, url := newDaemon(t)
+	start := time.Now()
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     url,
+		Concurrency: 4,
+		RatePerSec:  200,
+		Duration:    300 * time.Millisecond,
+		Mix:         Mix{Emulate: 1},
+		Seeds:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("open loop saw %d errors", rep.Errors)
+	}
+	// Generously above Duration: the bound includes in-flight drain.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("open loop ran %v, want ~300ms", elapsed)
+	}
+	if rep.ByKind["emulate"] == nil || rep.ByKind["emulate"].Requests != rep.Requests {
+		t.Fatalf("single-kind mix leaked other kinds: %+v", rep.ByKind)
+	}
+}
+
+// TestRequestSequenceDeterministic: the generator is a pure function of
+// the request index — the property the cache-hit assertions and
+// repeatable benchmarks rest on.
+func TestRequestSequenceDeterministic(t *testing.T) {
+	deck := buildDeck(DefaultMix)
+	for i := 0; i < 64; i++ {
+		k1, p1, b1 := requestFor(i, deck, 3)
+		k2, p2, b2 := requestFor(i, deck, 3)
+		if k1 != k2 || p1 != p2 || !bytes.Equal(b1, b2) {
+			t.Fatalf("request %d not deterministic", i)
+		}
+	}
+	// The deck respects the weights exactly over one cycle.
+	counts := map[string]int{}
+	for _, k := range deck {
+		counts[k]++
+	}
+	if counts["emulate"] != DefaultMix.Emulate || counts["grid"] != DefaultMix.Grid {
+		t.Fatalf("deck %v does not match DefaultMix %+v", counts, DefaultMix)
+	}
+}
+
+// TestOptionValidation: unusable configurations fail fast instead of
+// hammering nothing.
+func TestOptionValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Options{BaseURL: "http://x"}); err == nil {
+		t.Error("missing Requests and Duration accepted")
+	}
+}

@@ -45,6 +45,15 @@ type resultCache struct {
 	ll      *list.List // front = most recent; values are digest strings
 	pos     map[string]*list.Element
 	stats   CacheStats
+
+	// persist, when non-nil, receives every successfully completed
+	// cacheable value — the write-through hook to the disk store. It is
+	// called by complete, never by completeFromStore (the value came from
+	// the store), and never for errors or uncacheable outcomes: what a
+	// cancelled or timed-out job produced must not outlive the process,
+	// or a restarted daemon would serve it to followers that were
+	// promised a retry.
+	persist func(digest string, val any)
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -84,7 +93,8 @@ func (c *resultCache) begin(digest string) (e *cacheEntry, leader bool) {
 // complete publishes the leader's result. Uncacheable results (cancelled
 // or drained jobs, whose failure says nothing about the request) are
 // delivered to the waiters already attached but removed from the index
-// so the next identical request recomputes.
+// so the next identical request recomputes — and are never handed to the
+// persist hook, so they cannot resurface from disk across a restart.
 func (c *resultCache) complete(digest string, e *cacheEntry, val any, err error, cacheable bool) {
 	c.mu.Lock()
 	e.val, e.err = val, err
@@ -92,6 +102,21 @@ func (c *resultCache) complete(digest string, e *cacheEntry, val any, err error,
 	if !cacheable {
 		c.removeLocked(digest, e)
 	}
+	persist := c.persist
+	c.mu.Unlock()
+	// Disk I/O happens outside the lock; only clean successes go down.
+	if persist != nil && cacheable && err == nil && val != nil {
+		persist(digest, val)
+	}
+}
+
+// completeFromStore publishes a value recovered from the second tier.
+// It is always cacheable and never re-persisted (the bytes just came
+// off disk).
+func (c *resultCache) completeFromStore(digest string, e *cacheEntry, val any) {
+	c.mu.Lock()
+	e.val = val
+	close(e.done)
 	c.mu.Unlock()
 }
 

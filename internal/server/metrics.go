@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"schematic/internal/store"
 )
 
 // latencyBuckets are the fixed histogram bounds (seconds) for request
@@ -103,9 +105,20 @@ type gauges struct {
 	verifyDedup     int64
 }
 
+// gridStats are the grid scheduler's counters: accepted grids, resolved
+// cells by source, and the in-flight gauge.
+type gridStats struct {
+	runs           int64
+	cellsComputed  int64
+	cellsCache     int64
+	cellsStore     int64
+	cellsCoalesced int64
+	cellsInflight  int64
+}
+
 // write renders the exposition text. Series are sorted so scrapes are
 // deterministic and diffable.
-func (m *metrics) write(w io.Writer, cache CacheStats, g gauges) {
+func (m *metrics) write(w io.Writer, cache CacheStats, disk store.Stats, grid gridStats, g gauges) {
 	req, sum, cnt, buckets, rejected := m.snapshot()
 
 	fmt.Fprintln(w, "# HELP schematicd_requests_total Finished requests by endpoint and HTTP status.")
@@ -166,6 +179,19 @@ func (m *metrics) write(w io.Writer, cache CacheStats, g gauges) {
 	counter("schematicd_cache_evictions_total", "Cache entries dropped by the LRU bound.", cache.Evictions)
 	counter("schematicd_verify_states_total", "Persistent states explored across POST /v1/verify jobs.", g.verifyStates)
 	counter("schematicd_verify_dedup_hits_total", "Hash-dedup hits across POST /v1/verify jobs.", g.verifyDedup)
+	counter("schematicd_store_hits_total", "Results served from the disk store (cross-restart and cross-replica hits).", disk.Hits)
+	counter("schematicd_store_misses_total", "Disk-store lookups that found nothing.", disk.Misses)
+	counter("schematicd_store_puts_total", "Results written through to the disk store.", disk.Puts)
+	counter("schematicd_store_corrupt_total", "Disk-store entries that failed verification and were quarantined.", disk.Corrupt)
+	counter("schematicd_store_evictions_total", "Disk-store entries removed by the capacity bound.", disk.Evictions)
+	counter("schematicd_grid_runs_total", "POST /v1/grid requests that expanded and ran a cell matrix.", grid.runs)
+	fmt.Fprintln(w, "# HELP schematicd_grid_cells_total Grid cells resolved, by how the result was obtained.")
+	fmt.Fprintln(w, "# TYPE schematicd_grid_cells_total counter")
+	fmt.Fprintf(w, "schematicd_grid_cells_total{source=\"cache\"} %d\n", grid.cellsCache)
+	fmt.Fprintf(w, "schematicd_grid_cells_total{source=\"coalesced\"} %d\n", grid.cellsCoalesced)
+	fmt.Fprintf(w, "schematicd_grid_cells_total{source=\"computed\"} %d\n", grid.cellsComputed)
+	fmt.Fprintf(w, "schematicd_grid_cells_total{source=\"store\"} %d\n", grid.cellsStore)
+	gauge("schematicd_grid_cells_inflight", "Grid cells currently being resolved.", grid.cellsInflight)
 	d := int64(0)
 	if g.draining {
 		d = 1

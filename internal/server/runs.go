@@ -22,7 +22,7 @@ type runState struct {
 	digest    string
 	name      string
 	technique string
-	kind      string // "emulate" or "verify"
+	kind      string // "emulate", "verify", or "grid"
 	stream    bool
 	observed  bool
 	started   time.Time
@@ -30,13 +30,30 @@ type runState struct {
 	hub  *obs.Hub       // nil for unobserved runs
 	coll *obs.Collector // non-nil iff hub is; read under hub.Sync while live
 
-	mu       sync.Mutex
-	status   string // "running", "done", "error"
-	finished time.Time
-	result   *EmulateResponse
-	verdict  string // terminal verdict; also covers verify runs (no result)
-	errMsg   string
-	done     chan struct{} // closed by finish
+	prog *gridProgress // non-nil for grid runs: per-cell SSE progress log
+
+	mu         sync.Mutex
+	status     string // "running", "done", "error"
+	finished   time.Time
+	result     *EmulateResponse
+	gridResult *GridResponse // terminal grid table (kind "grid")
+	verdict    string        // terminal verdict; also covers verify runs (no result)
+	errMsg     string
+	done       chan struct{} // closed by finish
+}
+
+// newRunState builds a registrable running state; callers set the
+// kind-specific fields (hub/coll/stream/prog) before registering it.
+func newRunState(kind, digest, name, technique string) *runState {
+	return &runState{
+		digest:    digest,
+		name:      name,
+		technique: technique,
+		kind:      kind,
+		started:   time.Now(),
+		status:    "running",
+		done:      make(chan struct{}),
+	}
 }
 
 func (rs *runState) finish(resp *EmulateResponse, err error) {
@@ -65,6 +82,23 @@ func (rs *runState) finishVerdict(verdict string, err error) {
 	} else {
 		rs.status = "done"
 		rs.verdict = verdict
+	}
+	close(rs.done)
+	rs.mu.Unlock()
+}
+
+// finishGrid publishes a grid's terminal state. Grid errors are
+// per-cell, inside the response, so the run itself always lands "done";
+// the verdict summarizes the cell outcomes.
+func (rs *runState) finishGrid(resp *GridResponse) {
+	rs.mu.Lock()
+	rs.finished = time.Now()
+	rs.status = "done"
+	rs.gridResult = resp
+	if resp.CellErrors > 0 {
+		rs.verdict = fmt.Sprintf("%d/%d cells failed", resp.CellErrors, resp.CellsTotal)
+	} else {
+		rs.verdict = "complete"
 	}
 	close(rs.done)
 	rs.mu.Unlock()
@@ -145,6 +179,9 @@ func (rs *runState) detail() RunDetail {
 	}
 	_, result, _ := rs.snapshot() // result is nil while still running
 	d.Result = result
+	rs.mu.Lock()
+	d.Grid = rs.gridResult
+	rs.mu.Unlock()
 	return d
 }
 
@@ -162,33 +199,21 @@ func newRunRegistry(capacity int) *runRegistry {
 	return &runRegistry{cap: capacity, runs: make(map[string]*runState)}
 }
 
-// start registers a fresh run. A finished run with the same digest is
-// replaced (a re-run supersedes it); if one is still running — possible
-// when a streamed request bypasses the cache — the new run proceeds
-// unregistered and start returns nil.
-func (g *runRegistry) start(kind, digest string, req *Request, hub *obs.Hub, coll *obs.Collector, stream bool) *runState {
-	rs := &runState{
-		digest:    digest,
-		name:      req.Name,
-		technique: req.Options.Technique,
-		kind:      kind,
-		stream:    stream,
-		observed:  hub != nil,
-		started:   time.Now(),
-		hub:       hub,
-		coll:      coll,
-		status:    "running",
-		done:      make(chan struct{}),
-	}
+// register inserts a fresh run built by newRunState. A finished run
+// with the same digest is replaced (a re-run supersedes it); if one is
+// still running — possible when a streamed request bypasses the cache,
+// or for a repeated grid — the new run proceeds unregistered and
+// register returns nil.
+func (g *runRegistry) register(rs *runState) *runState {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if old, ok := g.runs[digest]; ok {
+	if old, ok := g.runs[rs.digest]; ok {
 		if old.running() {
 			return nil
 		}
 		g.removeLocked(old)
 	}
-	g.runs[digest] = rs
+	g.runs[rs.digest] = rs
 	g.order = append(g.order, rs)
 	g.evictLocked()
 	return rs
@@ -296,7 +321,12 @@ func (s *Server) runEmulateJob(ctx context.Context, req *Request, digest string,
 		hub = obs.NewHub(s.cfg.RunEvents, coll)
 		observer = emulator.MultiObserver(hub, stream)
 	}
-	rs := s.runs.start("emulate", digest, req, hub, coll, stream != nil)
+	rs := newRunState("emulate", digest, req.Name, req.Options.Technique)
+	rs.stream = stream != nil
+	rs.observed = hub != nil
+	rs.hub = hub
+	rs.coll = coll
+	rs = s.runs.register(rs)
 	resp, err := runEmulate(ctx, req, digest, observer)
 	if rs != nil {
 		rs.finish(resp, err)
@@ -311,7 +341,7 @@ func (s *Server) runEmulateJob(ctx context.Context, req *Request, digest string,
 // model-checking runs are visible in GET /v1/runs while in flight) and
 // accumulates the explored-state counters for /metrics.
 func (s *Server) runVerifyJob(ctx context.Context, req *Request, digest string) (*VerifyResponse, error) {
-	rs := s.runs.start("verify", digest, req, nil, nil, false)
+	rs := s.runs.register(newRunState("verify", digest, req.Name, req.Options.Technique))
 	resp, err := runVerify(ctx, req, digest)
 	if rs != nil {
 		verdict := ""
@@ -421,6 +451,33 @@ func (e *sseWriter) terminal(rs *runState) {
 	e.flush()
 }
 
+// gridTerminal writes a grid run's closing record: kind "result" with
+// the assembled table, id one past the last cell event.
+func (e *sseWriter) gridTerminal(rs *runState, lastID int64) {
+	rs.mu.Lock()
+	grid, errMsg := rs.gridResult, rs.errMsg
+	rs.mu.Unlock()
+	id := lastID + 1
+	var data []byte
+	kind := "result"
+	if errMsg != "" {
+		kind = "error"
+		data, _ = json.Marshal(struct {
+			I     int64  `json:"i"`
+			K     string `json:"k"`
+			Error string `json:"error"`
+		}{id, "error", errMsg})
+	} else {
+		data, _ = json.Marshal(struct {
+			I    int64         `json:"i"`
+			K    string        `json:"k"`
+			Grid *GridResponse `json:"grid"`
+		}{id, "result", grid})
+	}
+	e.writef("id: %d\nevent: %s\ndata: %s\n\n", id, kind, data)
+	e.flush()
+}
+
 // drain announces server shutdown and ends the stream.
 func (e *sseWriter) drain() {
 	e.writef("event: drain\ndata: {\"k\":\"drain\"}\n\n")
@@ -486,6 +543,40 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) int {
 	esw := &sseWriter{w: w, fl: fl, last: after}
 	hb := time.NewTicker(s.cfg.SSEHeartbeat)
 	defer hb.Stop()
+
+	if rs.prog != nil {
+		// Grid run: replay the per-cell progress log (event id N = the
+		// Nth completed cell, so Last-Event-ID resumes cleanly), then
+		// follow live completions until the grid's terminal record.
+		next := int(after) // ids are 1-based; index next == first unseen
+		if next < 0 {
+			next = 0
+		}
+		for {
+			events, closed, wake := rs.prog.snapshot(next)
+			for _, data := range events {
+				next++
+				esw.writef("id: %d\nevent: cell\ndata: %s\n\n", next, data)
+			}
+			if len(events) > 0 {
+				esw.flush()
+			}
+			if closed {
+				esw.gridTerminal(rs, int64(next))
+				return http.StatusOK
+			}
+			select {
+			case <-wake:
+			case <-hb.C:
+				esw.comment("hb")
+			case <-r.Context().Done():
+				return http.StatusOK
+			case <-s.drainCh:
+				esw.drain()
+				return http.StatusOK
+			}
+		}
+	}
 
 	if rs.hub == nil {
 		// Unobserved run: no event stream, just heartbeats until the

@@ -23,15 +23,25 @@ func observedOpts(technique string) Options {
 	return o
 }
 
+// startRun registers a fresh emulate-kind run the way runEmulateJob
+// does — the test-side shorthand for newRunState + register.
+func startRun(g *runRegistry, digest string, req *Request, hub *obs.Hub, coll *obs.Collector) *runState {
+	rs := newRunState("emulate", digest, req.Name, req.Options.Technique)
+	rs.observed = hub != nil
+	rs.hub = hub
+	rs.coll = coll
+	return g.register(rs)
+}
+
 func TestRunRegistryEviction(t *testing.T) {
 	g := newRunRegistry(2)
 	req := &Request{Name: "p", Options: Options{Technique: "schematic"}}
 
-	a := g.start("emulate", "aaaaaaaa11111111", req, nil, nil, false)
+	a := startRun(g, "aaaaaaaa11111111", req, nil, nil)
 	a.finish(&EmulateResponse{Verdict: "completed"}, nil)
-	b := g.start("emulate", "aaaaaaaa22222222", req, nil, nil, false)
+	b := startRun(g, "aaaaaaaa22222222", req, nil, nil)
 	b.finish(nil, context.DeadlineExceeded)
-	c := g.start("emulate", "cccccccc33333333", req, nil, nil, false) // evicts a
+	c := startRun(g, "cccccccc33333333", req, nil, nil) // evicts a
 	if g.len() != 2 {
 		t.Fatalf("len %d after cap-2 overflow, want 2", g.len())
 	}
@@ -43,8 +53,8 @@ func TestRunRegistryEviction(t *testing.T) {
 	}
 
 	// Running runs are never evicted, even past cap.
-	d := g.start("emulate", "dddddddd44444444", req, nil, nil, false)
-	e := g.start("emulate", "eeeeeeee55555555", req, nil, nil, false)
+	d := startRun(g, "dddddddd44444444", req, nil, nil)
+	e := startRun(g, "eeeeeeee55555555", req, nil, nil)
 	if !c.running() || !d.running() || !e.running() {
 		t.Fatal("fixture: expected running runs")
 	}
@@ -57,9 +67,9 @@ func TestRunRegistryEviction(t *testing.T) {
 	// Prefix lookup on a roomier registry: unique resolves, ambiguous
 	// and short do not.
 	p := newRunRegistry(8)
-	x := p.start("emulate", "aaaaaaaa11111111", req, nil, nil, false)
-	p.start("emulate", "aaaaaaaa22222222", req, nil, nil, false)
-	y := p.start("emulate", "cccccccc33333333", req, nil, nil, false)
+	x := startRun(p, "aaaaaaaa11111111", req, nil, nil)
+	startRun(p, "aaaaaaaa22222222", req, nil, nil)
+	y := startRun(p, "cccccccc33333333", req, nil, nil)
 	if p.lookup("cccccccc") != y {
 		t.Error("unique 8-char prefix did not resolve")
 	}
@@ -71,11 +81,11 @@ func TestRunRegistryEviction(t *testing.T) {
 	}
 
 	// A finished run is superseded by a re-run; a running one is not.
-	if p.start("emulate", "aaaaaaaa11111111", req, nil, nil, false) != nil {
+	if startRun(p, "aaaaaaaa11111111", req, nil, nil) != nil {
 		t.Error("second run registered while first still running")
 	}
 	x.finish(&EmulateResponse{}, nil)
-	if x2 := p.start("emulate", "aaaaaaaa11111111", req, nil, nil, false); x2 == nil || p.lookup("aaaaaaaa11111111") != x2 {
+	if x2 := startRun(p, "aaaaaaaa11111111", req, nil, nil); x2 == nil || p.lookup("aaaaaaaa11111111") != x2 {
 		t.Error("finished run not superseded by re-run")
 	}
 }
@@ -286,7 +296,7 @@ func TestSSEGapMarkerOnEvictedPrefix(t *testing.T) {
 func TestSSELiveHeartbeatAndResult(t *testing.T) {
 	s, ts := newTestServer(t, Config{SSEHeartbeat: 2 * time.Millisecond})
 	digest := strings.Repeat("ab", 32)
-	rs := s.runs.start("emulate", digest, &Request{Name: "slow", Options: Options{Technique: "schematic"}}, nil, nil, false)
+	rs := startRun(s.runs, digest, &Request{Name: "slow", Options: Options{Technique: "schematic"}}, nil, nil)
 	if rs == nil {
 		t.Fatal("run not registered")
 	}
@@ -321,7 +331,7 @@ func TestSSELiveStreamAndDrainTeardown(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	digest := strings.Repeat("cd", 32)
 	hub := obs.NewHub(1024, nil)
-	rs := s.runs.start("emulate", digest, &Request{Name: "live", Options: Options{Technique: "schematic"}}, hub, obs.NewCollector(), false)
+	rs := startRun(s.runs, digest, &Request{Name: "live", Options: Options{Technique: "schematic"}}, hub, obs.NewCollector())
 	if rs == nil {
 		t.Fatal("run not registered")
 	}

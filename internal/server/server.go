@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"schematic/internal/obs"
+	"schematic/internal/store"
 )
 
 // maxBody bounds request bodies; MiniC sources are small.
@@ -45,6 +46,16 @@ type Config struct {
 	// SSEHeartbeat is the idle keep-alive interval on event streams
 	// (0 = 15s).
 	SSEHeartbeat time.Duration
+	// Store, when non-nil, is the disk-backed second tier under the
+	// result cache: successful results are written through to it and
+	// cache-missing leaders consult it before computing, so results
+	// survive restarts and replicas sharing one store directory share
+	// work. The caller opens it (and may share one handle across
+	// servers in-process).
+	Store *store.Store
+	// GridCellCap bounds how many cells one POST /v1/grid may expand to
+	// (0 = 2048).
+	GridCellCap int
 	// Logf, when non-nil, receives one line per finished job.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +85,9 @@ func (c Config) withDefaults() Config {
 	if c.SSEHeartbeat <= 0 {
 		c.SSEHeartbeat = 15 * time.Second
 	}
+	if c.GridCellCap <= 0 {
+		c.GridCellCap = 2048
+	}
 	return c
 }
 
@@ -84,6 +98,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *resultCache
+	store *store.Store // disk tier; nil when not configured
 	met   *metrics
 
 	slots    chan struct{} // worker-pool semaphore
@@ -95,6 +110,13 @@ type Server struct {
 
 	verifyStates atomic.Int64 // persistent states explored across verify jobs
 	verifyDedup  atomic.Int64 // dedup hits across verify jobs
+
+	gridRuns          atomic.Int64 // grids accepted (leaders that expanded cells)
+	gridCellComputed  atomic.Int64 // cells that ran the pipeline
+	gridCellCache     atomic.Int64 // cells answered from a completed cache entry
+	gridCellStore     atomic.Int64 // cells answered from the disk tier
+	gridCellCoalesced atomic.Int64 // cells coalesced onto in-flight identical runs
+	gridCellsInflight atomic.Int64 // cells currently being resolved (gauge)
 
 	mu       sync.Mutex // guards draining and the wg Add/Wait race
 	draining bool
@@ -114,9 +136,10 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheCap),
+		store:      cfg.Store,
 		met:        newMetrics(),
 		runs:       newRunRegistry(cfg.RunsCap),
 		slots:      make(chan struct{}, cfg.Workers),
@@ -124,6 +147,10 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	if s.store != nil {
+		s.cache.persist = s.storePut
+	}
+	return s
 }
 
 // Handler mounts the API.
@@ -144,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 			s.met.observe(name, code, time.Since(start).Seconds())
 		}
 	}
+	mux.HandleFunc("POST /v1/grid", timed("grid", s.serveGrid))
 	mux.HandleFunc("GET /v1/runs", timed("runs", s.serveRuns))
 	mux.HandleFunc("GET /v1/runs/{digest}", timed("run", s.serveRunDetail))
 	mux.HandleFunc("GET /v1/runs/{digest}/events", timed("events", s.serveEvents))
@@ -272,6 +300,13 @@ func (s *Server) serveJob(kind string, w http.ResponseWriter, r *http.Request) i
 			return writeError(w, http.StatusGatewayTimeout, "request cancelled while coalesced")
 		}
 		return s.respond(w, digest, e.val, e.err)
+	}
+
+	// Consult the disk tier before taking a worker slot: a store hit
+	// costs a read and a checksum, not a pipeline run.
+	if val, ok := s.storeGet(kind, digest); ok {
+		s.cache.completeFromStore(digest, e, val)
+		return s.respond(w, digest, val, nil)
 	}
 
 	release, code := s.admit(r.Context())
@@ -463,7 +498,14 @@ func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), gauges{
+	s.met.write(w, s.cache.Stats(), s.StoreStats(), gridStats{
+		runs:           s.gridRuns.Load(),
+		cellsComputed:  s.gridCellComputed.Load(),
+		cellsCache:     s.gridCellCache.Load(),
+		cellsStore:     s.gridCellStore.Load(),
+		cellsCoalesced: s.gridCellCoalesced.Load(),
+		cellsInflight:  s.gridCellsInflight.Load(),
+	}, gauges{
 		queue:        s.queued.Load(),
 		inflight:     s.inflight.Load(),
 		workers:      s.cfg.Workers,

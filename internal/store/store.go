@@ -1,0 +1,369 @@
+// Package store is a disk-backed content-addressed artifact store: the
+// durable second tier under schematicd's in-memory result cache. Each
+// entry maps a request digest (hex SHA-256) to an opaque payload — the
+// serialized pipeline result — laid out in two-level fan-out
+// directories (<dir>/<digest[:2]>/<digest[2:]>) so no single directory
+// grows unbounded.
+//
+// Durability and integrity rules:
+//
+//   - Writes are atomic: the entry is staged in a temp file in the
+//     store root and published with a rename, so a reader (in this
+//     process or another) never observes a half-written entry and a
+//     crash mid-write leaves at most a stray temp file.
+//   - Every entry carries a header with the payload's SHA-256 and
+//     length. Reads verify both; an entry that fails (torn write,
+//     bit rot, truncation) is quarantined — moved aside, never
+//     deleted — and reported as a miss, so the caller recomputes and
+//     rewrites it.
+//   - An optional capacity bound garbage-collects oldest-modified
+//     entries after each write that exceeds it.
+//   - Fsync-on-commit optionally syncs the entry and its fan-out
+//     directory before the rename publishes it, trading write latency
+//     for power-failure durability (fitting, for this repository).
+//
+// A Store is safe for concurrent use by multiple goroutines and —
+// because reads go to disk and writes are atomic renames — by multiple
+// processes sharing one directory. Counters are per-process.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// quarantineDir under the store root receives entries that failed
+// verification; they are kept for post-mortems, not garbage-collected.
+const quarantineDir = "quarantine"
+
+// Options configure Open.
+type Options struct {
+	// Cap bounds the number of entries; 0 means unlimited. When a write
+	// pushes the store past the bound, oldest-modified entries are
+	// removed until it fits again.
+	Cap int
+	// Fsync syncs entry data and the fan-out directory on every commit.
+	Fsync bool
+}
+
+// Stats is a snapshot of the per-process counters. Hits and Misses
+// count Get outcomes (a verification failure is a miss and a Corrupt),
+// Puts counts committed writes, Evictions counts GC removals.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Corrupt   int64 `json:"corrupt"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Store is one handle on a store directory. See the package comment
+// for the concurrency and durability contract.
+type Store struct {
+	dir   string
+	cap   int
+	fsync bool
+
+	gcMu  sync.Mutex   // serializes capacity scans
+	count atomic.Int64 // approximate entry count (exact for one process)
+
+	hits, misses, puts, corrupt, evictions atomic.Int64
+}
+
+// header is the first line of every entry file; the payload bytes
+// follow the newline. Sum and Len pin the payload; Digest pins the
+// entry to its filename (a blob renamed to the wrong address fails).
+type header struct {
+	V      int    `json:"v"`
+	Digest string `json:"digest"`
+	Sum    string `json:"sum"`
+	Len    int    `json:"len"`
+	Saved  string `json:"saved_at,omitempty"` // RFC 3339, informational
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, cap: opts.Cap, fsync: opts.Fsync}
+	n, _, err := s.scan()
+	if err != nil {
+		return nil, err
+	}
+	s.count.Store(int64(n))
+	return s, nil
+}
+
+// Dir reports the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the per-process counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Len reports the exact on-disk entry count (a directory scan — cheap
+// for test-sized stores, not for the hot path).
+func (s *Store) Len() (int, error) {
+	n, _, err := s.scan()
+	return n, err
+}
+
+// path maps a digest to its entry file, rejecting anything that is not
+// plain lowercase hex (nothing else may escape into the filesystem).
+func (s *Store) path(digest string) (string, error) {
+	if len(digest) < 8 {
+		return "", fmt.Errorf("store: digest %q too short", digest)
+	}
+	for _, c := range []byte(digest) {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("store: digest %q is not lowercase hex", digest)
+		}
+	}
+	return filepath.Join(s.dir, digest[:2], digest[2:]), nil
+}
+
+// Get returns the payload stored under digest. ok is false on a miss —
+// including an entry that failed verification, which is quarantined on
+// the way out. The error reports I/O trouble, never a mere miss.
+func (s *Store) Get(digest string) (payload []byte, ok bool, err error) {
+	p, err := s.path(digest)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false, fmt.Errorf("store: read %s: %w", digest, err)
+	}
+	payload, verr := verify(digest, data)
+	if verr != nil {
+		s.quarantine(p)
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// verify splits an entry file into header + payload and checks every
+// pin: header shape, digest, length, checksum.
+func verify(digest string, data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	var h header
+	if err := json.Unmarshal(data[:nl], &h); err != nil {
+		return nil, fmt.Errorf("bad header: %w", err)
+	}
+	payload := data[nl+1:]
+	if h.V != 1 || h.Digest != digest || h.Len != len(payload) {
+		return nil, fmt.Errorf("header mismatch")
+	}
+	sum := sha256.Sum256(payload)
+	if h.Sum != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Put commits payload under digest: temp file, optional fsync, rename.
+// Re-putting an existing digest atomically replaces it (content
+// addressing makes the two interchangeable).
+func (s *Store) Put(digest string, payload []byte) error {
+	p, err := s.path(digest)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(header{
+		V:      1,
+		Digest: digest,
+		Sum:    hex.EncodeToString(sum[:]),
+		Len:    len(payload),
+		Saved:  time.Now().UTC().Format(time.RFC3339Nano),
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write(append(append(hdr, '\n'), payload...))
+	if werr == nil && s.fsync {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: write %s: %w", digest, werr)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fresh := true
+	if _, err := os.Stat(p); err == nil {
+		fresh = false
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("store: commit %s: %w", digest, err)
+	}
+	if s.fsync {
+		syncDir(filepath.Dir(p))
+	}
+	s.puts.Add(1)
+	if fresh {
+		if s.count.Add(1); s.cap > 0 && s.count.Load() > int64(s.cap) {
+			return s.gc()
+		}
+	}
+	return nil
+}
+
+// Quarantine moves the digest's entry aside and counts it corrupt —
+// for callers that discover a blob is unusable after Get verified its
+// bytes (e.g. an undecodable payload from an incompatible writer).
+func (s *Store) Quarantine(digest string) {
+	if p, err := s.path(digest); err == nil {
+		s.quarantine(p)
+	}
+}
+
+// quarantine moves an entry file into the quarantine directory under a
+// unique name and counts it. Best-effort: on any error the entry is
+// removed instead, so a poisoned blob can never be served again.
+func (s *Store) quarantine(p string) {
+	s.corrupt.Add(1)
+	qdir := filepath.Join(s.dir, quarantineDir)
+	dest := filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(p), time.Now().UnixNano()))
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(p, dest) == nil {
+			s.count.Add(-1)
+			return
+		}
+	}
+	if os.Remove(p) == nil {
+		s.count.Add(-1)
+	}
+}
+
+// scan walks the fan-out directories, returning the entry count and
+// each entry's path + mtime (for GC ordering). Temp files and the
+// quarantine are invisible to it.
+type entryInfo struct {
+	path  string
+	mtime time.Time
+}
+
+func (s *Store) scan() (int, []entryInfo, error) {
+	var entries []entryInfo
+	subs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: %w", err)
+	}
+	for _, sub := range subs {
+		if !sub.IsDir() || sub.Name() == quarantineDir {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // lost a GC race with another replica
+			}
+			return 0, nil, fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue // deleted mid-scan by a sibling process
+			}
+			entries = append(entries, entryInfo{
+				path:  filepath.Join(s.dir, sub.Name(), f.Name()),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	return len(entries), entries, nil
+}
+
+// gc rescans the store (the authoritative count — siblings may have
+// written too) and removes oldest-modified entries until the bound
+// holds again.
+func (s *Store) gc() error {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	n, entries, err := s.scan()
+	if err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if n <= s.cap {
+			break
+		}
+		if err := os.Remove(e.path); err == nil || os.IsNotExist(err) {
+			n--
+			if err == nil {
+				s.evictions.Add(1)
+			}
+		}
+	}
+	s.count.Store(int64(n))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Walk visits every committed entry digest (reconstructed from the
+// fan-out layout), in unspecified order. Used by tooling and tests.
+func (s *Store) Walk(fn func(digest string) error) error {
+	_, entries, err := s.scan()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		digest := filepath.Base(filepath.Dir(e.path)) + filepath.Base(e.path)
+		if err := fn(digest); err != nil {
+			return err
+		}
+	}
+	return nil
+}

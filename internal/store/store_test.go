@@ -1,0 +1,354 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// digestOf builds a valid content address for an arbitrary payload —
+// tests address entries the way the server does, by hex SHA-256.
+func digestOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTripProperty: random payloads of random sizes survive
+// Put/Get byte-identically, both through the writing handle and through
+// a fresh handle on the same directory (the restart path).
+func TestRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	rng := rand.New(rand.NewSource(42))
+
+	payloads := map[string][]byte{}
+	for i := 0; i < 64; i++ {
+		p := make([]byte, rng.Intn(8<<10)) // includes the empty payload
+		rng.Read(p)
+		// Make every payload unique even when sizes collide.
+		p = append(p, byte(i))
+		d := digestOf(p)
+		payloads[d] = p
+		if err := s.Put(d, p); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	check := func(s *Store, label string) {
+		t.Helper()
+		for d, want := range payloads {
+			got, ok, err := s.Get(d)
+			if err != nil || !ok {
+				t.Fatalf("%s: get %s: ok=%v err=%v", label, d[:12], ok, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: payload %s corrupted in flight", label, d[:12])
+			}
+		}
+	}
+	check(s, "same handle")
+
+	// A fresh handle (a restarted process) sees every entry.
+	s2 := open(t, dir, Options{})
+	check(s2, "reopened handle")
+	if n, err := s2.Len(); err != nil || n != len(payloads) {
+		t.Fatalf("reopened store has %d entries (err %v), want %d", n, err, len(payloads))
+	}
+	if st := s2.Stats(); st.Hits != int64(len(payloads)) || st.Misses != 0 || st.Corrupt != 0 {
+		t.Fatalf("reopened stats %+v", st)
+	}
+
+	// Overwrite is idempotent, not duplicating.
+	for d, p := range payloads {
+		if err := s2.Put(d, p); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if n, _ := s2.Len(); n != len(payloads) {
+		t.Fatalf("re-put duplicated an entry: %d", n)
+	}
+}
+
+// TestFanoutLayout: entries land under two-level fan-out directories.
+func TestFanoutLayout(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	p := []byte(`{"x":1}`)
+	d := digestOf(p)
+	if err := s.Put(d, p); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, d[:2], d[2:])
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at fan-out path %s: %v", want, err)
+	}
+}
+
+func TestRejectsBadDigests(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	for _, bad := range []string{"", "short", "ABCDEF0123456789", "../../../../etc/passwd", "0123456789abcdef/"} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("put %q accepted", bad)
+		}
+		if _, _, err := s.Get(bad); err == nil {
+			t.Errorf("get %q accepted", bad)
+		}
+	}
+}
+
+// corruptEntry applies fn to the raw entry file.
+func corruptEntry(t *testing.T, s *Store, digest string, fn func(path string, data []byte)) {
+	t.Helper()
+	p, err := s.path(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(p, data)
+}
+
+// TestTornAndBitFlippedWrites: a truncated or bit-flipped entry is
+// detected on read, quarantined (not deleted), reported as a miss, and
+// recomputable: a fresh Put re-establishes the address.
+func TestTornAndBitFlippedWrites(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(path string, data []byte)
+	}{
+		{"truncated", func(path string, data []byte) {
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"payload bit flip", func(path string, data []byte) {
+			data[len(data)-1] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"header bit flip", func(path string, data []byte) {
+			data[2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty file", func(path string, data []byte) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{})
+			payload := []byte(fmt.Sprintf(`{"result":%d,"filler":"0123456789abcdef"}`, i))
+			d := digestOf(payload)
+			if err := s.Put(d, payload); err != nil {
+				t.Fatal(err)
+			}
+			corruptEntry(t, s, d, tc.corrupt)
+
+			got, ok, err := s.Get(d)
+			if err != nil || ok || got != nil {
+				t.Fatalf("corrupt entry served: ok=%v err=%v", ok, err)
+			}
+			st := s.Stats()
+			if st.Corrupt != 1 || st.Misses != 1 || st.Hits != 0 {
+				t.Fatalf("stats after corruption %+v", st)
+			}
+			// The blob moved to quarantine; the address is free again.
+			if p, _ := s.path(d); fileExists(p) {
+				t.Fatal("corrupt entry still at its address")
+			}
+			qfiles, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(qfiles) != 1 {
+				t.Fatalf("quarantine holds %d files (err %v), want 1", len(qfiles), err)
+			}
+			// Recompute-and-rewrite restores service.
+			if err := s.Put(d, payload); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err = s.Get(d)
+			if err != nil || !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("rewrite not served: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+func fileExists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}
+
+// TestQuarantineMethod: a caller can evict a verified-but-undecodable
+// blob; it counts corrupt and frees the address.
+func TestQuarantineMethod(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	p := []byte("not json at all")
+	d := digestOf(p)
+	if err := s.Put(d, p); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine(d)
+	if _, ok, _ := s.Get(d); ok {
+		t.Fatal("quarantined entry still served")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v, want 1 corrupt", st)
+	}
+}
+
+// TestCapacityGC: the bound holds after overflow, oldest-modified
+// entries go first, and the newest survive.
+func TestCapacityGC(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Cap: 3})
+	var digests []string
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 6; i++ {
+		p := []byte(fmt.Sprintf("payload-%d", i))
+		d := digestOf(p)
+		digests = append(digests, d)
+		if err := s.Put(d, p); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes so GC ordering is deterministic even on
+		// coarse-grained filesystems.
+		path, _ := s.path(d)
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(path, when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Len(); err != nil || n > 3 {
+		t.Fatalf("store holds %d entries (err %v), cap 3", n, err)
+	}
+	if st := s.Stats(); st.Evictions < 2 {
+		t.Fatalf("stats %+v, want >= 2 evictions", st)
+	}
+	// The newest entries are the survivors.
+	for _, d := range digests[len(digests)-2:] {
+		if _, ok, err := s.Get(d); err != nil || !ok {
+			t.Fatalf("newest entry %s evicted (ok=%v err=%v)", d[:12], ok, err)
+		}
+	}
+	// The oldest are gone.
+	if _, ok, _ := s.Get(digests[0]); ok {
+		t.Fatal("oldest entry survived GC")
+	}
+}
+
+// TestFsyncOption: the fsync path commits readable entries (we cannot
+// cut power in a unit test, but the code path must work).
+func TestFsyncOption(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Fsync: true})
+	p := []byte(`{"durable":true}`)
+	d := digestOf(p)
+	if err := s.Put(d, p); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.Get(d); err != nil || !ok || !bytes.Equal(got, p) {
+		t.Fatalf("fsync put unreadable: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStrayTempFilesInvisible: a crash mid-write leaves a temp file;
+// it must not count as an entry or break scans.
+func TestStrayTempFilesInvisible(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tmp-12345"), []byte("half a wri"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, Options{})
+	if n, err := s.Len(); err != nil || n != 0 {
+		t.Fatalf("stray temp file counted: n=%d err=%v", n, err)
+	}
+}
+
+// TestConcurrentMultiHandleSameDir: two handles on one directory (two
+// "replicas") under concurrent mixed Put/Get traffic — the multi-server
+// sharing contract, exercised under -race. Every read must be either a
+// clean miss or the exact committed payload; corruption must never be
+// reported.
+func TestConcurrentMultiHandleSameDir(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, Options{})
+	b := open(t, dir, Options{})
+
+	const writers, rounds = 4, 50
+	payloads := make([][]byte, 16)
+	digests := make([]string, 16)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf(`{"cell":%d,"body":"%064d"}`, i, i))
+		digests[i] = digestOf(payloads[i])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		for _, s := range []*Store{a, b} {
+			wg.Add(1)
+			go func(s *Store, w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for r := 0; r < rounds; r++ {
+					i := rng.Intn(len(digests))
+					if rng.Intn(2) == 0 {
+						if err := s.Put(digests[i], payloads[i]); err != nil {
+							t.Errorf("put: %v", err)
+							return
+						}
+					} else {
+						got, ok, err := s.Get(digests[i])
+						if err != nil {
+							t.Errorf("get: %v", err)
+							return
+						}
+						if ok && !bytes.Equal(got, payloads[i]) {
+							t.Errorf("digest %s served foreign bytes", digests[i][:12])
+							return
+						}
+					}
+				}
+			}(s, w)
+		}
+	}
+	wg.Wait()
+	if st := a.Stats(); st.Corrupt != 0 {
+		t.Fatalf("handle a saw corruption under concurrency: %+v", st)
+	}
+	if st := b.Stats(); st.Corrupt != 0 {
+		t.Fatalf("handle b saw corruption under concurrency: %+v", st)
+	}
+	// Every digest that was written is now readable through both handles.
+	for i, d := range digests {
+		ga, oka, _ := a.Get(d)
+		gb, okb, _ := b.Get(d)
+		if oka != okb {
+			t.Fatalf("handles disagree on %s", d[:12])
+		}
+		if oka && (!bytes.Equal(ga, payloads[i]) || !bytes.Equal(gb, payloads[i])) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+}

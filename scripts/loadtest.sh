@@ -1,0 +1,67 @@
+#!/bin/sh
+# loadtest-smoke: the load generator against a real daemon process.
+#
+# Starts schematicd with a disk store, fires a closed-loop mixed
+# workload (compile/emulate/validate/grid) through cmd/loadtest, and
+# requires zero failed requests and a sane tail latency. The report's
+# own gates (-max-errors, -max-p99) do the judging; this script just
+# sanity-checks the JSON afterwards. Wired into `make ci`.
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp" ./cmd/schematicd ./cmd/loadtest
+
+"$tmp/schematicd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -q \
+    -store "$tmp/store" 2>"$tmp/daemon.log" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "loadtest-smoke: daemon never published its address" >&2
+        cat "$tmp/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+
+# ~120 mixed requests over 8 workers; the p99 bound is generous — it
+# exists to catch hangs, not to benchmark (schemabench does that).
+"$tmp/loadtest" -addr "$addr" -n 120 -c 8 -seeds 3 \
+    -max-errors 0 -max-p99 5000 -o "$tmp/report.json"
+
+grep -q '"requests": 120' "$tmp/report.json"
+grep -q '"errors": 0' "$tmp/report.json"
+grep -q '"rejected": 0' "$tmp/report.json"
+# The deterministic sequence repeats digests: the cache must have
+# answered some requests, and the store must have been written through.
+if grep -q '"cache_hit_rate": 0$' "$tmp/report.json"; then
+    echo "loadtest-smoke: zero cache hits under a repeating workload" >&2
+    cat "$tmp/report.json" >&2
+    exit 1
+fi
+if grep -q '"store_puts_delta": 0,' "$tmp/report.json"; then
+    echo "loadtest-smoke: store saw no write-through puts" >&2
+    cat "$tmp/report.json" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "loadtest-smoke: daemon exited nonzero after SIGTERM" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+pid=""
+grep -q 'drained, exiting' "$tmp/daemon.log"
+
+echo "loadtest-smoke: ok"
