@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: ci fmt vet build test race short cover crashhunt-smoke verify-smoke fuzz-smoke transval-smoke serve-smoke store-smoke loadtest-smoke bench bench-smoke
+.PHONY: ci fmt vet build test race short cover crashhunt-smoke verify-smoke harvest-smoke fuzz-smoke transval-smoke serve-smoke store-smoke loadtest-smoke bench bench-smoke
 
-ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke verify-smoke serve-smoke store-smoke loadtest-smoke bench-smoke
+ci: fmt vet build race fuzz-smoke transval-smoke crashhunt-smoke verify-smoke harvest-smoke serve-smoke store-smoke loadtest-smoke bench-smoke
 
 # Fail when any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -39,6 +39,13 @@ crashhunt-smoke:
 verify-smoke:
 	sh scripts/verify-smoke.sh
 
+# Harvested-energy environments end to end: record a solar run into an
+# NDJSON trace, replay it byte-identically, then sweep the quick
+# benchmarks under three harvested environments against their
+# continuous-power oracles. See scripts/harvest-smoke.sh.
+harvest-smoke:
+	sh scripts/harvest-smoke.sh
+
 # Short native-fuzzing burst over every fuzz target (~10s each): the
 # front end, the IR text format, the optimizer, and the placement
 # guarantees. Corpora live under each package's testdata/fuzz.
@@ -55,15 +62,16 @@ transval-smoke:
 
 # Full performance report: grid throughput (compiled vs interpreted),
 # schematicd emulate latency, grid-service cold/warm/store-warm,
-# loadtest mixed workload, crashtest cases/sec, verifier states/sec.
-# Rewrites the committed BENCH_009.json; run on an idle machine.
+# loadtest mixed workload, crashtest cases/sec, verifier states/sec,
+# harvested-schedule overhead. Rewrites the committed BENCH_010.json;
+# run on an idle machine.
 bench:
 	sh scripts/bench.sh
 
 # CI performance gate: a tiny grid, a well-formed report, and no >20%
-# compiled-throughput regression against the committed BENCH_009.json.
+# compiled-throughput regression against the committed BENCH_010.json.
 bench-smoke:
-	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_009.json
+	go run ./cmd/schemabench -smoke -o /tmp/bench-smoke.json -check BENCH_010.json
 
 # Daemon round trip: start schematicd on an ephemeral port, drive a
 # compile + emulate through schemactl, check cache dedup on /metrics,

@@ -11,6 +11,15 @@
 //	crashhunt -budget 60s -jobs 4 -o repro.ndjson
 //	crashhunt -replay repro.ndjson         # re-execute serialized counterexamples
 //
+// -power switches from injection hunting to a harvested-environment
+// sweep: every case runs once under each given power spec (shared
+// grammar with iemu and schematicd; see "Power environments" in
+// EXPERIMENTS.md), classified against its continuous-power oracle. The
+// flag repeats, one environment per use:
+//
+//	crashhunt -power solar -power rf:seed=7 -power duty:duty=0.2
+//	crashhunt -benches crc -power solar:cloud=0.9,cap=1800
+//
 // -exhaustive upgrades the sweep from sampling to bounded model
 // checking (internal/verify): every reachable persistent state is
 // explored, so a clean case comes back VERIFIED with full state/edge
@@ -59,6 +68,11 @@ func main() {
 		maxStates  = flag.Int("max-states", 0, "with -exhaustive: bound on distinct persistent states (0 = 200000)")
 		maxDepth   = flag.Int("max-depth", 0, "with -exhaustive: bound on chained injections (0 = 64)")
 	)
+	var powers []string
+	flag.Func("power", "power-environment spec (repeatable): sweep cases under this schedule instead of injection hunting (e.g. solar, rf:seed=7)", func(s string) error {
+		powers = append(powers, s)
+		return nil
+	})
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: crashhunt [flags]")
@@ -87,6 +101,10 @@ func main() {
 	// rest are reported as skipped.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if len(powers) > 0 {
+		os.Exit(runPowerSweep(ctx, cases, powers, crashtest.Options{AssumeAnytime: *anytime}, *verbose))
+	}
 
 	if *exhaustive {
 		os.Exit(runExhaustive(ctx, cases, verify.Options{
@@ -145,6 +163,50 @@ func main() {
 	case summary.Violations > 0:
 		os.Exit(1)
 	}
+}
+
+// runPowerSweep validates every case against its oracle under each
+// harvested power environment — the physics analogue of the injection
+// hunt.
+func runPowerSweep(ctx context.Context, cases []crashtest.Case, specs []string, opts crashtest.Options, verbose bool) int {
+	var scheds []crashtest.NamedSchedule
+	for _, raw := range specs {
+		ps, err := cli.ParsePower(raw)
+		fail(err)
+		if ps.Empty() {
+			fail(fmt.Errorf("empty -power spec"))
+		}
+		scheds = append(scheds, crashtest.NamedSchedule{Name: ps.String(), Make: ps.Build})
+	}
+	var logf func(format string, args ...any)
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crashhunt: "+format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	results, err := crashtest.Sweep(ctx, cases, scheds, opts, logf)
+	fail(err)
+	violations := 0
+	for i := range results {
+		r := &results[i]
+		if r.Violation() {
+			violations++
+			fmt.Printf("VIOLATION %s/%s under %s: %s\n", r.Case.Name, r.Case.Technique, r.Schedule, r.Outcome.Class)
+			if r.Outcome.Detail != "" {
+				fmt.Printf("  %s\n", r.Outcome.Detail)
+			}
+		} else if verbose {
+			fmt.Printf("ok        %s/%s under %s (%d power failures)\n",
+				r.Case.Name, r.Case.Technique, r.Schedule, r.Outcome.Res.PowerFailures)
+		}
+	}
+	fmt.Printf("crashhunt: power sweep: %d cells across %d environment(s), %d violation(s) in %v\n",
+		len(results), len(scheds), violations, time.Since(start).Round(time.Millisecond))
+	if violations > 0 {
+		return 1
+	}
+	return 0
 }
 
 // runExhaustive sweeps the cases through the bounded model checker and

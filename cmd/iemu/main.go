@@ -7,6 +7,14 @@
 //	iemu -eb 3000 -vmsize 2048 prog.ir
 //	iemu -seed 7 prog.mc               # workload inputs from another seed
 //
+// Power environments (see "Power environments" in EXPERIMENTS.md):
+//
+//	iemu -eb 3000 -power solar prog.mc               # harvested solar diurnal profile
+//	iemu -eb 3000 -power rf:seed=7,gap=90000 prog.mc # bursty RF
+//	iemu -power duty:cap=2500 prog.mc                # capacitor sized by the spec
+//	iemu -eb 3000 -power trace:run.ndjson prog.mc    # replay a recorded trace
+//	iemu -eb 3000 -power solar -record run.ndjson prog.mc  # record this run
+//
 // Observability exports (see "Observing a run" in the README):
 //
 //	iemu -eb 3000 -timeline t.json prog.mc   # Chrome trace (Perfetto)
@@ -33,6 +41,7 @@ import (
 	"schematic/internal/cli"
 	"schematic/internal/emulator"
 	"schematic/internal/energy"
+	"schematic/internal/harvest"
 	"schematic/internal/obs"
 	"schematic/internal/trace"
 )
@@ -49,6 +58,8 @@ func main() {
 		events   = flag.String("events", "", "write the raw NDJSON event stream to this file")
 		sites    = flag.Bool("sites", false, "print the per-checkpoint-site energy table")
 		inject   = flag.String("inject", "", "comma-separated failure points (kind@n, e.g. step@120,mid-save@2) injected on top of exhaustion")
+		power    = flag.String("power", "", "power-environment spec (e.g. solar, rf:seed=7, duty:duty=0.2, trace:run.ndjson)")
+		record   = flag.String("record", "", "record this run's power history as a replayable NDJSON trace file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -60,9 +71,19 @@ func main() {
 	m, _, _, err := cli.LoadProgram(path)
 	fail(err)
 
-	cfg, err := buildConfig(*eb, *period, *inject, *vmSize)
+	cfg, err := buildConfig(*eb, *period, *inject, *power, *vmSize)
 	fail(err)
 	cfg.Inputs = trace.RandomInputs(m, rand.New(rand.NewSource(*seed)))
+
+	var rec *harvest.Recorder
+	if *record != "" {
+		if !cfg.Intermittent {
+			fail(fmt.Errorf("-record needs a power-constrained run: give -eb or -power"))
+		}
+		rec = harvest.NewRecorder(cfg.Schedule, cfg.EB)
+		rec.SampleEvery = 5_000
+		cfg.Schedule = rec
+	}
 
 	var (
 		observers []emulator.Observer
@@ -105,6 +126,9 @@ func main() {
 		fail(sw.Flush())
 		fail(eventsF.Close())
 	}
+	if rec != nil {
+		fail(cli.WriteTo(*record, rec.Trace().Write))
+	}
 
 	for _, v := range res.Output {
 		fmt.Println(v)
@@ -135,41 +159,63 @@ func main() {
 }
 
 // buildConfig assembles the emulator configuration from the power-model
-// flags. -tbpf and -inject each imply intermittent mode; given together
-// they compose into one schedule — exhaustion plus the periodic TBPF
-// failures plus the injected trace — because Config rejects
-// FailEveryCycles alongside an explicit Schedule. The config is
-// validated here so flag mistakes surface before the program loads and
-// runs, not as a mid-pipeline failure.
-func buildConfig(eb float64, period int64, inject string, vmSize int) (emulator.Config, error) {
-	cfg := emulator.Config{Model: energy.MSP430FR5969(), VMSize: vmSize}
-	if eb > 0 {
-		cfg.Intermittent = true
-		cfg.EB = eb
+// flags, all routed through the shared cli.PowerSpec grammar: the
+// -power spec supplies the base physics (harvested capacitor, replayed
+// trace, or synthetic members over exhaustion), while -tbpf and -inject
+// compose periodic and trace members on top. Any power flag implies
+// intermittent mode; without -eb, a harvested spec must pin its own
+// capacitor (cap=) and synthetic schedules run energy-unconstrained.
+// The config is validated here so flag mistakes surface before the
+// program loads and runs, not as a mid-pipeline failure.
+func buildConfig(eb float64, period int64, inject, power string, vmSize int) (emulator.Config, error) {
+	spec, err := cli.ParsePower(power)
+	if err != nil {
+		return emulator.Config{}, err
 	}
 	var points []emulator.FailPoint
 	if inject != "" {
-		var err error
 		if points, err = parseInject(inject); err != nil {
 			return emulator.Config{}, err
 		}
 	}
-	if period > 0 || len(points) > 0 {
-		cfg.Intermittent = true
-		if cfg.EB == 0 {
-			cfg.EB = 1e12 // energy unconstrained: failures come from the period/trace
+
+	cfg := emulator.Config{Model: energy.MSP430FR5969(), VMSize: vmSize}
+	if eb <= 0 && spec.Empty() && period <= 0 && len(points) == 0 {
+		return cfg, cfg.Validate() // continuous power
+	}
+	cfg.Intermittent = true
+	cfg.EB = eb
+	if cfg.EB == 0 {
+		switch {
+		case spec.Capacity() > 0:
+			cfg.EB = spec.Capacity()
+		case spec.Harvested():
+			return emulator.Config{}, fmt.Errorf("harvested -power needs a capacitor size: give -eb or cap=<nJ>")
+		default:
+			cfg.EB = 1e12 // energy unconstrained: failures come from the schedule
 		}
 	}
-	switch {
-	case period > 0 && len(points) > 0:
-		// FailEveryCycles is sugar for Schedules(Exhaustion(), Periodic(n));
-		// spelling it out lets the trace ride along.
-		cfg.Schedule = emulator.Schedules(emulator.Exhaustion(),
-			emulator.Periodic(period), emulator.TraceSchedule(points...))
-	case period > 0:
-		cfg.FailEveryCycles = period
-	case len(points) > 0:
-		cfg.Schedule = emulator.Schedules(emulator.Exhaustion(), emulator.TraceSchedule(points...))
+
+	base, err := spec.Build(cfg.EB)
+	if err != nil {
+		return emulator.Config{}, err
+	}
+	var scheds []emulator.PowerSchedule
+	if base != nil {
+		scheds = append(scheds, base)
+	}
+	if period > 0 {
+		scheds = append(scheds, emulator.Periodic(period))
+	}
+	if len(points) > 0 {
+		scheds = append(scheds, emulator.TraceSchedule(points...))
+	}
+	if base == nil && len(scheds) > 0 {
+		// Synthetic-only members ride on the built-in exhaustion physics.
+		scheds = append([]emulator.PowerSchedule{emulator.Exhaustion()}, scheds...)
+	}
+	if len(scheds) > 0 {
+		cfg.Schedule = emulator.Schedules(scheds...)
 	}
 	if err := cfg.Validate(); err != nil {
 		return emulator.Config{}, err

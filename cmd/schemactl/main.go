@@ -6,9 +6,11 @@
 //	schemactl emulate -bench crc -tech schematic
 //	schemactl emulate -f prog.mc -stream          # NDJSON event stream
 //	schemactl emulate -bench crc -observe         # retained + tailable
+//	schemactl emulate -bench crc -power solar     # harvested-energy environment
 //	schemactl validate -f prog.mc
 //	schemactl hunt -bench crc -tech mementos
 //	schemactl grid -benches crc,fft -techniques schematic,ratchet
+//	schemactl grid -benches crc -powers solar,rf  # power-environment axis
 //	schemactl runs                                # retained-run registry
 //	schemactl tail <digest>                       # follow a run's SSE feed
 //
@@ -104,6 +106,7 @@ func job(base, kind string, args []string) {
 		optimize    = fs.Bool("opt", false, "run the optimizer before placement")
 		stream      = fs.Bool("stream", false, "emulate only: stream NDJSON events")
 		observe     = fs.Bool("observe", false, "emulate only: retain the run for schemactl runs/tail and the dashboard")
+		power       = fs.String("power", "", "emulate only: power-environment spec (e.g. solar, rf:seed=7, duty)")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-job deadline in milliseconds")
 		out         = fs.String("o", "", "write the response to this file instead of stdout")
 	)
@@ -124,6 +127,7 @@ func job(base, kind string, args []string) {
 			Optimize:    *optimize,
 			Stream:      *stream,
 			Observe:     *observe,
+			Power:       *power,
 			TimeoutMS:   *timeoutMS,
 		},
 	}
@@ -192,6 +196,7 @@ func grid(base string, args []string) {
 		benches     = fs.String("benches", "", "comma-separated benchmark axis (default: all bundled benchmarks)")
 		techs       = fs.String("techniques", "", "comma-separated technique axis (default: all placement techniques)")
 		tbpfs       = fs.String("tbpfs", "", "comma-separated TBPF axis in cycles (default: 10000)")
+		powers      = fs.String("powers", "", "comma-separated power-spec axis (default: built-in exhaustion physics)")
 		vmSize      = fs.Int("vmsize", 0, "SVM in bytes for every cell (default 2048)")
 		seed        = fs.Int64("seed", 0, "workload input seed for every cell (default 1)")
 		profileRuns = fs.Int("profile-runs", 0, "profiling executions per cell (default 50)")
@@ -206,6 +211,7 @@ func grid(base string, args []string) {
 	req := server.GridRequest{
 		Benches:    splitList(*benches),
 		Techniques: splitList(*techs),
+		Powers:     splitList(*powers),
 		Options: server.Options{
 			VMSize:      *vmSize,
 			Seed:        *seed,

@@ -1,0 +1,139 @@
+// Harvest: run one SCHEMATIC-placed application under four
+// harvested-energy environments (internal/harvest) and compare the
+// failure counts and energy ledgers against the built-in exhaustion
+// physics, then record the solar run into an NDJSON trace and replay
+// it byte-identically.
+//
+//	go run ./examples/harvest
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"reflect"
+
+	schematic "schematic/internal/core"
+	"schematic/internal/emulator"
+	"schematic/internal/energy"
+	"schematic/internal/harvest"
+	"schematic/internal/ir"
+	"schematic/internal/minic"
+	"schematic/internal/trace"
+)
+
+const app = `
+input int data[128];
+int acc;
+int peak;
+
+func void main() {
+  int pass;
+  int i;
+  int v;
+  acc = 0;
+  peak = 0;
+  for (pass = 0; pass < 24; pass = pass + 1) @max(24) {
+    for (i = 0; i < 128; i = i + 1) @max(128) {
+      v = ((data[i] + pass) * data[i]) & 0x3FFF;
+      acc = (acc + v) & 0xFFFF;
+      if (v > peak) {
+        peak = v;
+      }
+    }
+  }
+  print(acc);
+  print(peak);
+}
+`
+
+func main() {
+	model := energy.MSP430FR5969()
+	m, err := minic.Compile("harvest", app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := trace.Collect(m, trace.Options{Runs: 50, Seed: 3, Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eb := prof.EBForTBPF(10_000)
+	placed := ir.Clone(m)
+	if _, err := schematic.Apply(placed, schematic.Config{
+		Model: model, Budget: eb, VMSize: 2048, Profile: prof,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	inputs := map[string][]int64{"data": make([]int64, 128)}
+	for i := range inputs["data"] {
+		inputs["data"][i] = int64((i*31 + 7) % 128)
+	}
+	run := func(sched emulator.PowerSchedule) *emulator.Result {
+		res, err := emulator.Run(placed, emulator.Config{
+			Model: model, VMSize: 2048, Intermittent: true, EB: eb,
+			Inputs: inputs, Schedule: sched,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// Each environment is a deterministic nJ/cycle waveform; the
+	// capacitor integrates it against the per-instruction discharge.
+	// Capacity = EB and Restart = 1 make every environment no harsher
+	// than the built-in exhaustion model — undersize either to stress a
+	// placement harder.
+	envs := []struct {
+		name  string
+		sched emulator.PowerSchedule
+	}{
+		{"exhaustion", emulator.Exhaustion()},
+		{"solar", harvest.Capacitor{Env: harvest.Solar{Seed: 9}, Capacity: eb}.Schedule()},
+		{"rf", harvest.Capacitor{Env: harvest.RF{Seed: 2}, Capacity: eb}.Schedule()},
+		{"piezo", harvest.Capacitor{Env: harvest.Piezo{}, Capacity: eb}.Schedule()},
+		// Piezo's rectified-sine average (~0.38 nJ/cycle) is just below
+		// the model's 0.40 nJ/cycle draw, so an undersized capacitor
+		// slowly loses ground mid-segment and real failures appear.
+		{"piezo (undersized)", harvest.Capacitor{
+			Env: harvest.Piezo{}, Capacity: eb * 0.4, Restart: 0.5,
+		}.Schedule()},
+	}
+	fmt.Printf("harvested-environment sweep (SCHEMATIC, EB = %.0f nJ)\n", eb)
+	fmt.Printf("%-18s %8s %8s %8s %12s  %s\n",
+		"environment", "verdict", "fails", "sleeps", "total µJ", "output")
+	for _, e := range envs {
+		res := run(e.sched)
+		fmt.Printf("%-18s %8v %8d %8d %12.2f  %v\n",
+			e.name, res.Verdict, res.PowerFailures, res.Sleeps,
+			res.Energy.Total()/1000, res.Output)
+	}
+
+	// Record the solar run: the Recorder wraps any schedule, captures
+	// every refusal decision plus periodic capacitor telemetry, and
+	// serializes a versioned NDJSON trace.
+	rec := harvest.NewRecorder(
+		harvest.Capacitor{Env: harvest.Solar{Seed: 9}, Capacity: eb}.Schedule(), eb)
+	rec.SampleEvery = 10_000
+	recorded := run(rec)
+
+	var buf bytes.Buffer
+	if err := rec.Trace().Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := harvest.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed := run(tr.Schedule())
+	fmt.Println("\nRight-sized environments match exhaustion exactly; the undersized")
+	fmt.Println("one pays real power failures and re-execution energy, yet the")
+	fmt.Println("output stays oracle-equal — the crash-consistency contract holds.")
+
+	fmt.Printf("\nrecord -> replay: %d bytes of trace, results identical: %v\n",
+		buf.Len(), reflect.DeepEqual(recorded, replayed))
+	fmt.Println("(the same trace replays from the CLI: iemu -power trace:run.ndjson)")
+	if !reflect.DeepEqual(recorded, replayed) {
+		log.Fatal("replay diverged from the recorded run")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"schematic/internal/baselines"
 	"schematic/internal/emulator"
 	"schematic/internal/fuzzgen"
+	"schematic/internal/harvest"
 	"schematic/internal/ir"
 	"schematic/internal/minic"
 	"schematic/internal/trace"
@@ -45,6 +46,28 @@ func equivSchedules() []equivSchedule {
 				emulator.FailPoint{Kind: emulator.PointMidSave, N: 2},
 				emulator.FailPoint{Kind: emulator.PointStep, N: 50_000},
 			))
+		}},
+		// Harvested-capacitor schedules (internal/harvest): stateful
+		// physics whose Fail decisions integrate the waveform over every
+		// probe. Their presence must force the compiled engine off the
+		// batched fast path and stay bit-identical to the interpreter.
+		{"harvest-solar", func(cfg *emulator.Config) {
+			cfg.Schedule = harvest.Capacitor{
+				Env: harvest.Solar{Seed: 7, Period: 300_000}, Capacity: cfg.EB,
+			}.Schedule()
+		}},
+		{"harvest-rf-undersized", func(cfg *emulator.Config) {
+			// An undersized capacitor with a partial restart level
+			// exercises the off-period recharge paths too.
+			cfg.Schedule = harvest.Capacitor{
+				Env: harvest.RF{Seed: 3}, Capacity: cfg.EB * 0.9, Restart: 0.8,
+			}.Schedule()
+		}},
+		{"harvest-duty-composed", func(cfg *emulator.Config) {
+			cfg.Schedule = emulator.Schedules(
+				harvest.Capacitor{Env: harvest.Duty{}, Capacity: cfg.EB}.Schedule(),
+				emulator.TraceSchedule(emulator.FailPoint{Kind: emulator.PointStep, N: 20_000}),
+			)
 		}},
 	}
 }

@@ -1,0 +1,168 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schematic/internal/emulator"
+	"schematic/internal/harvest"
+)
+
+func TestParsePowerCanonical(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", ""},
+		{"exhaustion", "exhaustion"},
+		{"periodic", "periodic:cycles=40000"},
+		{"periodic:cycles=5000", "periodic:cycles=5000"},
+		{"stride:n=777", "stride:n=777"},
+		{"random:seed=9,max=4", "random:seed=9,mean=25000,max=4"},
+		{"solar", "solar:seed=1,peak=0.8,period=2000000,day=0.5,cloud=0.4,window=40000,restart=1"},
+		{"solar:seed=7,cloud=0.9,cap=1200", "solar:seed=7,peak=0.8,period=2000000,day=0.5,cloud=0.9,window=40000,cap=1200,restart=1"},
+		{"rf:power=2", "rf:seed=1,power=2,burst=20000,gap=60000,restart=1"},
+		{"piezo", "piezo:peak=0.6,period=40000,restart=1"},
+		{"duty:duty=0.2", "duty:power=1,period=100000,duty=0.2,restart=1"},
+		{"duty+periodic:cycles=9000", "duty:power=1,period=100000,duty=0.35,restart=1+periodic:cycles=9000"},
+		{"trace:foo.ndjson", "trace:file=foo.ndjson"},
+		{"csv:file=p.csv,hz=1000000", "csv:file=p.csv,hz=1000000,restart=1"},
+		{" Solar : seed=2 ", "solar:seed=2,peak=0.8,period=2000000,day=0.5,cloud=0.4,window=40000,restart=1"},
+	}
+	for _, tc := range cases {
+		ps, err := ParsePower(tc.in)
+		if err != nil {
+			t.Fatalf("ParsePower(%q): %v", tc.in, err)
+		}
+		if got := ps.String(); got != tc.want {
+			t.Fatalf("ParsePower(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		// Canonical forms must be fixed points.
+		again, err := ParsePower(ps.String())
+		if err != nil || again.String() != ps.String() {
+			t.Fatalf("canonical form %q not a fixed point (%v)", ps.String(), err)
+		}
+	}
+}
+
+func TestParsePowerErrors(t *testing.T) {
+	for _, bad := range []string{
+		"warp",               // unknown kind
+		"solar:bogus=1",      // unknown parameter
+		"solar:seed",         // missing value
+		"periodic:cycles=x",  // bad number
+		"periodic:cycles=-5", // negative
+		"trace",              // missing file
+		"csv:hz=100",         // missing file
+		"solar+nope",         // bad composition member
+	} {
+		if _, err := ParsePower(bad); err == nil {
+			t.Fatalf("ParsePower(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPowerSpecFlags(t *testing.T) {
+	for _, tc := range []struct {
+		in                     string
+		file, harvested, empty bool
+	}{
+		{"", false, false, true},
+		{"exhaustion", false, false, false},
+		{"periodic", false, false, false},
+		{"solar", false, true, false},
+		{"trace:x.ndjson", true, false, false},
+		{"csv:x.csv", true, true, false},
+		{"duty+stride:n=100", false, true, false},
+	} {
+		ps, err := ParsePower(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.RequiresFile() != tc.file || ps.Harvested() != tc.harvested || ps.Empty() != tc.empty {
+			t.Fatalf("%q: file=%v harvested=%v empty=%v", tc.in, ps.RequiresFile(), ps.Harvested(), ps.Empty())
+		}
+	}
+}
+
+func TestPowerSpecBuild(t *testing.T) {
+	// Empty spec: nil schedule (default physics).
+	ps, _ := ParsePower("")
+	if sched, err := ps.Build(1000); err != nil || sched != nil {
+		t.Fatalf("empty build: %v %v", sched, err)
+	}
+
+	// Synthetic members get exhaustion physics composed in.
+	ps, _ = ParsePower("periodic:cycles=5000")
+	sched, err := ps.Build(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := sched.Name(); !strings.Contains(name, "exhaustion") || !strings.Contains(name, "periodic") {
+		t.Fatalf("synthetic build name %q lacks composed exhaustion", name)
+	}
+
+	// Harvested members carry their own physics (no exhaustion).
+	ps, _ = ParsePower("solar:seed=3")
+	sched, err = ps.Build(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := sched.Name(); strings.Contains(name, "exhaustion") || !strings.Contains(name, "harvest(solar") {
+		t.Fatalf("harvest build name %q", name)
+	}
+
+	// Harvested members need a capacitor size from somewhere.
+	if _, err := ps.Build(0); err == nil {
+		t.Fatal("harvest build without EB or cap= accepted")
+	}
+	ps, _ = ParsePower("solar:cap=1500")
+	if ps.Capacity() != 1500 {
+		t.Fatalf("Capacity() = %g", ps.Capacity())
+	}
+	if _, err := ps.Build(0); err != nil {
+		t.Fatalf("cap= build: %v", err)
+	}
+
+	// Fresh instances per Build call.
+	a, _ := ps.Build(0)
+	b, _ := ps.Build(0)
+	if a == b {
+		t.Fatal("Build reused schedule state")
+	}
+}
+
+func TestPowerSpecBuildTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ndjson")
+	rec := harvest.NewRecorder(nil, 500)
+	rec.Fail(emulator.Probe{Kind: emulator.PointCharge, Occurrence: 1, Energy: 1000, Remaining: 2})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Trace().Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ps, err := ParsePower("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := ps.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sched.Name(), "replay(") {
+		t.Fatalf("trace build name %q", sched.Name())
+	}
+	if _, err := ParsePower("trace:/does/not/exist.ndjson"); err != nil {
+		t.Fatalf("parse should not touch the filesystem: %v", err)
+	}
+	ps, _ = ParsePower("trace:/does/not/exist.ndjson")
+	if _, err := ps.Build(0); err == nil {
+		t.Fatal("build of missing trace accepted")
+	}
+}

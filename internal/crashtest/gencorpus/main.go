@@ -20,20 +20,25 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 6, "number of corpus programs")
-		seed = flag.Int64("seed", 1, "base generator seed")
-		out  = flag.String("out", "internal/crashtest/testdata/corpus", "output directory")
+		n           = flag.Int("n", 6, "number of corpus programs")
+		seed        = flag.Int64("seed", 1, "base generator seed")
+		out         = flag.String("out", "internal/crashtest/testdata/corpus", "output directory")
+		adversarial = flag.Bool("adversarial", false, "generate placement-adversarial shapes (deep WAR chains, tiny hot loops); files get an adv- prefix")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	for i, prog := range fuzzgen.Corpus(*seed, *n, fuzzgen.DefaultOptions()) {
+	opts, prefix := fuzzgen.DefaultOptions(), "seed"
+	if *adversarial {
+		opts, prefix = fuzzgen.AdversarialOptions(), "adv"
+	}
+	for i, prog := range fuzzgen.Corpus(*seed, *n, opts) {
 		data, err := json.MarshalIndent(prog, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
-		path := filepath.Join(*out, fmt.Sprintf("seed-%d.json", prog.Seed))
+		path := filepath.Join(*out, fmt.Sprintf("%s-%d.json", prefix, prog.Seed))
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}

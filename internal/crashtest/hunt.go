@@ -396,10 +396,11 @@ func reductions(o fuzzgen.Options) []fuzzgen.Options {
 }
 
 // FuzzCases derives a reproducible stream of fuzz-generated cases, one
-// per (program, technique) pair.
+// per (program, technique) pair. Every third program carries the
+// placement-adversarial shapes (deep WAR chains, tiny hot loops).
 func FuzzCases(baseSeed int64, n int, techniques []string, inputSeed int64) []Case {
 	var out []Case
-	for i, prog := range fuzzgen.Corpus(baseSeed, n, fuzzgen.DefaultOptions()) {
+	for i, prog := range fuzzgen.MixedCorpus(baseSeed, n) {
 		prog := prog
 		for _, tech := range techniques {
 			out = append(out, Case{

@@ -1,0 +1,90 @@
+package crashtest
+
+import (
+	"context"
+	"fmt"
+
+	"schematic/internal/emulator"
+)
+
+// RunSchedule executes the built case once under the given schedule
+// (a fresh, single-run instance) and classifies the outcome against the
+// continuous-power oracle. maxSteps of 0 applies the emulator default.
+func (b *Built) RunSchedule(sched emulator.PowerSchedule, maxSteps int64) Outcome {
+	return b.runOnce(sched, maxSteps)
+}
+
+// NamedSchedule labels a factory for fresh power-schedule instances.
+// Schedules are stateful single-run values, so a sweep needs a factory,
+// not an instance; eb is the case's derived energy budget (harvested
+// capacitor sizing).
+type NamedSchedule struct {
+	Name string
+	Make func(eb float64) (emulator.PowerSchedule, error)
+}
+
+// SweepResult is one case × schedule cell of a power-environment sweep.
+// A violation is any Outcome with Class != ClassNone.
+type SweepResult struct {
+	Case     Case
+	Schedule string
+	Outcome  Outcome
+}
+
+// Violation reports whether this cell broke its oracle.
+func (r SweepResult) Violation() bool { return r.Outcome.Class != ClassNone }
+
+// Sweep runs every case once under every named power schedule,
+// classifying each run against the case's continuous-power oracle —
+// the harvested-environment analogue of Hunt's injection pass. Each
+// case is first validated under plain exhaustion, exactly like Hunt's
+// baseline: a dirty wait-contract baseline is itself reported as a
+// violation (under the "exhaustion" schedule name), while a
+// legitimately non-completing anytime baseline skips the case.
+// Ineligible cases (SkipError from Prepare) are skipped with a log
+// line. log may be nil.
+func Sweep(ctx context.Context, cases []Case, scheds []NamedSchedule, opts Options, log func(format string, args ...any)) ([]SweepResult, error) {
+	if log == nil {
+		log = func(string, ...any) {}
+	}
+	opts = opts.withDefaults()
+	var out []SweepResult
+	for _, cs := range cases {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		b, err := Prepare(cs, opts)
+		if err != nil {
+			if IsSkip(err) {
+				log("skip %s/%s: %v", cs.Name, cs.Technique, err)
+				continue
+			}
+			return out, err
+		}
+		baseline := b.RunSchedule(emulator.Exhaustion(), 0)
+		if baseline.Class != ClassNone {
+			if WaitOnly(b.Module()) && !opts.AssumeAnytime {
+				out = append(out, SweepResult{Case: b.Case(), Schedule: "exhaustion", Outcome: baseline})
+				continue
+			}
+			log("skip %s/%s: exhaustion baseline is %s", cs.Name, cs.Technique, baseline.Class)
+			continue
+		}
+		maxSteps := opts.MaxStepsFor(baseline.Res.Steps)
+		for _, ns := range scheds {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			sched, err := ns.Make(b.EB())
+			if err != nil {
+				return out, fmt.Errorf("crashtest: schedule %s for case %s: %w", ns.Name, cs.Name, err)
+			}
+			out = append(out, SweepResult{
+				Case:     b.Case(),
+				Schedule: ns.Name,
+				Outcome:  b.RunSchedule(sched, maxSteps),
+			})
+		}
+	}
+	return out, nil
+}

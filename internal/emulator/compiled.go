@@ -32,6 +32,15 @@ const runSafety = 1e-3
 //   - steppedLoop: the exact mirror of the interpreter's step(), on
 //     precomputed costs and resolved operands, for observed or scheduled
 //     runs.
+//
+// This gate is also what keeps batched energy accounting sound under
+// external power models: any non-nil Config.Schedule — including
+// harvested-capacitor schedules and trace replays (internal/harvest),
+// whose Fail decisions depend on seeing every probe — forces
+// steppedLoop's per-instruction accounting for the whole run. There is
+// no "safe no-fire window" to negotiate per schedule; scheduled runs
+// simply never batch. The dispatch-equivalence suite (internal/bench)
+// pins this with harvested members.
 func (mc *machine) runCompiled() (*Result, error) {
 	var finished bool
 	var err error

@@ -28,12 +28,39 @@ type Options struct {
 	MaxDepth int `json:"max_depth"`
 	// MaxLoopIter bounds each loop's trip count.
 	MaxLoopIter int `json:"max_loop_iter"`
+
+	// WARDepth, when positive, appends a chain of this many
+	// read-modify-write statements on nonvolatile globals to main. Each
+	// statement reads the global it writes — a write-after-read hazard
+	// on NV state — so WAR-breaking placements (Ratchet) must spend a
+	// checkpoint per link, and idempotency-based ones must not let a
+	// replay observe the new value. Zero (the default) emits nothing
+	// and consumes no randomness, so corpora serialized before this
+	// knob existed regenerate unchanged.
+	WARDepth int `json:"war_depth,omitempty"`
+
+	// HotLoop, when positive, appends a loop with this trip count and a
+	// single-statement body to main: so little work per iteration that
+	// the loop body alone can never reach a time-between-failures
+	// budget, forcing placement to either straddle the loop or split
+	// it. Zero (the default) emits nothing and consumes no randomness.
+	HotLoop int `json:"hot_loop,omitempty"`
 }
 
 // DefaultOptions are sized so a program runs in well under a millisecond
 // on the emulator.
 func DefaultOptions() Options {
 	return Options{MaxFuncs: 3, MaxStmts: 5, MaxDepth: 3, MaxLoopIter: 9}
+}
+
+// AdversarialOptions are DefaultOptions plus the placement-adversarial
+// shapes: a deep write-after-read chain and a tiny hot loop sized to
+// straddle the TBPF budgets the evaluation grid uses.
+func AdversarialOptions() Options {
+	o := DefaultOptions()
+	o.WARDepth = 12
+	o.HotLoop = 800
+	return o
 }
 
 // Program is one reproducible generated program: (Seed, Options) fully
@@ -64,6 +91,21 @@ func (p Program) Regenerate() (Program, bool) {
 func Corpus(baseSeed int64, n int, opts Options) []Program {
 	out := make([]Program, 0, n)
 	for i := 0; i < n; i++ {
+		out = append(out, FromSeed(baseSeed+int64(i)*1_000_003, opts))
+	}
+	return out
+}
+
+// MixedCorpus derives n programs with Corpus's seed spacing but gives
+// every third program the adversarial shapes, so one fuzz stream sweeps
+// both plain and placement-adversarial inputs.
+func MixedCorpus(baseSeed int64, n int) []Program {
+	out := make([]Program, 0, n)
+	for i := 0; i < n; i++ {
+		opts := DefaultOptions()
+		if i%3 == 2 {
+			opts = AdversarialOptions()
+		}
 		out = append(out, FromSeed(baseSeed+int64(i)*1_000_003, opts))
 	}
 	return out
@@ -171,6 +213,12 @@ func (g *gen) mainFunc() {
 	scope := newScope(g.globals, locals, nil)
 	g.loopVar = 0
 	g.stmts(scope, g.opts.MaxDepth, g.funcs)
+	if g.opts.WARDepth > 0 {
+		g.warChain()
+	}
+	if g.opts.HotLoop > 0 {
+		g.hotLoop()
+	}
 	// Deterministic observable output over all state.
 	for _, v := range g.globals {
 		if v.elems == 1 {
@@ -184,6 +232,60 @@ func (g *gen) mainFunc() {
 			g.w("print(%s);", v.name)
 		}
 	}
+	g.indent--
+	g.w("}")
+}
+
+// globalScalars lists the plain nonvolatile globals (g0 always exists).
+func (g *gen) globalScalars() []string {
+	var out []string
+	for _, v := range g.globals {
+		if v.elems == 1 {
+			out = append(out, v.name)
+		}
+	}
+	return out
+}
+
+// warChain emits WARDepth read-modify-write statements on the global
+// scalars. Every statement's right-hand side reads its own target —
+// sometimes through data-dependent addressing into the input array — so
+// each link is a genuine WAR hazard on nonvolatile state.
+func (g *gen) warChain() {
+	scalars := g.globalScalars()
+	in := g.globals[0] // the input array, declared first
+	ops := []string{"+", "^", "|"}
+	for i := 0; i < g.opts.WARDepth; i++ {
+		tgt := scalars[g.r.Intn(len(scalars))]
+		op := ops[g.r.Intn(len(ops))]
+		var src string
+		switch g.r.Intn(3) {
+		case 0: // data-dependent load: the index itself reads the target
+			src = fmt.Sprintf("%s[(%s) & %d]", in.name, tgt, in.elems-1)
+		case 1:
+			src = scalars[g.r.Intn(len(scalars))]
+		default:
+			src = fmt.Sprintf("%d", 1+g.r.Intn(2000))
+		}
+		g.w("%s = (%s %s %s) & 0x3FFF;", tgt, tgt, op, src)
+	}
+}
+
+// hotLoop emits a counted loop with a single-statement body and a trip
+// count far above MaxLoopIter (capped at 4096 to bound runtime). All
+// induction variables are free again by the time mainFunc calls this,
+// so iv0 is safe to reuse.
+func (g *gen) hotLoop() {
+	iters := g.opts.HotLoop
+	if iters > 4096 {
+		iters = 4096
+	}
+	scalars := g.globalScalars()
+	tgt := scalars[g.r.Intn(len(scalars))]
+	in := g.globals[0]
+	g.w("for (iv0 = 0; iv0 < %d; iv0 = iv0 + 1) @max(%d) {", iters, iters)
+	g.indent++
+	g.w("%s = (%s + %s[iv0 & %d]) & 0x3FFF;", tgt, tgt, in.name, in.elems-1)
 	g.indent--
 	g.w("}")
 }

@@ -2,6 +2,7 @@ package fuzzgen
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"schematic/internal/emulator"
@@ -40,6 +41,44 @@ func TestGeneratedProgramsAreValid(t *testing.T) {
 			if res1.Output[i] != res2.Output[i] {
 				t.Fatalf("seed %d: nondeterministic output", seed)
 			}
+		}
+	}
+}
+
+// TestAdversarialShapes: the adversarial knobs actually emit their
+// shapes, stay valid programs, and — critically — consume no randomness
+// when zero, so programs serialized before the knobs existed regenerate
+// byte-identically from (seed, options) with the zero fields.
+func TestAdversarialShapes(t *testing.T) {
+	model := energy.MSP430FR5969()
+	for seed := int64(0); seed < 20; seed++ {
+		src := Generate(rand.New(rand.NewSource(seed)), AdversarialOptions())
+		m, err := minic.Compile("adv", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		inputs := trace.RandomInputs(m, rand.New(rand.NewSource(seed+1000)))
+		res, err := emulator.Run(m, emulator.Config{Model: model, Inputs: inputs, MaxSteps: 30_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Verdict != emulator.Completed {
+			t.Fatalf("seed %d: verdict %v\n%s", seed, res.Verdict, src)
+		}
+	}
+	// Zero adversarial fields reproduce the plain stream exactly: the
+	// knobs read g.opts only after all shared randomness is consumed.
+	plain := Generate(rand.New(rand.NewSource(7)), DefaultOptions())
+	adv := Generate(rand.New(rand.NewSource(7)), AdversarialOptions())
+	if !strings.HasPrefix(adv, plain[:strings.Index(plain, "  print(")]) {
+		t.Error("adversarial shapes perturbed the shared generation prefix")
+	}
+	if adv == plain {
+		t.Error("adversarial options emitted nothing")
+	}
+	for _, want := range []string{"for (iv0 = 0; iv0 < 800;", "@max(800)"} {
+		if !strings.Contains(adv, want) {
+			t.Errorf("adversarial program missing %q", want)
 		}
 	}
 }

@@ -1,0 +1,389 @@
+package harvest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"schematic/internal/baselines"
+	"schematic/internal/bench"
+	"schematic/internal/emulator"
+	"schematic/internal/ir"
+)
+
+// placed compiles, profiles, and checkpoints one benchmark with the
+// first applicable technique, returning the placed module, its EB for
+// TBPF 10k, and inputs.
+func placed(t *testing.T, h *bench.Harness, bm *bench.Benchmark) (*ir.Module, float64, map[string][]int64) {
+	t.Helper()
+	m, err := bm.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := h.Profile(context.Background(), bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := prof.EBForTBPF(10_000)
+	inputs, err := bm.Inputs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range bench.Techniques() {
+		if !tech.SupportsVM(m, h.VMSize) {
+			continue
+		}
+		clone := ir.Clone(m)
+		if err := tech.Apply(clone, baselines.Params{
+			Model: h.Model, Budget: eb, VMSize: h.VMSize, Profile: prof,
+		}); err != nil {
+			continue
+		}
+		return clone, eb, inputs
+	}
+	t.Fatalf("%s: no technique applies", bm.Name)
+	return nil, 0, nil
+}
+
+func testBenches(t *testing.T) []*bench.Benchmark {
+	t.Helper()
+	bms, err := bench.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		short := bms[:0]
+		for _, bm := range bms {
+			if bm.Name == "crc" || bm.Name == "randmath" {
+				short = append(short, bm)
+			}
+		}
+		bms = short
+	}
+	return bms
+}
+
+func runCfg(t *testing.T, m *ir.Module, eb float64, inputs map[string][]int64, sched emulator.PowerSchedule) *emulator.Result {
+	t.Helper()
+	res, err := emulator.Run(m, emulator.Config{
+		Model: bench.NewHarness().Model, VMSize: 1 << 20,
+		Intermittent: true, EB: eb, Inputs: inputs, Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Same seed, fresh schedule instances: the whole run — verdict,
+// counters, ledger, and the exact recorded failure sequence — must be
+// identical. A different seed must still produce a sound run.
+func TestHarvestDeterminism(t *testing.T) {
+	h := bench.NewHarness()
+	h.ProfileRuns = 3
+	bms := testBenches(t)
+	envs := func(seed int64) []Environment {
+		return []Environment{
+			Solar{Seed: seed, Period: 400_000},
+			RF{Seed: seed},
+			Duty{},
+		}
+	}
+	for _, bm := range bms {
+		m, eb, inputs := placed(t, h, bm)
+		for _, env := range envs(7) {
+			c := Capacitor{Env: env, Capacity: eb}
+			rec1 := NewRecorder(c.Schedule(), eb)
+			rec2 := NewRecorder(c.Schedule(), eb)
+			res1 := runCfg(t, m, eb, inputs, rec1)
+			res2 := runCfg(t, m, eb, inputs, rec2)
+			label := fmt.Sprintf("%s/%s", bm.Name, env.Name())
+			if !reflect.DeepEqual(res1, res2) {
+				t.Fatalf("%s: same seed, different results:\n%+v\n%+v", label, res1, res2)
+			}
+			if !reflect.DeepEqual(rec1.Trace().Records, rec2.Trace().Records) {
+				t.Fatalf("%s: same seed, different failure sequences", label)
+			}
+			if res1.Verdict != emulator.Completed {
+				t.Fatalf("%s: verdict %v under default harvest sizing", label, res1.Verdict)
+			}
+		}
+	}
+}
+
+// With Capacity = EB, Restart = 1, harvesting only ever adds energy on
+// top of the machine's own refill level, so a harvested run must never
+// see more power failures than the plain-exhaustion run — the property
+// that keeps wait-style placements' zero-failure contract intact.
+func TestHarvestNeverWorseThanExhaustion(t *testing.T) {
+	h := bench.NewHarness()
+	h.ProfileRuns = 3
+	for _, bm := range testBenches(t) {
+		m, eb, inputs := placed(t, h, bm)
+		base := runCfg(t, m, eb, inputs, nil)
+		for _, env := range []Environment{Solar{Seed: 2, Period: 400_000}, RF{Seed: 2}, Piezo{}} {
+			res := runCfg(t, m, eb, inputs, Capacitor{Env: env, Capacity: eb}.Schedule())
+			if res.Verdict != emulator.Completed {
+				t.Fatalf("%s/%s: verdict %v", bm.Name, env.Name(), res.Verdict)
+			}
+			if res.PowerFailures > base.PowerFailures {
+				t.Fatalf("%s/%s: %d power failures vs %d under exhaustion",
+					bm.Name, env.Name(), res.PowerFailures, base.PowerFailures)
+			}
+			if !reflect.DeepEqual(res.Output, base.Output) {
+				t.Fatalf("%s/%s: output diverges from exhaustion run", bm.Name, env.Name())
+			}
+		}
+	}
+}
+
+// Property test: under an arbitrary probe stream the capacitor level
+// stays within [0, Capacity], and a failed draw leaves the level
+// untouched.
+func TestCapacitorLevelBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		env := []Environment{
+			Solar{Seed: int64(trial), Period: 50_000},
+			RF{Seed: int64(trial)},
+			Piezo{Period: 1_000},
+			Duty{Period: 5_000},
+		}[trial%4]
+		cap := Capacitor{Env: env, Capacity: 200 + r.Float64()*2000, Restart: 0.25 + r.Float64()*0.75, MaxOff: 1_000_000}
+		s := cap.Schedule().(*capSchedule)
+		var cycle, csp int64
+		failures := 0
+		for i := int64(0); i < 3000; i++ {
+			adv := r.Int63n(500)
+			cycle += adv
+			csp += adv
+			p := emulator.Probe{
+				Kind: emulator.PointCharge, Step: i, Cycle: cycle,
+				CyclesSincePower: csp, Occurrence: i,
+				Energy: r.Float64() * s.c.Capacity * 0.4, Failures: failures,
+			}
+			if r.Intn(10) == 0 {
+				p.Kind = emulator.PointStep
+				p.Energy = 0
+			}
+			before := s.level
+			failed := s.Fail(p)
+			if s.level < 0 || s.level > s.c.Capacity+levelEpsilon {
+				t.Fatalf("trial %d probe %d: level %g outside [0, %g]", trial, i, s.level, s.c.Capacity)
+			}
+			if failed {
+				if p.Kind != emulator.PointCharge {
+					t.Fatalf("trial %d: non-charge probe failed", trial)
+				}
+				if s.level < before-levelEpsilon {
+					t.Fatalf("trial %d: failed draw still drained the level", trial)
+				}
+				failures++
+				csp = 0
+			} else if r.Intn(40) == 0 {
+				csp = 0 // planned sleep
+			}
+		}
+	}
+}
+
+// The integral of the waveform must not depend on how the active-time
+// delta is sliced across probes.
+func TestIntegrateSliceIndependent(t *testing.T) {
+	mk := func() *capSchedule {
+		return (&Capacitor{Env: Solar{Seed: 5, Period: 10_000}, Capacity: 1e9}).Schedule().(*capSchedule)
+	}
+	a, b := mk(), mk()
+	a.level, b.level = 0, 0
+	a.integrate(9_777)
+	r := rand.New(rand.NewSource(3))
+	for left := int64(9_777); left > 0; {
+		d := 1 + r.Int63n(300)
+		if d > left {
+			d = left
+		}
+		b.integrate(d)
+		left -= d
+	}
+	// The sampling grid is slice-independent; float summation order is
+	// only equal up to rounding.
+	if d := a.level - b.level; d > 1e-9 || d < -1e-9 || a.envCycle != b.envCycle {
+		t.Fatalf("slicing changed the integral: %g/%d vs %g/%d", a.level, a.envCycle, b.level, b.envCycle)
+	}
+}
+
+// Harvested members compose with the existing Schedules() combinator:
+// injected failure points fire on top of capacitor physics, and the run
+// still produces the continuous-power output.
+func TestSchedulesCombinatorWithHarvest(t *testing.T) {
+	h := bench.NewHarness()
+	h.ProfileRuns = 3
+	bms := testBenches(t)
+	bm := bms[0]
+	m, eb, inputs := placed(t, h, bm)
+	oracle, err := emulator.Run(m, emulator.Config{
+		Model: h.Model, VMSize: 1 << 20, Inputs: inputs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := emulator.Schedules(
+		Capacitor{Env: RF{Seed: 4}, Capacity: eb}.Schedule(),
+		emulator.TraceSchedule(emulator.FailPoint{Kind: emulator.PointStep, N: 120}),
+	)
+	res := runCfg(t, m, eb, inputs, sched)
+	if res.Verdict != emulator.Completed {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.InjectedFailures < 1 {
+		t.Fatalf("trace member never fired (injected=%d)", res.InjectedFailures)
+	}
+	if !reflect.DeepEqual(res.Output, oracle.Output) {
+		t.Fatalf("output diverges from continuous oracle")
+	}
+}
+
+// Record → serialize → parse → replay must reproduce the original
+// Result byte-identically on every benchmark, both for harvested
+// physics and for recorded plain exhaustion.
+func TestRecordReplayByteIdentical(t *testing.T) {
+	h := bench.NewHarness()
+	h.ProfileRuns = 3
+	for _, bm := range testBenches(t) {
+		m, eb, inputs := placed(t, h, bm)
+		inners := []func() emulator.PowerSchedule{
+			func() emulator.PowerSchedule {
+				return Capacitor{Env: Solar{Seed: 9, Period: 300_000}, Capacity: eb}.Schedule()
+			},
+			func() emulator.PowerSchedule { return nil }, // plain exhaustion
+		}
+		for i, mk := range inners {
+			rec := NewRecorder(mk(), eb)
+			rec.SampleEvery = 10_000
+			orig := runCfg(t, m, eb, inputs, rec)
+
+			var buf bytes.Buffer
+			if err := rec.Trace().Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed := runCfg(t, m, eb, inputs, tr.Schedule())
+			if !reflect.DeepEqual(orig, replayed) {
+				t.Fatalf("%s inner %d: replay diverges:\nrecorded: %+v\nreplayed: %+v", bm.Name, i, orig, replayed)
+			}
+		}
+	}
+}
+
+func TestTraceFormat(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Schedule: "harvest(x)", EB: 1234},
+		Records: []Record{
+			{K: "sample", N: 100, Cycle: 5_000, Level: 900},
+			{K: "fail", Point: "charge", N: 321, Step: 77, Cycle: 9_000, Level: 1.5, Draw: 3.2},
+			{K: "fail", Point: "mid-save", N: 2, Step: 90, Cycle: 9_500, Level: 800},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Version != TraceVersion || got.Header.Schedule != "harvest(x)" || got.Header.EB != 1234 {
+		t.Fatalf("header mangled: %+v", got.Header)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("records mangled:\n%+v\n%+v", got.Records, tr.Records)
+	}
+	sched := got.Schedule()
+	if want := "replay(harvest(x),n=2)"; sched.Name() != want {
+		t.Fatalf("replay name %q, want %q", sched.Name(), want)
+	}
+
+	for _, bad := range []string{
+		"",
+		"{\"kind\":\"other\",\"v\":1}\n",
+		"{\"kind\":\"harvest-trace\",\"v\":99}\n",
+		"{\"kind\":\"harvest-trace\",\"v\":1}\n{\"k\":\"nope\"}\n",
+		"{\"kind\":\"harvest-trace\",\"v\":1}\n{\"k\":\"fail\",\"point\":\"bogus\",\"n\":1}\n",
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadTrace accepted %q", bad)
+		}
+	}
+}
+
+func TestEnvironmentsPureAndBounded(t *testing.T) {
+	envs := []struct {
+		env  Environment
+		peak float64
+	}{
+		{Solar{}, 0.8},
+		{Solar{Seed: 42, Peak: 2, Period: 100_000, Day: 0.7, Cloud: 0.9}, 2},
+		{RF{}, 1.5},
+		{Piezo{}, 0.6},
+		{Duty{}, 1.0},
+	}
+	for _, tc := range envs {
+		for _, c := range []int64{0, 1, 999, 54_321, 2_000_000, 7_654_321} {
+			p1, p2 := tc.env.Power(c), tc.env.Power(c)
+			if p1 != p2 {
+				t.Fatalf("%s: Power(%d) not pure", tc.env.Name(), c)
+			}
+			if p1 < 0 || p1 > tc.peak+1e-9 {
+				t.Fatalf("%s: Power(%d) = %g outside [0, %g]", tc.env.Name(), c, p1, tc.peak)
+			}
+		}
+		if tc.env.Name() == "" {
+			t.Fatal("empty env name")
+		}
+	}
+	if noise01(1, 2) != noise01(1, 2) || noise01(1, 2) == noise01(1, 3) {
+		t.Fatal("noise01 not a stable hash")
+	}
+}
+
+func TestImportCSV(t *testing.T) {
+	src := "time_s,power_w\n# comment\n0,0.004\n0.01,0.008\n0.02,0\n"
+	env, err := ImportCSV(strings.NewReader(src), CSVOptions{Hz: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MHz: scale = 1e9/1e6 = 1000 nJ/cycle per watt.
+	if got := env.Power(0); got != 4 {
+		t.Fatalf("Power(0) = %g, want 4", got)
+	}
+	if got := env.Power(10_000); got != 8 {
+		t.Fatalf("Power(10k) = %g, want 8", got)
+	}
+	if got := env.Power(20_001); got != 0 {
+		t.Fatalf("Power(20k+) = %g, want 0", got)
+	}
+	// Loops: length = 20_000 + last dwell 10_000 = 30_000.
+	if got := env.Power(30_001); got != 4 {
+		t.Fatalf("looped Power = %g, want 4", got)
+	}
+	held, err := ImportCSV(strings.NewReader(src), CSVOptions{Hz: 1e6, Hold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := held.Power(1_000_000); got != 0 {
+		t.Fatalf("held Power = %g, want 0", got)
+	}
+
+	for _, bad := range []string{"", "1\n", "0,1\n-1,2\n", "0,1\n0.1,-3\n", "0,1\n1,abc\n"} {
+		if _, err := ImportCSV(strings.NewReader(bad), CSVOptions{}); err == nil {
+			t.Fatalf("ImportCSV accepted %q", bad)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"schematic/internal/bench"
+	"schematic/internal/cli"
 )
 
 // Options are the request knobs shared by all four job endpoints. Each
@@ -65,6 +66,16 @@ type Options struct {
 	// GET /v1/runs/{digest}. Observation runs the emulator with a
 	// non-nil observer, so it costs throughput; it is off by default.
 	Observe bool `json:"observe,omitempty"`
+
+	// Power (emulate only) selects a power-environment spec in the
+	// shared internal/cli grammar — e.g. "solar", "rf:seed=7", "duty",
+	// or composed "solar+periodic:cycles=40000". Harvested specs model
+	// a capacitor charged by the environment's waveform instead of the
+	// built-in exhaustion physics. Specs that read local files
+	// (trace:, csv:file=) are rejected: requests must be
+	// self-contained. The spec is canonicalized (defaults resolved,
+	// members ordered) so equivalent spellings share one digest.
+	Power string `json:"power,omitempty"`
 
 	// MaxStates / MaxDepth (verify only) bound the model checker's
 	// search: distinct persistent states enqueued (default 200000) and
@@ -144,9 +155,20 @@ func (r *Request) normalize(kind string) error {
 	if o.Technique != "none" && o.TBPF == 0 && o.EB == 0 {
 		o.TBPF = 10_000
 	}
+	if o.Power != "" {
+		ps, err := cli.ParsePower(o.Power)
+		if err != nil {
+			return err
+		}
+		if ps.RequiresFile() {
+			return fmt.Errorf("power spec %q reads local files (trace:/csv:); server requests must be self-contained", o.Power)
+		}
+		o.Power = ps.String()
+	}
 	if kind != "emulate" {
 		o.Stream = false
 		o.Observe = false
+		o.Power = ""
 	}
 	// Verify-only knobs must not perturb other endpoints' digests.
 	if kind != "verify" {
@@ -219,6 +241,7 @@ type EmulateResponse struct {
 	Technique string `json:"technique"`
 
 	EBnJ      float64 `json:"eb_nj"`
+	Power     string  `json:"power,omitempty"` // canonical power-environment spec, if any
 	Verdict   string  `json:"verdict"`
 	Completed bool    `json:"completed"`
 	Output    []int64 `json:"output"`

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"schematic/internal/bench"
+	"schematic/internal/cli"
 )
 
 // POST /v1/grid runs a benchmark × technique × TBPF matrix server-side:
@@ -32,12 +33,14 @@ import (
 
 // GridRequest is the body of POST /v1/grid. Empty axes default to the
 // full paper grid: all bundled benchmarks, every placement technique,
-// TBPF 10000. Options apply to every cell and must leave the axis knobs
-// (technique, tbpf, eb_nj) unset.
+// TBPF 10000, and the built-in exhaustion physics (one empty power
+// spec). Options apply to every cell and must leave the axis knobs
+// (technique, tbpf, eb_nj, power) unset.
 type GridRequest struct {
 	Benches    []string `json:"benches,omitempty"`
 	Techniques []string `json:"techniques,omitempty"`
 	TBPFs      []int64  `json:"tbpfs,omitempty"`
+	Powers     []string `json:"powers,omitempty"`
 	Options    Options  `json:"options"`
 }
 
@@ -49,6 +52,7 @@ type GridCellResult struct {
 	Bench     string           `json:"bench"`
 	Technique string           `json:"technique"`
 	TBPF      int64            `json:"tbpf"`
+	Power     string           `json:"power,omitempty"`
 	Digest    string           `json:"digest"`
 	Source    string           `json:"source"`
 	Error     string           `json:"error,omitempty"`
@@ -63,6 +67,7 @@ type GridResponse struct {
 	Benches    []string `json:"benches"`
 	Techniques []string `json:"techniques"`
 	TBPFs      []int64  `json:"tbpfs"`
+	Powers     []string `json:"powers"`
 
 	Cells []GridCellResult `json:"cells"`
 
@@ -86,6 +91,7 @@ type gridCell struct {
 	bench     string
 	technique string
 	tbpf      int64
+	power     string
 	req       Request
 	digest    string
 }
@@ -94,8 +100,8 @@ type gridCell struct {
 // per-cell option conflicts. It returns the expanded cells in table
 // order and the grid's own digest.
 func (s *Server) normalizeGrid(greq *GridRequest) ([]gridCell, string, error) {
-	if greq.Options.Technique != "" || greq.Options.TBPF != 0 || greq.Options.EB != 0 {
-		return nil, "", fmt.Errorf("options.technique, options.tbpf and options.eb_nj are grid axes; set benches/techniques/tbpfs instead")
+	if greq.Options.Technique != "" || greq.Options.TBPF != 0 || greq.Options.EB != 0 || greq.Options.Power != "" {
+		return nil, "", fmt.Errorf("options.technique, options.tbpf, options.eb_nj and options.power are grid axes; set benches/techniques/tbpfs/powers instead")
 	}
 	if greq.Options.Stream {
 		return nil, "", fmt.Errorf("options.stream is not supported on grid cells")
@@ -121,7 +127,24 @@ func (s *Server) normalizeGrid(greq *GridRequest) ([]gridCell, string, error) {
 			return nil, "", fmt.Errorf("tbpfs must be positive, got %d", tb)
 		}
 	}
-	total := len(greq.Benches) * len(greq.Techniques) * len(greq.TBPFs)
+	if len(greq.Powers) == 0 {
+		greq.Powers = []string{""} // built-in exhaustion physics
+	}
+	for i, pw := range greq.Powers {
+		if strings.TrimSpace(pw) == "" {
+			greq.Powers[i] = ""
+			continue
+		}
+		ps, err := cli.ParsePower(pw)
+		if err != nil {
+			return nil, "", err
+		}
+		if ps.RequiresFile() {
+			return nil, "", fmt.Errorf("power spec %q reads local files (trace:/csv:); server requests must be self-contained", pw)
+		}
+		greq.Powers[i] = ps.String()
+	}
+	total := len(greq.Benches) * len(greq.Techniques) * len(greq.TBPFs) * len(greq.Powers)
 	if total > s.cfg.GridCellCap {
 		return nil, "", fmt.Errorf("grid expands to %d cells, cap is %d", total, s.cfg.GridCellCap)
 	}
@@ -130,19 +153,23 @@ func (s *Server) normalizeGrid(greq *GridRequest) ([]gridCell, string, error) {
 	for _, b := range greq.Benches {
 		for _, tq := range greq.Techniques {
 			for _, tb := range greq.TBPFs {
-				req := Request{Bench: b, Options: greq.Options}
-				req.Options.Technique = tq
-				req.Options.TBPF = tb
-				if err := req.normalize("emulate"); err != nil {
-					return nil, "", fmt.Errorf("cell %s/%s/%d: %w", b, tq, tb, err)
+				for _, pw := range greq.Powers {
+					req := Request{Bench: b, Options: greq.Options}
+					req.Options.Technique = tq
+					req.Options.TBPF = tb
+					req.Options.Power = pw
+					if err := req.normalize("emulate"); err != nil {
+						return nil, "", fmt.Errorf("cell %s/%s/%d/%s: %w", b, tq, tb, pw, err)
+					}
+					cells = append(cells, gridCell{
+						bench:     b,
+						technique: tq,
+						tbpf:      tb,
+						power:     pw,
+						req:       req,
+						digest:    req.digest("emulate"),
+					})
 				}
-				cells = append(cells, gridCell{
-					bench:     b,
-					technique: tq,
-					tbpf:      tb,
-					req:       req,
-					digest:    req.digest("emulate"),
-				})
 			}
 		}
 	}
@@ -152,8 +179,9 @@ func (s *Server) normalizeGrid(greq *GridRequest) ([]gridCell, string, error) {
 		Benches    []string `json:"benches"`
 		Techniques []string `json:"techniques"`
 		TBPFs      []int64  `json:"tbpfs"`
+		Powers     []string `json:"powers"`
 		Options    Options  `json:"options"`
-	}{"grid", greq.Benches, greq.Techniques, greq.TBPFs, greq.Options}
+	}{"grid", greq.Benches, greq.Techniques, greq.TBPFs, greq.Powers, greq.Options}
 	raw, _ := json.Marshal(canon)
 	sum := sha256.Sum256(raw)
 	return cells, hex.EncodeToString(sum[:]), nil
@@ -209,6 +237,7 @@ func (s *Server) runGrid(greq *GridRequest, cells []gridCell, gridDigest string,
 		Benches:    greq.Benches,
 		Techniques: greq.Techniques,
 		TBPFs:      greq.TBPFs,
+		Powers:     greq.Powers,
 		Cells:      make([]GridCellResult, len(cells)),
 		CellsTotal: len(cells),
 	}
@@ -230,6 +259,7 @@ func (s *Server) runGrid(greq *GridRequest, cells []gridCell, gridDigest string,
 				Bench:     c.bench,
 				Technique: c.technique,
 				TBPF:      c.tbpf,
+				Power:     c.power,
 				Digest:    c.digest,
 				Source:    source,
 				Result:    val,
@@ -260,7 +290,7 @@ func (s *Server) runGrid(greq *GridRequest, cells []gridCell, gridDigest string,
 			done++
 			ev := gridCellEvent{
 				K: "cell", I: i,
-				Bench: c.bench, Technique: c.technique, TBPF: c.tbpf,
+				Bench: c.bench, Technique: c.technique, TBPF: c.tbpf, Power: c.power,
 				Digest: c.digest, Source: source,
 				Done: done, Total: len(cells),
 			}
@@ -319,6 +349,7 @@ type gridCellEvent struct {
 	Bench     string `json:"bench"`
 	Technique string `json:"technique"`
 	TBPF      int64  `json:"tbpf"`
+	Power     string `json:"power,omitempty"`
 	Digest    string `json:"digest"`
 	Source    string `json:"source"`
 	Verdict   string `json:"verdict,omitempty"`

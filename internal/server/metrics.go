@@ -103,6 +103,7 @@ type gauges struct {
 	runs            int
 	verifyStates    int64
 	verifyDedup     int64
+	powerRuns       int64
 }
 
 // gridStats are the grid scheduler's counters: accepted grids, resolved
@@ -179,6 +180,7 @@ func (m *metrics) write(w io.Writer, cache CacheStats, disk store.Stats, grid gr
 	counter("schematicd_cache_evictions_total", "Cache entries dropped by the LRU bound.", cache.Evictions)
 	counter("schematicd_verify_states_total", "Persistent states explored across POST /v1/verify jobs.", g.verifyStates)
 	counter("schematicd_verify_dedup_hits_total", "Hash-dedup hits across POST /v1/verify jobs.", g.verifyDedup)
+	counter("schematicd_power_runs_total", "Emulate jobs run under an options.power environment.", g.powerRuns)
 	counter("schematicd_store_hits_total", "Results served from the disk store (cross-restart and cross-replica hits).", disk.Hits)
 	counter("schematicd_store_misses_total", "Disk-store lookups that found nothing.", disk.Misses)
 	counter("schematicd_store_puts_total", "Results written through to the disk store.", disk.Puts)

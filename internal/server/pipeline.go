@@ -10,6 +10,7 @@ import (
 
 	"schematic/internal/baselines"
 	"schematic/internal/bench"
+	"schematic/internal/cli"
 	"schematic/internal/crashtest"
 	"schematic/internal/emulator"
 	"schematic/internal/energy"
@@ -145,6 +146,19 @@ func runEmulate(ctx context.Context, req *Request, digest string, observer emula
 	if err != nil {
 		return nil, err
 	}
+	var sched emulator.PowerSchedule
+	if o.Power != "" {
+		spec, err := cli.ParsePower(o.Power)
+		if err != nil {
+			return nil, &progError{err}
+		}
+		if p.eb <= 0 {
+			return nil, progErrorf("power %q needs an energy-constrained run: set tbpf or eb_nj (technique %q runs on continuous power)", o.Power, o.Technique)
+		}
+		if sched, err = spec.Build(p.eb); err != nil {
+			return nil, &progError{err}
+		}
+	}
 	inputs := trace.RandomInputs(p.m, rand.New(rand.NewSource(o.Seed)))
 	res, err := emulator.Run(p.m, emulator.Config{
 		Model:        energy.MSP430FR5969(),
@@ -152,6 +166,7 @@ func runEmulate(ctx context.Context, req *Request, digest string, observer emula
 		Intermittent: p.eb > 0,
 		EB:           p.eb,
 		Inputs:       inputs,
+		Schedule:     sched,
 		Observer:     observer,
 	})
 	if err != nil {
@@ -162,6 +177,7 @@ func runEmulate(ctx context.Context, req *Request, digest string, observer emula
 		Name:          req.Name,
 		Technique:     o.Technique,
 		EBnJ:          p.eb,
+		Power:         o.Power,
 		Verdict:       res.Verdict.String(),
 		Completed:     res.Verdict == emulator.Completed,
 		Output:        res.Output,

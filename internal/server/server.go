@@ -111,6 +111,8 @@ type Server struct {
 	verifyStates atomic.Int64 // persistent states explored across verify jobs
 	verifyDedup  atomic.Int64 // dedup hits across verify jobs
 
+	powerRuns atomic.Int64 // emulate jobs run under an options.power environment
+
 	gridRuns          atomic.Int64 // grids accepted (leaders that expanded cells)
 	gridCellComputed  atomic.Int64 // cells that ran the pipeline
 	gridCellCache     atomic.Int64 // cells answered from a completed cache entry
@@ -350,6 +352,9 @@ func (s *Server) runJob(kind string, req *Request, digest string) (any, error) {
 	case "compile":
 		return valOrNil(runCompile(ctx, req, digest))
 	case "emulate":
+		if req.Options.Power != "" {
+			s.powerRuns.Add(1)
+		}
 		return valOrNil(s.runEmulateJob(ctx, req, digest, nil))
 	case "validate":
 		return valOrNil(runValidate(ctx, req, digest))
@@ -517,5 +522,6 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		runs:         s.runs.len(),
 		verifyStates: s.verifyStates.Load(),
 		verifyDedup:  s.verifyDedup.Load(),
+		powerRuns:    s.powerRuns.Load(),
 	})
 }

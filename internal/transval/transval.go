@@ -503,10 +503,11 @@ func void main() {
 }
 
 // FuzzCases derives a reproducible stream of fuzz-generated validation
-// cases from a base seed.
+// cases from a base seed. Every third program carries the
+// placement-adversarial shapes (deep WAR chains, tiny hot loops).
 func FuzzCases(baseSeed int64, n int, inputSeed int64) []Case {
 	var out []Case
-	for i, prog := range fuzzgen.Corpus(baseSeed, n, fuzzgen.DefaultOptions()) {
+	for i, prog := range fuzzgen.MixedCorpus(baseSeed, n) {
 		prog := prog
 		out = append(out, Case{
 			Name:      fmt.Sprintf("fuzz-%d", i),

@@ -1,10 +1,10 @@
 #!/bin/sh
 # bench.sh: run the full schemabench suite and write the canonical
-# BENCH_009.json report at the repo root. Run on an otherwise idle
+# BENCH_010.json report at the repo root. Run on an otherwise idle
 # machine; the grid numbers are wall-clock throughput.
 #
 #   make bench          -> this script
-#   make bench-smoke    -> schemabench -smoke -check BENCH_009.json (CI gate)
+#   make bench-smoke    -> schemabench -smoke -check BENCH_010.json (CI gate)
 set -e
 cd "$(dirname "$0")/.."
-go run ./cmd/schemabench -o BENCH_009.json
+go run ./cmd/schemabench -o BENCH_010.json

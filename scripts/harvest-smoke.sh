@@ -1,0 +1,42 @@
+#!/bin/sh
+# harvest-smoke: harvested-energy environments end to end.
+#
+# Places crc with Ratchet (failure-tolerant anywhere, so harvested
+# refusals are routine), runs it under a short-period solar profile
+# whose nights outlast the capacitor — real refusal decisions land in
+# the recorded NDJSON trace — then replays the trace and requires the
+# replay to reproduce the recorded run exactly: same program output,
+# same verdict, same energy ledger. Finally sweeps the quick benchmarks
+# across three harvested environments against their continuous-power
+# oracles with zero tolerated violations. Wired into `make ci`.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp" ./cmd/schematicc ./cmd/iemu ./cmd/crashhunt
+
+"$tmp/schematicc" -technique ratchet -budget 3000 \
+    -o "$tmp/crc.ir" internal/bench/programs/crc.mc 2>/dev/null
+
+# Record. period=20000,day=0.3 gives 14000-cycle nights against a
+# 3000 nJ capacitor (~7500 cycles of charge): failures are guaranteed.
+"$tmp/iemu" -eb 3000 -power solar:period=20000,day=0.3,window=2000 \
+    -record "$tmp/run.ndjson" "$tmp/crc.ir" \
+    >"$tmp/rec.out" 2>"$tmp/rec.stats"
+grep -q '"kind":"harvest-trace"' "$tmp/run.ndjson"
+grep -q '"k":"fail"' "$tmp/run.ndjson"
+grep -q '^verdict: *completed$' "$tmp/rec.stats"
+
+# Replay must reproduce the run byte for byte: the program output and
+# the full stats block (verdict, cycles, ledger, failure counts).
+"$tmp/iemu" -eb 3000 -power "trace:$tmp/run.ndjson" "$tmp/crc.ir" \
+    >"$tmp/rep.out" 2>"$tmp/rep.stats"
+cmp -s "$tmp/rec.out" "$tmp/rep.out"
+cmp -s "$tmp/rec.stats" "$tmp/rep.stats"
+
+# Harvested sweep: quick benchmarks x every technique under three
+# environments, classified against the continuous-power oracle.
+"$tmp/crashhunt" -benches crc,randmath -power solar -power rf -power duty -timeout 60s
+
+echo "harvest-smoke: ok"
